@@ -1,0 +1,46 @@
+//! Classification benchmarks (Fig 4 and Fig 6): per-flow traffic
+//! classification throughput and the derived protocol mix / CDFs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iotscope_core::analysis::Analyzer;
+use iotscope_core::characterize;
+use iotscope_core::classify::classify;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+fn bench_classify(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(3));
+    let hour = built.scenario.generate_hour(50);
+    let n = hour.flows.len() as u64;
+
+    let mut group = c.benchmark_group("classify");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(30);
+
+    group.bench_function("classify_flows", |b| {
+        b.iter(|| {
+            hour.flows
+                .iter()
+                .map(|f| classify(f) as usize)
+                .sum::<usize>()
+        })
+    });
+
+    let mut an = Analyzer::new(&built.inventory.db, 143);
+    for i in 1..=24 {
+        an.ingest_hour(&built.scenario.generate_hour(i));
+    }
+    let analysis = an.finish();
+    group.bench_function("fig4_protocol_mix", |b| {
+        b.iter(|| characterize::protocol_mix(&analysis))
+    });
+    group.bench_function("fig6_packet_cdfs", |b| {
+        b.iter(|| characterize::packet_cdfs(&analysis))
+    });
+    group.bench_function("mann_whitney_realms", |b| {
+        b.iter(|| characterize::realm_packet_test(&analysis))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

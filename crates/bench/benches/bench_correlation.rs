@@ -1,0 +1,76 @@
+//! Correlation benchmarks (Figs 1b/2/3, Tables I–III): joining darknet
+//! sources against the inventory, plus the hash-map vs prefix-trie device
+//! lookup ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iotscope_core::analysis::Analyzer;
+use iotscope_core::characterize;
+use iotscope_devicedb::Realm;
+use iotscope_net::addr::Ipv4Cidr;
+use iotscope_net::trie::PrefixTrie;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+fn bench_correlation(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(2));
+    let hour = built.scenario.generate_hour(30);
+    let db = &built.inventory.db;
+    let n = hour.flows.len() as u64;
+
+    let mut group = c.benchmark_group("correlation");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(20);
+
+    group.bench_function("ingest_hour", |b| {
+        b.iter(|| {
+            let mut an = Analyzer::new(db, 143);
+            an.ingest_hour(&hour);
+            an.finish().observations.len()
+        })
+    });
+
+    // Ablation: exact-IP lookup via the analyzer's hash map vs a /32
+    // prefix trie.
+    let trie: PrefixTrie<u32> = db
+        .iter()
+        .map(|d| (Ipv4Cidr::new(d.ip, 32).unwrap(), d.id.0))
+        .collect();
+    group.bench_function("lookup_hashmap", |b| {
+        b.iter(|| {
+            hour.flows
+                .iter()
+                .filter(|f| db.lookup_ip(f.src_ip).is_some())
+                .count()
+        })
+    });
+    group.bench_function("lookup_trie", |b| {
+        b.iter(|| {
+            hour.flows
+                .iter()
+                .filter(|f| trie.longest_match(f.src_ip).is_some())
+                .count()
+        })
+    });
+
+    // Characterization tables over a multi-hour analysis.
+    let mut an = Analyzer::new(db, 143);
+    for i in 1..=24 {
+        an.ingest_hour(&built.scenario.generate_hour(i));
+    }
+    let analysis = an.finish();
+    group.bench_function("fig1b_country_ranking", |b| {
+        b.iter(|| characterize::compromised_by_country(&analysis, db).len())
+    });
+    group.bench_function("fig2_discovery_curve", |b| {
+        b.iter(|| analysis.discovery_curve())
+    });
+    group.bench_function("table_i_isp_ranking", |b| {
+        b.iter(|| characterize::top_isps(&analysis, db, &built.inventory.isps, Realm::Consumer, 5))
+    });
+    group.bench_function("table_iii_cps_services", |b| {
+        b.iter(|| characterize::cps_service_breakdown(&analysis, db).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_correlation);
+criterion_main!(benches);

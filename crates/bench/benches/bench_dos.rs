@@ -1,0 +1,32 @@
+//! Backscatter/DoS analysis benchmarks (Figs 6–8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotscope_core::analysis::Analyzer;
+use iotscope_core::dos;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+fn bench_dos(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(6));
+    let mut an = Analyzer::new(&built.inventory.db, 143);
+    for i in 1..=60 {
+        an.ingest_hour(&built.scenario.generate_hour(i));
+    }
+    let analysis = an.finish();
+
+    let mut group = c.benchmark_group("dos");
+    group.sample_size(30);
+    group.bench_function("fig7_detect_spikes", |b| {
+        b.iter(|| dos::detect_spikes(&analysis, 6.0))
+    });
+    group.bench_function("fig8_victim_countries", |b| {
+        b.iter(|| dos::victim_countries(&analysis, &built.inventory.db))
+    });
+    group.bench_function("summary", |b| b.iter(|| dos::summary(&analysis, 1000)));
+    group.bench_function("mann_whitney_hourly", |b| {
+        b.iter(|| dos::backscatter_realm_test(&analysis))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dos);
+criterion_main!(benches);

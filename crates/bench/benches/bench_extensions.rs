@@ -1,0 +1,67 @@
+//! Benchmarks for the §VI/§VII follow-up features: behavior extraction,
+//! fingerprinting, botnet clustering, attribution, and streaming.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iotscope_core::botnet::{self, BotnetConfig};
+use iotscope_core::fingerprint::{candidate_iot_devices, FingerprintModel};
+use iotscope_core::stream::{StreamConfig, StreamingAnalyzer};
+use iotscope_core::{attribution, behavior, malicious};
+use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use iotscope_telescope::HourTraffic;
+
+fn bench_extensions(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(10));
+    let traffic: Vec<HourTraffic> = (1..=48).map(|i| built.scenario.generate_hour(i)).collect();
+    let flows: u64 = traffic.iter().map(|h| h.flows.len() as u64).sum();
+    let vectors = behavior::extract(&traffic, &built.inventory.db, 143);
+    let model = FingerprintModel::train(&vectors).expect("matched devices exist");
+    let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
+    let candidates = malicious::select_candidates(&analysis, 400);
+    let intel =
+        IntelBuilder::new(IntelSynthConfig::paper(10)).build(&built.inventory.db, &candidates);
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flows));
+
+    group.bench_function("behavior_extract", |b| {
+        b.iter(|| behavior::extract(&traffic, &built.inventory.db, 143).len())
+    });
+    group.bench_function("fingerprint_train", |b| {
+        b.iter(|| FingerprintModel::train(&vectors).map(|m| m.num_groups()))
+    });
+    group.bench_function("fingerprint_scan", |b| {
+        b.iter(|| candidate_iot_devices(&model, &vectors, 0.55, 20).len())
+    });
+    group.bench_function("botnet_cluster", |b| {
+        b.iter(|| botnet::cluster(&vectors, &BotnetConfig::default()).len())
+    });
+    group.bench_function("attribution", |b| {
+        b.iter(|| {
+            attribution::attribute(
+                &vectors,
+                &built.inventory.db,
+                &intel.malware,
+                &intel.resolver,
+                attribution::DEFAULT_MIN_SCORE,
+            )
+            .len()
+        })
+    });
+    group.bench_function("streaming_48h", |b| {
+        b.iter(|| {
+            let mut s =
+                StreamingAnalyzer::new(&built.inventory.db, 143, StreamConfig::default());
+            for h in &traffic {
+                s.push_hour(h);
+            }
+            s.finish().1.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Section V benchmarks (Fig 11, Tables VI and VII): intel population,
+//! threat-repository join, and malware-database correlation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotscope_core::analysis::Analyzer;
+use iotscope_core::malicious;
+use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+fn bench_intel(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(7));
+    let mut an = Analyzer::new(&built.inventory.db, 143);
+    for i in 1..=24 {
+        an.ingest_hour(&built.scenario.generate_hour(i));
+    }
+    let analysis = an.finish();
+    let candidates = malicious::select_candidates(&analysis, 400);
+    let intel =
+        IntelBuilder::new(IntelSynthConfig::paper(7)).build(&built.inventory.db, &candidates);
+
+    let mut group = c.benchmark_group("intel");
+    group.sample_size(20);
+    group.bench_function("populate_stores", |b| {
+        b.iter(|| {
+            IntelBuilder::new(IntelSynthConfig::paper(7)).build(&built.inventory.db, &candidates)
+        })
+    });
+    group.bench_function("select_candidates", |b| {
+        b.iter(|| malicious::select_candidates(&analysis, 400))
+    });
+    group.bench_function("table_vi_threat_summary", |b| {
+        b.iter(|| malicious::threat_summary(&analysis, &built.inventory.db, &intel.threats, &candidates))
+    });
+    group.bench_function("fig11_packet_cdfs", |b| {
+        b.iter(|| malicious::packet_cdfs(&analysis, &built.inventory.db, &intel.threats, &candidates))
+    });
+    group.bench_function("table_vii_malware_correlation", |b| {
+        b.iter(|| {
+            malicious::malware_correlation(
+                &analysis,
+                &built.inventory.db,
+                &intel.malware,
+                &intel.resolver,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_intel);
+criterion_main!(benches);

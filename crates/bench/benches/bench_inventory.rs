@@ -1,0 +1,28 @@
+//! Inventory benchmarks (Fig 1a): synthetic generation and deployment
+//! ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotscope_core::characterize;
+use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
+
+fn bench_inventory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inventory");
+    group.sample_size(10);
+    group.bench_function("build_small_inventory", |b| {
+        b.iter(|| InventoryBuilder::new(SynthConfig::small(9)).build().db.len())
+    });
+
+    let out = InventoryBuilder::new(SynthConfig::small(9)).build();
+    group.bench_function("fig1a_country_deployment", |b| {
+        b.iter(|| characterize::country_deployment(&out.db).len())
+    });
+    group.bench_function("lookup_ip_hit_rate", |b| {
+        let probes: Vec<std::net::Ipv4Addr> =
+            out.db.iter().take(500).map(|d| d.ip).collect();
+        b.iter(|| probes.iter().filter(|ip| out.db.lookup_ip(**ip).is_some()).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inventory);
+criterion_main!(benches);

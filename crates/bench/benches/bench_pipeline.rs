@@ -1,0 +1,36 @@
+//! End-to-end pipeline benchmarks with the sequential-vs-parallel
+//! analysis ablation and traffic-generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use iotscope_telescope::HourTraffic;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(8));
+    let traffic: Vec<HourTraffic> = (1..=48).map(|i| built.scenario.generate_hour(i)).collect();
+    let flows: u64 = traffic.iter().map(|h| h.flows.len() as u64).sum();
+    let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(flows));
+    group.sample_size(10);
+
+    group.bench_function("generate_hour", |b| {
+        b.iter(|| built.scenario.generate_hour(25).flows.len())
+    });
+    group.bench_function("analyze_sequential", |b| {
+        b.iter(|| pipeline.analyze(&traffic).observations.len())
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| pipeline.analyze_parallel(&traffic, t).observations.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

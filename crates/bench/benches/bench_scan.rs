@@ -1,0 +1,33 @@
+//! Scanning analysis benchmarks (Fig 9, Table V, Fig 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotscope_core::analysis::Analyzer;
+use iotscope_core::scan;
+use iotscope_devicedb::Realm;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+fn bench_scan(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(5));
+    let mut an = Analyzer::new(&built.inventory.db, 143);
+    for i in 1..=48 {
+        an.ingest_hour(&built.scenario.generate_hour(i));
+    }
+    let analysis = an.finish();
+
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(30);
+    group.bench_function("table_v_protocol_table", |b| {
+        b.iter(|| scan::protocol_table(&analysis))
+    });
+    group.bench_function("fig9_summary", |b| b.iter(|| scan::summary(&analysis)));
+    group.bench_function("fig9_port_spikes", |b| {
+        b.iter(|| scan::port_spike_intervals(&analysis, Realm::Consumer, 8.0))
+    });
+    group.bench_function("fig10_scanners_pearson", |b| {
+        b.iter(|| scan::scanners_vs_packets_correlation(&analysis))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Flowtuple store codec benchmarks, with the delta-encoding ablation
+//! called out in DESIGN.md: encode/decode one telescope hour with and
+//! without sorted+delta source-address compression.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iotscope_net::store::{decode_hour, encode_hour, StoreOptions};
+use iotscope_net::time::UnixHour;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+fn bench_store(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(1));
+    let hour = built.scenario.generate_hour(20);
+    let flows = hour.flows;
+    let n = flows.len() as u64;
+
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(20);
+
+    group.bench_function("encode_delta", |b| {
+        b.iter(|| encode_hour(UnixHour::new(1), &flows, StoreOptions { delta_encode: true }))
+    });
+    group.bench_function("encode_plain", |b| {
+        b.iter(|| encode_hour(UnixHour::new(1), &flows, StoreOptions { delta_encode: false }))
+    });
+
+    let delta_bytes = encode_hour(UnixHour::new(1), &flows, StoreOptions { delta_encode: true });
+    let plain_bytes = encode_hour(UnixHour::new(1), &flows, StoreOptions { delta_encode: false });
+    eprintln!(
+        "[ablation] hour of {n} flows: delta={}B plain={}B ({:.1}% saved)",
+        delta_bytes.len(),
+        plain_bytes.len(),
+        100.0 * (1.0 - delta_bytes.len() as f64 / plain_bytes.len() as f64)
+    );
+
+    group.bench_function("decode_delta", |b| {
+        b.iter_batched(|| delta_bytes.clone(), |buf| decode_hour(&buf).unwrap(), BatchSize::SmallInput)
+    });
+    group.bench_function("decode_plain", |b| {
+        b.iter_batched(|| plain_bytes.clone(), |buf| decode_hour(&buf).unwrap(), BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! UDP analysis benchmarks (Fig 5 and Table IV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iotscope_core::analysis::Analyzer;
+use iotscope_core::udp;
+use iotscope_devicedb::Realm;
+use iotscope_net::ports::ServiceRegistry;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+fn bench_udp(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(4));
+    let mut an = Analyzer::new(&built.inventory.db, 143);
+    for i in 1..=48 {
+        an.ingest_hour(&built.scenario.generate_hour(i));
+    }
+    let analysis = an.finish();
+    let registry = ServiceRegistry::standard();
+
+    let mut group = c.benchmark_group("udp");
+    group.sample_size(30);
+    group.bench_function("table_iv_top_ports", |b| {
+        b.iter(|| udp::top_ports(&analysis, &registry, 10))
+    });
+    group.bench_function("fig5_summary", |b| b.iter(|| udp::summary(&analysis)));
+    group.bench_function("fig5_ports_ips_pearson", |b| {
+        b.iter(|| udp::ports_ips_correlation(&analysis, Realm::Consumer))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_udp);
+criterion_main!(benches);

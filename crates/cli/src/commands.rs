@@ -1,0 +1,566 @@
+//! CLI command implementations.
+
+use crate::{parse_opts, CliError};
+use iotscope_core::botnet::{self, BotnetConfig};
+use iotscope_core::fingerprint::{candidate_iot_devices, FingerprintModel};
+use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::report::{Report, ReportIntel};
+use iotscope_core::stream::{Alert, StreamConfig, StreamingAnalyzer};
+use iotscope_core::{attribution, behavior, malicious};
+use iotscope_devicedb::inventory_io::{self, LoadedInventory};
+use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+use iotscope_net::store::{FlowStore, StoreOptions};
+use iotscope_net::time::AnalysisWindow;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use iotscope_telescope::HourTraffic;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// `iotscope simulate --out DIR [--seed N] [--scale F] [--tiny]`
+pub fn simulate(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["--out", "--seed", "--scale"], &["--tiny"])?;
+    let out: PathBuf = opts
+        .get("--out")
+        .ok_or_else(|| CliError::Usage("simulate requires --out DIR".to_owned()))?
+        .into();
+    let seed: u64 = opt_parse(&opts, "--seed", 42)?;
+    let tiny = opts.contains_key("--tiny");
+    let scale: f64 = opt_parse(&opts, "--scale", if tiny { 0.008 } else { 0.01 })?;
+
+    let config = if tiny {
+        let mut c = PaperScenarioConfig::tiny(seed);
+        c.scale = scale;
+        c
+    } else {
+        PaperScenarioConfig::paper(seed, scale)
+    };
+    let built = PaperScenario::build(config);
+
+    std::fs::create_dir_all(&out)?;
+    let store = FlowStore::create(out.join("darknet"), StoreOptions::default())?;
+    let hours = built.scenario.generate();
+    let flows: usize = hours.iter().map(|h| h.flows.len()).sum();
+    for ht in &hours {
+        store.write_hour(ht.hour, &ht.flows)?;
+    }
+
+    let mut meta = BTreeMap::new();
+    meta.insert("seed".to_owned(), seed.to_string());
+    meta.insert("scale".to_owned(), scale.to_string());
+    meta.insert("size".to_owned(), if tiny { "tiny" } else { "paper" }.to_owned());
+    inventory_io::save(
+        out.join("inventory.tsv"),
+        &built.inventory.db,
+        &built.inventory.isps,
+        &meta,
+    )?;
+    built.truth.save(out.join("truth.tsv"))?;
+
+    Ok(format!(
+        "simulated {} devices, {} designated compromised, {} flows over 143 hours\nwrote {}/{{inventory.tsv, truth.tsv, darknet/}}",
+        built.inventory.db.len(),
+        built.truth.num_designated(),
+        flows,
+        out.display()
+    ))
+}
+
+/// Load the inventory + hourly traffic from a data directory.
+fn load_data(dir: &Path) -> Result<(LoadedInventory, Vec<HourTraffic>), CliError> {
+    let inventory = inventory_io::load(dir.join("inventory.tsv"))?;
+    let store = FlowStore::open(dir.join("darknet"))?;
+    let window = AnalysisWindow::paper();
+    let mut traffic = Vec::new();
+    for (interval, hour) in window.iter_intervals() {
+        if store.has_hour(hour) {
+            traffic.push(HourTraffic {
+                interval,
+                hour,
+                flows: store.read_hour(hour)?,
+            });
+        }
+    }
+    if traffic.is_empty() {
+        return Err(CliError::Run(format!(
+            "no hourly flowtuple files under {}/darknet",
+            dir.display()
+        )));
+    }
+    Ok((inventory, traffic))
+}
+
+fn data_dir(opts: &BTreeMap<String, String>) -> Result<PathBuf, CliError> {
+    Ok(opts
+        .get("--data")
+        .ok_or_else(|| CliError::Usage("command requires --data DIR".to_owned()))?
+        .into())
+}
+
+fn meta_seed(inv: &LoadedInventory) -> u64 {
+    inv.meta
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// `iotscope analyze --data DIR [--intel]`
+pub fn analyze(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["--data"], &["--intel"])?;
+    let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
+    let pipeline = AnalysisPipeline::new(&inventory.db, AnalysisWindow::paper().num_hours());
+    let analysis = pipeline.analyze_parallel(&traffic, 8);
+
+    let intel_out;
+    let intel = if opts.contains_key("--intel") {
+        let candidates = malicious::select_candidates(&analysis, 4_000);
+        intel_out = IntelBuilder::new(IntelSynthConfig::paper(meta_seed(&inventory)))
+            .build(&inventory.db, &candidates);
+        Some(ReportIntel {
+            threats: &intel_out.threats,
+            malware: &intel_out.malware,
+            resolver: &intel_out.resolver,
+            top_n_per_realm: 4_000,
+        })
+    } else {
+        None
+    };
+    let report = Report::build(&analysis, &inventory.db, &inventory.isps, intel);
+    Ok(report.render())
+}
+
+/// `iotscope watch --data DIR`
+pub fn watch(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["--data"], &[])?;
+    let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
+    let mut stream = StreamingAnalyzer::new(
+        &inventory.db,
+        AnalysisWindow::paper().num_hours(),
+        StreamConfig::default(),
+    );
+    let mut out = String::new();
+    let mut discovered = 0usize;
+    for hour in &traffic {
+        for alert in stream.push_hour(hour) {
+            match alert {
+                Alert::NewDevices { count, .. } => discovered += count,
+                Alert::DosSpike {
+                    interval,
+                    packets,
+                    factor,
+                    victim,
+                } => {
+                    let who = victim
+                        .map(|(d, s)| format!("dev#{} ({:.0}%)", d.0, 100.0 * s))
+                        .unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "[h{interval:>3}] DOS   {packets:>8} pkts  {factor:>6.1}x  {who}"
+                    );
+                }
+                Alert::ScanSurge {
+                    interval,
+                    service,
+                    packets,
+                    factor,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "[h{interval:>3}] SURGE {packets:>8} pkts  {factor:>6.1}x  {service}"
+                    );
+                }
+                Alert::PortSweep {
+                    interval,
+                    realm,
+                    ports,
+                    factor,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "[h{interval:>3}] SWEEP {ports:>8} ports {factor:>6.1}x  {realm}"
+                    );
+                }
+            }
+        }
+    }
+    let (analysis, alerts) = stream.finish();
+    let _ = writeln!(
+        out,
+        "---\n{} hours replayed, {} devices discovered, {} alerts total, {} compromised devices indexed",
+        traffic.len(),
+        discovered,
+        alerts.len(),
+        analysis.observations.len()
+    );
+    Ok(out)
+}
+
+/// `iotscope investigate --data DIR [--intel]`
+pub fn investigate(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["--data"], &["--intel"])?;
+    let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
+    let hours = AnalysisWindow::paper().num_hours();
+    let vectors = behavior::extract(&traffic, &inventory.db, hours);
+    let mut out = String::new();
+
+    let _ = writeln!(out, "== unindexed IoT candidates (fuzzy fingerprinting) ==");
+    match FingerprintModel::train(&vectors) {
+        Some(model) => {
+            let candidates = candidate_iot_devices(&model, &vectors, 0.55, 20);
+            let _ = writeln!(
+                out,
+                "model: {} reference groups from {} matched devices; {} candidates:",
+                model.num_groups(),
+                model.trained_on(),
+                candidates.len()
+            );
+            for c in candidates.iter().take(20) {
+                let _ = writeln!(out, "  {:<16} score {:.2}  {:>8} pkts", c.ip, c.score, c.packets);
+            }
+        }
+        None => {
+            let _ = writeln!(out, "no matched devices to train on");
+        }
+    }
+
+    let _ = writeln!(out, "\n== coordinated scanning crews (botnet clustering) ==");
+    let clusters = botnet::cluster(&vectors, &BotnetConfig::default());
+    if clusters.is_empty() {
+        let _ = writeln!(out, "no coordinated clusters found");
+    }
+    for (i, c) in clusters.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "cluster {}: {} members, signature ports {:?}, peak hour {}, {} pkts",
+            i + 1,
+            c.size(),
+            c.signature_ports,
+            c.peak_interval,
+            c.total_packets
+        );
+    }
+
+    if opts.contains_key("--intel") {
+        let _ = writeln!(out, "\n== malware attribution ==");
+        let pipeline = AnalysisPipeline::new(&inventory.db, hours);
+        let analysis = pipeline.analyze_parallel(&traffic, 8);
+        let candidates = malicious::select_candidates(&analysis, 4_000);
+        let intel = IntelBuilder::new(IntelSynthConfig::paper(meta_seed(&inventory)))
+            .build(&inventory.db, &candidates);
+        let findings = attribution::attribute(
+            &vectors,
+            &inventory.db,
+            &intel.malware,
+            &intel.resolver,
+            attribution::DEFAULT_MIN_SCORE,
+        );
+        for f in findings.iter().take(20) {
+            let _ = writeln!(
+                out,
+                "dev#{:<7} {:<10} score {:.2}  direct={}  ports {:?}",
+                f.device.0,
+                f.family.to_string(),
+                f.score,
+                f.evidence.direct_contact,
+                f.evidence.port_overlap
+            );
+        }
+        let _ = writeln!(out, "{} attributions total", findings.len());
+    }
+    Ok(out)
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    opts: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad value for {key}: {v:?}"))),
+    }
+}
+
+/// `iotscope export --data DIR --out DIR [--key K]`
+///
+/// Writes a shareable copy of the darknet traffic with prefix-preserving
+/// source/destination anonymization — the §VI "share IoT-relevant
+/// malicious empirical data with the research community" path. The
+/// inventory is *not* copied (it is the sensitive part).
+pub fn export(args: &[String]) -> Result<String, CliError> {
+    use iotscope_net::anon::Anonymizer;
+    let opts = parse_opts(args, &["--data", "--out", "--key"], &[])?;
+    let data = data_dir(&opts)?;
+    let out: PathBuf = opts
+        .get("--out")
+        .ok_or_else(|| CliError::Usage("export requires --out DIR".to_owned()))?
+        .into();
+    let key: u64 = opt_parse(&opts, "--key", 0x1077_5C09)?;
+
+    let src = FlowStore::open(data.join("darknet"))?;
+    let dst = FlowStore::create(out.join("darknet"), StoreOptions::default())?;
+    let anonymizer = Anonymizer::new(key);
+    let window = AnalysisWindow::paper();
+    let mut hours = 0usize;
+    let mut flows = 0usize;
+    for (_, hour) in window.iter_intervals() {
+        if !src.has_hour(hour) {
+            continue;
+        }
+        let anonymized: Vec<_> = src
+            .read_hour(hour)?
+            .iter()
+            .map(|f| anonymizer.anonymize_flow(f))
+            .collect();
+        flows += anonymized.len();
+        dst.write_hour(hour, &anonymized)?;
+        hours += 1;
+    }
+    if hours == 0 {
+        return Err(CliError::Run(format!(
+            "no hourly flowtuple files under {}/darknet",
+            data.display()
+        )));
+    }
+    Ok(format!(
+        "exported {hours} anonymized hours ({flows} flows) to {}/darknet/\nprefix structure preserved; identities keyed to --key",
+        out.display()
+    ))
+}
+
+/// `iotscope diff --baseline DIR --data DIR`
+pub fn diff(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args, &["--baseline", "--data"], &[])?;
+    let baseline: PathBuf = opts
+        .get("--baseline")
+        .ok_or_else(|| CliError::Usage("diff requires --baseline DIR".to_owned()))?
+        .into();
+    let (inv_a, traffic_a) = load_data(&baseline)?;
+    let (inv_b, traffic_b) = load_data(&data_dir(&opts)?)?;
+    let hours = AnalysisWindow::paper().num_hours();
+    let before = AnalysisPipeline::new(&inv_a.db, hours).analyze_parallel(&traffic_a, 8);
+    let after = AnalysisPipeline::new(&inv_b.db, hours).analyze_parallel(&traffic_b, 8);
+    let d = iotscope_core::diff::diff(&before, &after);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "devices: {} persisted, {} appeared, {} disappeared (churn {:.1}%)",
+        d.persisted,
+        d.appeared.len(),
+        d.disappeared.len(),
+        100.0 * d.churn()
+    );
+    let _ = writeln!(
+        out,
+        "newly attacked (victims): {}; newly exploited (scanners): {}",
+        d.new_victims.len(),
+        d.new_scanners.len()
+    );
+    let _ = writeln!(out, "per-class packet drift:");
+    for c in &d.class_deltas {
+        let rel = c
+            .relative()
+            .map(|r| format!("{:+.1}%", 100.0 * r))
+            .unwrap_or_else(|| "n/a".to_owned());
+        let _ = writeln!(out, "  {:<12} {:>10} -> {:>10}  ({rel})", c.class.to_string(), c.before, c.after);
+    }
+    Ok(out)
+}
+
+/// `iotscope validate --data DIR`
+///
+/// Compares what the pipeline infers from DIR's traffic against the
+/// ground-truth ledger the simulator wrote (`truth.tsv`): exact recovery
+/// of the planted population, victim precision/recall, and spike-interval
+/// coverage. The command an operator runs to certify an analysis build
+/// against a known scenario.
+pub fn validate(args: &[String]) -> Result<String, CliError> {
+    use iotscope_telescope::ground_truth::{GroundTruth, Role};
+    let opts = parse_opts(args, &["--data"], &[])?;
+    let dir = data_dir(&opts)?;
+    let truth = GroundTruth::load(dir.join("truth.tsv"))
+        .map_err(|e| CliError::Run(format!("truth ledger: {e}")))?;
+    let (inventory, traffic) = load_data(&dir)?;
+    let analysis = AnalysisPipeline::new(&inventory.db, AnalysisWindow::paper().num_hours())
+        .analyze_parallel(&traffic, 8);
+
+    let inferred: std::collections::HashSet<_> =
+        analysis.compromised_devices().into_iter().collect();
+    let designated: std::collections::HashSet<_> = truth.roles.keys().copied().collect();
+    let recovered = designated.intersection(&inferred).count();
+    let false_pos = inferred.difference(&designated).count();
+
+    let truth_victims: std::collections::HashSet<_> =
+        truth.devices_with_role(Role::DosVictim).into_iter().collect();
+    let inferred_victims: std::collections::HashSet<_> =
+        analysis.dos_victims().into_iter().collect();
+    let victim_hits = truth_victims.intersection(&inferred_victims).count();
+
+    let mut spikes_found = 0usize;
+    for i in &truth.dos_spike_intervals {
+        if analysis.backscatter_intervals[(*i - 1) as usize].total > 0 {
+            spikes_found += 1;
+        }
+    }
+
+    let pass = recovered == designated.len()
+        && false_pos == 0
+        && victim_hits == truth_victims.len()
+        && spikes_found == truth.dos_spike_intervals.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "designated devices recovered: {recovered}/{} (false positives: {false_pos})",
+        designated.len()
+    );
+    let _ = writeln!(
+        out,
+        "DoS victims recovered:        {victim_hits}/{} (inferred {})",
+        truth_victims.len(),
+        inferred_victims.len()
+    );
+    let _ = writeln!(
+        out,
+        "planted spike intervals seen: {spikes_found}/{}",
+        truth.dos_spike_intervals.len()
+    );
+    let _ = writeln!(out, "verdict: {}", if pass { "PASS" } else { "FAIL" });
+    if !pass {
+        return Err(CliError::Run(out));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iotscope-cli-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn simulate_then_analyze_watch_investigate() {
+        let dir = tmpdir("full");
+        let dir_s = dir.to_str().unwrap();
+
+        let out = simulate(&args(&["--out", dir_s, "--tiny", "--seed", "5"])).unwrap();
+        assert!(out.contains("designated compromised"));
+        assert!(dir.join("inventory.tsv").is_file());
+        assert!(dir.join("darknet").is_dir());
+
+        let report = analyze(&args(&["--data", dir_s, "--intel"])).unwrap();
+        assert!(report.contains("Fig 1b"));
+        assert!(report.contains("Table V"));
+        assert!(report.contains("Table VII"));
+        assert!(report.contains("compromised devices: 1050"));
+
+        let watch_out = watch(&args(&["--data", dir_s])).unwrap();
+        assert!(watch_out.contains("devices discovered"));
+        assert!(watch_out.contains("1050 compromised devices indexed"));
+        assert!(watch_out.contains("SWEEP"));
+
+        let inv = investigate(&args(&["--data", dir_s, "--intel"])).unwrap();
+        assert!(inv.contains("reference groups"));
+        assert!(inv.contains("cluster 1:"));
+        assert!(inv.contains("attributions total"));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_anonymizes_but_preserves_structure() {
+        let dir = tmpdir("export-src");
+        let dir_s = dir.to_str().unwrap();
+        simulate(&args(&["--out", dir_s, "--tiny", "--seed", "6"])).unwrap();
+
+        let out = tmpdir("export-dst");
+        let out_s = out.to_str().unwrap();
+        let msg = export(&args(&["--data", dir_s, "--out", out_s, "--key", "99"])).unwrap();
+        assert!(msg.contains("exported 143 anonymized hours"));
+
+        // Same flow counts per hour, but addresses differ.
+        let src = FlowStore::open(dir.join("darknet")).unwrap();
+        let dst = FlowStore::open(out.join("darknet")).unwrap();
+        let window = AnalysisWindow::paper();
+        let hour = window.start();
+        let a = src.read_hour(hour).unwrap();
+        let b = dst.read_hour(hour).unwrap();
+        assert_eq!(a.len(), b.len());
+        let src_ips: std::collections::HashSet<_> = a.iter().map(|f| f.src_ip).collect();
+        let dst_ips: std::collections::HashSet<_> = b.iter().map(|f| f.src_ip).collect();
+        assert_eq!(src_ips.len(), dst_ips.len()); // injective
+        assert!(src_ips.intersection(&dst_ips).count() < src_ips.len() / 10);
+        // The exported directory has no inventory (that is the point).
+        assert!(!out.join("inventory.tsv").exists());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn diff_between_two_seeds_reports_churn() {
+        let a = tmpdir("diff-a");
+        let b = tmpdir("diff-b");
+        simulate(&args(&["--out", a.to_str().unwrap(), "--tiny", "--seed", "21"])).unwrap();
+        simulate(&args(&["--out", b.to_str().unwrap(), "--tiny", "--seed", "21"])).unwrap();
+        // Identical seeds: zero churn.
+        let same = diff(&args(&[
+            "--baseline",
+            a.to_str().unwrap(),
+            "--data",
+            b.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(same.contains("0 appeared, 0 disappeared (churn 0.0%)"), "{same}");
+        std::fs::remove_dir_all(&a).unwrap();
+        std::fs::remove_dir_all(&b).unwrap();
+    }
+
+    #[test]
+    fn validate_passes_on_fresh_simulation() {
+        let dir = tmpdir("validate");
+        let dir_s = dir.to_str().unwrap();
+        simulate(&args(&["--out", dir_s, "--tiny", "--seed", "33"])).unwrap();
+        let out = validate(&args(&["--data", dir_s])).unwrap();
+        assert!(out.contains("verdict: PASS"), "{out}");
+        // Corrupt the truth: claim a bogus extra victim device id, then
+        // validation must fail.
+        let truth_path = dir.join("truth.tsv");
+        let mut text = std::fs::read_to_string(&truth_path).unwrap();
+        text.push_str("role|999999|1|DosVictim\n");
+        std::fs::write(&truth_path, text).unwrap();
+        assert!(validate(&args(&["--data", dir_s])).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn analyze_missing_data_dir_fails_cleanly() {
+        let err = analyze(&args(&["--data", "/definitely/not/here"])).unwrap_err();
+        assert!(format!("{err}").contains("inventory error"));
+    }
+
+    #[test]
+    fn simulate_requires_out() {
+        assert!(matches!(simulate(&args(&["--tiny"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn opt_parse_defaults_and_errors() {
+        let mut opts = BTreeMap::new();
+        assert_eq!(opt_parse(&opts, "--seed", 7u64).unwrap(), 7);
+        opts.insert("--seed".to_owned(), "13".to_owned());
+        assert_eq!(opt_parse(&opts, "--seed", 7u64).unwrap(), 13);
+        opts.insert("--seed".to_owned(), "xyz".to_owned());
+        assert!(opt_parse(&opts, "--seed", 7u64).is_err());
+    }
+}

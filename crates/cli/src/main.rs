@@ -1,0 +1,22 @@
+//! `iotscope` binary entry point; all logic lives in the library so the
+//! commands are testable.
+
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match iotscope_cli::run(&args) {
+        Ok(output) => {
+            // Ignore broken pipes (e.g. `iotscope analyze | head`).
+            let _ = writeln!(std::io::stdout(), "{output}");
+        }
+        Err(iotscope_cli::CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{}", iotscope_cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

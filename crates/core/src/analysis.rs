@@ -1,0 +1,807 @@
+//! The correlation + aggregation engine.
+//!
+//! [`Analyzer`] makes a single pass over hourly flowtuples, joining source
+//! addresses against the IoT inventory (§III-B's correlation algorithm)
+//! and accumulating every aggregate the paper's figures and tables need.
+//! Hours may be ingested in any order, and two analyzers over disjoint
+//! hour sets [`merge`](Analyzer::merge) into the same result — which is
+//! what makes parallel analysis exact rather than approximate.
+
+use crate::classify::{classify, TrafficClass};
+use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
+use iotscope_net::ports::ScanService;
+use iotscope_net::protocol::TransportProtocol;
+use iotscope_telescope::HourTraffic;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The Fig 10 service set: the five most-scanned protocol groups.
+pub const TOP5_SERVICES: [ScanService; 5] = [
+    ScanService::Telnet,
+    ScanService::Http,
+    ScanService::Ssh,
+    ScanService::BackroomNet,
+    ScanService::Cwmp,
+];
+
+/// Dense index for a realm.
+#[inline]
+pub fn realm_idx(realm: Realm) -> usize {
+    match realm {
+        Realm::Consumer => 0,
+        Realm::Cps => 1,
+    }
+}
+
+/// Dense index for a traffic class.
+#[inline]
+pub fn class_idx(class: TrafficClass) -> usize {
+    match class {
+        TrafficClass::TcpScan => 0,
+        TrafficClass::IcmpScan => 1,
+        TrafficClass::Backscatter => 2,
+        TrafficClass::Udp => 3,
+        TrafficClass::Other => 4,
+    }
+}
+
+/// Everything observed about one correlated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceObservation {
+    /// The device.
+    pub device: DeviceId,
+    /// Its realm (denormalized for hot paths).
+    pub realm: Realm,
+    /// First interval (1-based) the device was seen at the telescope.
+    pub first_interval: u32,
+    /// Flow records observed.
+    pub flows: u64,
+    /// Packets per traffic class (indexed by [`class_idx`]).
+    pub packets_by_class: [u64; 5],
+    /// Bitmask of active days (bit d = day d).
+    pub days_active: u64,
+}
+
+impl DeviceObservation {
+    /// Total packets across classes.
+    pub fn total_packets(&self) -> u64 {
+        self.packets_by_class.iter().sum()
+    }
+
+    /// Packets of one class.
+    pub fn packets(&self, class: TrafficClass) -> u64 {
+        self.packets_by_class[class_idx(class)]
+    }
+
+    /// Combined scanning packets (TCP SYN + ICMP echo).
+    pub fn scan_packets(&self) -> u64 {
+        self.packets(TrafficClass::TcpScan) + self.packets(TrafficClass::IcmpScan)
+    }
+}
+
+/// Hourly `(packets, distinct dst IPs, distinct dst ports, active devices)`
+/// series for one realm and one traffic class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RealmSeries {
+    /// Packets per interval.
+    pub packets: Vec<u64>,
+    /// Distinct destination addresses per interval.
+    pub dst_ips: Vec<u64>,
+    /// Distinct destination ports per interval.
+    pub dst_ports: Vec<u64>,
+    /// Distinct emitting devices per interval.
+    pub devices: Vec<u64>,
+}
+
+impl RealmSeries {
+    fn new(hours: usize) -> Self {
+        RealmSeries {
+            packets: vec![0; hours],
+            dst_ips: vec![0; hours],
+            dst_ports: vec![0; hours],
+            devices: vec![0; hours],
+        }
+    }
+}
+
+/// Key for Table V rows: a named service group or the long tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceKey {
+    /// One of the 14 named groups.
+    Named(ScanService),
+    /// Every other scanned port.
+    Other,
+}
+
+/// Per-service scanning statistics, split by realm.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStat {
+    /// Packets per realm (`[consumer, cps]`).
+    pub packets: [u64; 2],
+    /// Scanning devices per realm.
+    pub devices: [HashSet<DeviceId>; 2],
+}
+
+/// Per-UDP-port statistics (Table IV).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortStat {
+    /// UDP packets to the port.
+    pub packets: u64,
+    /// Devices that sent them.
+    pub devices: HashSet<DeviceId>,
+}
+
+/// Per-interval backscatter attribution (who dominated a DoS episode).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BackscatterInterval {
+    /// Total backscatter packets in the interval.
+    pub total: u64,
+    /// The victim emitting the most backscatter and its packet count.
+    pub top_victim: Option<(DeviceId, u64)>,
+}
+
+/// The complete aggregation result.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Window length in hours.
+    pub hours: u32,
+    /// Per-device observations, keyed by device.
+    pub observations: HashMap<DeviceId, DeviceObservation>,
+    /// Packets per `[realm][transport]` with transports ordered
+    /// `[ICMP, TCP, UDP]` (Fig 4).
+    pub protocol_packets: [[u64; 3]; 2],
+    /// Hourly UDP series per realm (Fig 5).
+    pub udp: [RealmSeries; 2],
+    /// Hourly TCP-scan series per realm (Fig 9).
+    pub tcp_scan: [RealmSeries; 2],
+    /// Hourly backscatter packets per realm (Fig 7).
+    pub backscatter_hourly: [Vec<u64>; 2],
+    /// Per-interval backscatter attribution (§IV-B1).
+    pub backscatter_intervals: Vec<BackscatterInterval>,
+    /// Table V statistics per service group.
+    pub scan_services: BTreeMap<ServiceKey, ServiceStat>,
+    /// Hourly scan packets for the five Fig 10 services.
+    pub top5_series: Vec<[u64; 5]>,
+    /// Table IV statistics per UDP destination port.
+    pub udp_ports: HashMap<u16, PortStat>,
+    /// Flows from sources not in the inventory (noise filtered out by
+    /// correlation).
+    pub unmatched_flows: u64,
+    /// Packets from unmatched sources.
+    pub unmatched_packets: u64,
+}
+
+impl Analysis {
+    /// All correlated (compromised) devices, sorted by id.
+    pub fn compromised_devices(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self.observations.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Count of correlated devices per realm `(consumer, cps)`.
+    pub fn compromised_counts(&self) -> (usize, usize) {
+        let consumer = self
+            .observations
+            .values()
+            .filter(|o| o.realm == Realm::Consumer)
+            .count();
+        (consumer, self.observations.len() - consumer)
+    }
+
+    /// Total packets attributed to correlated devices.
+    pub fn total_packets(&self) -> u64 {
+        self.observations.values().map(|o| o.total_packets()).sum()
+    }
+
+    /// Devices that emitted any backscatter — the inferred DoS victims.
+    pub fn dos_victims(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self
+            .observations
+            .values()
+            .filter(|o| o.packets(TrafficClass::Backscatter) > 0)
+            .map(|o| o.device)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Devices that emitted TCP scanning traffic.
+    pub fn tcp_scanners(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self
+            .observations
+            .values()
+            .filter(|o| o.packets(TrafficClass::TcpScan) > 0)
+            .map(|o| o.device)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Devices that emitted UDP traffic.
+    pub fn udp_devices(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self
+            .observations
+            .values()
+            .filter(|o| o.packets(TrafficClass::Udp) > 0)
+            .map(|o| o.device)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Cumulative number of devices discovered by the end of each day
+    /// (Fig 2), overall and per realm: `(all, consumer, cps)` per day.
+    pub fn discovery_curve(&self) -> Vec<(usize, usize, usize)> {
+        let num_days = self.hours.div_ceil(24) as usize;
+        let mut per_day = vec![(0usize, 0usize, 0usize); num_days];
+        for o in self.observations.values() {
+            let day = ((o.first_interval - 1) / 24) as usize;
+            let slot = &mut per_day[day.min(num_days - 1)];
+            slot.0 += 1;
+            match o.realm {
+                Realm::Consumer => slot.1 += 1,
+                Realm::Cps => slot.2 += 1,
+            }
+        }
+        // Make cumulative.
+        for i in 1..per_day.len() {
+            per_day[i].0 += per_day[i - 1].0;
+            per_day[i].1 += per_day[i - 1].1;
+            per_day[i].2 += per_day[i - 1].2;
+        }
+        per_day
+    }
+
+    /// Daily packet totals for one realm (`None` = both), summed from the
+    /// hourly series over complete 24-hour blocks — §IV's "daily mean =
+    /// 23.5M and σ = 0.92M packets" statistics.
+    pub fn daily_packet_totals(&self, realm: Option<Realm>) -> Vec<u64> {
+        let realms: &[usize] = match realm {
+            None => &[0, 1],
+            Some(Realm::Consumer) => &[0],
+            Some(Realm::Cps) => &[1],
+        };
+        let num_days = self.hours.div_ceil(24) as usize;
+        let mut days = vec![0u64; num_days];
+        for i in 0..self.hours as usize {
+            let day = i / 24;
+            for r in realms {
+                days[day] += self.tcp_scan[*r].packets[i]
+                    + self.udp[*r].packets[i]
+                    + self.backscatter_hourly[*r][i];
+            }
+        }
+        days
+    }
+
+    /// Average number of distinct devices active per day `(all, consumer)`.
+    pub fn daily_active_devices(&self) -> (f64, f64) {
+        let num_days = self.hours.div_ceil(24).max(1);
+        let mut all = 0u64;
+        let mut consumer = 0u64;
+        for o in self.observations.values() {
+            let days = o.days_active.count_ones() as u64;
+            all += days;
+            if o.realm == Realm::Consumer {
+                consumer += days;
+            }
+        }
+        (
+            all as f64 / f64::from(num_days),
+            consumer as f64 / f64::from(num_days),
+        )
+    }
+}
+
+/// Single-pass aggregator. Feed it hours, then [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct Analyzer<'a> {
+    db: &'a DeviceDb,
+    hours: u32,
+    result: Analysis,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Create an analyzer over `db` for a window of `hours` intervals.
+    pub fn new(db: &'a DeviceDb, hours: u32) -> Self {
+        let h = hours as usize;
+        Analyzer {
+            db,
+            hours,
+            result: Analysis {
+                hours,
+                observations: HashMap::new(),
+                protocol_packets: [[0; 3]; 2],
+                udp: [RealmSeries::new(h), RealmSeries::new(h)],
+                tcp_scan: [RealmSeries::new(h), RealmSeries::new(h)],
+                backscatter_hourly: [vec![0; h], vec![0; h]],
+                backscatter_intervals: vec![BackscatterInterval::default(); h],
+                scan_services: BTreeMap::new(),
+                top5_series: vec![[0; 5]; h],
+                udp_ports: HashMap::new(),
+                unmatched_flows: 0,
+                unmatched_packets: 0,
+            },
+        }
+    }
+
+    /// Ingest one hour of traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hour's interval is outside the window.
+    pub fn ingest_hour(&mut self, hour: &HourTraffic) {
+        assert!(
+            hour.interval >= 1 && hour.interval <= self.hours,
+            "interval {} outside 1..={}",
+            hour.interval,
+            self.hours
+        );
+        let idx = (hour.interval - 1) as usize;
+        let day = (hour.interval - 1) / 24;
+        // Transient per-hour distinct sets.
+        let mut udp_ips: [HashSet<u32>; 2] = [HashSet::new(), HashSet::new()];
+        let mut udp_ports_h: [HashSet<u16>; 2] = [HashSet::new(), HashSet::new()];
+        let mut udp_devs: [HashSet<DeviceId>; 2] = [HashSet::new(), HashSet::new()];
+        let mut scan_ips: [HashSet<u32>; 2] = [HashSet::new(), HashSet::new()];
+        let mut scan_ports_h: [HashSet<u16>; 2] = [HashSet::new(), HashSet::new()];
+        let mut scan_devs: [HashSet<DeviceId>; 2] = [HashSet::new(), HashSet::new()];
+        let mut backscatter_by_victim: HashMap<DeviceId, u64> = HashMap::new();
+
+        for flow in &hour.flows {
+            let Some(device) = self.db.lookup_ip(flow.src_ip) else {
+                self.result.unmatched_flows += 1;
+                self.result.unmatched_packets += u64::from(flow.packets);
+                continue;
+            };
+            let class = classify(flow);
+            let pkts = u64::from(flow.packets);
+            let realm = device.realm();
+            let r = realm_idx(realm);
+
+            let obs = self
+                .result
+                .observations
+                .entry(device.id)
+                .or_insert_with(|| DeviceObservation {
+                    device: device.id,
+                    realm,
+                    first_interval: hour.interval,
+                    flows: 0,
+                    packets_by_class: [0; 5],
+                    days_active: 0,
+                });
+            obs.first_interval = obs.first_interval.min(hour.interval);
+            obs.flows += 1;
+            obs.packets_by_class[class_idx(class)] += pkts;
+            obs.days_active |= 1 << day.min(63);
+
+            let proto_i = match flow.protocol {
+                TransportProtocol::Icmp => 0,
+                TransportProtocol::Tcp => 1,
+                TransportProtocol::Udp => 2,
+            };
+            self.result.protocol_packets[r][proto_i] += pkts;
+
+            match class {
+                TrafficClass::Udp => {
+                    let s = &mut self.result.udp[r];
+                    s.packets[idx] += pkts;
+                    udp_ips[r].insert(u32::from(flow.dst_ip));
+                    udp_ports_h[r].insert(flow.dst_port);
+                    udp_devs[r].insert(device.id);
+                    let port = self.result.udp_ports.entry(flow.dst_port).or_default();
+                    port.packets += pkts;
+                    port.devices.insert(device.id);
+                    let _ = s;
+                }
+                TrafficClass::TcpScan => {
+                    let s = &mut self.result.tcp_scan[r];
+                    s.packets[idx] += pkts;
+                    scan_ips[r].insert(u32::from(flow.dst_ip));
+                    scan_ports_h[r].insert(flow.dst_port);
+                    scan_devs[r].insert(device.id);
+                    let key = match ScanService::from_port(flow.dst_port) {
+                        Some(svc) => ServiceKey::Named(svc),
+                        None => ServiceKey::Other,
+                    };
+                    let stat = self.result.scan_services.entry(key).or_default();
+                    stat.packets[r] += pkts;
+                    stat.devices[r].insert(device.id);
+                    if let ServiceKey::Named(svc) = key {
+                        if let Some(pos) = TOP5_SERVICES.iter().position(|s| *s == svc) {
+                            self.result.top5_series[idx][pos] += pkts;
+                        }
+                    }
+                    let _ = s;
+                }
+                TrafficClass::Backscatter => {
+                    self.result.backscatter_hourly[r][idx] += pkts;
+                    *backscatter_by_victim.entry(device.id).or_insert(0) += pkts;
+                }
+                TrafficClass::IcmpScan | TrafficClass::Other => {}
+            }
+        }
+
+        for r in 0..2 {
+            self.result.udp[r].dst_ips[idx] += udp_ips[r].len() as u64;
+            self.result.udp[r].dst_ports[idx] += udp_ports_h[r].len() as u64;
+            self.result.udp[r].devices[idx] += udp_devs[r].len() as u64;
+            self.result.tcp_scan[r].dst_ips[idx] += scan_ips[r].len() as u64;
+            self.result.tcp_scan[r].dst_ports[idx] += scan_ports_h[r].len() as u64;
+            self.result.tcp_scan[r].devices[idx] += scan_devs[r].len() as u64;
+        }
+        let slot = &mut self.result.backscatter_intervals[idx];
+        slot.total += backscatter_by_victim.values().sum::<u64>();
+        // Ties break toward the smaller device id so the result does not
+        // depend on hash-map iteration order.
+        let top = backscatter_by_victim
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        merge_top_victim(&mut slot.top_victim, top);
+    }
+
+    /// Merge another analyzer's state (built over *disjoint hours* of the
+    /// same window and database) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window lengths differ.
+    pub fn merge(&mut self, other: Analyzer<'_>) {
+        assert_eq!(self.hours, other.hours, "mismatched windows");
+        let o = other.result;
+        for (id, obs) in o.observations {
+            match self.result.observations.entry(id) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(obs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let cur = e.get_mut();
+                    cur.first_interval = cur.first_interval.min(obs.first_interval);
+                    cur.flows += obs.flows;
+                    for i in 0..5 {
+                        cur.packets_by_class[i] += obs.packets_by_class[i];
+                    }
+                    cur.days_active |= obs.days_active;
+                }
+            }
+        }
+        for r in 0..2 {
+            for p in 0..3 {
+                self.result.protocol_packets[r][p] += o.protocol_packets[r][p];
+            }
+            for i in 0..self.hours as usize {
+                self.result.udp[r].packets[i] += o.udp[r].packets[i];
+                self.result.udp[r].dst_ips[i] += o.udp[r].dst_ips[i];
+                self.result.udp[r].dst_ports[i] += o.udp[r].dst_ports[i];
+                self.result.udp[r].devices[i] += o.udp[r].devices[i];
+                self.result.tcp_scan[r].packets[i] += o.tcp_scan[r].packets[i];
+                self.result.tcp_scan[r].dst_ips[i] += o.tcp_scan[r].dst_ips[i];
+                self.result.tcp_scan[r].dst_ports[i] += o.tcp_scan[r].dst_ports[i];
+                self.result.tcp_scan[r].devices[i] += o.tcp_scan[r].devices[i];
+                self.result.backscatter_hourly[r][i] += o.backscatter_hourly[r][i];
+            }
+        }
+        for (i, slot) in o.backscatter_intervals.into_iter().enumerate() {
+            let cur = &mut self.result.backscatter_intervals[i];
+            cur.total += slot.total;
+            merge_top_victim(&mut cur.top_victim, slot.top_victim);
+        }
+        for (key, stat) in o.scan_services {
+            let cur = self.result.scan_services.entry(key).or_default();
+            for r in 0..2 {
+                cur.packets[r] += stat.packets[r];
+                cur.devices[r].extend(stat.devices[r].iter().copied());
+            }
+        }
+        for (i, row) in o.top5_series.into_iter().enumerate() {
+            for (j, v) in row.into_iter().enumerate() {
+                self.result.top5_series[i][j] += v;
+            }
+        }
+        for (port, stat) in o.udp_ports {
+            let cur = self.result.udp_ports.entry(port).or_default();
+            cur.packets += stat.packets;
+            cur.devices.extend(stat.devices.iter().copied());
+        }
+        self.result.unmatched_flows += o.unmatched_flows;
+        self.result.unmatched_packets += o.unmatched_packets;
+    }
+
+    /// Inspect the aggregation state accumulated so far (used by the
+    /// streaming analyzer to evaluate alerts after each hour).
+    pub fn peek(&self) -> &Analysis {
+        &self.result
+    }
+
+    /// Finish and return the aggregation result.
+    pub fn finish(self) -> Analysis {
+        self.result
+    }
+}
+
+/// Keep the dominant `(victim, packets)` pair; ties break toward the
+/// smaller device id (determinism across merge orders).
+fn merge_top_victim(current: &mut Option<(DeviceId, u64)>, candidate: Option<(DeviceId, u64)>) {
+    match (*current, candidate) {
+        (None, t) => *current = t,
+        (Some((cd, cp)), Some((d, p))) if p > cp || (p == cp && d < cd) => {
+            *current = Some((d, p));
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotscope_devicedb::device::DeviceProfile;
+    use iotscope_devicedb::{ConsumerKind, CountryCode, CpsService, IotDevice, IspId};
+    use iotscope_net::flowtuple::FlowTuple;
+    use iotscope_net::protocol::{IcmpType, TcpFlags};
+    use iotscope_net::time::UnixHour;
+    use std::net::Ipv4Addr;
+
+    fn db() -> DeviceDb {
+        DeviceDb::from_devices([
+            IotDevice {
+                id: DeviceId(0),
+                ip: Ipv4Addr::new(1, 0, 0, 1),
+                profile: DeviceProfile::Consumer(ConsumerKind::Router),
+                country: CountryCode::from_code("RU").unwrap(),
+                isp: IspId(0),
+            },
+            IotDevice {
+                id: DeviceId(0),
+                ip: Ipv4Addr::new(2, 0, 0, 1),
+                profile: DeviceProfile::Cps(vec![CpsService::EthernetIp]),
+                country: CountryCode::from_code("CN").unwrap(),
+                isp: IspId(1),
+            },
+        ])
+    }
+
+    fn hour(interval: u32, flows: Vec<FlowTuple>) -> HourTraffic {
+        HourTraffic {
+            interval,
+            hour: UnixHour::new(1000 + u64::from(interval)),
+            flows,
+        }
+    }
+
+    fn syn(src: [u8; 4], dport: u16) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, 1),
+            40000,
+            dport,
+            TcpFlags::SYN,
+        )
+    }
+
+    #[test]
+    fn correlation_matches_only_inventory_sources() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 4);
+        an.ingest_hour(&hour(
+            1,
+            vec![
+                syn([1, 0, 0, 1], 23),
+                syn([9, 9, 9, 9], 23), // noise, not in db
+            ],
+        ));
+        let a = an.finish();
+        assert_eq!(a.observations.len(), 1);
+        assert_eq!(a.unmatched_flows, 1);
+        assert_eq!(a.unmatched_packets, 1);
+        assert_eq!(a.compromised_devices(), vec![DeviceId(0)]);
+    }
+
+    #[test]
+    fn per_class_accounting() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 4);
+        let synack = FlowTuple::tcp(
+            Ipv4Addr::new(2, 0, 0, 1),
+            Ipv4Addr::new(44, 1, 1, 1),
+            44818,
+            50000,
+            TcpFlags::SYN | TcpFlags::ACK,
+        )
+        .with_packets(5);
+        let udp = FlowTuple::udp(
+            Ipv4Addr::new(1, 0, 0, 1),
+            Ipv4Addr::new(44, 1, 1, 2),
+            5000,
+            37547,
+        )
+        .with_packets(3);
+        let ping = FlowTuple::icmp(
+            Ipv4Addr::new(1, 0, 0, 1),
+            Ipv4Addr::new(44, 1, 1, 3),
+            IcmpType::EchoRequest,
+        );
+        an.ingest_hour(&hour(2, vec![syn([1, 0, 0, 1], 23), synack, udp, ping]));
+        let a = an.finish();
+        let consumer = &a.observations[&DeviceId(0)];
+        assert_eq!(consumer.packets(TrafficClass::TcpScan), 1);
+        assert_eq!(consumer.packets(TrafficClass::Udp), 3);
+        assert_eq!(consumer.packets(TrafficClass::IcmpScan), 1);
+        assert_eq!(consumer.scan_packets(), 2);
+        assert_eq!(consumer.total_packets(), 5);
+        let cps = &a.observations[&DeviceId(1)];
+        assert_eq!(cps.packets(TrafficClass::Backscatter), 5);
+        assert_eq!(a.dos_victims(), vec![DeviceId(1)]);
+        assert_eq!(a.tcp_scanners(), vec![DeviceId(0)]);
+        assert_eq!(a.udp_devices(), vec![DeviceId(0)]);
+        assert_eq!(a.total_packets(), 10);
+        // Fig 4 accounting: consumer r=0: icmp 1, tcp 1, udp 3.
+        assert_eq!(a.protocol_packets[0], [1, 1, 3]);
+        assert_eq!(a.protocol_packets[1], [0, 5, 0]);
+    }
+
+    #[test]
+    fn hourly_series_and_distinct_counts() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 4);
+        an.ingest_hour(&hour(
+            3,
+            vec![
+                syn([1, 0, 0, 1], 23),
+                syn([1, 0, 0, 1], 23),
+                syn([1, 0, 0, 1], 80),
+            ],
+        ));
+        let a = an.finish();
+        let s = &a.tcp_scan[0];
+        assert_eq!(s.packets[2], 3);
+        assert_eq!(s.dst_ports[2], 2); // 23, 80
+        assert_eq!(s.devices[2], 1);
+        assert_eq!(s.packets[0], 0);
+    }
+
+    #[test]
+    fn service_table_accumulates() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 4);
+        an.ingest_hour(&hour(
+            1,
+            vec![
+                syn([1, 0, 0, 1], 23),
+                syn([1, 0, 0, 1], 2323),
+                syn([2, 0, 0, 1], 22),
+                syn([2, 0, 0, 1], 12345), // unnamed port → Other
+            ],
+        ));
+        let a = an.finish();
+        let telnet = &a.scan_services[&ServiceKey::Named(ScanService::Telnet)];
+        assert_eq!(telnet.packets, [2, 0]);
+        assert_eq!(telnet.devices[0].len(), 1);
+        let ssh = &a.scan_services[&ServiceKey::Named(ScanService::Ssh)];
+        assert_eq!(ssh.packets, [0, 1]);
+        let other = &a.scan_services[&ServiceKey::Other];
+        assert_eq!(other.packets, [0, 1]);
+        // Fig 10 series: Telnet idx 0, SSH idx 2.
+        assert_eq!(a.top5_series[0][0], 2);
+        assert_eq!(a.top5_series[0][2], 1);
+    }
+
+    #[test]
+    fn backscatter_attribution_tracks_dominant_victim() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 4);
+        let bs = |src: [u8; 4], pkts: u32| {
+            FlowTuple::tcp(
+                Ipv4Addr::from(src),
+                Ipv4Addr::new(44, 2, 2, 2),
+                80,
+                40000,
+                TcpFlags::SYN | TcpFlags::ACK,
+            )
+            .with_packets(pkts)
+        };
+        an.ingest_hour(&hour(2, vec![bs([1, 0, 0, 1], 10), bs([2, 0, 0, 1], 90)]));
+        let a = an.finish();
+        let slot = &a.backscatter_intervals[1];
+        assert_eq!(slot.total, 100);
+        assert_eq!(slot.top_victim, Some((DeviceId(1), 90)));
+        assert_eq!(a.backscatter_hourly[0][1], 10);
+        assert_eq!(a.backscatter_hourly[1][1], 90);
+    }
+
+    #[test]
+    fn discovery_curve_cumulates_by_day() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 48);
+        an.ingest_hour(&hour(2, vec![syn([1, 0, 0, 1], 23)]));
+        an.ingest_hour(&hour(30, vec![syn([2, 0, 0, 1], 23)]));
+        let a = an.finish();
+        let curve = a.discovery_curve();
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0], (1, 1, 0));
+        assert_eq!(curve[1], (2, 1, 1));
+    }
+
+    #[test]
+    fn first_interval_takes_minimum_across_order() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 48);
+        an.ingest_hour(&hour(30, vec![syn([1, 0, 0, 1], 23)]));
+        an.ingest_hour(&hour(2, vec![syn([1, 0, 0, 1], 23)]));
+        let a = an.finish();
+        assert_eq!(a.observations[&DeviceId(0)].first_interval, 2);
+        let (avg_all, avg_consumer) = a.daily_active_devices();
+        assert!((avg_all - 1.0).abs() < 1e-9);
+        assert!((avg_consumer - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let db = db();
+        let h1 = hour(1, vec![syn([1, 0, 0, 1], 23), syn([2, 0, 0, 1], 22)]);
+        let h2 = hour(
+            2,
+            vec![
+                syn([1, 0, 0, 1], 80),
+                FlowTuple::udp(Ipv4Addr::new(2, 0, 0, 1), Ipv4Addr::new(44, 0, 0, 9), 1, 137)
+                    .with_packets(7),
+            ],
+        );
+        let mut seq = Analyzer::new(&db, 4);
+        seq.ingest_hour(&h1);
+        seq.ingest_hour(&h2);
+        let seq = seq.finish();
+
+        let mut a = Analyzer::new(&db, 4);
+        a.ingest_hour(&h1);
+        let mut b = Analyzer::new(&db, 4);
+        b.ingest_hour(&h2);
+        a.merge(b);
+        let par = a.finish();
+
+        assert_eq!(par.observations, seq.observations);
+        assert_eq!(par.protocol_packets, seq.protocol_packets);
+        assert_eq!(par.udp[0].packets, seq.udp[0].packets);
+        assert_eq!(par.udp[1].packets, seq.udp[1].packets);
+        assert_eq!(par.scan_services, seq.scan_services);
+        assert_eq!(par.udp_ports, seq.udp_ports);
+        assert_eq!(par.backscatter_intervals, seq.backscatter_intervals);
+        assert_eq!(par.unmatched_flows, seq.unmatched_flows);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_window_hour_panics() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 4);
+        an.ingest_hour(&hour(5, vec![]));
+    }
+
+    #[test]
+    fn daily_packet_totals_sum_series_by_day() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 48);
+        an.ingest_hour(&hour(2, vec![syn([1, 0, 0, 1], 23).with_packets(5)]));
+        an.ingest_hour(&hour(30, vec![
+            syn([2, 0, 0, 1], 22).with_packets(7),
+            FlowTuple::udp(Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(44, 0, 0, 3), 1, 137)
+                .with_packets(3),
+        ]));
+        let a = an.finish();
+        assert_eq!(a.daily_packet_totals(None), vec![5, 10]);
+        assert_eq!(a.daily_packet_totals(Some(Realm::Consumer)), vec![5, 3]);
+        assert_eq!(a.daily_packet_totals(Some(Realm::Cps)), vec![0, 7]);
+    }
+
+    #[test]
+    fn empty_analysis_is_sane() {
+        let db = db();
+        let a = Analyzer::new(&db, 4).finish();
+        assert!(a.compromised_devices().is_empty());
+        assert_eq!(a.compromised_counts(), (0, 0));
+        assert_eq!(a.total_packets(), 0);
+        assert!(a.dos_victims().is_empty());
+        let curve = a.discovery_curve();
+        assert_eq!(curve, vec![(0, 0, 0)]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Malware attribution for tailored remediation (§VI).
+//!
+//! The paper's second follow-up: "the objective to attribute such
+//! exploitations to certain malware variants … exploring formal
+//! correlation approaches between passive measurements and malware
+//! network traffic samples to fortify the attribution evidence."
+//!
+//! Attribution here combines two signals per (device, family):
+//!
+//! 1. **direct contact** — a sandbox sample of the family communicated
+//!    with the device's address (the §V-B join), and
+//! 2. **behavioral corroboration** — the ports the device scans at the
+//!    darknet overlap the ports the family's samples use.
+//!
+//! A device with both signals gets a high-confidence attribution; either
+//! alone yields a weaker one.
+
+use crate::behavior::BehaviorVector;
+use iotscope_devicedb::{DeviceDb, DeviceId};
+use iotscope_intel::family::FamilyResolver;
+use iotscope_intel::{MalwareDb, MalwareFamily};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Attribution confidence signals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionEvidence {
+    /// A sample of the family contacted the device directly.
+    pub direct_contact: bool,
+    /// Darknet-scanned ports that the family's samples also use.
+    pub port_overlap: Vec<u16>,
+    /// Size of the family's port profile.
+    pub family_ports: usize,
+}
+
+/// One attribution finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// The attributed device.
+    pub device: DeviceId,
+    /// The malware family.
+    pub family: MalwareFamily,
+    /// Confidence score in `0.0..=1.0`.
+    pub score: f64,
+    /// The underlying evidence.
+    pub evidence: AttributionEvidence,
+}
+
+/// Per-family network port profiles mined from the sandbox corpus.
+#[derive(Debug, Clone, Default)]
+pub struct FamilyProfiles {
+    ports: BTreeMap<MalwareFamily, BTreeSet<u16>>,
+}
+
+impl FamilyProfiles {
+    /// Mine the per-family contacted-port profiles from `malware`.
+    pub fn mine(malware: &MalwareDb, resolver: &FamilyResolver) -> FamilyProfiles {
+        let mut ports: BTreeMap<MalwareFamily, BTreeSet<u16>> = BTreeMap::new();
+        for report in malware.iter() {
+            let Some(family) = resolver.resolve(&report.sha256) else {
+                continue;
+            };
+            ports
+                .entry(family)
+                .or_default()
+                .extend(report.network.contacted_ports.iter().copied());
+        }
+        FamilyProfiles { ports }
+    }
+
+    /// The port profile of one family.
+    pub fn ports(&self, family: MalwareFamily) -> Option<&BTreeSet<u16>> {
+        self.ports.get(&family)
+    }
+
+    /// Families with a mined profile.
+    pub fn families(&self) -> impl Iterator<Item = MalwareFamily> + '_ {
+        self.ports.keys().copied()
+    }
+}
+
+/// Minimum score for a finding to be reported.
+pub const DEFAULT_MIN_SCORE: f64 = 0.35;
+
+/// Attribute compromised devices to malware families.
+///
+/// `vectors` supplies per-device darknet behavior (see
+/// [`crate::behavior::extract`]); only inventory-matched sources are
+/// considered. Findings are sorted by descending score.
+pub fn attribute(
+    vectors: &HashMap<Ipv4Addr, BehaviorVector>,
+    db: &DeviceDb,
+    malware: &MalwareDb,
+    resolver: &FamilyResolver,
+    min_score: f64,
+) -> Vec<Attribution> {
+    let profiles = FamilyProfiles::mine(malware, resolver);
+    let mut out = Vec::new();
+    for v in vectors.values() {
+        let Some(device) = v.device else { continue };
+        let ip = db.device(device).ip;
+        // Families with direct contact to this device.
+        let direct: BTreeSet<MalwareFamily> = malware
+            .hashes_contacting(ip)
+            .iter()
+            .filter_map(|h| resolver.resolve(h))
+            .collect();
+        // Candidate families: direct contacts plus any family whose port
+        // profile intersects the device's scanned ports.
+        let mut candidates: BTreeSet<MalwareFamily> = direct.clone();
+        for family in profiles.families() {
+            let Some(fports) = profiles.ports(family) else { continue };
+            if v.scan_ports.keys().any(|p| fports.contains(p)) {
+                candidates.insert(family);
+            }
+        }
+        for family in candidates {
+            let fports = profiles.ports(family).cloned().unwrap_or_default();
+            let overlap: Vec<u16> = v
+                .scan_ports
+                .keys()
+                .filter(|p| fports.contains(*p))
+                .copied()
+                .collect();
+            let direct_contact = direct.contains(&family);
+            let overlap_score = if fports.is_empty() {
+                0.0
+            } else {
+                overlap.len() as f64 / fports.len() as f64
+            };
+            let score = (if direct_contact { 0.6 } else { 0.0 } + 0.4 * overlap_score).min(1.0);
+            if score < min_score {
+                continue;
+            }
+            out.push(Attribution {
+                device,
+                family,
+                score,
+                evidence: AttributionEvidence {
+                    direct_contact,
+                    port_overlap: overlap,
+                    family_ports: fports.len(),
+                },
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then(a.device.cmp(&b.device))
+            .then(a.family.cmp(&b.family))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::extract;
+    use iotscope_devicedb::device::DeviceProfile;
+    use iotscope_devicedb::{ConsumerKind, CountryCode, IotDevice, IspId};
+    use iotscope_intel::sandbox::{MalwareHash, NetworkActivity, SandboxReport, SystemActivity};
+    use iotscope_net::flowtuple::FlowTuple;
+    use iotscope_net::protocol::TcpFlags;
+    use iotscope_net::time::UnixHour;
+    use iotscope_telescope::HourTraffic;
+
+    fn db() -> DeviceDb {
+        DeviceDb::from_devices((1..=2u8).map(|i| IotDevice {
+            id: DeviceId(0),
+            ip: Ipv4Addr::new(1, 0, 0, i),
+            profile: DeviceProfile::Consumer(ConsumerKind::Router),
+            country: CountryCode::from_code("US").unwrap(),
+            isp: IspId(0),
+        }))
+    }
+
+    fn report(hash: &str, ips: &[[u8; 4]], ports: &[u16]) -> SandboxReport {
+        SandboxReport {
+            sha256: MalwareHash::from_hex(hash),
+            network: NetworkActivity {
+                contacted_ips: ips.iter().map(|o| Ipv4Addr::from(*o)).collect(),
+                contacted_ports: ports.to_vec(),
+                domains: vec![],
+                payload_bytes: 1,
+            },
+            system: SystemActivity::default(),
+        }
+    }
+
+    fn syn(src: [u8; 4], port: u16, pkts: u32) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, 1),
+            40000,
+            port,
+            TcpFlags::SYN,
+        )
+        .with_packets(pkts)
+    }
+
+    fn setup() -> (DeviceDb, MalwareDb, FamilyResolver, Vec<HourTraffic>) {
+        let dbv = db();
+        let mut malware = MalwareDb::new();
+        let mut resolver = FamilyResolver::new();
+        // Ramnit contacts device 1 and uses ports {23, 2323}.
+        malware.ingest(report("aa01", &[[1, 0, 0, 1]], &[23, 2323]));
+        resolver.register(MalwareHash::from_hex("aa01"), MalwareFamily::Ramnit);
+        // Zusy contacts nobody in the inventory; uses port 25.
+        malware.ingest(report("bb02", &[[9, 9, 9, 9]], &[25]));
+        resolver.register(MalwareHash::from_hex("bb02"), MalwareFamily::Zusy);
+        // Device 1 scans Telnet (matching Ramnit's ports); device 2 scans
+        // SMTP (matching Zusy's profile but without direct contact).
+        let traffic = vec![HourTraffic {
+            interval: 1,
+            hour: UnixHour::new(0),
+            flows: vec![
+                syn([1, 0, 0, 1], 23, 20),
+                syn([1, 0, 0, 1], 2323, 5),
+                syn([1, 0, 0, 2], 25, 30),
+            ],
+        }];
+        (dbv, malware, resolver, traffic)
+    }
+
+    #[test]
+    fn direct_contact_plus_ports_scores_highest() {
+        let (dbv, malware, resolver, traffic) = setup();
+        let vectors = extract(&traffic, &dbv, 4);
+        let findings = attribute(&vectors, &dbv, &malware, &resolver, DEFAULT_MIN_SCORE);
+        let top = &findings[0];
+        assert_eq!(top.device, DeviceId(0));
+        assert_eq!(top.family, MalwareFamily::Ramnit);
+        assert!(top.evidence.direct_contact);
+        assert_eq!(top.evidence.port_overlap, vec![23, 2323]);
+        assert!((top.score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn behavioral_only_attribution_is_weaker() {
+        let (dbv, malware, resolver, traffic) = setup();
+        let vectors = extract(&traffic, &dbv, 4);
+        let findings = attribute(&vectors, &dbv, &malware, &resolver, DEFAULT_MIN_SCORE);
+        let zusy = findings
+            .iter()
+            .find(|f| f.family == MalwareFamily::Zusy)
+            .expect("behavioral-only match present");
+        assert_eq!(zusy.device, DeviceId(1));
+        assert!(!zusy.evidence.direct_contact);
+        assert!((zusy.score - 0.4).abs() < 1e-9);
+        // Ordering: strongest first.
+        assert!(findings[0].score >= zusy.score);
+    }
+
+    #[test]
+    fn min_score_filters_weak_findings() {
+        let (dbv, malware, resolver, traffic) = setup();
+        let vectors = extract(&traffic, &dbv, 4);
+        let strict = attribute(&vectors, &dbv, &malware, &resolver, 0.5);
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict[0].family, MalwareFamily::Ramnit);
+    }
+
+    #[test]
+    fn profiles_mined_per_family() {
+        let (_, malware, resolver, _) = setup();
+        let profiles = FamilyProfiles::mine(&malware, &resolver);
+        assert_eq!(
+            profiles.ports(MalwareFamily::Ramnit).unwrap(),
+            &BTreeSet::from([23u16, 2323])
+        );
+        assert_eq!(
+            profiles.ports(MalwareFamily::Zusy).unwrap(),
+            &BTreeSet::from([25u16])
+        );
+        assert!(profiles.ports(MalwareFamily::Vupa).is_none());
+        assert_eq!(profiles.families().count(), 2);
+    }
+
+    #[test]
+    fn unmatched_sources_are_never_attributed() {
+        let (dbv, mut malware, resolver, mut traffic) = setup();
+        // A noise source scanning Ramnit-like ports, contacted directly.
+        malware.ingest(report("aa01", &[[7, 7, 7, 7]], &[23]));
+        traffic[0].flows.push(syn([7, 7, 7, 7], 23, 50));
+        let vectors = extract(&traffic, &dbv, 4);
+        let findings = attribute(&vectors, &dbv, &malware, &resolver, 0.1);
+        assert!(findings.iter().all(|f| f.device.0 < 2));
+    }
+}

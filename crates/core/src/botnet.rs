@@ -1,0 +1,375 @@
+//! Botnet clustering from passive measurements (§VII future work).
+//!
+//! The paper closes with "identifying and clustering IoT botnets and
+//! their illicit activities by solely scrutinizing passive measurements."
+//! This module implements that: coordinated bots share a command channel,
+//! so they scan the *same ports* on *synchronized schedules*. Clustering
+//! links two scanners when their port sets overlap strongly (Jaccard) and
+//! their hourly activity co-moves (Pearson), then takes connected
+//! components. Steady, independently-operating scanners produce constant
+//! activity series whose correlation is undefined, so they never link —
+//! only genuinely synchronized populations cluster.
+
+use crate::behavior::BehaviorVector;
+use iotscope_devicedb::DeviceId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Thresholds for linking two scanners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BotnetConfig {
+    /// Minimum Jaccard similarity of scanned-port sets.
+    pub min_port_jaccard: f64,
+    /// Minimum Pearson correlation of hourly activity.
+    pub min_activity_correlation: f64,
+    /// Minimum members for a cluster to be reported.
+    pub min_cluster_size: usize,
+    /// Minimum scan packets for a source to participate.
+    pub min_scan_packets: u64,
+    /// Ports scanned by more than this fraction of all scanners are too
+    /// common to be linking evidence on their own (e.g. Telnet/23).
+    pub max_port_popularity: f64,
+}
+
+impl Default for BotnetConfig {
+    fn default() -> Self {
+        BotnetConfig {
+            min_port_jaccard: 0.75,
+            min_activity_correlation: 0.60,
+            min_cluster_size: 3,
+            min_scan_packets: 10,
+            max_port_popularity: 0.05,
+        }
+    }
+}
+
+/// One discovered cluster of coordinated scanners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BotnetCluster {
+    /// Member sources (inventory devices and/or unmatched addresses).
+    pub members: Vec<Ipv4Addr>,
+    /// Members that map to inventory devices.
+    pub devices: Vec<DeviceId>,
+    /// Ports scanned by every member.
+    pub signature_ports: BTreeSet<u16>,
+    /// Total scan packets across members.
+    pub total_packets: u64,
+    /// The interval (1-based) with the cluster's peak activity.
+    pub peak_interval: u32,
+}
+
+impl BotnetCluster {
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Cluster the scanners in `vectors`.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_core::botnet::{cluster, BotnetConfig};
+/// use std::collections::HashMap;
+///
+/// let clusters = cluster(&HashMap::new(), &BotnetConfig::default());
+/// assert!(clusters.is_empty());
+/// ```
+pub fn cluster(
+    vectors: &HashMap<Ipv4Addr, BehaviorVector>,
+    config: &BotnetConfig,
+) -> Vec<BotnetCluster> {
+    // Participating scanners.
+    let scanners: Vec<&BehaviorVector> = vectors
+        .values()
+        .filter(|v| {
+            let scan: u64 = v.scan_ports.values().sum();
+            scan >= config.min_scan_packets
+        })
+        .collect();
+    if scanners.is_empty() {
+        return Vec::new();
+    }
+
+    // Candidate pairs share at least one *distinctive* port — bucketing by
+    // port keeps this near-linear instead of all-pairs.
+    let mut port_buckets: BTreeMap<u16, Vec<usize>> = BTreeMap::new();
+    for (i, v) in scanners.iter().enumerate() {
+        for port in v.scan_ports.keys() {
+            port_buckets.entry(*port).or_default().push(i);
+        }
+    }
+    // Fraction-based for large populations, with an absolute floor so
+    // small test populations do not mark every port "popular".
+    let popularity_cap =
+        ((scanners.len() as f64 * config.max_port_popularity).ceil() as usize).max(8);
+
+    let mut uf = UnionFind::new(scanners.len());
+    let mut checked: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for members in port_buckets.values() {
+        if members.len() > popularity_cap {
+            continue; // too common to be a signature (e.g. Telnet)
+        }
+        for (ai, a) in members.iter().enumerate() {
+            for b in &members[ai + 1..] {
+                let key = (*a.min(b), *a.max(b));
+                if !checked.insert(key) || uf.find(key.0) == uf.find(key.1) {
+                    continue;
+                }
+                let va = scanners[key.0];
+                let vb = scanners[key.1];
+                if va.port_jaccard(vb) < config.min_port_jaccard {
+                    continue;
+                }
+                match va.activity_correlation(vb) {
+                    Some(r) if r >= config.min_activity_correlation => {
+                        uf.union(key.0, key.1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Materialize components.
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..scanners.len() {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut clusters = Vec::new();
+    for idxs in groups.values() {
+        if idxs.len() < config.min_cluster_size {
+            continue;
+        }
+        let mut members: Vec<Ipv4Addr> = idxs.iter().map(|i| scanners[*i].ip).collect();
+        members.sort();
+        let mut devices: Vec<DeviceId> =
+            idxs.iter().filter_map(|i| scanners[*i].device).collect();
+        devices.sort();
+        // Signature = ports scanned by every member.
+        let mut signature: BTreeSet<u16> = scanners[idxs[0]].scan_ports.keys().copied().collect();
+        for i in &idxs[1..] {
+            signature.retain(|p| scanners[*i].scan_ports.contains_key(p));
+        }
+        let total_packets: u64 = idxs
+            .iter()
+            .map(|i| scanners[*i].scan_ports.values().sum::<u64>())
+            .sum();
+        // Peak interval of the summed activity.
+        let hours = scanners[idxs[0]].hourly.len();
+        let mut summed = vec![0u64; hours];
+        for i in idxs {
+            for (h, v) in scanners[*i].hourly.iter().enumerate() {
+                summed[h] += v;
+            }
+        }
+        let peak_interval = summed
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(h, _)| h as u32 + 1)
+            .unwrap_or(1);
+        clusters.push(BotnetCluster {
+            members,
+            devices,
+            signature_ports: signature,
+            total_packets,
+            peak_interval,
+        });
+    }
+    clusters.sort_by(|a, b| b.size().cmp(&a.size()).then(a.members.cmp(&b.members)));
+    clusters
+}
+
+/// Path-compressing union-find.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::extract;
+    use iotscope_devicedb::DeviceDb;
+    use iotscope_net::flowtuple::FlowTuple;
+    use iotscope_net::protocol::TcpFlags;
+    use iotscope_net::time::UnixHour;
+    use iotscope_telescope::HourTraffic;
+
+    fn syn(src: Ipv4Addr, port: u16, pkts: u32) -> FlowTuple {
+        FlowTuple::tcp(src, Ipv4Addr::new(44, 0, 0, 1), 40000, port, TcpFlags::SYN)
+            .with_packets(pkts)
+    }
+
+    /// Build traffic with: botnet A (5 bots, ports {5555, 7001}, active
+    /// hours 2 and 6), botnet B (4 bots, port {30005}, active hours 3/7),
+    /// and 6 independent scanners with unique ports on unsynced hours.
+    fn traffic() -> Vec<HourTraffic> {
+        let mut hours: Vec<HourTraffic> = (1..=8)
+            .map(|i| HourTraffic {
+                interval: i,
+                hour: UnixHour::new(u64::from(i)),
+                flows: Vec::new(),
+            })
+            .collect();
+        for bot in 0..5u8 {
+            let ip = Ipv4Addr::new(10, 0, 0, bot + 1);
+            for h in [2usize, 6] {
+                hours[h - 1].flows.push(syn(ip, 5555, 20));
+                hours[h - 1].flows.push(syn(ip, 7001, 20));
+            }
+        }
+        for bot in 0..4u8 {
+            let ip = Ipv4Addr::new(10, 0, 1, bot + 1);
+            for h in [3usize, 7] {
+                hours[h - 1].flows.push(syn(ip, 30005, 30));
+            }
+        }
+        for lone in 0..6u8 {
+            let ip = Ipv4Addr::new(10, 0, 2, lone + 1);
+            let h = (lone as usize % 8) + 1;
+            hours[h - 1].flows.push(syn(ip, 40000 + u16::from(lone), 50));
+        }
+        hours
+    }
+
+    #[test]
+    fn recovers_planted_botnets() {
+        let db = DeviceDb::new();
+        let vectors = extract(&traffic(), &db, 8);
+        let clusters = cluster(&vectors, &BotnetConfig::default());
+        assert_eq!(clusters.len(), 2, "{clusters:#?}");
+        let a = &clusters[0];
+        let b = &clusters[1];
+        assert_eq!(a.size(), 5);
+        assert_eq!(b.size(), 4);
+        assert_eq!(
+            a.signature_ports,
+            BTreeSet::from([5555u16, 7001])
+        );
+        assert_eq!(b.signature_ports, BTreeSet::from([30005u16]));
+        // Peak interval lies on a planted active hour.
+        assert!([2u32, 6].contains(&a.peak_interval));
+        assert!([3u32, 7].contains(&b.peak_interval));
+        // No lone scanner was absorbed.
+        for c in &clusters {
+            for ip in &c.members {
+                assert_ne!(ip.octets()[2], 2, "lone scanner {ip} clustered");
+            }
+        }
+    }
+
+    #[test]
+    fn popular_ports_do_not_link() {
+        // Everyone scans Telnet; that alone must not form one giant
+        // cluster.
+        let db = DeviceDb::new();
+        let mut hours: Vec<HourTraffic> = (1..=4)
+            .map(|i| HourTraffic {
+                interval: i,
+                hour: UnixHour::new(u64::from(i)),
+                flows: Vec::new(),
+            })
+            .collect();
+        for i in 0..30u8 {
+            let ip = Ipv4Addr::new(10, 1, 0, i + 1);
+            let h = (i as usize % 4) + 1;
+            hours[h - 1].flows.push(syn(ip, 23, 40));
+        }
+        let vectors = extract(&hours, &db, 4);
+        let clusters = cluster(&vectors, &BotnetConfig::default());
+        assert!(clusters.is_empty(), "{clusters:#?}");
+    }
+
+    #[test]
+    fn steady_scanners_never_cluster() {
+        // Same rare port, but perfectly constant activity (no variance →
+        // correlation undefined → no link).
+        let db = DeviceDb::new();
+        let hours: Vec<HourTraffic> = (1..=4)
+            .map(|i| HourTraffic {
+                interval: i,
+                hour: UnixHour::new(u64::from(i)),
+                flows: (0..5u8)
+                    .map(|b| syn(Ipv4Addr::new(10, 2, 0, b + 1), 9999, 10))
+                    .collect(),
+            })
+            .collect();
+        let vectors = extract(&hours, &db, 4);
+        let clusters = cluster(&vectors, &BotnetConfig::default());
+        assert!(clusters.is_empty(), "{clusters:#?}");
+    }
+
+    #[test]
+    fn min_cluster_size_filters_pairs() {
+        let db = DeviceDb::new();
+        let mut hours: Vec<HourTraffic> = (1..=4)
+            .map(|i| HourTraffic {
+                interval: i,
+                hour: UnixHour::new(u64::from(i)),
+                flows: Vec::new(),
+            })
+            .collect();
+        for b in 0..2u8 {
+            let ip = Ipv4Addr::new(10, 3, 0, b + 1);
+            hours[0].flows.push(syn(ip, 12345, 30));
+            hours[2].flows.push(syn(ip, 12345, 30));
+        }
+        let vectors = extract(&hours, &db, 4);
+        assert!(cluster(&vectors, &BotnetConfig::default()).is_empty());
+        let cfg = BotnetConfig {
+            min_cluster_size: 2,
+            ..BotnetConfig::default()
+        };
+        assert_eq!(cluster(&vectors, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn min_packets_gate() {
+        let db = DeviceDb::new();
+        let vectors = extract(&traffic(), &db, 8);
+        let cfg = BotnetConfig {
+            min_scan_packets: 1_000_000,
+            ..BotnetConfig::default()
+        };
+        assert!(cluster(&vectors, &cfg).is_empty());
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(1), uf.find(3));
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(4));
+        assert_ne!(uf.find(2), uf.find(0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Darknet traffic classification.
+//!
+//! The paper partitions telescope traffic into backscatter (evidence the
+//! source is a DoS *victim*), scanning (evidence the source is exploited
+//! and probing the Internet), UDP (kept as its own class because stateless
+//! UDP cannot be reliably split without payload inspection, §IV-A), and a
+//! residual class. Backscatter takes precedence over scanning: a SYN-ACK
+//! is a reply even though it carries SYN.
+
+use iotscope_net::flowtuple::FlowTuple;
+use iotscope_net::protocol::TransportProtocol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The traffic classes of §IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// TCP SYN probing (§IV-C: 99.97% of non-backscatter TCP).
+    TcpScan,
+    /// ICMP echo-request probing (§IV-C: >99.9% of non-backscatter ICMP).
+    IcmpScan,
+    /// TCP SYN-ACK/RST or ICMP reply types — DoS-victim backscatter
+    /// (§IV-B).
+    Backscatter,
+    /// UDP traffic (§IV-A).
+    Udp,
+    /// Anything else (non-SYN TCP without backscatter flags, exotic ICMP).
+    Other,
+}
+
+impl TrafficClass {
+    /// All classes.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::TcpScan,
+        TrafficClass::IcmpScan,
+        TrafficClass::Backscatter,
+        TrafficClass::Udp,
+        TrafficClass::Other,
+    ];
+
+    /// Whether the class indicates active probing by the source.
+    pub fn is_scan(self) -> bool {
+        matches!(self, TrafficClass::TcpScan | TrafficClass::IcmpScan)
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrafficClass::TcpScan => "tcp-scan",
+            TrafficClass::IcmpScan => "icmp-scan",
+            TrafficClass::Backscatter => "backscatter",
+            TrafficClass::Udp => "udp",
+            TrafficClass::Other => "other",
+        })
+    }
+}
+
+/// Classify one flow.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_core::classify::{classify, TrafficClass};
+/// use iotscope_net::flowtuple::FlowTuple;
+/// use iotscope_net::protocol::TcpFlags;
+/// use std::net::Ipv4Addr;
+///
+/// let syn = FlowTuple::tcp(
+///     Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(44, 0, 0, 1),
+///     40000, 23, TcpFlags::SYN,
+/// );
+/// assert_eq!(classify(&syn), TrafficClass::TcpScan);
+///
+/// let synack = FlowTuple::tcp(
+///     Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(44, 0, 0, 1),
+///     80, 40000, TcpFlags::SYN | TcpFlags::ACK,
+/// );
+/// assert_eq!(classify(&synack), TrafficClass::Backscatter);
+/// ```
+pub fn classify(flow: &FlowTuple) -> TrafficClass {
+    match flow.protocol {
+        TransportProtocol::Udp => TrafficClass::Udp,
+        TransportProtocol::Tcp => {
+            if flow.tcp_flags.is_backscatter() {
+                TrafficClass::Backscatter
+            } else if flow.tcp_flags.is_bare_syn() {
+                TrafficClass::TcpScan
+            } else {
+                TrafficClass::Other
+            }
+        }
+        TransportProtocol::Icmp => match flow.icmp_type() {
+            Some(t) if t.is_backscatter() => TrafficClass::Backscatter,
+            Some(t) if t.is_scan() => TrafficClass::IcmpScan,
+            _ => TrafficClass::Other,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotscope_net::protocol::{IcmpType, TcpFlags};
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    fn tcp(flags: TcpFlags) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(44, 0, 0, 1),
+            40000,
+            23,
+            flags,
+        )
+    }
+
+    fn icmp(t: IcmpType) -> FlowTuple {
+        FlowTuple::icmp(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(44, 0, 0, 1), t)
+    }
+
+    #[test]
+    fn tcp_truth_table() {
+        assert_eq!(classify(&tcp(TcpFlags::SYN)), TrafficClass::TcpScan);
+        assert_eq!(
+            classify(&tcp(TcpFlags::SYN | TcpFlags::ACK)),
+            TrafficClass::Backscatter
+        );
+        assert_eq!(classify(&tcp(TcpFlags::RST)), TrafficClass::Backscatter);
+        assert_eq!(
+            classify(&tcp(TcpFlags::RST | TcpFlags::ACK)),
+            TrafficClass::Backscatter
+        );
+        assert_eq!(classify(&tcp(TcpFlags::ACK)), TrafficClass::Other);
+        assert_eq!(classify(&tcp(TcpFlags::FIN)), TrafficClass::Other);
+        assert_eq!(classify(&tcp(TcpFlags::EMPTY)), TrafficClass::Other);
+        // SYN+RST: RST wins (backscatter) — reply semantics take precedence.
+        assert_eq!(
+            classify(&tcp(TcpFlags::SYN | TcpFlags::RST)),
+            TrafficClass::Backscatter
+        );
+    }
+
+    #[test]
+    fn icmp_truth_table() {
+        assert_eq!(classify(&icmp(IcmpType::EchoRequest)), TrafficClass::IcmpScan);
+        assert_eq!(classify(&icmp(IcmpType::EchoReply)), TrafficClass::Backscatter);
+        assert_eq!(
+            classify(&icmp(IcmpType::DestinationUnreachable)),
+            TrafficClass::Backscatter
+        );
+        assert_eq!(classify(&icmp(IcmpType::TimeExceeded)), TrafficClass::Backscatter);
+        assert_eq!(
+            classify(&icmp(IcmpType::TimestampRequest)),
+            TrafficClass::IcmpScan
+        );
+        // Unmodeled ICMP type number → Other.
+        let mut weird = icmp(IcmpType::EchoRequest);
+        weird.src_port = 99;
+        assert_eq!(classify(&weird), TrafficClass::Other);
+    }
+
+    #[test]
+    fn udp_is_always_udp() {
+        let f = FlowTuple::udp(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(44, 0, 0, 1),
+            5353,
+            37547,
+        );
+        assert_eq!(classify(&f), TrafficClass::Udp);
+    }
+
+    #[test]
+    fn scan_predicate() {
+        assert!(TrafficClass::TcpScan.is_scan());
+        assert!(TrafficClass::IcmpScan.is_scan());
+        assert!(!TrafficClass::Backscatter.is_scan());
+        assert!(!TrafficClass::Udp.is_scan());
+        assert!(!TrafficClass::Other.is_scan());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(TrafficClass::Backscatter.to_string(), "backscatter");
+        assert_eq!(TrafficClass::TcpScan.to_string(), "tcp-scan");
+    }
+
+    proptest! {
+        /// Every flow lands in exactly one class (total function; the
+        /// partition property behind all §IV accounting).
+        #[test]
+        fn prop_every_flow_classified(
+            src: u32, dst: u32, sport: u16, dport: u16,
+            proto_idx in 0usize..3, flags: u8,
+        ) {
+            use iotscope_net::protocol::TransportProtocol;
+            let f = FlowTuple {
+                src_ip: Ipv4Addr::from(src),
+                dst_ip: Ipv4Addr::from(dst),
+                src_port: sport,
+                dst_port: dport,
+                protocol: TransportProtocol::ALL[proto_idx],
+                ttl: 64,
+                tcp_flags: TcpFlags::from_bits(flags),
+                ip_len: 40,
+                packets: 1,
+            };
+            let class = classify(&f);
+            prop_assert!(TrafficClass::ALL.contains(&class));
+            // Backscatter and scan classes are mutually exclusive by
+            // construction; double-check via the flag predicates.
+            if class == TrafficClass::TcpScan {
+                prop_assert!(f.tcp_flags.is_bare_syn());
+                prop_assert!(!f.tcp_flags.is_backscatter());
+            }
+            if class == TrafficClass::Backscatter && f.protocol == TransportProtocol::Tcp {
+                prop_assert!(f.tcp_flags.is_backscatter());
+            }
+        }
+    }
+}

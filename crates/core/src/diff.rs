@@ -1,0 +1,241 @@
+//! Comparing two analyses: operational drift reports.
+//!
+//! The paper's operational goal is continuous, near-real-time indexing of
+//! unsolicited IoT devices (§VI). An operator running the pipeline every
+//! day needs to know *what changed*: which devices appeared, which went
+//! quiet, how the class mix and headline tables moved. [`diff`] computes
+//! that from any two [`Analysis`] values (e.g. yesterday's window vs
+//! today's).
+
+use crate::analysis::Analysis;
+use crate::classify::TrafficClass;
+use iotscope_devicedb::DeviceId;
+
+/// Relative packet change of one traffic class between two runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassDelta {
+    /// The traffic class.
+    pub class: TrafficClass,
+    /// Packets in the baseline run.
+    pub before: u64,
+    /// Packets in the new run.
+    pub after: u64,
+}
+
+impl ClassDelta {
+    /// Relative change (+1.0 = doubled); `None` when the baseline is 0.
+    pub fn relative(&self) -> Option<f64> {
+        if self.before == 0 {
+            None
+        } else {
+            Some(self.after as f64 / self.before as f64 - 1.0)
+        }
+    }
+}
+
+/// The drift between two analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisDiff {
+    /// Devices present only in the new run (fresh infections).
+    pub appeared: Vec<DeviceId>,
+    /// Devices present only in the baseline (went quiet / remediated).
+    pub disappeared: Vec<DeviceId>,
+    /// Devices present in both.
+    pub persisted: usize,
+    /// Devices that emitted backscatter in the new run but not the
+    /// baseline (newly attacked).
+    pub new_victims: Vec<DeviceId>,
+    /// Devices that emitted scanning traffic in the new run but not the
+    /// baseline (newly exploited).
+    pub new_scanners: Vec<DeviceId>,
+    /// Per-class packet deltas.
+    pub class_deltas: Vec<ClassDelta>,
+}
+
+impl AnalysisDiff {
+    /// Churn rate: (appeared + disappeared) / baseline population.
+    pub fn churn(&self) -> f64 {
+        let base = self.persisted + self.disappeared.len();
+        if base == 0 {
+            0.0
+        } else {
+            (self.appeared.len() + self.disappeared.len()) as f64 / base as f64
+        }
+    }
+}
+
+/// Compute the drift from `before` to `after`.
+pub fn diff(before: &Analysis, after: &Analysis) -> AnalysisDiff {
+    let mut appeared = Vec::new();
+    let mut disappeared = Vec::new();
+    let mut persisted = 0usize;
+    let mut new_victims = Vec::new();
+    let mut new_scanners = Vec::new();
+
+    for (id, obs) in &after.observations {
+        match before.observations.get(id) {
+            None => {
+                appeared.push(*id);
+                if obs.packets(TrafficClass::Backscatter) > 0 {
+                    new_victims.push(*id);
+                }
+                if obs.scan_packets() > 0 {
+                    new_scanners.push(*id);
+                }
+            }
+            Some(prev) => {
+                persisted += 1;
+                if obs.packets(TrafficClass::Backscatter) > 0
+                    && prev.packets(TrafficClass::Backscatter) == 0
+                {
+                    new_victims.push(*id);
+                }
+                if obs.scan_packets() > 0 && prev.scan_packets() == 0 {
+                    new_scanners.push(*id);
+                }
+            }
+        }
+    }
+    for id in before.observations.keys() {
+        if !after.observations.contains_key(id) {
+            disappeared.push(*id);
+        }
+    }
+    appeared.sort();
+    disappeared.sort();
+    new_victims.sort();
+    new_scanners.sort();
+
+    let class_total = |a: &Analysis, class: TrafficClass| -> u64 {
+        a.observations.values().map(|o| o.packets(class)).sum()
+    };
+    let class_deltas = TrafficClass::ALL
+        .into_iter()
+        .map(|class| ClassDelta {
+            class,
+            before: class_total(before, class),
+            after: class_total(after, class),
+        })
+        .collect();
+
+    AnalysisDiff {
+        appeared,
+        disappeared,
+        persisted,
+        new_victims,
+        new_scanners,
+        class_deltas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analyzer;
+    use iotscope_devicedb::device::DeviceProfile;
+    use iotscope_devicedb::{ConsumerKind, CountryCode, DeviceDb, IotDevice, IspId};
+    use iotscope_net::flowtuple::FlowTuple;
+    use iotscope_net::protocol::TcpFlags;
+    use iotscope_net::time::UnixHour;
+    use iotscope_telescope::HourTraffic;
+    use std::net::Ipv4Addr;
+
+    fn db() -> DeviceDb {
+        DeviceDb::from_devices((1..=4u8).map(|i| IotDevice {
+            id: iotscope_devicedb::DeviceId(0),
+            ip: Ipv4Addr::new(1, 0, 0, i),
+            profile: DeviceProfile::Consumer(ConsumerKind::Router),
+            country: CountryCode::from_code("US").unwrap(),
+            isp: IspId(0),
+        }))
+    }
+
+    fn syn(src: [u8; 4], pkts: u32) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, 1),
+            40000,
+            23,
+            TcpFlags::SYN,
+        )
+        .with_packets(pkts)
+    }
+
+    fn bs(src: [u8; 4], pkts: u32) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, 2),
+            80,
+            40001,
+            TcpFlags::SYN | TcpFlags::ACK,
+        )
+        .with_packets(pkts)
+    }
+
+    fn analyze(flows: Vec<FlowTuple>) -> Analysis {
+        let dbv = Box::leak(Box::new(db()));
+        let mut an = Analyzer::new(dbv, 4);
+        an.ingest_hour(&HourTraffic {
+            interval: 1,
+            hour: UnixHour::new(0),
+            flows,
+        });
+        an.finish()
+    }
+
+    #[test]
+    fn appeared_disappeared_persisted() {
+        // Day 1: devices 1 and 2. Day 2: devices 2 and 3.
+        let before = analyze(vec![syn([1, 0, 0, 1], 10), syn([1, 0, 0, 2], 10)]);
+        let after = analyze(vec![syn([1, 0, 0, 2], 30), syn([1, 0, 0, 3], 5)]);
+        let d = diff(&before, &after);
+        assert_eq!(d.appeared.len(), 1);
+        assert_eq!(d.disappeared.len(), 1);
+        assert_eq!(d.persisted, 1);
+        assert_eq!(d.new_scanners.len(), 1); // device 3
+        assert!((d.churn() - 1.0).abs() < 1e-9); // (1+1)/2
+    }
+
+    #[test]
+    fn newly_attacked_devices_flagged() {
+        // Device 1 scans on day 1, is also a DoS victim on day 2.
+        let before = analyze(vec![syn([1, 0, 0, 1], 10)]);
+        let after = analyze(vec![syn([1, 0, 0, 1], 10), bs([1, 0, 0, 1], 50)]);
+        let d = diff(&before, &after);
+        assert_eq!(d.new_victims.len(), 1);
+        assert!(d.appeared.is_empty());
+        assert!(d.new_scanners.is_empty()); // was already scanning
+    }
+
+    #[test]
+    fn class_deltas_and_relative() {
+        let before = analyze(vec![syn([1, 0, 0, 1], 10)]);
+        let after = analyze(vec![syn([1, 0, 0, 1], 25)]);
+        let d = diff(&before, &after);
+        let scan = d
+            .class_deltas
+            .iter()
+            .find(|c| c.class == TrafficClass::TcpScan)
+            .unwrap();
+        assert_eq!(scan.before, 10);
+        assert_eq!(scan.after, 25);
+        assert!((scan.relative().unwrap() - 1.5).abs() < 1e-9);
+        let udp = d
+            .class_deltas
+            .iter()
+            .find(|c| c.class == TrafficClass::Udp)
+            .unwrap();
+        assert_eq!(udp.relative(), None); // 0 baseline
+    }
+
+    #[test]
+    fn identical_analyses_produce_empty_diff() {
+        let a = analyze(vec![syn([1, 0, 0, 1], 10)]);
+        let b = analyze(vec![syn([1, 0, 0, 1], 10)]);
+        let d = diff(&a, &b);
+        assert!(d.appeared.is_empty());
+        assert!(d.disappeared.is_empty());
+        assert_eq!(d.persisted, 1);
+        assert_eq!(d.churn(), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! The `iotscope` analysis pipeline — the paper's primary contribution.
+//!
+//! This crate reproduces the data-driven methodology of *"Inferring,
+//! Characterizing, and Investigating Internet-Scale Malicious IoT Device
+//! Activities: A Network Telescope Perspective"* (Torabi et al., DSN
+//! 2018):
+//!
+//! 1. **Correlation** ([`analysis`]) — join darknet flowtuples against an
+//!    IoT inventory to infer compromised devices (§III-B);
+//! 2. **Classification** ([`mod@classify`]) — split their traffic into
+//!    scanning, backscatter, and UDP (§IV);
+//! 3. **Characterization** ([`characterize`], [`udp`], [`scan`], [`dos`])
+//!    — the aggregates behind every figure and table of §III–§IV;
+//! 4. **Maliciousness** ([`malicious`]) — the threat-repository and
+//!    malware-database joins of §V;
+//! 5. **Statistics** ([`stats`]) — Mann–Whitney U, Pearson correlation,
+//!    and ECDFs, as used throughout the paper;
+//! 6. **Orchestration** ([`pipeline`], [`report`]) — end-to-end runs and
+//!    a renderer that prints every artifact.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iotscope_core::pipeline::AnalysisPipeline;
+//! use iotscope_core::report::Report;
+//! use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+//!
+//! // Simulate a darknet (substituting for the UCSD telescope data).
+//! let built = PaperScenario::build(PaperScenarioConfig::tiny(7));
+//! let traffic = built.scenario.generate();
+//!
+//! // Infer and characterize compromised IoT devices.
+//! let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
+//! let analysis = pipeline.analyze(&traffic);
+//! let report = Report::build(&analysis, &built.inventory.db, &built.inventory.isps, None);
+//! assert!(report.compromised.0 + report.compromised.1 > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod attribution;
+pub mod behavior;
+pub mod botnet;
+pub mod characterize;
+pub mod classify;
+pub mod diff;
+pub mod dos;
+pub mod fingerprint;
+pub mod malicious;
+pub mod pipeline;
+pub mod report;
+pub mod scan;
+pub mod stats;
+pub mod stream;
+pub mod taxonomy;
+pub mod udp;
+
+pub use analysis::{Analysis, Analyzer};
+pub use classify::{classify, TrafficClass};
+pub use pipeline::AnalysisPipeline;
+pub use report::{Report, ReportIntel};

@@ -1,0 +1,359 @@
+//! Maliciousness analysis (Section V): the threat-repository join behind
+//! Table VI and Fig 11, and the malware-database correlation behind
+//! Table VII.
+
+use crate::analysis::Analysis;
+use crate::classify::TrafficClass;
+use crate::stats::Ecdf;
+use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
+use iotscope_intel::{MalwareDb, MalwareFamily, MalwareHash, ThreatCategory, ThreatRepo};
+use iotscope_intel::family::FamilyResolver;
+use std::collections::BTreeSet;
+
+/// §V-A's exploration set: every DoS victim plus the top-`n` devices per
+/// realm by generated scanning+UDP packets (the paper used n = 4,000 on
+/// top of the 839 victims, totaling 8,839).
+pub fn select_candidates(analysis: &Analysis, top_n_per_realm: usize) -> Vec<DeviceId> {
+    let mut set: BTreeSet<DeviceId> = analysis.dos_victims().into_iter().collect();
+    for realm in [Realm::Consumer, Realm::Cps] {
+        let mut devices: Vec<(u64, DeviceId)> = analysis
+            .observations
+            .values()
+            .filter(|o| o.realm == realm)
+            .map(|o| {
+                (
+                    o.scan_packets() + o.packets(TrafficClass::Udp),
+                    o.device,
+                )
+            })
+            .filter(|(pkts, _)| *pkts > 0)
+            .collect();
+        devices.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, id) in devices.into_iter().take(top_n_per_realm) {
+            set.insert(id);
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// One row of Table VI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreatRow {
+    /// The category.
+    pub category: ThreatCategory,
+    /// Flagged devices carrying the category.
+    pub devices: usize,
+    /// Percentage of all flagged devices (categories overlap).
+    pub pct: f64,
+}
+
+/// The Table VI join result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreatSummary {
+    /// Devices explored against the repository.
+    pub explored: usize,
+    /// Devices with at least one event.
+    pub flagged: Vec<DeviceId>,
+    /// Per-category rows, Table VI order.
+    pub rows: Vec<ThreatRow>,
+    /// Flagged devices in CPS realms linked to malware (§V-A: 91).
+    pub cps_malware_devices: usize,
+    /// Flagged consumer devices linked to malware (§V-A: 26).
+    pub consumer_malware_devices: usize,
+}
+
+/// Join `candidates` against the threat repository (Table VI).
+pub fn threat_summary(
+    analysis: &Analysis,
+    db: &DeviceDb,
+    repo: &ThreatRepo,
+    candidates: &[DeviceId],
+) -> ThreatSummary {
+    let mut flagged = Vec::new();
+    let mut counts = [0usize; 6];
+    let mut cps_malware = 0usize;
+    let mut consumer_malware = 0usize;
+    for id in candidates {
+        let ip = db.device(*id).ip;
+        let cats = repo.categories_for(ip);
+        if cats.is_empty() {
+            continue;
+        }
+        flagged.push(*id);
+        for (i, cat) in ThreatCategory::ALL.iter().enumerate() {
+            if cats.contains(cat) {
+                counts[i] += 1;
+            }
+        }
+        if cats.contains(&ThreatCategory::Malware) {
+            match analysis
+                .observations
+                .get(id)
+                .map(|o| o.realm)
+                .unwrap_or(Realm::Consumer)
+            {
+                Realm::Cps => cps_malware += 1,
+                Realm::Consumer => consumer_malware += 1,
+            }
+        }
+    }
+    let n = flagged.len();
+    let rows = ThreatCategory::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, cat)| ThreatRow {
+            category: *cat,
+            devices: counts[i],
+            pct: if n == 0 {
+                0.0
+            } else {
+                100.0 * counts[i] as f64 / n as f64
+            },
+        })
+        .collect();
+    ThreatSummary {
+        explored: candidates.len(),
+        flagged,
+        rows,
+        cps_malware_devices: cps_malware,
+        consumer_malware_devices: consumer_malware,
+    }
+}
+
+/// Fig 11: CDFs of total generated packets for (a) all explored devices
+/// and (b) the repository-flagged subset.
+pub fn packet_cdfs(
+    analysis: &Analysis,
+    db: &DeviceDb,
+    repo: &ThreatRepo,
+    candidates: &[DeviceId],
+) -> (Ecdf, Ecdf) {
+    let mut all = Vec::with_capacity(candidates.len());
+    let mut flagged = Vec::new();
+    for id in candidates {
+        let Some(obs) = analysis.observations.get(id) else {
+            continue;
+        };
+        let pkts = obs.total_packets() as f64;
+        all.push(pkts);
+        if repo.is_flagged(db.device(*id).ip) {
+            flagged.push(pkts);
+        }
+    }
+    (Ecdf::new(all), Ecdf::new(flagged))
+}
+
+/// The Table VII correlation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MalwareFindings {
+    /// Inferred devices contacted by at least one instrumented sample.
+    pub devices: Vec<DeviceId>,
+    /// Distinct sample hashes involved.
+    pub hashes: Vec<MalwareHash>,
+    /// Distinct domains associated with those samples.
+    pub domains: Vec<String>,
+    /// Families resolved from the hashes, Table VII's list.
+    pub families: Vec<MalwareFamily>,
+}
+
+/// §V-B: correlate **all** inferred devices against the malware database,
+/// then resolve the hashes to families.
+pub fn malware_correlation(
+    analysis: &Analysis,
+    db: &DeviceDb,
+    malware: &MalwareDb,
+    resolver: &FamilyResolver,
+) -> MalwareFindings {
+    let mut devices = Vec::new();
+    let mut hashes: BTreeSet<MalwareHash> = BTreeSet::new();
+    let mut domains: BTreeSet<String> = BTreeSet::new();
+    for id in analysis.compromised_devices() {
+        let ip = db.device(id).ip;
+        let sample_hashes = malware.hashes_contacting(ip);
+        if sample_hashes.is_empty() {
+            continue;
+        }
+        devices.push(id);
+        hashes.extend(sample_hashes);
+        domains.extend(malware.domains_contacting(ip));
+    }
+    let families: BTreeSet<MalwareFamily> = hashes
+        .iter()
+        .filter_map(|h| resolver.resolve(h))
+        .collect();
+    MalwareFindings {
+        devices,
+        hashes: hashes.into_iter().collect(),
+        domains: domains.into_iter().collect(),
+        families: families.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analyzer;
+    use iotscope_devicedb::device::DeviceProfile;
+    use iotscope_devicedb::{ConsumerKind, CountryCode, CpsService, IotDevice, IspId};
+    use iotscope_intel::sandbox::{NetworkActivity, SandboxReport, SystemActivity};
+    use iotscope_intel::ThreatEvent;
+    use iotscope_net::flowtuple::FlowTuple;
+    use iotscope_net::protocol::TcpFlags;
+    use iotscope_net::time::UnixHour;
+    use iotscope_telescope::HourTraffic;
+    use std::net::Ipv4Addr;
+
+    fn db() -> DeviceDb {
+        DeviceDb::from_devices((1..=4u8).map(|i| IotDevice {
+            id: DeviceId(0),
+            ip: Ipv4Addr::new(i, 0, 0, 1),
+            profile: if i % 2 == 0 {
+                DeviceProfile::Cps(vec![CpsService::ModbusTcp])
+            } else {
+                DeviceProfile::Consumer(ConsumerKind::Router)
+            },
+            country: CountryCode::from_code("US").unwrap(),
+            isp: IspId(0),
+        }))
+    }
+
+    fn syn(src: [u8; 4], pkts: u32) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, 1),
+            40000,
+            23,
+            TcpFlags::SYN,
+        )
+        .with_packets(pkts)
+    }
+
+    fn bs(src: [u8; 4], pkts: u32) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, 2),
+            80,
+            40000,
+            TcpFlags::SYN | TcpFlags::ACK,
+        )
+        .with_packets(pkts)
+    }
+
+    fn analysis(dbv: &DeviceDb) -> Analysis {
+        let mut an = Analyzer::new(dbv, 4);
+        an.ingest_hour(&HourTraffic {
+            interval: 1,
+            hour: UnixHour::new(0),
+            flows: vec![
+                syn([1, 0, 0, 1], 100),
+                syn([3, 0, 0, 1], 5),
+                bs([2, 0, 0, 1], 50),
+                syn([4, 0, 0, 1], 30),
+            ],
+        });
+        an.finish()
+    }
+
+    #[test]
+    fn candidates_include_victims_and_top_scanners() {
+        let dbv = db();
+        let a = analysis(&dbv);
+        // top 1 per realm + victims.
+        let c = select_candidates(&a, 1);
+        // Victim = device 2.0.0.1 (id 1). Top consumer = id 0 (100 pkts),
+        // top CPS = id 3 (30 pkts).
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(&DeviceId(1)));
+        assert!(c.contains(&DeviceId(0)));
+        assert!(c.contains(&DeviceId(3)));
+        // Larger n brings in the small scanner too.
+        assert_eq!(select_candidates(&a, 10).len(), 4);
+    }
+
+    #[test]
+    fn threat_summary_counts_overlapping_categories() {
+        let dbv = db();
+        let a = analysis(&dbv);
+        let mut repo = ThreatRepo::new();
+        for (ip, cat) in [
+            ([1u8, 0, 0, 1], ThreatCategory::Scanning),
+            ([1, 0, 0, 1], ThreatCategory::Malware),
+            ([2, 0, 0, 1], ThreatCategory::Scanning),
+        ] {
+            repo.add(ThreatEvent {
+                ip: Ipv4Addr::from(ip),
+                category: cat,
+                source: "t".into(),
+                reported_at: 0,
+            });
+        }
+        let candidates = select_candidates(&a, 10);
+        let s = threat_summary(&a, &dbv, &repo, &candidates);
+        assert_eq!(s.explored, 4);
+        assert_eq!(s.flagged.len(), 2);
+        let scanning = s.rows.iter().find(|r| r.category == ThreatCategory::Scanning).unwrap();
+        assert_eq!(scanning.devices, 2);
+        assert!((scanning.pct - 100.0).abs() < 1e-9);
+        let malware = s.rows.iter().find(|r| r.category == ThreatCategory::Malware).unwrap();
+        assert_eq!(malware.devices, 1);
+        assert_eq!(s.consumer_malware_devices, 1);
+        assert_eq!(s.cps_malware_devices, 0);
+    }
+
+    #[test]
+    fn fig_11_cdfs() {
+        let dbv = db();
+        let a = analysis(&dbv);
+        let mut repo = ThreatRepo::new();
+        repo.add(ThreatEvent {
+            ip: Ipv4Addr::new(1, 0, 0, 1),
+            category: ThreatCategory::Scanning,
+            source: "t".into(),
+            reported_at: 0,
+        });
+        let candidates = select_candidates(&a, 10);
+        let (all, flagged) = packet_cdfs(&a, &dbv, &repo, &candidates);
+        assert_eq!(all.len(), 4);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn malware_correlation_resolves_families() {
+        let dbv = db();
+        let a = analysis(&dbv);
+        let mut malware = MalwareDb::new();
+        let h = MalwareHash::from_hex("cafe");
+        malware.ingest(SandboxReport {
+            sha256: h.clone(),
+            network: NetworkActivity {
+                contacted_ips: vec![Ipv4Addr::new(3, 0, 0, 1), Ipv4Addr::new(99, 9, 9, 9)],
+                contacted_ports: vec![23],
+                domains: vec!["c2.example".into()],
+                payload_bytes: 10,
+            },
+            system: SystemActivity::default(),
+        });
+        let mut resolver = FamilyResolver::new();
+        resolver.register(h, MalwareFamily::Ramnit);
+        let f = malware_correlation(&a, &dbv, &malware, &resolver);
+        assert_eq!(f.devices, vec![DeviceId(2)]);
+        assert_eq!(f.hashes.len(), 1);
+        assert_eq!(f.domains, vec!["c2.example".to_string()]);
+        assert_eq!(f.families, vec![MalwareFamily::Ramnit]);
+    }
+
+    #[test]
+    fn empty_intel_yields_empty_findings() {
+        let dbv = db();
+        let a = analysis(&dbv);
+        let repo = ThreatRepo::new();
+        let candidates = select_candidates(&a, 10);
+        let s = threat_summary(&a, &dbv, &repo, &candidates);
+        assert!(s.flagged.is_empty());
+        assert!(s.rows.iter().all(|r| r.devices == 0));
+        let f = malware_correlation(&a, &dbv, &MalwareDb::new(), &FamilyResolver::new());
+        assert!(f.devices.is_empty());
+        assert!(f.families.is_empty());
+    }
+}

@@ -1,0 +1,591 @@
+//! Statistical tools used by the paper's characterization:
+//!
+//! * descriptive statistics (daily mean/σ of packet counts, §IV);
+//! * the empirical CDF behind Figs 6 and 11;
+//! * Pearson correlation with a two-sided p-value (UDP ports↔destinations
+//!   r = 0.95, §IV-A1; scanners↔packets r ≈ 0, §IV-C);
+//! * the Mann–Whitney U test with normal approximation and tie correction
+//!   (CPS vs consumer packet comparisons, §IV and §IV-B1).
+//!
+//! Special functions (erf, log-gamma, regularized incomplete beta) are
+//! implemented locally so the crate needs no numerical dependency.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than two
+/// values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_core::stats::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 2.0, 10.0]);
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(2.0), 0.75);
+/// assert_eq!(e.eval(100.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (non-finite values are dropped).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| v.is_finite());
+        values.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        Ecdf { sorted: values }
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of the sample ≤ `x` (0 for an empty sample).
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// `(value, cdf)` step points, one per sample element.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+/// Result of a correlation test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlation {
+    /// Pearson's r.
+    pub r: f64,
+    /// Two-sided p-value against r = 0 (t-distribution, df = n−2).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Pearson correlation of two equal-length samples.
+///
+/// Returns `None` when lengths differ, n < 3, or either sample is
+/// constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<Correlation> {
+    if xs.len() != ys.len() || xs.len() < 3 {
+        return None;
+    }
+    let n = xs.len();
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    let r = (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0);
+    let df = (n - 2) as f64;
+    let p_value = if r.abs() >= 1.0 {
+        0.0
+    } else {
+        let t = r * (df / (1.0 - r * r)).sqrt();
+        student_t_two_sided_p(t, df)
+    };
+    Some(Correlation { r, p_value, n })
+}
+
+/// Spearman rank correlation of two equal-length samples (Pearson over
+/// average ranks — robust to monotone nonlinearity, used to sanity-check
+/// the Fig 5 ports↔destinations relationship).
+///
+/// Returns `None` under the same conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<Correlation> {
+    if xs.len() != ys.len() || xs.len() < 3 {
+        return None;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|a, b| xs[*a].partial_cmp(&xs[*b]).expect("finite values"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Normal-approximation z-score (sign: negative when the first sample
+    /// ranks lower).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Sample sizes.
+    pub n1: usize,
+    /// Second sample size.
+    pub n2: usize,
+}
+
+/// Two-sided Mann–Whitney U test with average ranks for ties and tie
+/// correction in the variance; `None` if either sample is empty.
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Option<MannWhitney> {
+    let n1 = xs.len();
+    let n2 = ys.len();
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    // Rank the pooled sample.
+    let mut pooled: Vec<(f64, usize)> = xs
+        .iter()
+        .map(|v| (*v, 0usize))
+        .chain(ys.iter().map(|v| (*v, 1usize)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+    let n = pooled.len();
+    let mut rank_sum_x = 0.0;
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        for item in &pooled[i..=j] {
+            if item.1 == 0 {
+                rank_sum_x += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let u = rank_sum_x - n1f * (n1f + 1.0) / 2.0;
+    let mu = n1f * n2f / 2.0;
+    let nf = n as f64;
+    let var = n1f * n2f / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if var <= 0.0 {
+        // All values tied: no evidence of difference.
+        return Some(MannWhitney {
+            u,
+            z: 0.0,
+            p_value: 1.0,
+            n1,
+            n2,
+        });
+    }
+    let z = (u - mu) / var.sqrt();
+    let p_value = 2.0 * normal_sf(z.abs());
+    Some(MannWhitney {
+        u,
+        z,
+        p_value: p_value.min(1.0),
+        n1,
+        n2,
+    })
+}
+
+/// Standard-normal survival function P(Z > z).
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let e = poly * (-x * x).exp();
+    if sign_negative {
+        2.0 - e
+    } else {
+        e
+    }
+}
+
+/// Two-sided p-value of a t statistic with `df` degrees of freedom.
+pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    reg_inc_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction expansion (Numerical Recipes `betai`/`betacf`).
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3.0e-12;
+    const FPMIN: f64 = 1.0e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_dev_known_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // Sample std dev of [2,4,4,4,5,5,7,9] is ~2.138.
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138).abs() < 0.01, "{s}");
+    }
+
+    #[test]
+    fn ecdf_eval_and_quantiles() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.quantile(0.5), Some(2.0));
+        assert_eq!(e.quantile(1.0), Some(3.0));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        let pts = e.points();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[3], (3.0, 1.0));
+    }
+
+    #[test]
+    fn ecdf_empty_and_nonfinite() {
+        let e = Ecdf::new(vec![f64::NAN, f64::INFINITY]);
+        // Infinity is finite? No — it is dropped along with NaN.
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+    }
+
+    #[test]
+    fn pearson_perfect_and_known() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let c = pearson(&xs, &ys).unwrap();
+        assert!((c.r - 1.0).abs() < 1e-12);
+        assert!(c.p_value < 1e-6);
+
+        // Known example: r = 0.7746, p ≈ 0.124 (df = 3).
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 5.0, 4.0, 5.0];
+        let c = pearson(&xs, &ys).unwrap();
+        assert!((c.r - 0.7746).abs() < 1e-3, "r = {}", c.r);
+        assert!((0.10..=0.15).contains(&c.p_value), "p = {}", c.p_value);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate_inputs() {
+        assert!(pearson(&[1.0, 2.0], &[1.0, 2.0]).is_none()); // n < 3
+        assert!(pearson(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_none()); // length mismatch
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none()); // constant
+    }
+
+    #[test]
+    fn pearson_near_zero_for_independent() {
+        // Deterministic pseudo-random but uncorrelated sequences.
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 37 + 11) % 101) as f64).collect();
+        let ys: Vec<f64> = (0..200).map(|i| ((i * 53 + 7) % 97) as f64).collect();
+        let c = pearson(&xs, &ys).unwrap();
+        assert!(c.r.abs() < 0.2, "r = {}", c.r);
+        assert!(c.p_value > 0.01, "p = {}", c.p_value);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0]), vec![1.0]);
+        assert_eq!(ranks(&[3.0, 1.0, 2.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear_relations() {
+        // y = x³ is perfectly monotone: Spearman = 1, Pearson < 1.
+        let xs: Vec<f64> = (-10..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        let s = spearman(&xs, &ys).unwrap();
+        assert!((s.r - 1.0).abs() < 1e-9, "spearman {}", s.r);
+        let p = pearson(&xs, &ys).unwrap();
+        assert!(p.r < 0.95, "pearson {}", p.r);
+        // Reversed order → −1.
+        let rev: Vec<f64> = ys.iter().rev().copied().collect();
+        let s = spearman(&xs, &rev).unwrap();
+        assert!((s.r + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_rejects_degenerate_inputs() {
+        assert!(spearman(&[1.0, 2.0], &[1.0, 2.0]).is_none());
+        assert!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn mann_whitney_separated_samples() {
+        // x = [1,2,3], y = [4,5,6]: U_x = 0, z ≈ −1.964, p ≈ 0.0495.
+        let mw = mann_whitney_u(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(mw.u, 0.0);
+        assert!((mw.z + 1.964).abs() < 0.01, "z = {}", mw.z);
+        assert!((0.045..=0.055).contains(&mw.p_value), "p = {}", mw.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_identical_samples() {
+        let mw = mann_whitney_u(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert!((mw.u - 4.5).abs() < 1e-9);
+        assert!(mw.p_value > 0.9, "p = {}", mw.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_all_tied() {
+        let mw = mann_whitney_u(&[5.0, 5.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(mw.z, 0.0);
+        assert_eq!(mw.p_value, 1.0);
+    }
+
+    #[test]
+    fn mann_whitney_strong_separation_is_significant() {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..60).map(|i| 1000.0 + i as f64).collect();
+        let mw = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(mw.p_value < 1e-4, "p = {}", mw.p_value);
+        assert!(mw.z < -5.0, "z = {}", mw.z);
+    }
+
+    #[test]
+    fn mann_whitney_empty_input() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn erfc_and_normal_sf_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-5);
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.96) - 0.025).abs() < 5e-4);
+        assert!((normal_sf(-1.96) - 0.975).abs() < 5e-4);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reg_inc_beta_boundaries_and_symmetry() {
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x.
+        for x in [0.1, 0.4, 0.9] {
+            assert!((reg_inc_beta(1.0, 1.0, x) - x).abs() < 1e-9);
+        }
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        let v = reg_inc_beta(2.5, 1.5, 0.3);
+        let w = 1.0 - reg_inc_beta(1.5, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_distribution_known_p() {
+        // t = 2.1213, df = 3 → two-sided p ≈ 0.124.
+        let p = student_t_two_sided_p(2.1213, 3.0);
+        assert!((0.118..=0.130).contains(&p), "p = {p}");
+        // Large t → tiny p.
+        assert!(student_t_two_sided_p(50.0, 10.0) < 1e-8);
+        assert!((student_t_two_sided_p(0.0, 10.0) - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ecdf_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let e = Ecdf::new(values.clone());
+            let mut xs: Vec<f64> = values;
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = 0.0;
+            for x in xs {
+                let v = e.eval(x);
+                prop_assert!(v >= prev - 1e-12);
+                prop_assert!((0.0..=1.0).contains(&v));
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn prop_mann_whitney_symmetric(
+            xs in proptest::collection::vec(-100f64..100.0, 1..40),
+            ys in proptest::collection::vec(-100f64..100.0, 1..40),
+        ) {
+            let a = mann_whitney_u(&xs, &ys).unwrap();
+            let b = mann_whitney_u(&ys, &xs).unwrap();
+            prop_assert!((a.z + b.z).abs() < 1e-9);
+            prop_assert!((a.p_value - b.p_value).abs() < 1e-9);
+            // U_x + U_y = n1 * n2.
+            prop_assert!((a.u + b.u - (xs.len() * ys.len()) as f64).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_pearson_bounded_and_symmetric(
+            pairs in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..50),
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(c) = pearson(&xs, &ys) {
+                prop_assert!((-1.0..=1.0).contains(&c.r));
+                prop_assert!((0.0..=1.0).contains(&c.p_value));
+                let d = pearson(&ys, &xs).unwrap();
+                prop_assert!((c.r - d.r).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-source darknet behavior taxonomy.
+//!
+//! The paper (after Liu & Fukuda, and Wustrow et al.) divides darknet
+//! traffic into **scanning**, **backscatter**, and **misconfiguration**.
+//! The flow classifier ([`mod@crate::classify`]) works per packet; this module
+//! rolls the evidence up per *source* and labels each one — including
+//! sources outside the inventory, where the label is the only context an
+//! analyst has.
+
+use crate::analysis::class_idx;
+use crate::behavior::BehaviorVector;
+use crate::classify::TrafficClass;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// What a source appears to be doing, taken over its whole history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceKind {
+    /// Predominantly TCP-SYN/ICMP-echo probing.
+    Scanner,
+    /// Predominantly backscatter — the source is a DoS victim.
+    DosVictim,
+    /// Low-rate UDP to a handful of infrastructure ports with tiny
+    /// destination fan-out: mis-addressed DNS/NTP/SSDP/SNMP traffic.
+    Misconfiguration,
+    /// Broad UDP spraying (high destination fan-out).
+    UdpScanner,
+    /// No class reaches the dominance threshold.
+    Mixed,
+}
+
+impl std::fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SourceKind::Scanner => "scanner",
+            SourceKind::DosVictim => "dos-victim",
+            SourceKind::Misconfiguration => "misconfiguration",
+            SourceKind::UdpScanner => "udp-scanner",
+            SourceKind::Mixed => "mixed",
+        })
+    }
+}
+
+/// The infrastructure ports whose low-fan-out UDP traffic reads as
+/// misconfiguration rather than scanning.
+pub const MISCONFIG_PORTS: [u16; 4] = [53, 123, 161, 1900];
+
+/// Fraction of a source's packets one class must reach to dominate.
+pub const DOMINANCE: f64 = 0.7;
+
+/// Classify one source from its behavior vector.
+///
+/// `udp_dst_ports` is the set of UDP destination ports the source hit
+/// (the behavior vector tracks only *scan* ports, so UDP ports arrive
+/// separately via [`classify_sources`]).
+pub fn classify_source(v: &BehaviorVector, udp_ports: &[u16]) -> SourceKind {
+    let total = v.total_packets();
+    if total == 0 {
+        return SourceKind::Mixed;
+    }
+    let share = |class: TrafficClass| v.class[class_idx(class)] as f64 / total as f64;
+    let scan = share(TrafficClass::TcpScan) + share(TrafficClass::IcmpScan);
+    let backscatter = share(TrafficClass::Backscatter);
+    let udp = share(TrafficClass::Udp);
+    if backscatter >= DOMINANCE {
+        return SourceKind::DosVictim;
+    }
+    if scan >= DOMINANCE {
+        return SourceKind::Scanner;
+    }
+    if udp >= DOMINANCE {
+        // Misconfiguration: everything goes to a few infrastructure ports.
+        let all_infra = !udp_ports.is_empty()
+            && udp_ports.iter().all(|p| MISCONFIG_PORTS.contains(p));
+        if all_infra && udp_ports.len() <= MISCONFIG_PORTS.len() {
+            return SourceKind::Misconfiguration;
+        }
+        return SourceKind::UdpScanner;
+    }
+    SourceKind::Mixed
+}
+
+/// Summary counts per [`SourceKind`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaxonomySummary {
+    counts: HashMap<SourceKind, usize>,
+    /// Per-source labels.
+    pub labels: HashMap<Ipv4Addr, SourceKind>,
+}
+
+impl TaxonomySummary {
+    /// Number of sources labeled `kind`.
+    pub fn count(&self, kind: SourceKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total sources labeled.
+    pub fn total(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// Classify every source seen in `traffic`.
+///
+/// The extra pass collects each source's UDP destination ports (needed to
+/// separate misconfiguration from UDP scanning).
+pub fn classify_sources(
+    traffic: &[iotscope_telescope::HourTraffic],
+    vectors: &HashMap<Ipv4Addr, BehaviorVector>,
+) -> TaxonomySummary {
+    use crate::classify::classify;
+    let mut udp_ports: HashMap<Ipv4Addr, std::collections::BTreeSet<u16>> = HashMap::new();
+    for hour in traffic {
+        for flow in &hour.flows {
+            if classify(flow) == TrafficClass::Udp {
+                udp_ports.entry(flow.src_ip).or_default().insert(flow.dst_port);
+            }
+        }
+    }
+    let mut out = TaxonomySummary::default();
+    for (ip, v) in vectors {
+        let ports: Vec<u16> = udp_ports
+            .get(ip)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let kind = classify_source(v, &ports);
+        *out.counts.entry(kind).or_insert(0) += 1;
+        out.labels.insert(*ip, kind);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::extract;
+    use iotscope_devicedb::DeviceDb;
+    use iotscope_net::flowtuple::FlowTuple;
+    use iotscope_net::protocol::TcpFlags;
+    use iotscope_net::time::UnixHour;
+    use iotscope_telescope::HourTraffic;
+
+    fn hour(flows: Vec<FlowTuple>) -> Vec<HourTraffic> {
+        vec![HourTraffic {
+            interval: 1,
+            hour: UnixHour::new(0),
+            flows,
+        }]
+    }
+
+    fn syn(src: [u8; 4], pkts: u32) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, 1),
+            40000,
+            23,
+            TcpFlags::SYN,
+        )
+        .with_packets(pkts)
+    }
+
+    fn udp(src: [u8; 4], dst_last: u8, port: u16, pkts: u32) -> FlowTuple {
+        FlowTuple::udp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, dst_last),
+            5000,
+            port,
+        )
+        .with_packets(pkts)
+    }
+
+    fn bs(src: [u8; 4], pkts: u32) -> FlowTuple {
+        FlowTuple::tcp(
+            Ipv4Addr::from(src),
+            Ipv4Addr::new(44, 0, 0, 9),
+            80,
+            40001,
+            TcpFlags::SYN | TcpFlags::ACK,
+        )
+        .with_packets(pkts)
+    }
+
+    #[test]
+    fn labels_each_archetype() {
+        let traffic = hour(vec![
+            // A scanner.
+            syn([9, 0, 0, 1], 50),
+            // A DoS victim.
+            bs([9, 0, 0, 2], 80),
+            // A misconfigured host: DNS + NTP only, one destination each.
+            udp([9, 0, 0, 3], 1, 53, 4),
+            udp([9, 0, 0, 3], 2, 123, 3),
+            // A UDP scanner spraying random high ports.
+            udp([9, 0, 0, 4], 1, 37547, 10),
+            udp([9, 0, 0, 4], 2, 49152, 10),
+            udp([9, 0, 0, 4], 3, 617, 10),
+            // Mixed: half scan, half backscatter.
+            syn([9, 0, 0, 5], 10),
+            bs([9, 0, 0, 5], 10),
+        ]);
+        let db = DeviceDb::new();
+        let vectors = extract(&traffic, &db, 4);
+        let summary = classify_sources(&traffic, &vectors);
+        let label = |last: u8| summary.labels[&Ipv4Addr::new(9, 0, 0, last)];
+        assert_eq!(label(1), SourceKind::Scanner);
+        assert_eq!(label(2), SourceKind::DosVictim);
+        assert_eq!(label(3), SourceKind::Misconfiguration);
+        assert_eq!(label(4), SourceKind::UdpScanner);
+        assert_eq!(label(5), SourceKind::Mixed);
+        assert_eq!(summary.total(), 5);
+        assert_eq!(summary.count(SourceKind::Scanner), 1);
+        assert_eq!(summary.count(SourceKind::Mixed), 1);
+    }
+
+    #[test]
+    fn dominance_threshold_matters() {
+        // 65% scan + 35% udp → Mixed (below 70%).
+        let traffic = hour(vec![syn([9, 1, 0, 1], 65), udp([9, 1, 0, 1], 1, 37547, 35)]);
+        let db = DeviceDb::new();
+        let vectors = extract(&traffic, &db, 4);
+        let summary = classify_sources(&traffic, &vectors);
+        assert_eq!(summary.labels[&Ipv4Addr::new(9, 1, 0, 1)], SourceKind::Mixed);
+    }
+
+    #[test]
+    fn misconfig_port_off_by_one_is_udp_scanner() {
+        // DNS traffic plus one stray high port → not misconfiguration.
+        let traffic = hour(vec![
+            udp([9, 2, 0, 1], 1, 53, 5),
+            udp([9, 2, 0, 1], 2, 5353, 1),
+        ]);
+        let db = DeviceDb::new();
+        let vectors = extract(&traffic, &db, 4);
+        let summary = classify_sources(&traffic, &vectors);
+        assert_eq!(
+            summary.labels[&Ipv4Addr::new(9, 2, 0, 1)],
+            SourceKind::UdpScanner
+        );
+    }
+
+    #[test]
+    fn planted_noise_reads_as_misconfiguration_or_scanner() {
+        use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(606));
+        let traffic: Vec<HourTraffic> = (1..=48).map(|i| built.scenario.generate_hour(i)).collect();
+        let vectors = extract(&traffic, &built.inventory.db, 143);
+        let summary = classify_sources(&traffic, &vectors);
+        // Noise lives in 198.18/19; every noise source must label as
+        // misconfiguration (UDP infra) or scanner (the TCP noise), never
+        // as a DoS victim.
+        let mut misconfig = 0;
+        for (ip, kind) in &summary.labels {
+            if ip.octets()[0] == 198 && (ip.octets()[1] == 18 || ip.octets()[1] == 19) {
+                assert_ne!(*kind, SourceKind::DosVictim, "{ip} labeled victim");
+                if *kind == SourceKind::Misconfiguration {
+                    misconfig += 1;
+                }
+            }
+        }
+        assert!(misconfig > 5, "only {misconfig} misconfig noise sources");
+    }
+}

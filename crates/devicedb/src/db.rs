@@ -1,0 +1,384 @@
+//! The IP-indexed device database.
+//!
+//! Correlation (§III-B) is a join between darknet source addresses and this
+//! inventory, so the primary query is exact-IP lookup. Aggregation queries
+//! (by realm, country, ISP, kind) back the characterization tables.
+
+use crate::device::{DeviceId, IotDevice};
+use crate::geo::CountryCode;
+use crate::isp::IspId;
+use crate::taxonomy::Realm;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// An immutable inventory of IoT devices with an exact-IP index.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
+///
+/// let out = InventoryBuilder::new(SynthConfig::small(1)).build();
+/// let dev = out.db.iter().next().unwrap();
+/// let found = out.db.lookup_ip(dev.ip).unwrap();
+/// assert_eq!(found.id, dev.id);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeviceDb {
+    devices: Vec<IotDevice>,
+    by_ip: HashMap<Ipv4Addr, DeviceId>,
+}
+
+impl DeviceDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        DeviceDb::default()
+    }
+
+    /// Build from a device list.
+    ///
+    /// Devices are re-assigned dense ids in input order. If two devices
+    /// share an address, the **first** one wins the IP index (mirroring a
+    /// first-seen Shodan snapshot) and the duplicate is dropped.
+    pub fn from_devices<I: IntoIterator<Item = IotDevice>>(devices: I) -> Self {
+        let mut db = DeviceDb::new();
+        for d in devices {
+            db.push(d);
+        }
+        db
+    }
+
+    /// Append a device, re-assigning its id; returns the id, or `None` if
+    /// the address is already taken.
+    pub fn push(&mut self, mut device: IotDevice) -> Option<DeviceId> {
+        if self.by_ip.contains_key(&device.ip) {
+            return None;
+        }
+        let id = DeviceId(self.devices.len() as u32);
+        device.id = id;
+        self.by_ip.insert(device.ip, id);
+        self.devices.push(device);
+        Some(id)
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the inventory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this database.
+    pub fn device(&self, id: DeviceId) -> &IotDevice {
+        &self.devices[id.0 as usize]
+    }
+
+    /// The device at `ip`, if any — the correlation primitive.
+    pub fn lookup_ip(&self, ip: Ipv4Addr) -> Option<&IotDevice> {
+        self.by_ip.get(&ip).map(|id| self.device(*id))
+    }
+
+    /// Iterate over all devices in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, IotDevice> {
+        self.devices.iter()
+    }
+
+    /// Count devices per realm as `(consumer, cps)`.
+    pub fn realm_counts(&self) -> (usize, usize) {
+        let consumer = self
+            .devices
+            .iter()
+            .filter(|d| d.realm() == Realm::Consumer)
+            .count();
+        (consumer, self.devices.len() - consumer)
+    }
+
+    /// Count devices per country, optionally restricted to one realm.
+    pub fn count_by_country(&self, realm: Option<Realm>) -> HashMap<CountryCode, usize> {
+        let mut out = HashMap::new();
+        for d in &self.devices {
+            if realm.is_none_or(|r| d.realm() == r) {
+                *out.entry(d.country).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Count devices per ISP, optionally restricted to one realm.
+    pub fn count_by_isp(&self, realm: Option<Realm>) -> HashMap<IspId, usize> {
+        let mut out = HashMap::new();
+        for d in &self.devices {
+            if realm.is_none_or(|r| d.realm() == r) {
+                *out.entry(d.isp).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+impl DeviceDb {
+    /// Start a fluent query over the inventory.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
+    /// use iotscope_devicedb::{ConsumerKind, Realm};
+    ///
+    /// let out = InventoryBuilder::new(SynthConfig::small(1)).build();
+    /// let routers = out.db.query().kind(ConsumerKind::Router).count();
+    /// let consumer = out.db.query().realm(Realm::Consumer).count();
+    /// assert!(routers <= consumer);
+    /// ```
+    pub fn query(&self) -> DeviceQuery<'_> {
+        DeviceQuery {
+            db: self,
+            realm: None,
+            country: None,
+            kind: None,
+            service: None,
+            isp: None,
+        }
+    }
+}
+
+/// A fluent inventory filter produced by [`DeviceDb::query`]. All set
+/// criteria must match (conjunction).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceQuery<'a> {
+    db: &'a DeviceDb,
+    realm: Option<Realm>,
+    country: Option<CountryCode>,
+    kind: Option<crate::taxonomy::ConsumerKind>,
+    service: Option<crate::taxonomy::CpsService>,
+    isp: Option<IspId>,
+}
+
+impl<'a> DeviceQuery<'a> {
+    /// Restrict to one realm.
+    pub fn realm(mut self, realm: Realm) -> Self {
+        self.realm = Some(realm);
+        self
+    }
+
+    /// Restrict to one country.
+    pub fn country(mut self, country: CountryCode) -> Self {
+        self.country = Some(country);
+        self
+    }
+
+    /// Restrict to one consumer kind (implies the consumer realm).
+    pub fn kind(mut self, kind: crate::taxonomy::ConsumerKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restrict to devices exposing one CPS service (implies CPS).
+    pub fn service(mut self, service: crate::taxonomy::CpsService) -> Self {
+        self.service = Some(service);
+        self
+    }
+
+    /// Restrict to one ISP.
+    pub fn isp(mut self, isp: IspId) -> Self {
+        self.isp = Some(isp);
+        self
+    }
+
+    /// Iterate over the matching devices in id order.
+    pub fn iter(self) -> impl Iterator<Item = &'a IotDevice> {
+        self.db.iter().filter(move |d| self.matches(d))
+    }
+
+    /// Count the matching devices.
+    pub fn count(self) -> usize {
+        self.iter().count()
+    }
+
+    fn matches(&self, d: &IotDevice) -> bool {
+        if let Some(r) = self.realm {
+            if d.realm() != r {
+                return false;
+            }
+        }
+        if let Some(c) = self.country {
+            if d.country != c {
+                return false;
+            }
+        }
+        if let Some(k) = self.kind {
+            if d.profile.consumer_kind() != Some(k) {
+                return false;
+            }
+        }
+        if let Some(s) = self.service {
+            if !d
+                .profile
+                .cps_services()
+                .is_some_and(|list| list.contains(&s))
+            {
+                return false;
+            }
+        }
+        if let Some(i) = self.isp {
+            if d.isp != i {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<IotDevice> for DeviceDb {
+    fn from_iter<I: IntoIterator<Item = IotDevice>>(iter: I) -> Self {
+        DeviceDb::from_devices(iter)
+    }
+}
+
+impl Extend<IotDevice> for DeviceDb {
+    fn extend<I: IntoIterator<Item = IotDevice>>(&mut self, iter: I) {
+        for d in iter {
+            self.push(d);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DeviceDb {
+    type Item = &'a IotDevice;
+    type IntoIter = std::slice::Iter<'a, IotDevice>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+    use crate::taxonomy::ConsumerKind;
+
+    fn dev(ip: [u8; 4], code: &str, realm: Realm) -> IotDevice {
+        IotDevice {
+            id: DeviceId(0),
+            ip: Ipv4Addr::from(ip),
+            profile: match realm {
+                Realm::Consumer => DeviceProfile::Consumer(ConsumerKind::Router),
+                Realm::Cps => DeviceProfile::Cps(vec![crate::taxonomy::CpsService::ModbusTcp]),
+            },
+            country: CountryCode::from_code(code).unwrap(),
+            isp: IspId(0),
+        }
+    }
+
+    #[test]
+    fn push_assigns_dense_ids() {
+        let mut db = DeviceDb::new();
+        let a = db.push(dev([1, 1, 1, 1], "US", Realm::Consumer)).unwrap();
+        let b = db.push(dev([1, 1, 1, 2], "RU", Realm::Cps)).unwrap();
+        assert_eq!(a, DeviceId(0));
+        assert_eq!(b, DeviceId(1));
+        assert_eq!(db.device(b).country.code(), "RU");
+    }
+
+    #[test]
+    fn duplicate_ip_is_rejected_first_wins() {
+        let mut db = DeviceDb::new();
+        db.push(dev([9, 9, 9, 9], "US", Realm::Consumer)).unwrap();
+        assert_eq!(db.push(dev([9, 9, 9, 9], "RU", Realm::Cps)), None);
+        assert_eq!(db.len(), 1);
+        assert_eq!(
+            db.lookup_ip(Ipv4Addr::new(9, 9, 9, 9)).unwrap().country.code(),
+            "US"
+        );
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let db = DeviceDb::from_devices([dev([1, 2, 3, 4], "US", Realm::Consumer)]);
+        assert!(db.lookup_ip(Ipv4Addr::new(4, 3, 2, 1)).is_none());
+    }
+
+    #[test]
+    fn realm_counts_split() {
+        let db = DeviceDb::from_devices([
+            dev([1, 0, 0, 1], "US", Realm::Consumer),
+            dev([1, 0, 0, 2], "US", Realm::Consumer),
+            dev([1, 0, 0, 3], "CN", Realm::Cps),
+        ]);
+        assert_eq!(db.realm_counts(), (2, 1));
+    }
+
+    #[test]
+    fn count_by_country_with_realm_filter() {
+        let db = DeviceDb::from_devices([
+            dev([1, 0, 0, 1], "US", Realm::Consumer),
+            dev([1, 0, 0, 2], "RU", Realm::Cps),
+            dev([1, 0, 0, 3], "RU", Realm::Consumer),
+        ]);
+        let all = db.count_by_country(None);
+        assert_eq!(all[&CountryCode::from_code("RU").unwrap()], 2);
+        let cps = db.count_by_country(Some(Realm::Cps));
+        assert_eq!(cps[&CountryCode::from_code("RU").unwrap()], 1);
+        assert!(!cps.contains_key(&CountryCode::from_code("US").unwrap()));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut db: DeviceDb = vec![dev([1, 0, 0, 1], "US", Realm::Consumer)]
+            .into_iter()
+            .collect();
+        db.extend([dev([1, 0, 0, 2], "CN", Realm::Cps)]);
+        assert_eq!(db.len(), 2);
+        assert_eq!((&db).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn query_builder_filters_conjunctively() {
+        use crate::taxonomy::{ConsumerKind, CpsService};
+        let db = DeviceDb::from_devices([
+            dev([1, 0, 0, 1], "US", Realm::Consumer),
+            dev([1, 0, 0, 2], "RU", Realm::Consumer),
+            dev([1, 0, 0, 3], "RU", Realm::Cps),
+        ]);
+        assert_eq!(db.query().count(), 3);
+        assert_eq!(db.query().realm(Realm::Consumer).count(), 2);
+        assert_eq!(
+            db.query()
+                .realm(Realm::Consumer)
+                .country(CountryCode::from_code("RU").unwrap())
+                .count(),
+            1
+        );
+        assert_eq!(db.query().kind(ConsumerKind::Router).count(), 2);
+        assert_eq!(db.query().kind(ConsumerKind::Printer).count(), 0);
+        assert_eq!(db.query().service(CpsService::ModbusTcp).count(), 1);
+        assert_eq!(db.query().service(CpsService::Dnp3).count(), 0);
+        assert_eq!(db.query().isp(IspId(0)).count(), 3);
+        assert_eq!(db.query().isp(IspId(9)).count(), 0);
+        // Iteration yields actual devices.
+        let ru_consumer: Vec<_> = db
+            .query()
+            .realm(Realm::Consumer)
+            .country(CountryCode::from_code("RU").unwrap())
+            .iter()
+            .collect();
+        assert_eq!(ru_consumer.len(), 1);
+        assert_eq!(ru_consumer[0].ip, Ipv4Addr::new(1, 0, 0, 2));
+    }
+
+    #[test]
+    fn empty_db_behaves() {
+        let db = DeviceDb::new();
+        assert!(db.is_empty());
+        assert_eq!(db.realm_counts(), (0, 0));
+        assert!(db.count_by_country(None).is_empty());
+        assert!(db.count_by_isp(None).is_empty());
+    }
+}

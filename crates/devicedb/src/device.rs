@@ -1,0 +1,120 @@
+//! The IoT device record.
+
+use crate::geo::CountryCode;
+use crate::isp::IspId;
+use crate::taxonomy::{ConsumerKind, CpsService, Realm};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Identifier of a device inside a [`crate::DeviceDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev#{}", self.0)
+    }
+}
+
+/// What kind of device this is: a consumer category, or the set of CPS
+/// services the device exposes (1..=3 services, per §III-B2 "services are
+/// not mutually exclusive").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceProfile {
+    /// A consumer device of the given kind.
+    Consumer(ConsumerKind),
+    /// A CPS device supporting the listed services.
+    Cps(Vec<CpsService>),
+}
+
+impl DeviceProfile {
+    /// The realm implied by the profile.
+    pub fn realm(&self) -> Realm {
+        match self {
+            DeviceProfile::Consumer(_) => Realm::Consumer,
+            DeviceProfile::Cps(_) => Realm::Cps,
+        }
+    }
+
+    /// The consumer kind, if this is a consumer profile.
+    pub fn consumer_kind(&self) -> Option<ConsumerKind> {
+        match self {
+            DeviceProfile::Consumer(k) => Some(*k),
+            DeviceProfile::Cps(_) => None,
+        }
+    }
+
+    /// The CPS services, if this is a CPS profile.
+    pub fn cps_services(&self) -> Option<&[CpsService]> {
+        match self {
+            DeviceProfile::Consumer(_) => None,
+            DeviceProfile::Cps(s) => Some(s),
+        }
+    }
+}
+
+/// One Internet-facing IoT device as indexed by the (synthetic) inventory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IotDevice {
+    /// Stable identifier within the database.
+    pub id: DeviceId,
+    /// The device's public address, unique across the inventory.
+    pub ip: Ipv4Addr,
+    /// What the device is.
+    pub profile: DeviceProfile,
+    /// Hosting country.
+    pub country: CountryCode,
+    /// Hosting ISP.
+    pub isp: IspId,
+}
+
+impl IotDevice {
+    /// The device's realm.
+    pub fn realm(&self) -> Realm {
+        self.profile.realm()
+    }
+}
+
+impl fmt::Display for IotDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}] {}", self.id, self.ip, self.realm(), self.country)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IotDevice {
+        IotDevice {
+            id: DeviceId(7),
+            ip: Ipv4Addr::new(5, 6, 7, 8),
+            profile: DeviceProfile::Consumer(ConsumerKind::Router),
+            country: CountryCode::from_code("RU").unwrap(),
+            isp: IspId(3),
+        }
+    }
+
+    #[test]
+    fn profile_realm_and_accessors() {
+        let c = DeviceProfile::Consumer(ConsumerKind::IpCamera);
+        assert_eq!(c.realm(), Realm::Consumer);
+        assert_eq!(c.consumer_kind(), Some(ConsumerKind::IpCamera));
+        assert_eq!(c.cps_services(), None);
+
+        let p = DeviceProfile::Cps(vec![CpsService::ModbusTcp, CpsService::Dnp3]);
+        assert_eq!(p.realm(), Realm::Cps);
+        assert_eq!(p.consumer_kind(), None);
+        assert_eq!(p.cps_services().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn device_display_mentions_identity() {
+        let d = sample();
+        let s = d.to_string();
+        assert!(s.contains("dev#7"));
+        assert!(s.contains("5.6.7.8"));
+        assert!(s.contains("Consumer"));
+    }
+}

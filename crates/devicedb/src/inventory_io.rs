@@ -1,0 +1,379 @@
+//! Inventory persistence: a line-oriented text format carrying the device
+//! database together with the ISP directory it references.
+//!
+//! The paper's operational vision (§VI) includes sharing IoT device
+//! information between parties; this format is the workspace's exchange
+//! vehicle, also used by the `iotscope` CLI to decouple simulation from
+//! analysis. It is deliberately dependency-free:
+//!
+//! ```text
+//! #iotscope-inventory v1
+//! meta|<key>|<value>
+//! isp|<id>|<country-code>|<name>
+//! dev|<ip>|<country-code>|<isp-id>|consumer:<Kind>
+//! dev|<ip>|<country-code>|<isp-id>|cps:<Service>[+<Service>…]
+//! ```
+
+use crate::db::DeviceDb;
+use crate::device::{DeviceId, DeviceProfile, IotDevice};
+use crate::geo::CountryCode;
+use crate::isp::{IspId, IspRegistry};
+use crate::taxonomy::{ConsumerKind, CpsService};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+const HEADER: &str = "#iotscope-inventory v1";
+
+/// Errors from reading an inventory file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum InventoryIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not an inventory file or is malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for InventoryIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InventoryIoError::Io(e) => write!(f, "i/o error: {e}"),
+            InventoryIoError::Parse { line, message } => {
+                write!(f, "invalid inventory file at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for InventoryIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            InventoryIoError::Io(e) => Some(e),
+            InventoryIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for InventoryIoError {
+    fn from(e: std::io::Error) -> Self {
+        InventoryIoError::Io(e)
+    }
+}
+
+/// A loaded inventory: devices, the ISP directory, and the metadata map.
+#[derive(Debug)]
+pub struct LoadedInventory {
+    /// The device database.
+    pub db: DeviceDb,
+    /// The ISP directory (name/country lookups).
+    pub isps: IspRegistry,
+    /// Free-form `meta` entries (e.g. `seed`, `scale`).
+    pub meta: BTreeMap<String, String>,
+}
+
+/// Write `db` (+ the subset of `isps` it references) to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save<P: AsRef<Path>>(
+    path: P,
+    db: &DeviceDb,
+    isps: &IspRegistry,
+    meta: &BTreeMap<String, String>,
+) -> Result<(), InventoryIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "{HEADER}")?;
+    for (k, v) in meta {
+        writeln!(w, "meta|{k}|{v}")?;
+    }
+    // Only the ISPs that devices actually reference, renumbered densely.
+    let mut used: BTreeMap<IspId, u32> = BTreeMap::new();
+    for d in db.iter() {
+        let next = used.len() as u32;
+        used.entry(d.isp).or_insert(next);
+    }
+    let mut rows: Vec<(u32, IspId)> = used.iter().map(|(id, n)| (*n, *id)).collect();
+    rows.sort();
+    for (n, id) in rows {
+        let isp = isps.isp(id);
+        writeln!(w, "isp|{n}|{}|{}", isp.country().code(), isp.name())?;
+    }
+    for d in db.iter() {
+        let profile = match &d.profile {
+            DeviceProfile::Consumer(kind) => format!("consumer:{kind:?}"),
+            DeviceProfile::Cps(services) => {
+                let names: Vec<String> = services.iter().map(|s| format!("{s:?}")).collect();
+                format!("cps:{}", names.join("+"))
+            }
+        };
+        writeln!(
+            w,
+            "dev|{}|{}|{}|{profile}",
+            d.ip,
+            d.country.code(),
+            used[&d.isp]
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load an inventory written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`InventoryIoError::Parse`] on malformed content with the
+/// offending line number.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<LoadedInventory, InventoryIoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut lines = reader.lines();
+    let first = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| parse_err(1, "empty file"))?;
+    if first.trim() != HEADER {
+        return Err(parse_err(1, format!("bad header {first:?}")));
+    }
+    let mut meta = BTreeMap::new();
+    let mut isp_rows: Vec<(u32, CountryCode, String)> = Vec::new();
+    let mut dev_rows: Vec<(std::net::Ipv4Addr, CountryCode, u32, DeviceProfile)> = Vec::new();
+    for (no, line) in lines.enumerate() {
+        let lineno = no + 2;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        match fields[0] {
+            "meta" => {
+                if fields.len() != 3 {
+                    return Err(parse_err(lineno, "meta needs 2 fields"));
+                }
+                meta.insert(fields[1].to_owned(), fields[2].to_owned());
+            }
+            "isp" => {
+                if fields.len() != 4 {
+                    return Err(parse_err(lineno, "isp needs 3 fields"));
+                }
+                let id: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad isp id {:?}", fields[1])))?;
+                let country = parse_country(fields[2], lineno)?;
+                isp_rows.push((id, country, fields[3].to_owned()));
+            }
+            "dev" => {
+                if fields.len() != 5 {
+                    return Err(parse_err(lineno, "dev needs 4 fields"));
+                }
+                let ip: std::net::Ipv4Addr = fields[1]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad ip {:?}", fields[1])))?;
+                let country = parse_country(fields[2], lineno)?;
+                let isp: u32 = fields[3]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, format!("bad isp ref {:?}", fields[3])))?;
+                let profile = parse_profile(fields[4], lineno)?;
+                dev_rows.push((ip, country, isp, profile));
+            }
+            other => {
+                return Err(parse_err(lineno, format!("unknown record kind {other:?}")));
+            }
+        }
+    }
+    // Build the ISP registry in saved-id order.
+    isp_rows.sort_by_key(|(id, _, _)| *id);
+    for (expect, (id, _, _)) in isp_rows.iter().enumerate() {
+        if *id != expect as u32 {
+            return Err(parse_err(0, format!("isp ids not dense at {id}")));
+        }
+    }
+    let n_isps = isp_rows.len() as u32;
+    let isps = IspRegistry::from_names(
+        isp_rows
+            .into_iter()
+            .map(|(_, country, name)| (name, country)),
+    );
+    let mut db = DeviceDb::new();
+    for (ip, country, isp, profile) in dev_rows {
+        if isp >= n_isps {
+            return Err(parse_err(0, format!("device references unknown isp {isp}")));
+        }
+        db.push(IotDevice {
+            id: DeviceId(0),
+            ip,
+            profile,
+            country,
+            isp: IspId(isp),
+        });
+    }
+    Ok(LoadedInventory { db, isps, meta })
+}
+
+fn parse_err<S: Into<String>>(line: usize, message: S) -> InventoryIoError {
+    InventoryIoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_country(code: &str, line: usize) -> Result<CountryCode, InventoryIoError> {
+    CountryCode::from_code(code).ok_or_else(|| parse_err(line, format!("unknown country {code:?}")))
+}
+
+fn parse_profile(text: &str, line: usize) -> Result<DeviceProfile, InventoryIoError> {
+    if let Some(kind) = text.strip_prefix("consumer:") {
+        let kind = ConsumerKind::ALL
+            .into_iter()
+            .find(|k| format!("{k:?}") == kind)
+            .ok_or_else(|| parse_err(line, format!("unknown consumer kind {kind:?}")))?;
+        return Ok(DeviceProfile::Consumer(kind));
+    }
+    if let Some(list) = text.strip_prefix("cps:") {
+        let mut services = Vec::new();
+        for name in list.split('+') {
+            let svc = CpsService::ALL
+                .into_iter()
+                .find(|s| format!("{s:?}") == name)
+                .ok_or_else(|| parse_err(line, format!("unknown cps service {name:?}")))?;
+            services.push(svc);
+        }
+        if services.is_empty() {
+            return Err(parse_err(line, "cps profile needs at least one service"));
+        }
+        return Ok(DeviceProfile::Cps(services));
+    }
+    Err(parse_err(line, format!("unknown profile {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{InventoryBuilder, SynthConfig};
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("iotscope-inv-{name}-{}.tsv", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let out = InventoryBuilder::new(SynthConfig::small(3)).build();
+        let path = tmpfile("roundtrip");
+        let mut meta = BTreeMap::new();
+        meta.insert("seed".to_owned(), "3".to_owned());
+        meta.insert("scale".to_owned(), "0.01".to_owned());
+        save(&path, &out.db, &out.isps, &meta).unwrap();
+
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.meta["seed"], "3");
+        assert_eq!(loaded.meta["scale"], "0.01");
+        assert_eq!(loaded.db.len(), out.db.len());
+        for (a, b) in out.db.iter().zip(loaded.db.iter()) {
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.country, b.country);
+            assert_eq!(a.profile, b.profile);
+            // ISP ids are renumbered, but resolve to the same name/country.
+            assert_eq!(
+                out.isps.isp(a.isp).name(),
+                loaded.isps.isp(b.isp).name()
+            );
+            assert_eq!(
+                out.isps.isp(a.isp).country(),
+                loaded.isps.isp(b.isp).country()
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_bad_header_and_garbage() {
+        let path = tmpfile("badheader");
+        std::fs::write(&path, "not an inventory\n").unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(InventoryIoError::Parse { line: 1, .. })
+        ));
+        std::fs::write(&path, format!("{HEADER}\nbogus|1|2\n")).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(format!("{err}").contains("unknown record kind"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_reports_line_numbers() {
+        let path = tmpfile("lineno");
+        std::fs::write(
+            &path,
+            format!("{HEADER}\nisp|0|US|Comcast\ndev|not-an-ip|US|0|consumer:Router\n"),
+        )
+        .unwrap();
+        match load(&path).unwrap_err() {
+            InventoryIoError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("bad ip"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_unknown_profile_and_dangling_isp() {
+        let path = tmpfile("profile");
+        std::fs::write(
+            &path,
+            format!("{HEADER}\nisp|0|US|Comcast\ndev|1.2.3.4|US|0|consumer:Fridge\n"),
+        )
+        .unwrap();
+        assert!(format!("{}", load(&path).unwrap_err()).contains("unknown consumer kind"));
+        std::fs::write(
+            &path,
+            format!("{HEADER}\nisp|0|US|Comcast\ndev|1.2.3.4|US|9|consumer:Router\n"),
+        )
+        .unwrap();
+        assert!(format!("{}", load(&path).unwrap_err()).contains("unknown isp"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cps_profiles_roundtrip_multi_service() {
+        let path = tmpfile("cps");
+        std::fs::write(
+            &path,
+            format!("{HEADER}\nisp|0|CN|China Telecom\ndev|1.2.3.4|CN|0|cps:EthernetIp+ModbusTcp\n"),
+        )
+        .unwrap();
+        let loaded = load(&path).unwrap();
+        let dev = loaded.db.iter().next().unwrap();
+        assert_eq!(
+            dev.profile.cps_services().unwrap(),
+            &[CpsService::EthernetIp, CpsService::ModbusTcp]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let path = tmpfile("comments");
+        std::fs::write(
+            &path,
+            format!("{HEADER}\n\n# a comment\nisp|0|US|Comcast\n\ndev|1.2.3.4|US|0|consumer:Printer\n"),
+        )
+        .unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.db.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,587 @@
+//! Internet service providers and deterministic address allocation.
+//!
+//! Devices reach the Internet through ISPs; the paper attributes
+//! compromised devices to them (Tables I and II: "JSC ER-Telecom" hosted
+//! 27.6% of compromised consumer devices, "Rostelecom" led the CPS list).
+//! This module provides a registry of named ISPs (the ones the paper
+//! names, with their calibrated shares) plus per-country generic fillers,
+//! and a collision-free IPv4 allocator that hands each ISP `/16` blocks
+//! outside reserved space and outside the telescope's dark prefix.
+
+use crate::geo::CountryCode;
+use crate::taxonomy::Realm;
+use iotscope_net::addr::Ipv4Cidr;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Identifier of an ISP inside an [`IspRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IspId(pub u32);
+
+impl fmt::Display for IspId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "isp#{}", self.0)
+    }
+}
+
+/// One Internet service provider.
+#[derive(Debug, Clone)]
+pub struct Isp {
+    name: String,
+    country: CountryCode,
+    blocks: Vec<Ipv4Cidr>,
+    allocated: u32,
+}
+
+impl Isp {
+    /// The provider's display name (e.g. `"JSC ER-Telecom"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The country the provider operates in.
+    pub fn country(&self) -> CountryCode {
+        self.country
+    }
+
+    /// Number of addresses handed out so far.
+    pub fn allocated(&self) -> u32 {
+        self.allocated
+    }
+}
+
+/// Calibrated share records for the ISPs the paper names.
+struct NamedIsp {
+    country: &'static str,
+    name: &'static str,
+    /// Fraction of the country's *compromised consumer* devices (Table I).
+    consumer_comp_share: f64,
+    /// Fraction of the country's *compromised CPS* devices (Table II).
+    cps_comp_share: f64,
+    /// Fraction of the country's *deployed* devices.
+    deploy_share: f64,
+}
+
+const fn n(
+    country: &'static str,
+    name: &'static str,
+    consumer_comp_share: f64,
+    cps_comp_share: f64,
+    deploy_share: f64,
+) -> NamedIsp {
+    NamedIsp {
+        country,
+        name,
+        consumer_comp_share,
+        cps_comp_share,
+        deploy_share,
+    }
+}
+
+/// Table I/II calibration: shares are *within-country* fractions chosen so
+/// the global ISP rankings of the paper emerge from the country marginals.
+static NAMED_ISPS: &[NamedIsp] = &[
+    n("RU", "JSC ER-Telecom", 0.86, 0.16, 0.30),
+    n("RU", "Rostelecom", 0.06, 0.27, 0.30),
+    n("KR", "Korea Telecom", 0.74, 0.45, 0.50),
+    n("KR", "SK Broadband", 0.10, 0.10, 0.20),
+    n("ID", "PT Telkom", 0.885, 0.30, 0.50),
+    n("PH", "PLDT", 0.92, 0.30, 0.50),
+    n("TH", "TOT", 0.45, 0.20, 0.30),
+    n("TH", "True Internet", 0.20, 0.10, 0.20),
+    n("TR", "Turk Telekom", 0.50, 0.94, 0.50),
+    n("TW", "HiNet", 0.50, 0.80, 0.50),
+    // The paper's Table II has no Chinese ISP in the top 5 despite China
+    // hosting 17% of compromised CPS devices: Chinese devices spread over
+    // many providers. Keep the named carriers' shares small.
+    n("CN", "China Telecom", 0.40, 0.10, 0.40),
+    n("CN", "China Unicom", 0.30, 0.08, 0.30),
+    n("US", "Comcast", 0.20, 0.10, 0.20),
+    n("US", "AT&T", 0.15, 0.15, 0.15),
+    n("US", "Verizon", 0.10, 0.10, 0.10),
+    n("GB", "BT", 0.30, 0.25, 0.30),
+    n("DE", "Deutsche Telekom", 0.35, 0.30, 0.35),
+    n("FR", "Orange", 0.35, 0.30, 0.35),
+    n("BR", "Vivo", 0.25, 0.20, 0.25),
+    n("UA", "Ukrtelecom", 0.40, 0.35, 0.40),
+    n("IN", "BSNL", 0.35, 0.30, 0.35),
+    n("VN", "VNPT", 0.40, 0.35, 0.40),
+    n("NL", "KPN", 0.35, 0.30, 0.35),
+    n("AU", "Telstra", 0.35, 0.30, 0.35),
+    n("CA", "Bell Canada", 0.30, 0.30, 0.30),
+    n("JP", "NTT", 0.40, 0.35, 0.40),
+    n("ES", "Telefonica", 0.35, 0.30, 0.35),
+    n("IT", "TIM", 0.35, 0.30, 0.35),
+    n("CH", "Swisscom", 0.40, 0.40, 0.40),
+    n("SG", "SingTel", 0.40, 0.35, 0.40),
+    n("MX", "Telmex", 0.40, 0.35, 0.40),
+    n("DO", "Claro Dominicana", 0.45, 0.40, 0.45),
+    n("ZA", "Telkom SA", 0.40, 0.35, 0.40),
+    // Long tail of named providers (small shares; the calibrated Table
+    // I/II heads above stay dominant).
+    n("US", "Charter", 0.08, 0.08, 0.08),
+    n("US", "CenturyLink", 0.06, 0.08, 0.06),
+    n("US", "Cox", 0.05, 0.05, 0.05),
+    n("GB", "Virgin Media", 0.15, 0.12, 0.15),
+    n("GB", "Sky Broadband", 0.10, 0.08, 0.10),
+    n("DE", "Vodafone DE", 0.12, 0.10, 0.12),
+    n("DE", "1&1 Versatel", 0.08, 0.08, 0.08),
+    n("FR", "Free SAS", 0.12, 0.10, 0.12),
+    n("FR", "SFR", 0.10, 0.10, 0.10),
+    n("IT", "Vodafone IT", 0.12, 0.10, 0.12),
+    n("IT", "Fastweb", 0.08, 0.08, 0.08),
+    n("ES", "Vodafone ES", 0.10, 0.10, 0.10),
+    n("BR", "Claro BR", 0.15, 0.12, 0.15),
+    n("BR", "Oi", 0.10, 0.10, 0.10),
+    n("MX", "Izzi Telecom", 0.12, 0.10, 0.12),
+    n("JP", "KDDI", 0.15, 0.12, 0.15),
+    n("JP", "SoftBank", 0.12, 0.10, 0.12),
+    n("KR", "LG U+", 0.06, 0.08, 0.08),
+    n("CN", "China Mobile", 0.10, 0.08, 0.10),
+    n("IN", "Airtel", 0.12, 0.10, 0.12),
+    n("IN", "Reliance Jio", 0.12, 0.10, 0.12),
+    n("RU", "MTS", 0.02, 0.05, 0.08),
+    n("RU", "Beeline", 0.02, 0.05, 0.08),
+    n("AU", "Optus", 0.12, 0.10, 0.12),
+    n("AU", "TPG Telecom", 0.08, 0.08, 0.08),
+    n("CA", "Rogers", 0.15, 0.12, 0.15),
+    n("CA", "Telus", 0.12, 0.10, 0.12),
+    n("NL", "Ziggo", 0.15, 0.12, 0.15),
+    n("PL", "Orange Polska", 0.15, 0.12, 0.15),
+    n("TR", "Turkcell Superonline", 0.08, 0.02, 0.10),
+    n("VN", "Viettel", 0.15, 0.12, 0.15),
+    n("ID", "Indosat Ooredoo", 0.03, 0.08, 0.10),
+    n("PH", "Globe Telecom", 0.03, 0.10, 0.15),
+    n("SE", "Telia", 0.15, 0.12, 0.15),
+    n("CH", "Sunrise", 0.12, 0.10, 0.12),
+    n("AR", "Telecom Argentina", 0.15, 0.12, 0.15),
+    n("CL", "Movistar CL", 0.15, 0.12, 0.15),
+    n("CO", "Claro CO", 0.15, 0.12, 0.15),
+    n("UA", "Kyivstar", 0.12, 0.10, 0.12),
+    n("SA", "STC", 0.15, 0.12, 0.15),
+    n("AE", "Etisalat", 0.15, 0.12, 0.15),
+    n("EG", "TE Data", 0.15, 0.12, 0.15),
+    n("ZA", "MTN SA", 0.10, 0.10, 0.10),
+    n("NG", "MTN Nigeria", 0.12, 0.10, 0.12),
+    n("HK", "PCCW", 0.15, 0.12, 0.15),
+    n("TW", "Taiwan Fixed Network", 0.08, 0.04, 0.10),
+    n("SG", "StarHub", 0.10, 0.08, 0.10),
+    n("MY", "Telekom Malaysia", 0.15, 0.12, 0.15),
+    n("NZ", "Spark NZ", 0.15, 0.12, 0.15),
+    n("GR", "OTE", 0.15, 0.12, 0.15),
+    n("PT", "MEO", 0.15, 0.12, 0.15),
+    n("CZ", "O2 Czech", 0.15, 0.12, 0.15),
+    n("RO", "Digi Romania", 0.15, 0.12, 0.15),
+    n("BE", "Proximus", 0.15, 0.12, 0.15),
+    n("AT", "A1 Telekom", 0.15, 0.12, 0.15),
+    n("NO", "Telenor", 0.15, 0.12, 0.15),
+    n("DK", "TDC", 0.15, 0.12, 0.15),
+    n("FI", "Elisa", 0.15, 0.12, 0.15),
+    n("IE", "Eir", 0.15, 0.12, 0.15),
+    n("HU", "Magyar Telekom", 0.15, 0.12, 0.15),
+    n("BG", "Vivacom", 0.15, 0.12, 0.15),
+    n("IL", "Bezeq", 0.15, 0.12, 0.15),
+    n("PK", "PTCL", 0.15, 0.12, 0.15),
+    n("KZ", "Kazakhtelecom", 0.15, 0.12, 0.15),
+    n("BY", "Beltelecom", 0.15, 0.12, 0.15),
+    n("RS", "Telekom Srbija", 0.15, 0.12, 0.15),
+    n("HR", "Hrvatski Telekom", 0.15, 0.12, 0.15),
+];
+
+/// Reserved / out-of-scope first octets never allocated to ISPs: current
+/// and historic special-use space plus the documentation prefixes used in
+/// tests and examples.
+const SKIP_OCTETS: &[u8] = &[0, 10, 127, 169, 172, 192, 198, 203];
+
+/// Hands out `/16` blocks from public space, skipping reserved ranges and
+/// the telescope prefix.
+#[derive(Debug, Clone)]
+struct BlockAllocator {
+    telescope: Ipv4Cidr,
+    next_o1: u16,
+    next_o2: u16,
+}
+
+impl BlockAllocator {
+    fn new(telescope: Ipv4Cidr) -> Self {
+        BlockAllocator {
+            telescope,
+            next_o1: 1,
+            next_o2: 0,
+        }
+    }
+
+    fn next_block(&mut self) -> Ipv4Cidr {
+        loop {
+            if self.next_o1 > 223 {
+                panic!("IPv4 /16 block space exhausted");
+            }
+            let o1 = self.next_o1 as u8;
+            let o2 = self.next_o2 as u8;
+            self.next_o2 += 1;
+            if self.next_o2 == 256 {
+                self.next_o2 = 0;
+                self.next_o1 += 1;
+            }
+            if SKIP_OCTETS.contains(&o1) {
+                // Skip the whole /8 at once.
+                self.next_o1 += 1;
+                self.next_o2 = 0;
+                continue;
+            }
+            let block = Ipv4Cidr::new(Ipv4Addr::new(o1, o2, 0, 0), 16)
+                .expect("16 is a valid prefix length");
+            if self.telescope.contains_cidr(&block) || block.contains_cidr(&self.telescope) {
+                continue;
+            }
+            return block;
+        }
+    }
+}
+
+/// The registry of all ISPs: the named ones plus per-country generics.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), iotscope_net::NetError> {
+/// use iotscope_devicedb::isp::IspRegistry;
+/// use iotscope_devicedb::geo::CountryCode;
+/// use iotscope_devicedb::taxonomy::Realm;
+/// use rand::SeedableRng;
+///
+/// let mut reg = IspRegistry::bootstrap("44.0.0.0/8".parse()?);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ru = CountryCode::from_code("RU").unwrap();
+/// let id = reg.pick(&mut rng, ru, Realm::Consumer, true);
+/// let ip = reg.alloc_ip(id);
+/// assert_eq!(reg.isp(id).country(), ru);
+/// assert_ne!(u32::from(ip) >> 24, 44); // never inside the telescope
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IspRegistry {
+    isps: Vec<Isp>,
+    /// Per-country choice tables: `(isp, consumer_comp, cps_comp, deploy)`
+    /// weights, normalized per draw.
+    by_country: Vec<Vec<(IspId, f64, f64, f64)>>,
+    allocator: BlockAllocator,
+}
+
+impl IspRegistry {
+    /// Build the registry for all countries, allocating around the given
+    /// telescope prefix.
+    pub fn bootstrap(telescope: Ipv4Cidr) -> Self {
+        let mut isps = Vec::new();
+        let mut by_country = vec![Vec::new(); CountryCode::count()];
+        for cc in CountryCode::all() {
+            let mut named_consumer = 0.0;
+            let mut named_cps = 0.0;
+            let mut named_deploy = 0.0;
+            for spec in NAMED_ISPS.iter().filter(|s| s.country == cc.code()) {
+                let id = IspId(isps.len() as u32);
+                isps.push(Isp {
+                    name: spec.name.to_owned(),
+                    country: cc,
+                    blocks: Vec::new(),
+                    allocated: 0,
+                });
+                named_consumer += spec.consumer_comp_share;
+                named_cps += spec.cps_comp_share;
+                named_deploy += spec.deploy_share;
+                by_country[cc_index(cc)].push((
+                    id,
+                    spec.consumer_comp_share,
+                    spec.cps_comp_share,
+                    spec.deploy_share,
+                ));
+            }
+            // Generic fillers share the remaining probability mass evenly.
+            let n_generic = ((cc.info().deploy_weight * 4.0).round() as usize).clamp(3, 40);
+            let rem_consumer = (1.0 - named_consumer).max(0.0) / n_generic as f64;
+            let rem_cps = (1.0 - named_cps).max(0.0) / n_generic as f64;
+            let rem_deploy = (1.0 - named_deploy).max(0.0) / n_generic as f64;
+            for i in 0..n_generic {
+                let id = IspId(isps.len() as u32);
+                isps.push(Isp {
+                    name: format!("AS-{}-{}", cc.code(), i + 1),
+                    country: cc,
+                    blocks: Vec::new(),
+                    allocated: 0,
+                });
+                by_country[cc_index(cc)].push((id, rem_consumer, rem_cps, rem_deploy));
+            }
+        }
+        IspRegistry {
+            isps,
+            by_country,
+            allocator: BlockAllocator::new(telescope),
+        }
+    }
+
+    /// Rebuild a registry from a saved `(name, country)` list, preserving
+    /// the original [`IspId`] order. Loaded registries serve name/country
+    /// lookups for analysis and reporting; they can also `pick` (uniform
+    /// weights) and `alloc_ip`, but carry none of the original allocator
+    /// state.
+    pub fn from_names<I: IntoIterator<Item = (String, CountryCode)>>(names: I) -> Self {
+        let mut isps = Vec::new();
+        let mut by_country = vec![Vec::new(); CountryCode::count()];
+        for (name, country) in names {
+            let id = IspId(isps.len() as u32);
+            isps.push(Isp {
+                name,
+                country,
+                blocks: Vec::new(),
+                allocated: 0,
+            });
+            by_country[cc_index(country)].push((id, 1.0, 1.0, 1.0));
+        }
+        // Countries without any saved ISP get a generic fallback so pick()
+        // stays total.
+        for cc in CountryCode::all() {
+            if by_country[cc_index(cc)].is_empty() {
+                let id = IspId(isps.len() as u32);
+                isps.push(Isp {
+                    name: format!("AS-{}-1", cc.code()),
+                    country: cc,
+                    blocks: Vec::new(),
+                    allocated: 0,
+                });
+                by_country[cc_index(cc)].push((id, 1.0, 1.0, 1.0));
+            }
+        }
+        IspRegistry {
+            isps,
+            by_country,
+            allocator: BlockAllocator::new(
+                Ipv4Cidr::new(Ipv4Addr::new(44, 0, 0, 0), 8).expect("valid prefix"),
+            ),
+        }
+    }
+
+    /// Iterate over `(id, isp)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (IspId, &Isp)> {
+        self.isps
+            .iter()
+            .enumerate()
+            .map(|(i, isp)| (IspId(i as u32), isp))
+    }
+
+    /// Number of registered ISPs.
+    pub fn len(&self) -> usize {
+        self.isps.len()
+    }
+
+    /// Whether the registry is empty (never true after `bootstrap`).
+    pub fn is_empty(&self) -> bool {
+        self.isps.is_empty()
+    }
+
+    /// Access an ISP record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry.
+    pub fn isp(&self, id: IspId) -> &Isp {
+        &self.isps[id.0 as usize]
+    }
+
+    /// Look up an ISP by exact name.
+    pub fn find_by_name(&self, name: &str) -> Option<IspId> {
+        self.isps
+            .iter()
+            .position(|i| i.name == name)
+            .map(|i| IspId(i as u32))
+    }
+
+    /// Draw an ISP for a device in `country`/`realm`. `compromised`
+    /// selects the Table I/II share table (true) or the deployment table
+    /// (false).
+    pub fn pick<R: Rng>(
+        &self,
+        rng: &mut R,
+        country: CountryCode,
+        realm: Realm,
+        compromised: bool,
+    ) -> IspId {
+        let table = &self.by_country[cc_index(country)];
+        debug_assert!(!table.is_empty());
+        let weight = |e: &(IspId, f64, f64, f64)| -> f64 {
+            match (compromised, realm) {
+                (true, Realm::Consumer) => e.1,
+                (true, Realm::Cps) => e.2,
+                (false, _) => e.3,
+            }
+        };
+        let total: f64 = table.iter().map(weight).sum();
+        if total <= 0.0 {
+            return table[rng.gen_range(0..table.len())].0;
+        }
+        let mut draw = rng.gen_range(0.0..total);
+        for e in table {
+            let w = weight(e);
+            if draw < w {
+                return e.0;
+            }
+            draw -= w;
+        }
+        table.last().expect("table is non-empty").0
+    }
+
+    /// Allocate a fresh, never-before-issued address from `id`'s blocks,
+    /// growing the block list on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry.
+    pub fn alloc_ip(&mut self, id: IspId) -> Ipv4Addr {
+        let isp = &mut self.isps[id.0 as usize];
+        let block_idx = (isp.allocated / 65536) as usize;
+        while isp.blocks.len() <= block_idx {
+            isp.blocks.push(self.allocator.next_block());
+        }
+        let within = isp.allocated % 65536;
+        isp.allocated += 1;
+        // A bijective affine permutation of 0..65536 scatters hosts across
+        // the block so consecutive allocations are not adjacent addresses.
+        let offset = (u64::from(within) * 40503 + 12345) % 65536;
+        isp.blocks[block_idx].addr_at(offset)
+    }
+}
+
+#[inline]
+fn cc_index(cc: CountryCode) -> usize {
+    cc.index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn telescope() -> Ipv4Cidr {
+        "44.0.0.0/8".parse().unwrap()
+    }
+
+    #[test]
+    fn bootstrap_registers_all_named_isps() {
+        let reg = IspRegistry::bootstrap(telescope());
+        for spec in NAMED_ISPS {
+            let id = reg
+                .find_by_name(spec.name)
+                .unwrap_or_else(|| panic!("{} missing", spec.name));
+            assert_eq!(reg.isp(id).country().code(), spec.country);
+        }
+        assert!(!reg.is_empty());
+        assert!(reg.len() > 300, "expect many ISPs, got {}", reg.len());
+    }
+
+    #[test]
+    fn every_country_has_isps() {
+        let reg = IspRegistry::bootstrap(telescope());
+        for cc in CountryCode::all() {
+            let mut rng = StdRng::seed_from_u64(9);
+            let id = reg.pick(&mut rng, cc, Realm::Consumer, false);
+            assert_eq!(reg.isp(id).country(), cc);
+        }
+    }
+
+    #[test]
+    fn er_telecom_dominates_russian_compromised_consumer_draws() {
+        let reg = IspRegistry::bootstrap(telescope());
+        let ru = CountryCode::from_code("RU").unwrap();
+        let er = reg.find_by_name("JSC ER-Telecom").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|_| reg.pick(&mut rng, ru, Realm::Consumer, true) == er)
+            .count();
+        let share = hits as f64 / n as f64;
+        assert!((0.80..=0.92).contains(&share), "ER-Telecom share {share}");
+    }
+
+    #[test]
+    fn rostelecom_leads_russian_compromised_cps_draws() {
+        let reg = IspRegistry::bootstrap(telescope());
+        let ru = CountryCode::from_code("RU").unwrap();
+        let rostelecom = reg.find_by_name("Rostelecom").unwrap();
+        let er = reg.find_by_name("JSC ER-Telecom").unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..4000 {
+            *counts
+                .entry(reg.pick(&mut rng, ru, Realm::Cps, true))
+                .or_insert(0usize) += 1;
+        }
+        assert!(counts[&rostelecom] > counts[&er]);
+    }
+
+    #[test]
+    fn deployment_draws_are_less_concentrated() {
+        let reg = IspRegistry::bootstrap(telescope());
+        let ru = CountryCode::from_code("RU").unwrap();
+        let er = reg.find_by_name("JSC ER-Telecom").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|_| reg.pick(&mut rng, ru, Realm::Consumer, false) == er)
+            .count();
+        let share = hits as f64 / n as f64;
+        assert!(share < 0.45, "deployment share {share} should be modest");
+    }
+
+    #[test]
+    fn allocated_ips_are_unique_and_outside_telescope() {
+        let mut reg = IspRegistry::bootstrap(telescope());
+        let id = reg.find_by_name("Comcast").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..70_000 {
+            let ip = reg.alloc_ip(id);
+            assert!(seen.insert(ip), "duplicate {ip}");
+            assert!(!telescope().contains(ip), "{ip} inside telescope");
+            let o1 = ip.octets()[0];
+            assert!(!SKIP_OCTETS.contains(&o1), "{ip} in reserved space");
+        }
+        assert!(reg.isp(id).allocated() == 70_000);
+    }
+
+    #[test]
+    fn different_isps_get_disjoint_blocks() {
+        let mut reg = IspRegistry::bootstrap(telescope());
+        let a = reg.find_by_name("Comcast").unwrap();
+        let b = reg.find_by_name("AT&T").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(reg.alloc_ip(a)));
+            assert!(seen.insert(reg.alloc_ip(b)));
+        }
+    }
+
+    #[test]
+    fn allocator_skips_telescope_slash8() {
+        let mut alloc = BlockAllocator::new(telescope());
+        for _ in 0..2000 {
+            let block = alloc.next_block();
+            assert_ne!(block.network().octets()[0], 44);
+        }
+    }
+
+    #[test]
+    fn pick_is_deterministic_for_same_seed() {
+        let reg = IspRegistry::bootstrap(telescope());
+        let us = CountryCode::from_code("US").unwrap();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50)
+                .map(|_| reg.pick(&mut rng, us, Realm::Cps, true))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(11), draw(11));
+        assert_ne!(draw(11), draw(12));
+    }
+}

@@ -1,0 +1,479 @@
+//! Deterministic, paper-calibrated inventory generator.
+//!
+//! Produces a [`DeviceDb`] whose marginal distributions match §III of the
+//! paper, and *designates* the subset of devices that a simulation will
+//! drive as compromised (the designated population follows the
+//! compromised-population marginals of Fig 1b / Fig 3 / Tables I–III; the
+//! rest follows the deployment marginals of Fig 1a / §III-A1).
+//!
+//! All randomness derives from a single `u64` seed: the same config yields
+//! a byte-identical inventory.
+
+use crate::db::DeviceDb;
+use crate::device::{DeviceId, DeviceProfile, IotDevice};
+use crate::geo::{CountryCode, COUNTRIES};
+use crate::isp::IspRegistry;
+use crate::taxonomy::{ConsumerKind, CpsService, Realm};
+use iotscope_net::addr::Ipv4Cidr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`InventoryBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Master seed; every derived draw is a pure function of it.
+    pub seed: u64,
+    /// Total consumer devices to generate (paper: 181,000).
+    pub consumer_total: u32,
+    /// Total CPS devices to generate (paper: 150,000).
+    pub cps_total: u32,
+    /// Consumer devices designated as compromised (paper: 15,299).
+    pub designated_consumer: u32,
+    /// CPS devices designated as compromised (paper: 11,582).
+    pub designated_cps: u32,
+    /// The telescope's dark prefix; no device address may fall inside it.
+    pub telescope: Ipv4Cidr,
+}
+
+impl SynthConfig {
+    /// The paper's full population sizes.
+    pub fn paper(seed: u64) -> Self {
+        SynthConfig {
+            seed,
+            consumer_total: 181_000,
+            cps_total: 150_000,
+            designated_consumer: 15_299,
+            designated_cps: 11_582,
+            telescope: default_telescope(),
+        }
+    }
+
+    /// A small population for tests and examples (~5.5k devices, ~1k
+    /// designated) that keeps the same distributional shape.
+    pub fn small(seed: u64) -> Self {
+        SynthConfig {
+            seed,
+            consumer_total: 3_000,
+            cps_total: 2_500,
+            designated_consumer: 600,
+            designated_cps: 450,
+            telescope: default_telescope(),
+        }
+    }
+
+    /// Total device count the builder will generate.
+    pub fn total_devices(&self) -> u32 {
+        self.consumer_total + self.cps_total
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.designated_consumer <= self.consumer_total,
+            "designated consumer ({}) exceeds total ({})",
+            self.designated_consumer,
+            self.consumer_total
+        );
+        assert!(
+            self.designated_cps <= self.cps_total,
+            "designated CPS ({}) exceeds total ({})",
+            self.designated_cps,
+            self.cps_total
+        );
+    }
+}
+
+fn default_telescope() -> Ipv4Cidr {
+    "44.0.0.0/8".parse().expect("static CIDR is valid")
+}
+
+/// The generated inventory plus the ground-truth designation lists.
+#[derive(Debug)]
+pub struct SynthOutput {
+    /// The device inventory handed to the analysis pipeline.
+    pub db: DeviceDb,
+    /// Consumer devices a simulation should drive as compromised.
+    pub designated_consumer: Vec<DeviceId>,
+    /// CPS devices a simulation should drive as compromised.
+    pub designated_cps: Vec<DeviceId>,
+    /// The ISP registry (for name lookups in reports).
+    pub isps: IspRegistry,
+}
+
+/// Builds a [`SynthOutput`] from a [`SynthConfig`].
+///
+/// # Example
+///
+/// ```
+/// use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
+///
+/// let out = InventoryBuilder::new(SynthConfig::small(42)).build();
+/// assert_eq!(out.designated_consumer.len(), 600);
+/// assert_eq!(out.designated_cps.len(), 450);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InventoryBuilder {
+    config: SynthConfig,
+}
+
+/// Cumulative-weight sampler over country indices.
+struct CountrySampler {
+    cumulative: Vec<f64>,
+}
+
+impl CountrySampler {
+    fn new<F: Fn(usize) -> f64>(weight: F) -> Self {
+        let mut cumulative = Vec::with_capacity(COUNTRIES.len());
+        let mut acc = 0.0;
+        for i in 0..COUNTRIES.len() {
+            acc += weight(i).max(0.0);
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "country weights must not all be zero");
+        CountrySampler { cumulative }
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> CountryCode {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let draw = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= draw);
+        CountryCode::all().nth(idx.min(COUNTRIES.len() - 1)).expect("index in range")
+    }
+}
+
+impl InventoryBuilder {
+    /// Create a builder for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the designated counts exceed the totals.
+    pub fn new(config: SynthConfig) -> Self {
+        config.validate();
+        InventoryBuilder { config }
+    }
+
+    /// Generate the inventory.
+    pub fn build(self) -> SynthOutput {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut isps = IspRegistry::bootstrap(cfg.telescope);
+        let mut db = DeviceDb::new();
+        let mut designated_consumer = Vec::with_capacity(cfg.designated_consumer as usize);
+        let mut designated_cps = Vec::with_capacity(cfg.designated_cps as usize);
+
+        let comp_consumer = CountrySampler::new(|i| COUNTRIES[i].consumer_comp_weight);
+        let comp_cps = CountrySampler::new(|i| COUNTRIES[i].cps_comp_weight);
+        let deploy_consumer =
+            CountrySampler::new(|i| COUNTRIES[i].deploy_weight * (1.0 - COUNTRIES[i].cps_deploy_share));
+        let deploy_cps =
+            CountrySampler::new(|i| COUNTRIES[i].deploy_weight * COUNTRIES[i].cps_deploy_share);
+
+        // Phase 1: designated (to-be-compromised) populations, calibrated to
+        // the compromised marginals.
+        for _ in 0..cfg.designated_consumer {
+            let country = comp_consumer.sample(&mut rng);
+            let id = Self::emit_consumer(&mut rng, &mut db, &mut isps, country, true);
+            designated_consumer.push(id);
+        }
+        for _ in 0..cfg.designated_cps {
+            let country = comp_cps.sample(&mut rng);
+            let id = Self::emit_cps(&mut rng, &mut db, &mut isps, country, true);
+            designated_cps.push(id);
+        }
+
+        // Phase 2: the benign remainder, calibrated to deployment marginals.
+        for _ in 0..(cfg.consumer_total - cfg.designated_consumer) {
+            let country = deploy_consumer.sample(&mut rng);
+            Self::emit_consumer(&mut rng, &mut db, &mut isps, country, false);
+        }
+        for _ in 0..(cfg.cps_total - cfg.designated_cps) {
+            let country = deploy_cps.sample(&mut rng);
+            Self::emit_cps(&mut rng, &mut db, &mut isps, country, false);
+        }
+
+        SynthOutput {
+            db,
+            designated_consumer,
+            designated_cps,
+            isps,
+        }
+    }
+
+    fn emit_consumer(
+        rng: &mut StdRng,
+        db: &mut DeviceDb,
+        isps: &mut IspRegistry,
+        country: CountryCode,
+        compromised: bool,
+    ) -> DeviceId {
+        let kind = draw_consumer_kind(rng, compromised);
+        let isp = isps.pick(rng, country, Realm::Consumer, compromised);
+        let ip = isps.alloc_ip(isp);
+        db.push(IotDevice {
+            id: DeviceId(0),
+            ip,
+            profile: DeviceProfile::Consumer(kind),
+            country,
+            isp,
+        })
+        .expect("allocator never reuses an address")
+    }
+
+    fn emit_cps(
+        rng: &mut StdRng,
+        db: &mut DeviceDb,
+        isps: &mut IspRegistry,
+        country: CountryCode,
+        compromised: bool,
+    ) -> DeviceId {
+        let services = draw_cps_services(rng);
+        let isp = isps.pick(rng, country, Realm::Cps, compromised);
+        let ip = isps.alloc_ip(isp);
+        db.push(IotDevice {
+            id: DeviceId(0),
+            ip,
+            profile: DeviceProfile::Cps(services),
+            country,
+            isp,
+        })
+        .expect("allocator never reuses an address")
+    }
+}
+
+/// Draw a consumer kind with the deployment or compromised weights.
+pub fn draw_consumer_kind<R: Rng>(rng: &mut R, compromised: bool) -> ConsumerKind {
+    let weight = |k: ConsumerKind| {
+        if compromised {
+            k.compromised_weight()
+        } else {
+            k.deploy_weight()
+        }
+    };
+    let total: f64 = ConsumerKind::ALL.iter().map(|k| weight(*k)).sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for k in ConsumerKind::ALL {
+        let w = weight(k);
+        if draw < w {
+            return k;
+        }
+        draw -= w;
+    }
+    ConsumerKind::Router
+}
+
+/// Draw 1..=3 distinct CPS services by Table III weight. Multi-service
+/// devices model the paper's "services are not mutually exclusive" note;
+/// the count distribution (90/8/2%) keeps the mean near 1.1 services per
+/// device as implied by Table III's column sum.
+pub fn draw_cps_services<R: Rng>(rng: &mut R) -> Vec<CpsService> {
+    let count = match rng.gen_range(0..100u32) {
+        0..=89 => 1,
+        90..=97 => 2,
+        _ => 3,
+    };
+    let mut chosen: Vec<CpsService> = Vec::with_capacity(count);
+    let mut remaining: Vec<CpsService> = CpsService::ALL.to_vec();
+    for _ in 0..count {
+        let total: f64 = remaining.iter().map(|s| s.compromised_weight()).sum();
+        let mut draw = rng.gen_range(0.0..total);
+        let mut pick = remaining.len() - 1;
+        for (i, s) in remaining.iter().enumerate() {
+            let w = s.compromised_weight();
+            if draw < w {
+                pick = i;
+                break;
+            }
+            draw -= w;
+        }
+        chosen.push(remaining.swap_remove(pick));
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small_output(seed: u64) -> SynthOutput {
+        InventoryBuilder::new(SynthConfig::small(seed)).build()
+    }
+
+    #[test]
+    fn build_produces_configured_counts() {
+        let out = small_output(1);
+        let cfg = SynthConfig::small(1);
+        assert_eq!(out.db.len() as u32, cfg.total_devices());
+        assert_eq!(out.designated_consumer.len() as u32, cfg.designated_consumer);
+        assert_eq!(out.designated_cps.len() as u32, cfg.designated_cps);
+        let (consumer, cps) = out.db.realm_counts();
+        assert_eq!(consumer as u32, cfg.consumer_total);
+        assert_eq!(cps as u32, cfg.cps_total);
+    }
+
+    #[test]
+    fn designated_devices_have_expected_realms() {
+        let out = small_output(2);
+        for id in &out.designated_consumer {
+            assert_eq!(out.db.device(*id).realm(), Realm::Consumer);
+        }
+        for id in &out.designated_cps {
+            assert_eq!(out.db.device(*id).realm(), Realm::Cps);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_inventory() {
+        let a = small_output(77);
+        let b = small_output(77);
+        assert_eq!(a.db.len(), b.db.len());
+        for (da, db_) in a.db.iter().zip(b.db.iter()) {
+            assert_eq!(da, db_);
+        }
+        assert_eq!(a.designated_consumer, b.designated_consumer);
+    }
+
+    #[test]
+    fn different_seed_different_inventory() {
+        let a = small_output(1);
+        let b = small_output(2);
+        let diff = a
+            .db
+            .iter()
+            .zip(b.db.iter())
+            .filter(|(x, y)| x.ip != y.ip)
+            .count();
+        assert!(diff > 0);
+    }
+
+    #[test]
+    fn no_device_inside_telescope() {
+        let out = small_output(3);
+        let telescope = default_telescope();
+        for d in out.db.iter() {
+            assert!(!telescope.contains(d.ip), "{} inside telescope", d.ip);
+        }
+    }
+
+    #[test]
+    fn designated_consumer_country_shape_matches_fig_1b() {
+        let out = InventoryBuilder::new(SynthConfig {
+            designated_consumer: 4000,
+            consumer_total: 4500,
+            ..SynthConfig::small(4)
+        })
+        .build();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for id in &out.designated_consumer {
+            *counts.entry(out.db.device(*id).country.code()).or_insert(0) += 1;
+        }
+        let share = |c: &str| *counts.get(c).unwrap_or(&0) as f64 / 4000.0;
+        assert!((0.27..=0.37).contains(&share("RU")), "RU {}", share("RU"));
+        assert!((0.06..=0.12).contains(&share("US")), "US {}", share("US"));
+        assert!(share("RU") > share("US"));
+        assert!(share("US") > share("GB"));
+    }
+
+    #[test]
+    fn designated_cps_country_shape_matches_fig_1b() {
+        let out = InventoryBuilder::new(SynthConfig {
+            designated_cps: 4000,
+            cps_total: 5000,
+            ..SynthConfig::small(5)
+        })
+        .build();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for id in &out.designated_cps {
+            *counts.entry(out.db.device(*id).country.code()).or_insert(0) += 1;
+        }
+        let share = |c: &str| *counts.get(c).unwrap_or(&0) as f64 / 4000.0;
+        assert!(share("CN") > share("RU"), "CN {} RU {}", share("CN"), share("RU"));
+        assert!(share("RU") > share("KR"));
+        assert!(share("KR") > share("US"));
+    }
+
+    #[test]
+    fn benign_population_follows_deployment_shape() {
+        let out = InventoryBuilder::new(SynthConfig {
+            consumer_total: 8000,
+            designated_consumer: 0,
+            cps_total: 0,
+            designated_cps: 0,
+            ..SynthConfig::small(6)
+        })
+        .build();
+        let counts = out.db.count_by_country(None);
+        let us = CountryCode::from_code("US").unwrap();
+        let ru = CountryCode::from_code("RU").unwrap();
+        // Deployment: U.S. dominates (25% vs Russia 5.9%).
+        assert!(counts[&us] > counts[&ru] * 2);
+    }
+
+    #[test]
+    fn compromised_kind_mix_matches_fig_3() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts: HashMap<ConsumerKind, usize> = HashMap::new();
+        let n = 10_000;
+        for _ in 0..n {
+            *counts.entry(draw_consumer_kind(&mut rng, true)).or_insert(0) += 1;
+        }
+        let share = |k: ConsumerKind| *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
+        assert!((0.49..=0.56).contains(&share(ConsumerKind::Router)));
+        assert!((0.22..=0.29).contains(&share(ConsumerKind::IpCamera)));
+        assert!((0.15..=0.21).contains(&share(ConsumerKind::Printer)));
+        assert!(share(ConsumerKind::ElectricHub) < 0.01);
+    }
+
+    #[test]
+    fn cps_service_draw_is_weighted_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut freq: HashMap<CpsService, usize> = HashMap::new();
+        let n = 10_000;
+        let mut multi = 0;
+        for _ in 0..n {
+            let services = draw_cps_services(&mut rng);
+            assert!((1..=3).contains(&services.len()));
+            let set: std::collections::HashSet<_> = services.iter().collect();
+            assert_eq!(set.len(), services.len(), "duplicate service in {services:?}");
+            if services.len() > 1 {
+                multi += 1;
+            }
+            for s in services {
+                *freq.entry(s).or_insert(0) += 1;
+            }
+        }
+        // Telvent should lead, Niagara Fox should beat Modbus, per Table III.
+        assert!(freq[&CpsService::TelventOasysDna] > freq[&CpsService::NiagaraFox]);
+        assert!(freq[&CpsService::NiagaraFox] > freq[&CpsService::ModbusTcp]);
+        // ~10% multi-service.
+        let multi_share = multi as f64 / n as f64;
+        assert!((0.05..=0.16).contains(&multi_share), "multi {multi_share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "designated consumer")]
+    fn invalid_config_panics() {
+        let cfg = SynthConfig {
+            designated_consumer: 10_000,
+            ..SynthConfig::small(1)
+        };
+        let _ = InventoryBuilder::new(cfg);
+    }
+
+    #[test]
+    fn er_telecom_tops_designated_consumer_isps() {
+        let out = InventoryBuilder::new(SynthConfig {
+            designated_consumer: 3000,
+            ..SynthConfig::small(10)
+        })
+        .build();
+        let mut counts: HashMap<crate::isp::IspId, usize> = HashMap::new();
+        for id in &out.designated_consumer {
+            *counts.entry(out.db.device(*id).isp).or_insert(0) += 1;
+        }
+        let (top, top_count) = counts.iter().max_by_key(|(_, c)| **c).unwrap();
+        assert_eq!(out.isps.isp(*top).name(), "JSC ER-Telecom");
+        // Table I: ~27.6% of compromised consumer devices.
+        let share = *top_count as f64 / 3000.0;
+        assert!((0.20..=0.36).contains(&share), "ER-Telecom share {share}");
+    }
+}

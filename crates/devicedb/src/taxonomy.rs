@@ -1,0 +1,448 @@
+//! Device taxonomy: realms, consumer device types and CPS services.
+//!
+//! The paper splits devices into **consumer** IoT (routers, IP cameras,
+//! printers, network storage, TV boxes/DVRs, electric hubs — §III-A1) and
+//! **CPS** IoT speaking one or more of 31 industrial/automation protocols
+//! (Table III names the top 10 with their common applications).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two deployment realms of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Realm {
+    /// Consumer IoT: home/office connected devices.
+    Consumer,
+    /// Cyber-physical systems: ICS/SCADA/DCS equipment.
+    Cps,
+}
+
+impl Realm {
+    /// Both realms, consumer first.
+    pub const ALL: [Realm; 2] = [Realm::Consumer, Realm::Cps];
+}
+
+impl fmt::Display for Realm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Realm::Consumer => "Consumer",
+            Realm::Cps => "CPS",
+        })
+    }
+}
+
+/// Consumer IoT device categories (§III-A1, Fig 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ConsumerKind {
+    /// Wireless access points and Internet routers.
+    Router,
+    /// Webcams and CCTV cameras.
+    IpCamera,
+    /// Network printers.
+    Printer,
+    /// Network storage media (NAS).
+    NetworkStorage,
+    /// Satellite TV boxes and digital video recorders.
+    TvBoxDvr,
+    /// Electric hubs and smart outlets.
+    ElectricHub,
+}
+
+impl ConsumerKind {
+    /// All categories, in Fig 3 order.
+    pub const ALL: [ConsumerKind; 6] = [
+        ConsumerKind::Router,
+        ConsumerKind::IpCamera,
+        ConsumerKind::Printer,
+        ConsumerKind::NetworkStorage,
+        ConsumerKind::TvBoxDvr,
+        ConsumerKind::ElectricHub,
+    ];
+
+    /// Relative share among *deployed* consumer devices (§III-A1:
+    /// routers 46.9%, printers 29.1%, cameras 18.3%, storage 4.6%, rest
+    /// 1.1%).
+    pub fn deploy_weight(self) -> f64 {
+        match self {
+            ConsumerKind::Router => 46.9,
+            ConsumerKind::Printer => 29.1,
+            ConsumerKind::IpCamera => 18.3,
+            ConsumerKind::NetworkStorage => 4.6,
+            ConsumerKind::TvBoxDvr => 0.9,
+            ConsumerKind::ElectricHub => 0.2,
+        }
+    }
+
+    /// Relative share among *compromised* consumer devices (Fig 3:
+    /// routers 52.4%, cameras 25.2%, printers 18.0%, storage 3.6%,
+    /// DVRs 0.5%, hubs 0.1%).
+    pub fn compromised_weight(self) -> f64 {
+        match self {
+            ConsumerKind::Router => 52.4,
+            ConsumerKind::IpCamera => 25.2,
+            ConsumerKind::Printer => 18.0,
+            ConsumerKind::NetworkStorage => 3.6,
+            ConsumerKind::TvBoxDvr => 0.5,
+            ConsumerKind::ElectricHub => 0.1,
+        }
+    }
+}
+
+impl fmt::Display for ConsumerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConsumerKind::Router => "Routers",
+            ConsumerKind::IpCamera => "IP Cameras",
+            ConsumerKind::Printer => "Printers",
+            ConsumerKind::NetworkStorage => "Network Storage Media",
+            ConsumerKind::TvBoxDvr => "Digital Video Recorders",
+            ConsumerKind::ElectricHub => "Electric Hubs/Outlets",
+        })
+    }
+}
+
+/// The 31 CPS services/protocols of §III-A1 and Table III.
+///
+/// The first ten variants are Table III's top 10 (with the paper's
+/// "common applications" strings); the remainder are widely-indexed ICS
+/// protocols filling out the 31.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CpsService {
+    /// Telvent OASyS DNA — oil & gas pipelines (Table III #1, 20.0%).
+    TelventOasysDna,
+    /// SNC GENe — control systems (#2, 18.3%).
+    SncGene,
+    /// Niagara Fox — building automation (#3, 13.4%).
+    NiagaraFox,
+    /// MQ Telemetry Transport — IoT/sensory networks (#4, 12.9%).
+    Mqtt,
+    /// Ethernet/IP — manufacturing automation (#5, 12.8%).
+    EthernetIp,
+    /// ABB Ranger — power plants/transmission (#6, 9.1%).
+    AbbRanger,
+    /// Siemens Spectrum PowerTG — utility networks (#7, 5.9%).
+    SiemensSpectrumPowerTg,
+    /// Modbus TCP — power utilities (#8, 5.5%).
+    ModbusTcp,
+    /// Foxboro/Invensys Foxboro — plant automation (#9, 5.1%).
+    FoxboroInvensys,
+    /// Foundation Fieldbus HSE — plant/factory automation (#10, 3.0%).
+    FoundationFieldbusHse,
+    /// DNP3 — electric/water utilities.
+    Dnp3,
+    /// BACnet/IP — building automation.
+    BacnetIp,
+    /// IEC 60870-5-104 — power grid telecontrol.
+    Iec104,
+    /// IEC 61850/MMS — substation automation.
+    Iec61850,
+    /// OPC UA — industrial interoperability.
+    OpcUa,
+    /// PROFINET — factory automation.
+    Profinet,
+    /// Siemens S7comm — PLC communications.
+    S7Comm,
+    /// Omron FINS — PLC communications.
+    OmronFins,
+    /// Mitsubishi MELSEC-Q — PLC communications.
+    MitsubishiMelsec,
+    /// CODESYS — PLC runtime.
+    Codesys,
+    /// Red Lion Crimson v3 — HMI/protocol converters.
+    CrimsonV3,
+    /// GE SRTP — GE PLCs.
+    GeSrtp,
+    /// Phoenix Contact PC Worx — PLC engineering.
+    PcWorx,
+    /// ProConOS — PLC runtime.
+    ProConOs,
+    /// HART-IP — process instrumentation.
+    HartIp,
+    /// CC-Link IE — field networks.
+    CcLinkIe,
+    /// KNXnet/IP — home/building control.
+    KnxIp,
+    /// LonWorks — distributed control.
+    Lonworks,
+    /// Moxa NPort — serial-device servers.
+    MoxaNport,
+    /// Veeder-Root ATG — automatic tank gauges.
+    VeederRootAtg,
+    /// Crestron CIP — integrated building/AV control.
+    CrestronCip,
+}
+
+impl CpsService {
+    /// All 31 services, Table III top-10 first.
+    pub const ALL: [CpsService; 31] = [
+        CpsService::TelventOasysDna,
+        CpsService::SncGene,
+        CpsService::NiagaraFox,
+        CpsService::Mqtt,
+        CpsService::EthernetIp,
+        CpsService::AbbRanger,
+        CpsService::SiemensSpectrumPowerTg,
+        CpsService::ModbusTcp,
+        CpsService::FoxboroInvensys,
+        CpsService::FoundationFieldbusHse,
+        CpsService::Dnp3,
+        CpsService::BacnetIp,
+        CpsService::Iec104,
+        CpsService::Iec61850,
+        CpsService::OpcUa,
+        CpsService::Profinet,
+        CpsService::S7Comm,
+        CpsService::OmronFins,
+        CpsService::MitsubishiMelsec,
+        CpsService::Codesys,
+        CpsService::CrimsonV3,
+        CpsService::GeSrtp,
+        CpsService::PcWorx,
+        CpsService::ProConOs,
+        CpsService::HartIp,
+        CpsService::CcLinkIe,
+        CpsService::KnxIp,
+        CpsService::Lonworks,
+        CpsService::MoxaNport,
+        CpsService::VeederRootAtg,
+        CpsService::CrestronCip,
+    ];
+
+    /// Relative share among compromised CPS devices (Table III for the top
+    /// 10; small filler weights for the rest).
+    pub fn compromised_weight(self) -> f64 {
+        use CpsService::*;
+        match self {
+            TelventOasysDna => 20.0,
+            SncGene => 18.3,
+            // Slightly above Table III's 13.4 so the multi-service draw
+            // (which flattens top weights) keeps Niagara Fox ahead of MQTT.
+            NiagaraFox => 14.3,
+            Mqtt => 12.9,
+            EthernetIp => 12.8,
+            AbbRanger => 9.1,
+            SiemensSpectrumPowerTg => 5.9,
+            ModbusTcp => 5.5,
+            FoxboroInvensys => 5.1,
+            FoundationFieldbusHse => 3.0,
+            Dnp3 | BacnetIp | Iec104 | Iec61850 | OpcUa | Profinet | S7Comm => 1.0,
+            OmronFins | MitsubishiMelsec | Codesys | CrimsonV3 | GeSrtp | PcWorx | ProConOs => 0.6,
+            HartIp | CcLinkIe | KnxIp | Lonworks | MoxaNport | VeederRootAtg | CrestronCip => 0.4,
+        }
+    }
+
+    /// Relative share among deployed CPS devices; the deployment shape is
+    /// assumed close to the compromised shape (the paper gives only the
+    /// latter).
+    pub fn deploy_weight(self) -> f64 {
+        self.compromised_weight()
+    }
+
+    /// The paper's "common applications" string (Table III), or a short
+    /// description for the minor protocols.
+    pub fn common_applications(self) -> &'static str {
+        use CpsService::*;
+        match self {
+            TelventOasysDna => "Oil and Gas transportation pipelines and distribution networks",
+            SncGene => "Control systems",
+            NiagaraFox => "Building automation systems",
+            Mqtt => "IoT communications, sensory networks, safety-critical communications",
+            EthernetIp => "Manufacturing automation",
+            AbbRanger => {
+                "Power generating plants, transmission lines, mining operations, and transportation systems"
+            }
+            SiemensSpectrumPowerTg => "Utility networks",
+            ModbusTcp => "Power utilities",
+            FoxboroInvensys => {
+                "Plant automation systems, flowmeters, single-loop controllers, and product support services"
+            }
+            FoundationFieldbusHse => "Plant and factory automation",
+            Dnp3 => "Electric and water utility telecontrol",
+            BacnetIp => "Building automation",
+            Iec104 => "Power grid telecontrol",
+            Iec61850 => "Substation automation",
+            OpcUa => "Industrial interoperability",
+            Profinet => "Factory automation",
+            S7Comm => "Siemens PLC communications",
+            OmronFins => "Omron PLC communications",
+            MitsubishiMelsec => "Mitsubishi PLC communications",
+            Codesys => "PLC runtime",
+            CrimsonV3 => "HMI and protocol converters",
+            GeSrtp => "GE PLC communications",
+            PcWorx => "Phoenix Contact PLC engineering",
+            ProConOs => "PLC runtime",
+            HartIp => "Process instrumentation",
+            CcLinkIe => "Industrial field networks",
+            KnxIp => "Home and building control",
+            Lonworks => "Distributed control networks",
+            MoxaNport => "Serial device servers",
+            VeederRootAtg => "Automatic tank gauges",
+            CrestronCip => "Integrated building and AV control",
+        }
+    }
+
+    /// The conventional TCP port of the service (used by the simulator when
+    /// a CPS device is the *target* of a DoS attack, e.g. Ethernet/IP on
+    /// 44818).
+    pub fn port(self) -> u16 {
+        use CpsService::*;
+        match self {
+            TelventOasysDna => 5050,
+            SncGene => 38080,
+            NiagaraFox => 1911,
+            Mqtt => 1883,
+            EthernetIp => 44818,
+            AbbRanger => 10307,
+            SiemensSpectrumPowerTg => 7700,
+            ModbusTcp => 502,
+            FoxboroInvensys => 55555,
+            FoundationFieldbusHse => 1089,
+            Dnp3 => 20000,
+            BacnetIp => 47808,
+            Iec104 => 2404,
+            Iec61850 => 102,
+            OpcUa => 4840,
+            Profinet => 34962,
+            S7Comm => 10102,
+            OmronFins => 9600,
+            MitsubishiMelsec => 5007,
+            Codesys => 2455,
+            CrimsonV3 => 789,
+            GeSrtp => 18245,
+            PcWorx => 1962,
+            ProConOs => 20547,
+            HartIp => 5094,
+            CcLinkIe => 45237,
+            KnxIp => 3671,
+            Lonworks => 1628,
+            MoxaNport => 4800,
+            VeederRootAtg => 10001,
+            CrestronCip => 41794,
+        }
+    }
+}
+
+impl fmt::Display for CpsService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use CpsService::*;
+        let s = match self {
+            TelventOasysDna => "Telvent OASyS DNA",
+            SncGene => "SNC GENe",
+            NiagaraFox => "Niagara Fox",
+            Mqtt => "MQ Telemetry Transport",
+            EthernetIp => "Ethernet/IP",
+            AbbRanger => "ABB Ranger",
+            SiemensSpectrumPowerTg => "Siemens Spectrum PowerTG",
+            ModbusTcp => "Modbus TCP",
+            FoxboroInvensys => "Foxboro/Invensys Foxboro",
+            FoundationFieldbusHse => "Foundation Fieldbus HSE",
+            Dnp3 => "DNP3",
+            BacnetIp => "BACnet/IP",
+            Iec104 => "IEC 60870-5-104",
+            Iec61850 => "IEC 61850/MMS",
+            OpcUa => "OPC UA",
+            Profinet => "PROFINET",
+            S7Comm => "Siemens S7comm",
+            OmronFins => "Omron FINS",
+            MitsubishiMelsec => "Mitsubishi MELSEC-Q",
+            Codesys => "CODESYS",
+            CrimsonV3 => "Red Lion Crimson v3",
+            GeSrtp => "GE SRTP",
+            PcWorx => "PC Worx",
+            ProConOs => "ProConOS",
+            HartIp => "HART-IP",
+            CcLinkIe => "CC-Link IE",
+            KnxIp => "KNXnet/IP",
+            Lonworks => "LonWorks",
+            MoxaNport => "Moxa NPort",
+            VeederRootAtg => "Veeder-Root ATG",
+            CrestronCip => "Crestron CIP",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_one_cps_services() {
+        assert_eq!(CpsService::ALL.len(), 31);
+        let mut seen = std::collections::HashSet::new();
+        for s in CpsService::ALL {
+            assert!(seen.insert(s), "duplicate service {s}");
+        }
+    }
+
+    #[test]
+    fn table_iii_top10_ordering_by_weight() {
+        let weights: Vec<f64> = CpsService::ALL[..10]
+            .iter()
+            .map(|s| s.compromised_weight())
+            .collect();
+        for pair in weights.windows(2) {
+            assert!(pair[0] >= pair[1], "top-10 must be sorted: {weights:?}");
+        }
+        assert_eq!(CpsService::TelventOasysDna.compromised_weight(), 20.0);
+        assert_eq!(CpsService::FoundationFieldbusHse.compromised_weight(), 3.0);
+    }
+
+    #[test]
+    fn minor_services_are_lighter_than_top10() {
+        let min_top10 = CpsService::ALL[..10]
+            .iter()
+            .map(|s| s.compromised_weight())
+            .fold(f64::INFINITY, f64::min);
+        for s in &CpsService::ALL[10..] {
+            assert!(s.compromised_weight() < min_top10);
+        }
+    }
+
+    #[test]
+    fn consumer_weights_sum_to_100() {
+        let deploy: f64 = ConsumerKind::ALL.iter().map(|k| k.deploy_weight()).sum();
+        let comp: f64 = ConsumerKind::ALL.iter().map(|k| k.compromised_weight()).sum();
+        assert!((deploy - 100.0).abs() < 0.5, "deploy sums to {deploy}");
+        assert!((comp - 100.0).abs() < 0.5, "compromised sums to {comp}");
+    }
+
+    #[test]
+    fn compromised_routers_and_cameras_overrepresented() {
+        // Fig 3 vs §III-A1: routers and cameras make up a larger share of
+        // the compromised population than of deployments.
+        assert!(ConsumerKind::Router.compromised_weight() > ConsumerKind::Router.deploy_weight());
+        assert!(ConsumerKind::IpCamera.compromised_weight() > ConsumerKind::IpCamera.deploy_weight());
+        assert!(ConsumerKind::Printer.compromised_weight() < ConsumerKind::Printer.deploy_weight());
+    }
+
+    #[test]
+    fn service_ports_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in CpsService::ALL {
+            assert!(seen.insert(s.port()), "duplicate port {} for {s}", s.port());
+        }
+    }
+
+    #[test]
+    fn ethernet_ip_uses_port_44818() {
+        // §IV-B1: the Rockwell ControlLogix DoS victims ran Ethernet/IP on
+        // TCP/UDP 44818.
+        assert_eq!(CpsService::EthernetIp.port(), 44818);
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(CpsService::TelventOasysDna.to_string(), "Telvent OASyS DNA");
+        assert_eq!(CpsService::Mqtt.to_string(), "MQ Telemetry Transport");
+        assert_eq!(ConsumerKind::Router.to_string(), "Routers");
+        assert_eq!(Realm::Cps.to_string(), "CPS");
+    }
+
+    #[test]
+    fn common_applications_nonempty() {
+        for s in CpsService::ALL {
+            assert!(!s.common_applications().is_empty());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Sandbox report format and parser.
+//!
+//! The paper's malware database "is built by parsing and indexing XML
+//! malware reports" produced by dynamic analysis; reports contain network
+//! level activities (connections, IPs, ports, URLs/domains, payloads) and
+//! system level activities (DLLs, registry changes, memory usage) (§V-B).
+//! [`SandboxReport`] carries the same content; [`SandboxReport::to_xml`] /
+//! [`SandboxReport::parse_xml`] round-trip a simple XML-like encoding so
+//! the ingestion path (parse → index) mirrors the paper's.
+
+use crate::IntelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A sample identifier (hex digest).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MalwareHash(String);
+
+impl MalwareHash {
+    /// Wrap a lowercase hex digest string.
+    pub fn from_hex<S: Into<String>>(hex: S) -> Self {
+        MalwareHash(hex.into().to_ascii_lowercase())
+    }
+
+    /// The digest as hex.
+    pub fn as_hex(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MalwareHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Network-level activities of an instrumented sample.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkActivity {
+    /// Addresses the sample connected to.
+    pub contacted_ips: Vec<Ipv4Addr>,
+    /// Ports used in those connections.
+    pub contacted_ports: Vec<u16>,
+    /// Visited domains / URLs.
+    pub domains: Vec<String>,
+    /// Bytes of payload data sent.
+    pub payload_bytes: u64,
+}
+
+/// System-level activities of an instrumented sample.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemActivity {
+    /// DLLs loaded by the sample.
+    pub dlls: Vec<String>,
+    /// Registry keys written.
+    pub registry_keys: Vec<String>,
+    /// Peak memory usage in KiB.
+    pub peak_memory_kib: u64,
+}
+
+/// One dynamic-analysis report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SandboxReport {
+    /// The analyzed sample's digest.
+    pub sha256: MalwareHash,
+    /// Network-level activities.
+    pub network: NetworkActivity,
+    /// System-level activities.
+    pub system: SystemActivity,
+}
+
+impl SandboxReport {
+    /// Serialize to the XML-like report format.
+    pub fn to_xml(&self) -> String {
+        let mut s = String::new();
+        s.push_str("<report>\n");
+        s.push_str(&format!("  <sha256>{}</sha256>\n", self.sha256));
+        s.push_str("  <network>\n");
+        for ip in &self.network.contacted_ips {
+            s.push_str(&format!("    <ip>{ip}</ip>\n"));
+        }
+        for p in &self.network.contacted_ports {
+            s.push_str(&format!("    <port>{p}</port>\n"));
+        }
+        for d in &self.network.domains {
+            s.push_str(&format!("    <domain>{d}</domain>\n"));
+        }
+        s.push_str(&format!(
+            "    <payload_bytes>{}</payload_bytes>\n",
+            self.network.payload_bytes
+        ));
+        s.push_str("  </network>\n  <system>\n");
+        for d in &self.system.dlls {
+            s.push_str(&format!("    <dll>{d}</dll>\n"));
+        }
+        for k in &self.system.registry_keys {
+            s.push_str(&format!("    <regkey>{k}</regkey>\n"));
+        }
+        s.push_str(&format!(
+            "    <peak_memory_kib>{}</peak_memory_kib>\n",
+            self.system.peak_memory_kib
+        ));
+        s.push_str("  </system>\n</report>\n");
+        s
+    }
+
+    /// Parse a report from the XML-like format produced by
+    /// [`to_xml`](Self::to_xml).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntelError::ParseReport`] on malformed input (missing
+    /// hash, unparseable IPs/numbers, bad tags).
+    pub fn parse_xml(text: &str) -> Result<SandboxReport, IntelError> {
+        let mut sha256: Option<MalwareHash> = None;
+        let mut network = NetworkActivity::default();
+        let mut system = SystemActivity::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty()
+                || line.starts_with("<report")
+                || line.starts_with("</report")
+                || line.starts_with("<network")
+                || line.starts_with("</network")
+                || line.starts_with("<system")
+                || line.starts_with("</system")
+            {
+                continue;
+            }
+            let (tag, value) = parse_element(line)?;
+            match tag {
+                "sha256" => sha256 = Some(MalwareHash::from_hex(value)),
+                "ip" => network.contacted_ips.push(
+                    value
+                        .parse()
+                        .map_err(|_| IntelError::ParseReport(format!("bad ip {value:?}")))?,
+                ),
+                "port" => network.contacted_ports.push(
+                    value
+                        .parse()
+                        .map_err(|_| IntelError::ParseReport(format!("bad port {value:?}")))?,
+                ),
+                "domain" => network.domains.push(value.to_owned()),
+                "payload_bytes" => {
+                    network.payload_bytes = value
+                        .parse()
+                        .map_err(|_| IntelError::ParseReport(format!("bad payload {value:?}")))?
+                }
+                "dll" => system.dlls.push(value.to_owned()),
+                "regkey" => system.registry_keys.push(value.to_owned()),
+                "peak_memory_kib" => {
+                    system.peak_memory_kib = value
+                        .parse()
+                        .map_err(|_| IntelError::ParseReport(format!("bad memory {value:?}")))?
+                }
+                other => {
+                    return Err(IntelError::ParseReport(format!("unknown tag <{other}>")));
+                }
+            }
+        }
+        let sha256 =
+            sha256.ok_or_else(|| IntelError::ParseReport("missing <sha256>".to_owned()))?;
+        Ok(SandboxReport {
+            sha256,
+            network,
+            system,
+        })
+    }
+}
+
+/// Parse `<tag>value</tag>` into `(tag, value)`.
+fn parse_element(line: &str) -> Result<(&str, &str), IntelError> {
+    let bad = || IntelError::ParseReport(format!("malformed element {line:?}"));
+    let rest = line.strip_prefix('<').ok_or_else(bad)?;
+    let (tag, rest) = rest.split_once('>').ok_or_else(bad)?;
+    let close = format!("</{tag}>");
+    let value = rest.strip_suffix(close.as_str()).ok_or_else(bad)?;
+    Ok((tag, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SandboxReport {
+        SandboxReport {
+            sha256: MalwareHash::from_hex("DEADBEEF00112233"),
+            network: NetworkActivity {
+                contacted_ips: vec![Ipv4Addr::new(5, 6, 7, 8), Ipv4Addr::new(9, 9, 9, 9)],
+                contacted_ports: vec![80, 23],
+                domains: vec!["evil.example".into(), "c2.example".into()],
+                payload_bytes: 4821,
+            },
+            system: SystemActivity {
+                dlls: vec!["ws2_32.dll".into(), "kernel32.dll".into()],
+                registry_keys: vec!["HKLM\\Software\\Run\\svc".into()],
+                peak_memory_kib: 10_240,
+            },
+        }
+    }
+
+    #[test]
+    fn hash_normalizes_to_lowercase() {
+        let h = MalwareHash::from_hex("AbCd");
+        assert_eq!(h.as_hex(), "abcd");
+        assert_eq!(h.to_string(), "abcd");
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let r = sample();
+        let xml = r.to_xml();
+        let back = SandboxReport::parse_xml(&xml).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn xml_contains_expected_tags() {
+        let xml = sample().to_xml();
+        assert!(xml.contains("<sha256>deadbeef00112233</sha256>"));
+        assert!(xml.contains("<ip>5.6.7.8</ip>"));
+        assert!(xml.contains("<domain>evil.example</domain>"));
+        assert!(xml.contains("<dll>ws2_32.dll</dll>"));
+    }
+
+    #[test]
+    fn parse_rejects_missing_hash() {
+        let err = SandboxReport::parse_xml("<report>\n</report>\n").unwrap_err();
+        assert!(format!("{err}").contains("sha256"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_ip_and_unknown_tag() {
+        assert!(SandboxReport::parse_xml(
+            "<report>\n<sha256>aa</sha256>\n<ip>not-an-ip</ip>\n</report>"
+        )
+        .is_err());
+        assert!(SandboxReport::parse_xml(
+            "<report>\n<sha256>aa</sha256>\n<mystery>1</mystery>\n</report>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_elements() {
+        assert!(SandboxReport::parse_xml("<report>\n<sha256>aa\n</report>").is_err());
+        assert!(SandboxReport::parse_xml("no tags at all").is_err());
+    }
+
+    #[test]
+    fn empty_activities_roundtrip() {
+        let r = SandboxReport {
+            sha256: MalwareHash::from_hex("00"),
+            network: NetworkActivity::default(),
+            system: SystemActivity::default(),
+        };
+        let back = SandboxReport::parse_xml(&r.to_xml()).unwrap();
+        assert_eq!(back, r);
+    }
+}

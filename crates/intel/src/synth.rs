@@ -1,0 +1,324 @@
+//! Synthetic intel population, correlated with a simulation's ground truth.
+//!
+//! Mirrors what the paper found when it queried Cymon and its malware
+//! database: 9.2% of the explored devices were flagged, categories follow
+//! Table VI's (overlapping) prevalences, 117 devices linked to malware, 24
+//! distinct sample hashes across 11 families, and 33 associated domains.
+
+use crate::family::{FamilyResolver, MalwareFamily};
+use crate::malwaredb::MalwareDb;
+use crate::sandbox::{MalwareHash, NetworkActivity, SandboxReport, SystemActivity};
+use crate::threat::{ThreatCategory, ThreatEvent, ThreatRepo};
+use iotscope_devicedb::{DeviceDb, DeviceId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// Configuration for [`IntelBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntelSynthConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Fraction of candidate devices that the repository flags (§V-A:
+    /// 816/8,839 ≈ 9.2%).
+    pub flagged_fraction: f64,
+    /// Unrelated flagged addresses (background noise in the repo).
+    pub noise_ips: u32,
+    /// Sandbox reports contacting only unrelated addresses.
+    pub noise_reports: u32,
+}
+
+impl IntelSynthConfig {
+    /// Paper-shaped defaults for the given seed.
+    pub fn paper(seed: u64) -> Self {
+        IntelSynthConfig {
+            seed,
+            flagged_fraction: 0.092,
+            noise_ips: 2_000,
+            noise_reports: 300,
+        }
+    }
+}
+
+impl Default for IntelSynthConfig {
+    fn default() -> Self {
+        IntelSynthConfig::paper(0)
+    }
+}
+
+/// The populated stores plus the flag ledger.
+#[derive(Debug)]
+pub struct IntelOutput {
+    /// The Cymon-like repository.
+    pub threats: ThreatRepo,
+    /// The malware database.
+    pub malware: MalwareDb,
+    /// The VirusTotal-like resolver, seeded with all generated hashes.
+    pub resolver: FamilyResolver,
+    /// Ground truth: which candidate devices were flagged.
+    pub flagged_devices: Vec<DeviceId>,
+    /// Ground truth: which candidate devices were linked to malware.
+    pub malware_devices: Vec<DeviceId>,
+}
+
+/// Populates the intel stores from a candidate device list.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
+/// use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+///
+/// let inv = InventoryBuilder::new(SynthConfig::small(1)).build();
+/// let out = IntelBuilder::new(IntelSynthConfig::paper(1))
+///     .build(&inv.db, &inv.designated_consumer);
+/// assert!(!out.flagged_devices.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntelBuilder {
+    config: IntelSynthConfig,
+}
+
+/// The 33 domains the malware correlation surfaced (§V-B); synthetic
+/// stand-ins with stable names.
+fn domain_pool() -> Vec<String> {
+    (0..33).map(|i| format!("c2-{i:02}.badnet.example")).collect()
+}
+
+impl IntelBuilder {
+    /// Create a builder.
+    pub fn new(config: IntelSynthConfig) -> Self {
+        IntelBuilder { config }
+    }
+
+    /// Populate the stores. `candidates` are the devices eligible for
+    /// flagging (in the paper: the DoS victims plus the top scanners).
+    pub fn build(&self, db: &DeviceDb, candidates: &[DeviceId]) -> IntelOutput {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x1A7E_11CE);
+        let mut threats = ThreatRepo::new();
+        let mut malware = MalwareDb::new();
+        let mut resolver = FamilyResolver::new();
+
+        // 24 hashes over the 11 families, every family represented.
+        let hashes: Vec<(MalwareHash, MalwareFamily)> = (0..24)
+            .map(|i| {
+                let family = MalwareFamily::ALL[i % MalwareFamily::ALL.len()];
+                let hash = MalwareHash::from_hex(format!("{:016x}{:016x}", rng.gen::<u64>(), rng.gen::<u64>()));
+                resolver.register(hash.clone(), family);
+                (hash, family)
+            })
+            .collect();
+        let domains = domain_pool();
+
+        // Flag candidates.
+        let mut pool: Vec<DeviceId> = candidates.to_vec();
+        pool.shuffle(&mut rng);
+        let n_flagged = ((pool.len() as f64 * self.config.flagged_fraction).round() as usize)
+            .clamp(usize::from(!pool.is_empty()), pool.len());
+        let flagged: Vec<DeviceId> = pool[..n_flagged].to_vec();
+        let mut malware_devices = Vec::new();
+
+        for id in &flagged {
+            let device = db.device(*id);
+            let ip = device.ip;
+            let mut any = false;
+            for cat in ThreatCategory::ALL {
+                // §V-A: malware links skew heavily toward CPS devices (91
+                // CPS vs 26 consumer of 117); the other categories follow
+                // the aggregate Table VI prevalences.
+                let p = if cat == ThreatCategory::Malware {
+                    match device.realm() {
+                        iotscope_devicedb::Realm::Cps => 0.205,
+                        iotscope_devicedb::Realm::Consumer => 0.075,
+                    }
+                } else {
+                    cat.paper_prevalence()
+                };
+                if rng.gen::<f64>() < p {
+                    any = true;
+                    threats.add(Self::event(&mut rng, ip, cat));
+                    if cat == ThreatCategory::Malware {
+                        malware_devices.push(*id);
+                        self.emit_reports(&mut rng, &mut malware, ip, &hashes, &domains);
+                    }
+                }
+            }
+            if !any {
+                threats.add(Self::event(&mut rng, ip, ThreatCategory::Scanning));
+            }
+        }
+
+        // Background noise: flagged non-device addresses and reports that
+        // contact nothing in the inventory (the 192.0.2.0/24 TEST-NET
+        // block is never allocated to devices).
+        for _ in 0..self.config.noise_ips {
+            let ip = Ipv4Addr::new(192, 0, 2, rng.gen());
+            let cat = ThreatCategory::ALL[rng.gen_range(0..ThreatCategory::ALL.len())];
+            threats.add(Self::event(&mut rng, ip, cat));
+        }
+        for _ in 0..self.config.noise_reports {
+            let ip = Ipv4Addr::new(192, 0, 2, rng.gen());
+            self.emit_reports(&mut rng, &mut malware, ip, &hashes, &domains);
+        }
+
+        IntelOutput {
+            threats,
+            malware,
+            resolver,
+            flagged_devices: flagged,
+            malware_devices,
+        }
+    }
+
+    fn event(rng: &mut StdRng, ip: Ipv4Addr, category: ThreatCategory) -> ThreatEvent {
+        const SOURCES: [&str; 4] = ["honeypot-agg", "dnsbl-feed", "abuse-report", "ids-telemetry"];
+        ThreatEvent {
+            ip,
+            category,
+            source: SOURCES[rng.gen_range(0..SOURCES.len())].to_owned(),
+            reported_at: 1_491_955_200 + rng.gen_range(0..143 * 3600),
+        }
+    }
+
+    fn emit_reports(
+        &self,
+        rng: &mut StdRng,
+        malware: &mut MalwareDb,
+        ip: Ipv4Addr,
+        hashes: &[(MalwareHash, MalwareFamily)],
+        domains: &[String],
+    ) {
+        let n = rng.gen_range(1..=2);
+        for _ in 0..n {
+            let (hash, _) = &hashes[rng.gen_range(0..hashes.len())];
+            let n_domains = rng.gen_range(0..=2);
+            let domains: Vec<String> = (0..n_domains)
+                .map(|_| domains[rng.gen_range(0..domains.len())].clone())
+                .collect();
+            malware.ingest(SandboxReport {
+                sha256: hash.clone(),
+                network: NetworkActivity {
+                    contacted_ips: vec![ip],
+                    contacted_ports: vec![*[23u16, 80, 445, 2323, 7547]
+                        .get(rng.gen_range(0..5))
+                        .expect("index in range")],
+                    domains,
+                    payload_bytes: rng.gen_range(100..50_000),
+                },
+                system: SystemActivity {
+                    dlls: vec!["ws2_32.dll".into(), "wininet.dll".into()],
+                    registry_keys: vec!["HKLM\\Software\\Microsoft\\Windows\\Run\\upd".into()],
+                    peak_memory_kib: rng.gen_range(2_048..65_536),
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
+
+    fn setup() -> (iotscope_devicedb::synth::SynthOutput, IntelOutput) {
+        let inv = InventoryBuilder::new(SynthConfig::small(3)).build();
+        let candidates: Vec<DeviceId> = inv
+            .designated_consumer
+            .iter()
+            .chain(inv.designated_cps.iter())
+            .copied()
+            .collect();
+        let out = IntelBuilder::new(IntelSynthConfig::paper(3)).build(&inv.db, &candidates);
+        (inv, out)
+    }
+
+    #[test]
+    fn flags_about_nine_percent() {
+        let (_, out) = setup();
+        // 1050 candidates × 9.2% ≈ 97.
+        assert!((70..=130).contains(&out.flagged_devices.len()), "{}", out.flagged_devices.len());
+    }
+
+    #[test]
+    fn every_flagged_device_has_events() {
+        let (inv, out) = setup();
+        for id in &out.flagged_devices {
+            let ip = inv.db.device(*id).ip;
+            assert!(out.threats.is_flagged(ip), "{id} not in repo");
+            assert!(!out.threats.categories_for(ip).is_empty());
+        }
+    }
+
+    #[test]
+    fn category_mix_resembles_table_vi() {
+        let (inv, out) = setup();
+        let n = out.flagged_devices.len() as f64;
+        let share = |cat: ThreatCategory| {
+            out.flagged_devices
+                .iter()
+                .filter(|id| out.threats.categories_for(inv.db.device(**id).ip).contains(&cat))
+                .count() as f64
+                / n
+        };
+        assert!(share(ThreatCategory::Scanning) > 0.85);
+        assert!(share(ThreatCategory::Miscellaneous) > share(ThreatCategory::BruteForce));
+        assert!(share(ThreatCategory::BruteForce) > share(ThreatCategory::Malware));
+        assert!(share(ThreatCategory::Phishing) < 0.05);
+    }
+
+    #[test]
+    fn malware_devices_have_reports_resolving_to_families() {
+        let (inv, out) = setup();
+        assert!(!out.malware_devices.is_empty());
+        let mut families = std::collections::HashSet::new();
+        for id in &out.malware_devices {
+            let ip = inv.db.device(*id).ip;
+            let hashes = out.malware.hashes_contacting(ip);
+            assert!(!hashes.is_empty(), "{id} has no reports");
+            for h in hashes {
+                families.insert(out.resolver.resolve(&h).expect("hash registered"));
+            }
+        }
+        assert!(families.len() >= 3, "families {families:?}");
+    }
+
+    #[test]
+    fn resolver_knows_24_hashes_11_families() {
+        let (_, out) = setup();
+        assert_eq!(out.resolver.len(), 24);
+        assert_eq!(out.resolver.known_families().len(), 11);
+    }
+
+    #[test]
+    fn noise_does_not_touch_device_space() {
+        let (inv, out) = setup();
+        // Noise lives in 192.0.2.0/24, which the allocator never assigns.
+        for d in inv.db.iter() {
+            assert_ne!(d.ip.octets()[0], 192);
+        }
+        assert!(out.threats.num_flagged_ips() > out.flagged_devices.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inv = InventoryBuilder::new(SynthConfig::small(4)).build();
+        let candidates: Vec<DeviceId> = inv.designated_consumer.clone();
+        let a = IntelBuilder::new(IntelSynthConfig::paper(9)).build(&inv.db, &candidates);
+        let b = IntelBuilder::new(IntelSynthConfig::paper(9)).build(&inv.db, &candidates);
+        assert_eq!(a.flagged_devices, b.flagged_devices);
+        assert_eq!(a.threats.num_events(), b.threats.num_events());
+        let c = IntelBuilder::new(IntelSynthConfig::paper(10)).build(&inv.db, &candidates);
+        assert_ne!(a.flagged_devices, c.flagged_devices);
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_flags() {
+        let inv = InventoryBuilder::new(SynthConfig::small(5)).build();
+        let out = IntelBuilder::new(IntelSynthConfig::paper(5)).build(&inv.db, &[]);
+        assert!(out.flagged_devices.is_empty());
+        assert!(out.malware_devices.is_empty());
+        // Noise still present.
+        assert!(out.threats.num_events() > 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The Cymon-like threat event repository.
+//!
+//! Cymon "tracks and aggregates Internet-scale events related to IP
+//! addresses and domains, which are involved in malware, phishing, botnets,
+//! spamming, DNS blacklisting, scanning, and web attacks" (§V-A). The
+//! repository here keeps the same shape: IP-keyed events in the six
+//! categories the paper amalgamates in Table VI.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The six amalgamated threat categories of Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ThreatCategory {
+    /// Illicit Internet scanning.
+    Scanning,
+    /// Web/FTP attacks, DNS blacklisting, malicious domains, VoIP abuse.
+    Miscellaneous,
+    /// SSH brute-force attacks.
+    BruteForce,
+    /// Mail/IMAP spam.
+    Spam,
+    /// Virus, worm, bot/botnet, trojan activity.
+    Malware,
+    /// Phishing.
+    Phishing,
+}
+
+impl ThreatCategory {
+    /// All categories in Table VI order (descending paper prevalence).
+    pub const ALL: [ThreatCategory; 6] = [
+        ThreatCategory::Scanning,
+        ThreatCategory::Miscellaneous,
+        ThreatCategory::BruteForce,
+        ThreatCategory::Spam,
+        ThreatCategory::Malware,
+        ThreatCategory::Phishing,
+    ];
+
+    /// The prevalence among flagged devices reported in Table VI
+    /// (fractions of the 816 flagged devices; categories overlap).
+    pub fn paper_prevalence(self) -> f64 {
+        match self {
+            ThreatCategory::Scanning => 0.963,
+            ThreatCategory::Miscellaneous => 0.703,
+            ThreatCategory::BruteForce => 0.309,
+            ThreatCategory::Spam => 0.278,
+            ThreatCategory::Malware => 0.143,
+            ThreatCategory::Phishing => 0.006,
+        }
+    }
+}
+
+impl fmt::Display for ThreatCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThreatCategory::Scanning => "Scanning",
+            ThreatCategory::Miscellaneous => {
+                "Miscellaneous (Web/FTP attacks, DNSBL, Malicious domains, VoIP)"
+            }
+            ThreatCategory::BruteForce => "Brute force (SSH)",
+            ThreatCategory::Spam => "Spam (Mail, IMAP)",
+            ThreatCategory::Malware => "Malware (Virus, Worm, Bot/Botnet, Trojan)",
+            ThreatCategory::Phishing => "Phishing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One indexed event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThreatEvent {
+    /// The reported address.
+    pub ip: Ipv4Addr,
+    /// The amalgamated category.
+    pub category: ThreatCategory,
+    /// The reporting feed (free-form, e.g. `"honeypot-agg"`).
+    pub source: String,
+    /// Unix timestamp of the report.
+    pub reported_at: u64,
+}
+
+/// An IP-indexed store of threat events.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_intel::threat::{ThreatCategory, ThreatEvent, ThreatRepo};
+/// use std::net::Ipv4Addr;
+///
+/// let mut repo = ThreatRepo::new();
+/// let ip = Ipv4Addr::new(203, 0, 113, 5);
+/// repo.add(ThreatEvent {
+///     ip,
+///     category: ThreatCategory::Scanning,
+///     source: "honeypot".into(),
+///     reported_at: 1_492_000_000,
+/// });
+/// assert!(repo.is_flagged(ip));
+/// assert_eq!(repo.categories_for(ip).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThreatRepo {
+    by_ip: HashMap<Ipv4Addr, Vec<ThreatEvent>>,
+    num_events: usize,
+}
+
+impl ThreatRepo {
+    /// An empty repository.
+    pub fn new() -> Self {
+        ThreatRepo::default()
+    }
+
+    /// Index one event.
+    pub fn add(&mut self, event: ThreatEvent) {
+        self.by_ip.entry(event.ip).or_default().push(event);
+        self.num_events += 1;
+    }
+
+    /// Total indexed events.
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Number of distinct flagged addresses.
+    pub fn num_flagged_ips(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// Whether any event concerns `ip`.
+    pub fn is_flagged(&self, ip: Ipv4Addr) -> bool {
+        self.by_ip.contains_key(&ip)
+    }
+
+    /// All events for `ip` (empty slice if none).
+    pub fn events_for(&self, ip: Ipv4Addr) -> &[ThreatEvent] {
+        self.by_ip.get(&ip).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The distinct categories `ip` is flagged with.
+    pub fn categories_for(&self, ip: Ipv4Addr) -> HashSet<ThreatCategory> {
+        self.events_for(ip).iter().map(|e| e.category).collect()
+    }
+}
+
+impl Extend<ThreatEvent> for ThreatRepo {
+    fn extend<I: IntoIterator<Item = ThreatEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.add(e);
+        }
+    }
+}
+
+impl FromIterator<ThreatEvent> for ThreatRepo {
+    fn from_iter<I: IntoIterator<Item = ThreatEvent>>(iter: I) -> Self {
+        let mut repo = ThreatRepo::new();
+        repo.extend(iter);
+        repo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ip: [u8; 4], category: ThreatCategory) -> ThreatEvent {
+        ThreatEvent {
+            ip: Ipv4Addr::from(ip),
+            category,
+            source: "test".into(),
+            reported_at: 0,
+        }
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut repo = ThreatRepo::new();
+        repo.add(event([1, 2, 3, 4], ThreatCategory::Scanning));
+        repo.add(event([1, 2, 3, 4], ThreatCategory::Malware));
+        repo.add(event([1, 2, 3, 4], ThreatCategory::Scanning));
+        repo.add(event([5, 6, 7, 8], ThreatCategory::Phishing));
+        assert_eq!(repo.num_events(), 4);
+        assert_eq!(repo.num_flagged_ips(), 2);
+        assert_eq!(repo.events_for(Ipv4Addr::new(1, 2, 3, 4)).len(), 3);
+        let cats = repo.categories_for(Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(cats.len(), 2);
+        assert!(cats.contains(&ThreatCategory::Malware));
+        assert!(!repo.is_flagged(Ipv4Addr::new(9, 9, 9, 9)));
+        assert!(repo.events_for(Ipv4Addr::new(9, 9, 9, 9)).is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let repo: ThreatRepo = vec![
+            event([1, 1, 1, 1], ThreatCategory::Spam),
+            event([2, 2, 2, 2], ThreatCategory::BruteForce),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(repo.num_flagged_ips(), 2);
+    }
+
+    #[test]
+    fn table_vi_prevalences_are_ordered() {
+        let prev: Vec<f64> = ThreatCategory::ALL
+            .iter()
+            .map(|c| c.paper_prevalence())
+            .collect();
+        for w in prev.windows(2) {
+            assert!(w[0] >= w[1], "Table VI order violated: {prev:?}");
+        }
+        assert!((ThreatCategory::Scanning.paper_prevalence() - 0.963).abs() < 1e-9);
+    }
+
+    #[test]
+    fn category_display_matches_table_vi_labels() {
+        assert_eq!(ThreatCategory::Scanning.to_string(), "Scanning");
+        assert!(ThreatCategory::Miscellaneous.to_string().contains("DNSBL"));
+        assert!(ThreatCategory::BruteForce.to_string().contains("SSH"));
+    }
+}

@@ -1,0 +1,388 @@
+//! IPv4 address arithmetic and CIDR prefixes.
+//!
+//! The telescope monitors a contiguous CIDR block of *dark* (routable but
+//! unused) addresses; the device inventory and traffic generators need fast
+//! containment checks, subnet iteration and uniform sampling within blocks.
+
+use crate::NetError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// Convert an [`Ipv4Addr`] to its numeric (big-endian) value.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_net::addr::ip_to_u32;
+/// use std::net::Ipv4Addr;
+/// assert_eq!(ip_to_u32(Ipv4Addr::new(0, 0, 1, 0)), 256);
+/// ```
+#[inline]
+pub fn ip_to_u32(ip: Ipv4Addr) -> u32 {
+    u32::from(ip)
+}
+
+/// Convert a numeric value back to an [`Ipv4Addr`].
+///
+/// # Example
+///
+/// ```
+/// use iotscope_net::addr::u32_to_ip;
+/// use std::net::Ipv4Addr;
+/// assert_eq!(u32_to_ip(256), Ipv4Addr::new(0, 0, 1, 0));
+/// ```
+#[inline]
+pub fn u32_to_ip(v: u32) -> Ipv4Addr {
+    Ipv4Addr::from(v)
+}
+
+/// An IPv4 CIDR prefix such as `44.0.0.0/8`.
+///
+/// The network address is stored normalized: host bits below the prefix
+/// length are always zero. Construction validates both the prefix length and
+/// normalization, so every `Ipv4Cidr` value is well-formed.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), iotscope_net::NetError> {
+/// use iotscope_net::addr::Ipv4Cidr;
+/// use std::net::Ipv4Addr;
+///
+/// let net: Ipv4Cidr = "192.0.2.0/24".parse()?;
+/// assert!(net.contains(Ipv4Addr::new(192, 0, 2, 200)));
+/// assert!(!net.contains(Ipv4Addr::new(192, 0, 3, 1)));
+/// assert_eq!(net.num_addresses(), 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Cidr {
+    network: u32,
+    prefix_len: u8,
+}
+
+impl Ipv4Cidr {
+    /// Creates a CIDR from a network address and prefix length.
+    ///
+    /// Host bits in `network` below `prefix_len` are masked off, so
+    /// `Ipv4Cidr::new(10.1.2.3, 8)` normalizes to `10.0.0.0/8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidPrefixLen`] if `prefix_len > 32`.
+    pub fn new(network: Ipv4Addr, prefix_len: u8) -> Result<Self, NetError> {
+        if prefix_len > 32 {
+            return Err(NetError::InvalidPrefixLen(prefix_len));
+        }
+        let mask = prefix_mask(prefix_len);
+        Ok(Ipv4Cidr {
+            network: ip_to_u32(network) & mask,
+            prefix_len,
+        })
+    }
+
+    /// The normalized network address.
+    pub fn network(&self) -> Ipv4Addr {
+        u32_to_ip(self.network)
+    }
+
+    /// The prefix length in bits.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// The netmask as an address, e.g. `255.255.255.0` for a `/24`.
+    pub fn netmask(&self) -> Ipv4Addr {
+        u32_to_ip(prefix_mask(self.prefix_len))
+    }
+
+    /// The last (broadcast) address in the block.
+    pub fn broadcast(&self) -> Ipv4Addr {
+        u32_to_ip(self.network | !prefix_mask(self.prefix_len))
+    }
+
+    /// Number of addresses covered by this prefix (2^(32 − prefix_len)).
+    pub fn num_addresses(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    #[inline]
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        ip_to_u32(ip) & prefix_mask(self.prefix_len) == self.network
+    }
+
+    /// Whether `other` is entirely contained in `self`.
+    pub fn contains_cidr(&self, other: &Ipv4Cidr) -> bool {
+        other.prefix_len >= self.prefix_len && self.contains(other.network())
+    }
+
+    /// The `index`-th address of the block (0 = network address).
+    ///
+    /// Indexing is useful for deterministic, collision-free address
+    /// assignment inside a simulated block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_addresses()`.
+    pub fn addr_at(&self, index: u64) -> Ipv4Addr {
+        assert!(
+            index < self.num_addresses(),
+            "index {index} out of range for {self}"
+        );
+        u32_to_ip(self.network.wrapping_add(index as u32))
+    }
+
+    /// The offset of `ip` within the block, or `None` if outside.
+    pub fn index_of(&self, ip: Ipv4Addr) -> Option<u64> {
+        if self.contains(ip) {
+            Some(u64::from(ip_to_u32(ip) - self.network))
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over all addresses in the block, in order.
+    ///
+    /// Intended for small blocks (e.g. `/24`); a `/8` yields 16.7M items.
+    pub fn iter(&self) -> Ipv4CidrIter {
+        Ipv4CidrIter {
+            next: Some(self.network),
+            last: self.network | !prefix_mask(self.prefix_len),
+        }
+    }
+
+    /// Split this prefix into subnets of the given (longer) prefix length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidPrefixLen`] if `new_len` is shorter than
+    /// the current prefix or exceeds 32.
+    pub fn subnets(&self, new_len: u8) -> Result<Vec<Ipv4Cidr>, NetError> {
+        if new_len < self.prefix_len || new_len > 32 {
+            return Err(NetError::InvalidPrefixLen(new_len));
+        }
+        let count = 1u64 << (new_len - self.prefix_len);
+        let step = 1u64 << (32 - new_len);
+        let mut out = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            out.push(Ipv4Cidr {
+                network: self.network + (i * step) as u32,
+                prefix_len: new_len,
+            });
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.prefix_len)
+    }
+}
+
+impl FromStr for Ipv4Cidr {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| NetError::ParseCidr(s.to_owned()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| NetError::ParseCidr(s.to_owned()))?;
+        let len: u8 = len.parse().map_err(|_| NetError::ParseCidr(s.to_owned()))?;
+        Ipv4Cidr::new(addr, len)
+    }
+}
+
+/// Iterator over the addresses of an [`Ipv4Cidr`], produced by
+/// [`Ipv4Cidr::iter`].
+#[derive(Debug, Clone)]
+pub struct Ipv4CidrIter {
+    next: Option<u32>,
+    last: u32,
+}
+
+impl Iterator for Ipv4CidrIter {
+    type Item = Ipv4Addr;
+
+    fn next(&mut self) -> Option<Ipv4Addr> {
+        let cur = self.next?;
+        self.next = if cur == self.last {
+            None
+        } else {
+            Some(cur + 1)
+        };
+        Some(u32_to_ip(cur))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.next {
+            None => (0, Some(0)),
+            Some(n) => {
+                let rem = (self.last - n) as usize + 1;
+                (rem, Some(rem))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for Ipv4CidrIter {}
+
+#[inline]
+fn prefix_mask(len: u8) -> u32 {
+    debug_assert!(len <= 32);
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cidr_parse_display_roundtrip() {
+        for s in ["44.0.0.0/8", "192.0.2.0/24", "0.0.0.0/0", "10.1.2.3/32"] {
+            let c: Ipv4Cidr = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn cidr_normalizes_host_bits() {
+        let c = Ipv4Cidr::new(Ipv4Addr::new(10, 99, 3, 200), 8).unwrap();
+        assert_eq!(c.network(), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(c.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn cidr_rejects_long_prefix() {
+        assert!(matches!(
+            Ipv4Cidr::new(Ipv4Addr::new(1, 2, 3, 4), 33),
+            Err(NetError::InvalidPrefixLen(33))
+        ));
+    }
+
+    #[test]
+    fn cidr_rejects_bad_syntax() {
+        assert!("10.0.0.0".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0.0/ab".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0.0/40".parse::<Ipv4Cidr>().is_err());
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let c: Ipv4Cidr = "192.0.2.0/24".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(192, 0, 2, 0)));
+        assert!(c.contains(Ipv4Addr::new(192, 0, 2, 255)));
+        assert!(!c.contains(Ipv4Addr::new(192, 0, 1, 255)));
+        assert!(!c.contains(Ipv4Addr::new(192, 0, 3, 0)));
+    }
+
+    #[test]
+    fn zero_prefix_contains_everything() {
+        let c: Ipv4Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(c.contains(Ipv4Addr::new(0, 0, 0, 0)));
+        assert_eq!(c.num_addresses(), 1 << 32);
+    }
+
+    #[test]
+    fn slash32_contains_only_itself() {
+        let c: Ipv4Cidr = "10.1.2.3/32".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(10, 1, 2, 3)));
+        assert!(!c.contains(Ipv4Addr::new(10, 1, 2, 4)));
+        assert_eq!(c.num_addresses(), 1);
+    }
+
+    #[test]
+    fn addr_at_and_index_of_are_inverse() {
+        let c: Ipv4Cidr = "198.51.100.0/24".parse().unwrap();
+        for i in [0u64, 1, 100, 255] {
+            let ip = c.addr_at(i);
+            assert_eq!(c.index_of(ip), Some(i));
+        }
+        assert_eq!(c.index_of(Ipv4Addr::new(198, 51, 101, 0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn addr_at_out_of_range_panics() {
+        let c: Ipv4Cidr = "198.51.100.0/24".parse().unwrap();
+        let _ = c.addr_at(256);
+    }
+
+    #[test]
+    fn iter_yields_all_addresses_in_order() {
+        let c: Ipv4Cidr = "203.0.113.248/29".parse().unwrap();
+        let got: Vec<Ipv4Addr> = c.iter().collect();
+        assert_eq!(got.len(), 8);
+        assert_eq!(got[0], Ipv4Addr::new(203, 0, 113, 248));
+        assert_eq!(got[7], Ipv4Addr::new(203, 0, 113, 255));
+        assert_eq!(c.iter().len(), 8);
+    }
+
+    #[test]
+    fn subnets_partition_parent() {
+        let c: Ipv4Cidr = "10.0.0.0/8".parse().unwrap();
+        let subs = c.subnets(10).unwrap();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/10");
+        assert_eq!(subs[3].to_string(), "10.192.0.0/10");
+        for s in &subs {
+            assert!(c.contains_cidr(s));
+        }
+        assert!(c.subnets(4).is_err());
+        assert!(c.subnets(33).is_err());
+    }
+
+    #[test]
+    fn contains_cidr_is_reflexive_and_respects_length() {
+        let a: Ipv4Cidr = "10.0.0.0/8".parse().unwrap();
+        let b: Ipv4Cidr = "10.20.0.0/16".parse().unwrap();
+        assert!(a.contains_cidr(&a));
+        assert!(a.contains_cidr(&b));
+        assert!(!b.contains_cidr(&a));
+    }
+
+    #[test]
+    fn broadcast_and_netmask() {
+        let c: Ipv4Cidr = "192.0.2.0/24".parse().unwrap();
+        assert_eq!(c.broadcast(), Ipv4Addr::new(192, 0, 2, 255));
+        assert_eq!(c.netmask(), Ipv4Addr::new(255, 255, 255, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_contains_matches_index_of(ip: u32, net: u32, len in 0u8..=32) {
+            let c = Ipv4Cidr::new(u32_to_ip(net), len).unwrap();
+            let ip = u32_to_ip(ip);
+            prop_assert_eq!(c.contains(ip), c.index_of(ip).is_some());
+        }
+
+        #[test]
+        fn prop_addr_at_roundtrip(net: u32, len in 8u8..=32, idx: u64) {
+            let c = Ipv4Cidr::new(u32_to_ip(net), len).unwrap();
+            let idx = idx % c.num_addresses();
+            let ip = c.addr_at(idx);
+            prop_assert!(c.contains(ip));
+            prop_assert_eq!(c.index_of(ip), Some(idx));
+        }
+
+        #[test]
+        fn prop_parse_display_roundtrip(net: u32, len in 0u8..=32) {
+            let c = Ipv4Cidr::new(u32_to_ip(net), len).unwrap();
+            let back: Ipv4Cidr = c.to_string().parse().unwrap();
+            prop_assert_eq!(c, back);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Prefix-preserving IP anonymization (Crypto-PAn style).
+//!
+//! Telescope operators do not share raw source addresses: the UCSD data
+//! the paper used is distributed with prefix-preserving anonymization, and
+//! the paper's own plan to "share IoT-relevant malicious empirical data …
+//! with the research community" (§VI) requires the same. This module
+//! implements the Xu et al. scheme's structure: each address bit is
+//! flipped by a keyed pseudo-random function of all higher-order bits, so
+//!
+//! * the mapping is **deterministic** per key,
+//! * it is a **bijection** on the address space, and
+//! * two addresses sharing a `k`-bit prefix map to addresses sharing
+//!   exactly a `k`-bit prefix (subnet structure survives, identities do
+//!   not).
+//!
+//! The keyed PRF is a SplitMix64-based construction rather than AES (this
+//! workspace carries no cipher dependency); it provides *research-data*
+//! obfuscation, not cryptographic security against a key-recovery
+//! adversary — the documented trade-off for a dependency-free build.
+
+use std::net::Ipv4Addr;
+
+/// A keyed prefix-preserving anonymizer.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_net::anon::Anonymizer;
+/// use std::net::Ipv4Addr;
+///
+/// let anon = Anonymizer::new(0xfeed_beef);
+/// let a = anon.anonymize(Ipv4Addr::new(192, 0, 2, 1));
+/// let b = anon.anonymize(Ipv4Addr::new(192, 0, 2, 200));
+/// // Same /24 in, same /24 out.
+/// assert_eq!(a.octets()[..3], b.octets()[..3]);
+/// assert_ne!(a, Ipv4Addr::new(192, 0, 2, 1));
+/// assert_eq!(anon.de_anonymize(a), Ipv4Addr::new(192, 0, 2, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Anonymizer {
+    key: u64,
+}
+
+impl Anonymizer {
+    /// Create an anonymizer from a secret key.
+    pub fn new(key: u64) -> Self {
+        Anonymizer { key }
+    }
+
+    /// Anonymize one address, preserving prefix relationships.
+    pub fn anonymize(&self, ip: Ipv4Addr) -> Ipv4Addr {
+        let addr = u32::from(ip);
+        let mut out = 0u32;
+        for bit in 0..32u32 {
+            // The flip decision for bit `bit` depends only on the key and
+            // the *original* higher-order bits — the Crypto-PAn structure.
+            let prefix = if bit == 0 { 0 } else { addr >> (32 - bit) };
+            let flip = (prf(self.key, bit, prefix) & 1) as u32;
+            let original = (addr >> (31 - bit)) & 1;
+            out = (out << 1) | (original ^ flip);
+        }
+        Ipv4Addr::from(out)
+    }
+
+    /// Invert [`anonymize`](Self::anonymize) under the same key.
+    pub fn de_anonymize(&self, ip: Ipv4Addr) -> Ipv4Addr {
+        let anon = u32::from(ip);
+        let mut original = 0u32;
+        for bit in 0..32u32 {
+            // Recover the original bits top-down: the flip mask for bit i
+            // depends on original bits 0..i, which are known by induction.
+            // After `bit` iterations, `original` holds exactly those bits
+            // (as an integer), which is the prefix value anonymize used.
+            let prefix = original;
+            let flip = (prf(self.key, bit, prefix) & 1) as u32;
+            let anon_bit = (anon >> (31 - bit)) & 1;
+            original = (original << 1) | (anon_bit ^ flip);
+        }
+        Ipv4Addr::from(original)
+    }
+
+    /// Anonymize the source and destination of a flowtuple (the record
+    /// shape shared with the community keeps ports/flags/counters).
+    pub fn anonymize_flow(&self, flow: &crate::flowtuple::FlowTuple) -> crate::flowtuple::FlowTuple {
+        let mut out = *flow;
+        out.src_ip = self.anonymize(flow.src_ip);
+        out.dst_ip = self.anonymize(flow.dst_ip);
+        out
+    }
+}
+
+/// Keyed PRF over (bit index, prefix) — SplitMix64 finalization.
+fn prf(key: u64, bit: u32, prefix: u32) -> u64 {
+    let mut z = key
+        .wrapping_add(u64::from(bit).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(u64::from(prefix).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        let a = Anonymizer::new(7);
+        let b = Anonymizer::new(7);
+        let c = Anonymizer::new(8);
+        let ip = Ipv4Addr::new(203, 0, 113, 99);
+        assert_eq!(a.anonymize(ip), b.anonymize(ip));
+        assert_ne!(a.anonymize(ip), c.anonymize(ip));
+    }
+
+    #[test]
+    fn identity_is_hidden() {
+        let anon = Anonymizer::new(42);
+        let mut changed = 0;
+        for i in 0..=255u8 {
+            let ip = Ipv4Addr::new(10, 0, 0, i);
+            if anon.anonymize(ip) != ip {
+                changed += 1;
+            }
+        }
+        assert!(changed > 250, "only {changed} of 256 addresses changed");
+    }
+
+    #[test]
+    fn flow_anonymization_keeps_everything_else() {
+        use crate::flowtuple::FlowTuple;
+        use crate::protocol::TcpFlags;
+        let anon = Anonymizer::new(9);
+        let f = FlowTuple::tcp(
+            Ipv4Addr::new(198, 51, 100, 5),
+            Ipv4Addr::new(44, 1, 2, 3),
+            40000,
+            23,
+            TcpFlags::SYN,
+        )
+        .with_packets(7);
+        let g = anon.anonymize_flow(&f);
+        assert_ne!(g.src_ip, f.src_ip);
+        assert_ne!(g.dst_ip, f.dst_ip);
+        assert_eq!(g.dst_port, 23);
+        assert_eq!(g.packets, 7);
+        assert_eq!(g.tcp_flags, f.tcp_flags);
+    }
+
+    fn shared_prefix_len(a: Ipv4Addr, b: Ipv4Addr) -> u32 {
+        (u32::from(a) ^ u32::from(b)).leading_zeros()
+    }
+
+    proptest! {
+        /// The defining property: shared-prefix length is preserved
+        /// exactly.
+        #[test]
+        fn prop_prefix_preserving(key: u64, a: u32, b: u32) {
+            let anon = Anonymizer::new(key);
+            let (a, b) = (Ipv4Addr::from(a), Ipv4Addr::from(b));
+            let (x, y) = (anon.anonymize(a), anon.anonymize(b));
+            prop_assert_eq!(shared_prefix_len(a, b), shared_prefix_len(x, y));
+        }
+
+        /// Anonymization is invertible under the same key.
+        #[test]
+        fn prop_roundtrip(key: u64, ip: u32) {
+            let anon = Anonymizer::new(key);
+            let ip = Ipv4Addr::from(ip);
+            prop_assert_eq!(anon.de_anonymize(anon.anonymize(ip)), ip);
+        }
+
+        /// Injectivity on sampled pairs (follows from invertibility, but
+        /// cheap to check directly).
+        #[test]
+        fn prop_injective(key: u64, a: u32, b: u32) {
+            prop_assume!(a != b);
+            let anon = Anonymizer::new(key);
+            prop_assert_ne!(
+                anon.anonymize(Ipv4Addr::from(a)),
+                anon.anonymize(Ipv4Addr::from(b))
+            );
+        }
+    }
+}

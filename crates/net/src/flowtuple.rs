@@ -1,0 +1,476 @@
+//! The corsaro-style *flowtuple* record and its binary codec.
+//!
+//! The UCSD telescope distributes processed darknet traffic as hourly
+//! "flowtuple" files. Each record aggregates the packets of one incoming
+//! flow and carries exactly the fields the paper lists (§III-A2):
+//! source/destination IP addresses and ports, transport protocol, TTL,
+//! TCP flags, IP length, and total packet count.
+//!
+//! Following the corsaro convention, ICMP flows reuse the port fields to
+//! carry the ICMP type (in `src_port`) and code (in `dst_port`).
+
+use crate::protocol::{IcmpType, TcpFlags, TransportProtocol};
+use crate::NetError;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// One aggregated flow observed at the telescope.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_net::flowtuple::FlowTuple;
+/// use iotscope_net::protocol::TcpFlags;
+/// use std::net::Ipv4Addr;
+///
+/// let ft = FlowTuple::tcp(
+///     Ipv4Addr::new(198, 51, 100, 9),
+///     Ipv4Addr::new(44, 1, 2, 3),
+///     40000,
+///     23,
+///     TcpFlags::SYN,
+/// );
+/// assert!(ft.tcp_flags.is_bare_syn());
+/// assert_eq!(ft.packets, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowTuple {
+    /// Source address (the host out on the Internet).
+    pub src_ip: Ipv4Addr,
+    /// Destination address (inside the dark space).
+    pub dst_ip: Ipv4Addr,
+    /// Source port; ICMP type for ICMP flows.
+    pub src_port: u16,
+    /// Destination port; ICMP code for ICMP flows.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: TransportProtocol,
+    /// IP time-to-live of the first packet.
+    pub ttl: u8,
+    /// TCP flags (empty for UDP/ICMP).
+    pub tcp_flags: TcpFlags,
+    /// IP length of the first packet, bytes.
+    pub ip_len: u16,
+    /// Total packets aggregated in the flow.
+    pub packets: u32,
+}
+
+impl FlowTuple {
+    /// Encoded size upper bound in bytes (fixed fields + max varint).
+    pub const MAX_ENCODED_LEN: usize = 4 + 4 + 2 + 2 + 1 + 1 + 1 + 2 + 5;
+
+    /// A single-packet TCP flow.
+    pub fn tcp(
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        flags: TcpFlags,
+    ) -> Self {
+        FlowTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: TransportProtocol::Tcp,
+            ttl: 64,
+            tcp_flags: flags,
+            ip_len: 40,
+            packets: 1,
+        }
+    }
+
+    /// A single-packet UDP flow.
+    pub fn udp(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, src_port: u16, dst_port: u16) -> Self {
+        FlowTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: TransportProtocol::Udp,
+            ttl: 64,
+            tcp_flags: TcpFlags::EMPTY,
+            ip_len: 60,
+            packets: 1,
+        }
+    }
+
+    /// A single-packet ICMP flow; the type/code ride in the port fields.
+    pub fn icmp(src_ip: Ipv4Addr, dst_ip: Ipv4Addr, icmp_type: IcmpType) -> Self {
+        FlowTuple {
+            src_ip,
+            dst_ip,
+            src_port: u16::from(icmp_type.number()),
+            dst_port: 0,
+            protocol: TransportProtocol::Icmp,
+            ttl: 64,
+            tcp_flags: TcpFlags::EMPTY,
+            ip_len: 84,
+            packets: 1,
+        }
+    }
+
+    /// Set the aggregated packet count (builder-style).
+    pub fn with_packets(mut self, packets: u32) -> Self {
+        self.packets = packets;
+        self
+    }
+
+    /// Set the TTL (builder-style).
+    pub fn with_ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// The ICMP type, if this is an ICMP flow with a modeled type.
+    pub fn icmp_type(&self) -> Option<IcmpType> {
+        if self.protocol != TransportProtocol::Icmp {
+            return None;
+        }
+        u8::try_from(self.src_port).ok().and_then(IcmpType::from_number)
+    }
+
+    /// Serialize into `buf` using the fixed-field + varint layout.
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(u32::from(self.src_ip));
+        buf.put_u32(u32::from(self.dst_ip));
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u8(self.protocol.number());
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.tcp_flags.bits());
+        buf.put_u16(self.ip_len);
+        put_varint(buf, self.packets);
+    }
+
+    /// Deserialize one record from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Codec`] on truncation or an unknown protocol
+    /// number.
+    pub fn decode_from<B: Buf>(buf: &mut B) -> Result<Self, NetError> {
+        const FIXED: usize = 4 + 4 + 2 + 2 + 1 + 1 + 1 + 2;
+        if buf.remaining() < FIXED {
+            return Err(NetError::Codec(format!(
+                "truncated flowtuple: {} bytes remaining, need at least {FIXED}",
+                buf.remaining()
+            )));
+        }
+        let src_ip = Ipv4Addr::from(buf.get_u32());
+        let dst_ip = Ipv4Addr::from(buf.get_u32());
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let proto_num = buf.get_u8();
+        let protocol = TransportProtocol::from_number(proto_num)
+            .ok_or_else(|| NetError::Codec(format!("unknown protocol number {proto_num}")))?;
+        let ttl = buf.get_u8();
+        let tcp_flags = TcpFlags::from_bits(buf.get_u8());
+        let ip_len = buf.get_u16();
+        let packets = get_varint(buf)?;
+        Ok(FlowTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol,
+            ttl,
+            tcp_flags,
+            ip_len,
+            packets,
+        })
+    }
+}
+
+impl FlowTuple {
+    /// Serialize to the corsaro-style ASCII flowtuple line:
+    /// `src|dst|src_port|dst_port|proto|ttl|flags|ip_len|packets`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use iotscope_net::flowtuple::FlowTuple;
+    /// use iotscope_net::protocol::TcpFlags;
+    /// use std::net::Ipv4Addr;
+    ///
+    /// let ft = FlowTuple::tcp(
+    ///     Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(44, 0, 0, 1),
+    ///     40000, 23, TcpFlags::SYN,
+    /// );
+    /// let line = ft.to_ascii();
+    /// assert_eq!(FlowTuple::from_ascii(&line).unwrap(), ft);
+    /// ```
+    pub fn to_ascii(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            self.protocol.number(),
+            self.ttl,
+            self.tcp_flags.bits(),
+            self.ip_len,
+            self.packets
+        )
+    }
+
+    /// Parse a line produced by [`to_ascii`](Self::to_ascii).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Codec`] on wrong field counts, unparsable
+    /// numbers or unknown protocols.
+    pub fn from_ascii(line: &str) -> Result<FlowTuple, NetError> {
+        let fields: Vec<&str> = line.trim().split('|').collect();
+        if fields.len() != 9 {
+            return Err(NetError::Codec(format!(
+                "ascii flowtuple needs 9 fields, got {}",
+                fields.len()
+            )));
+        }
+        let bad = |what: &str, v: &str| NetError::Codec(format!("bad {what}: {v:?}"));
+        let proto_num: u8 = fields[4].parse().map_err(|_| bad("protocol", fields[4]))?;
+        Ok(FlowTuple {
+            src_ip: fields[0].parse().map_err(|_| bad("src ip", fields[0]))?,
+            dst_ip: fields[1].parse().map_err(|_| bad("dst ip", fields[1]))?,
+            src_port: fields[2].parse().map_err(|_| bad("src port", fields[2]))?,
+            dst_port: fields[3].parse().map_err(|_| bad("dst port", fields[3]))?,
+            protocol: TransportProtocol::from_number(proto_num)
+                .ok_or_else(|| bad("protocol number", fields[4]))?,
+            ttl: fields[5].parse().map_err(|_| bad("ttl", fields[5]))?,
+            tcp_flags: TcpFlags::from_bits(
+                fields[6].parse().map_err(|_| bad("flags", fields[6]))?,
+            ),
+            ip_len: fields[7].parse().map_err(|_| bad("ip len", fields[7]))?,
+            packets: fields[8].parse().map_err(|_| bad("packets", fields[8]))?,
+        })
+    }
+}
+
+impl fmt::Display for FlowTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{} flags={} ttl={} len={} pkts={}",
+            self.protocol,
+            self.src_ip,
+            self.src_port,
+            self.dst_ip,
+            self.dst_port,
+            self.tcp_flags,
+            self.ttl,
+            self.ip_len,
+            self.packets
+        )
+    }
+}
+
+/// Write a LEB128-style varint.
+pub(crate) fn put_varint<B: BufMut>(buf: &mut B, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read a LEB128-style varint.
+pub(crate) fn get_varint<B: Buf>(buf: &mut B) -> Result<u32, NetError> {
+    let mut v: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(NetError::Codec("truncated varint".to_owned()));
+        }
+        let byte = buf.get_u8();
+        if shift >= 32 {
+            return Err(NetError::Codec("varint overflows u32".to_owned()));
+        }
+        let low = u32::from(byte & 0x7f);
+        if shift == 28 && low > 0x0f {
+            return Err(NetError::Codec("varint overflows u32".to_owned()));
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_flows() -> Vec<FlowTuple> {
+        vec![
+            FlowTuple::tcp(
+                Ipv4Addr::new(203, 0, 113, 5),
+                Ipv4Addr::new(44, 9, 8, 7),
+                40123,
+                23,
+                TcpFlags::SYN,
+            ),
+            FlowTuple::udp(
+                Ipv4Addr::new(198, 51, 100, 77),
+                Ipv4Addr::new(44, 0, 0, 1),
+                5353,
+                37547,
+            )
+            .with_packets(19),
+            FlowTuple::icmp(
+                Ipv4Addr::new(192, 0, 2, 33),
+                Ipv4Addr::new(44, 255, 255, 254),
+                IcmpType::EchoReply,
+            )
+            .with_ttl(250),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_samples() {
+        for ft in sample_flows() {
+            let mut buf = Vec::new();
+            ft.encode_into(&mut buf);
+            assert!(buf.len() <= FlowTuple::MAX_ENCODED_LEN);
+            let mut slice = buf.as_slice();
+            let back = FlowTuple::decode_from(&mut slice).unwrap();
+            assert_eq!(ft, back);
+            assert!(slice.is_empty(), "decoder must consume exactly one record");
+        }
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        let ft = sample_flows()[0];
+        let mut buf = Vec::new();
+        ft.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(
+                FlowTuple::decode_from(&mut slice).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_unknown_protocol_fails() {
+        let ft = sample_flows()[0];
+        let mut buf = Vec::new();
+        ft.encode_into(&mut buf);
+        buf[12] = 99; // protocol byte
+        let mut slice = buf.as_slice();
+        let err = FlowTuple::decode_from(&mut slice).unwrap_err();
+        assert!(format!("{err}").contains("protocol"));
+    }
+
+    #[test]
+    fn icmp_type_accessor() {
+        let ft = FlowTuple::icmp(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(44, 0, 0, 1),
+            IcmpType::EchoRequest,
+        );
+        assert_eq!(ft.icmp_type(), Some(IcmpType::EchoRequest));
+        let tcp = sample_flows()[0];
+        assert_eq!(tcp.icmp_type(), None);
+        // ICMP flow with an out-of-model type number yields None.
+        let mut weird = ft;
+        weird.src_port = 250;
+        assert_eq!(weird.icmp_type(), None);
+    }
+
+    #[test]
+    fn varint_known_values() {
+        for (v, expect) in [
+            (0u32, vec![0u8]),
+            (1, vec![1]),
+            (127, vec![0x7f]),
+            (128, vec![0x80, 0x01]),
+            (300, vec![0xac, 0x02]),
+            (u32::MAX, vec![0xff, 0xff, 0xff, 0xff, 0x0f]),
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf, expect, "encoding of {v}");
+            let mut slice = buf.as_slice();
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        let mut slice: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0x1f];
+        assert!(get_varint(&mut slice).is_err());
+        let mut slice: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        assert!(get_varint(&mut slice).is_err());
+    }
+
+    #[test]
+    fn ascii_roundtrip_and_errors() {
+        for ft in sample_flows() {
+            let line = ft.to_ascii();
+            assert_eq!(FlowTuple::from_ascii(&line).unwrap(), ft);
+            // Trailing whitespace tolerated.
+            assert_eq!(FlowTuple::from_ascii(&format!("{line}\n")).unwrap(), ft);
+        }
+        assert!(FlowTuple::from_ascii("1.2.3.4|too|few").is_err());
+        assert!(FlowTuple::from_ascii("x|44.0.0.1|1|2|6|64|2|40|1").is_err());
+        assert!(FlowTuple::from_ascii("1.2.3.4|44.0.0.1|1|2|99|64|2|40|1").is_err());
+        assert!(FlowTuple::from_ascii("1.2.3.4|44.0.0.1|1|2|6|64|2|40|huge").is_err());
+    }
+
+    #[test]
+    fn display_contains_endpoints() {
+        let ft = sample_flows()[0];
+        let s = ft.to_string();
+        assert!(s.contains("203.0.113.5:40123"));
+        assert!(s.contains("44.9.8.7:23"));
+        assert!(s.contains("SYN"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_codec_roundtrip(
+            src: u32, dst: u32, sport: u16, dport: u16,
+            proto_idx in 0usize..3, ttl: u8, flags: u8, ip_len: u16, packets: u32,
+        ) {
+            let ft = FlowTuple {
+                src_ip: Ipv4Addr::from(src),
+                dst_ip: Ipv4Addr::from(dst),
+                src_port: sport,
+                dst_port: dport,
+                protocol: TransportProtocol::ALL[proto_idx],
+                ttl,
+                tcp_flags: TcpFlags::from_bits(flags),
+                ip_len,
+                packets,
+            };
+            let mut buf = Vec::new();
+            ft.encode_into(&mut buf);
+            prop_assert!(buf.len() <= FlowTuple::MAX_ENCODED_LEN);
+            let mut slice = buf.as_slice();
+            let back = FlowTuple::decode_from(&mut slice).unwrap();
+            prop_assert_eq!(ft, back);
+            prop_assert!(slice.is_empty());
+        }
+
+        #[test]
+        fn prop_varint_roundtrip(v: u32) {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut slice = buf.as_slice();
+            prop_assert_eq!(get_varint(&mut slice).unwrap(), v);
+            prop_assert!(slice.is_empty());
+        }
+    }
+}

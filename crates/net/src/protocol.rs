@@ -1,0 +1,392 @@
+//! Transport protocols, TCP flags and ICMP taxonomy.
+//!
+//! The paper classifies darknet traffic by transport protocol (Fig 4) and
+//! uses TCP-flag / ICMP-type rules to separate *backscatter* (replies from
+//! DoS victims that received floods with spoofed sources inside the
+//! telescope) from *scanning* traffic (§IV-B, §IV-C):
+//!
+//! * backscatter TCP: `SYN-ACK` or `RST`;
+//! * backscatter ICMP: echo reply, destination unreachable, source quench,
+//!   redirect, time exceeded, parameter problem, timestamp reply,
+//!   information reply, address-mask reply;
+//! * scanning TCP: `SYN` (without `ACK`);
+//! * scanning ICMP: echo request.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// IANA protocol numbers for the transports seen at the telescope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum TransportProtocol {
+    /// Internet Control Message Protocol (protocol number 1).
+    Icmp = 1,
+    /// Transmission Control Protocol (protocol number 6).
+    Tcp = 6,
+    /// User Datagram Protocol (protocol number 17).
+    Udp = 17,
+}
+
+impl TransportProtocol {
+    /// The IANA protocol number.
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Parse from an IANA protocol number.
+    ///
+    /// Returns `None` for protocols the telescope pipeline does not model.
+    pub fn from_number(n: u8) -> Option<Self> {
+        match n {
+            1 => Some(TransportProtocol::Icmp),
+            6 => Some(TransportProtocol::Tcp),
+            17 => Some(TransportProtocol::Udp),
+            _ => None,
+        }
+    }
+
+    /// All modeled transports, in protocol-number order.
+    pub const ALL: [TransportProtocol; 3] = [
+        TransportProtocol::Icmp,
+        TransportProtocol::Tcp,
+        TransportProtocol::Udp,
+    ];
+}
+
+impl fmt::Display for TransportProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransportProtocol::Icmp => "ICMP",
+            TransportProtocol::Tcp => "TCP",
+            TransportProtocol::Udp => "UDP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// TCP header flags, stored as the raw flag byte.
+///
+/// # Example
+///
+/// ```
+/// use iotscope_net::protocol::TcpFlags;
+///
+/// let synack = TcpFlags::SYN | TcpFlags::ACK;
+/// assert!(synack.contains(TcpFlags::SYN));
+/// assert!(synack.is_syn_ack());
+/// assert!(!TcpFlags::SYN.is_syn_ack());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN — no more data from sender.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN — synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST — reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH — push function.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK — acknowledgment field significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG — urgent pointer field significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Construct from the raw flag byte of a TCP header.
+    pub fn from_bits(bits: u8) -> TcpFlags {
+        TcpFlags(bits)
+    }
+
+    /// The raw flag byte.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether every flag in `other` is set in `self`.
+    #[inline]
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `SYN` set and `ACK` clear: the signature of a half-open connection
+    /// attempt, i.e. scanning traffic at a darknet.
+    #[inline]
+    pub fn is_bare_syn(self) -> bool {
+        self.contains(TcpFlags::SYN) && !self.contains(TcpFlags::ACK)
+    }
+
+    /// Both `SYN` and `ACK` set: a connection-accept reply. At a darknet
+    /// this is backscatter from a SYN-flood victim.
+    #[inline]
+    pub fn is_syn_ack(self) -> bool {
+        self.contains(TcpFlags::SYN) && self.contains(TcpFlags::ACK)
+    }
+
+    /// `RST` set: a reset, also backscatter when arriving at dark space.
+    #[inline]
+    pub fn is_rst(self) -> bool {
+        self.contains(TcpFlags::RST)
+    }
+
+    /// TCP backscatter per the paper: `SYN-ACK` or `RST` replies.
+    #[inline]
+    pub fn is_backscatter(self) -> bool {
+        self.is_syn_ack() || self.is_rst()
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for TcpFlags {
+    type Output = TcpFlags;
+    fn bitand(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            return f.write_str("-");
+        }
+        let mut first = true;
+        for (flag, name) in [
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::URG, "URG"),
+        ] {
+            if self.contains(flag) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// ICMP message types relevant to darknet analysis.
+///
+/// The `is_backscatter` / `is_scan` split follows the paper's §IV-B list of
+/// reply types and the observation that scanning ICMP is echo-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum IcmpType {
+    /// Type 0 — reply to a ping; backscatter when a victim is ping-flooded
+    /// with spoofed sources.
+    EchoReply = 0,
+    /// Type 3 — destination unreachable.
+    DestinationUnreachable = 3,
+    /// Type 4 — source quench (deprecated congestion signal).
+    SourceQuench = 4,
+    /// Type 5 — redirect.
+    Redirect = 5,
+    /// Type 8 — echo request; the canonical remote network scan (ping).
+    EchoRequest = 8,
+    /// Type 11 — time exceeded.
+    TimeExceeded = 11,
+    /// Type 12 — parameter problem.
+    ParameterProblem = 12,
+    /// Type 13 — timestamp request.
+    TimestampRequest = 13,
+    /// Type 14 — timestamp reply.
+    TimestampReply = 14,
+    /// Type 15 — information request (historic).
+    InformationRequest = 15,
+    /// Type 16 — information reply (historic).
+    InformationReply = 16,
+    /// Type 17 — address mask request.
+    AddressMaskRequest = 17,
+    /// Type 18 — address mask reply.
+    AddressMaskReply = 18,
+}
+
+impl IcmpType {
+    /// The on-wire ICMP type number.
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Parse from an on-wire type number; `None` for unmodeled types.
+    pub fn from_number(n: u8) -> Option<Self> {
+        use IcmpType::*;
+        Some(match n {
+            0 => EchoReply,
+            3 => DestinationUnreachable,
+            4 => SourceQuench,
+            5 => Redirect,
+            8 => EchoRequest,
+            11 => TimeExceeded,
+            12 => ParameterProblem,
+            13 => TimestampRequest,
+            14 => TimestampReply,
+            15 => InformationRequest,
+            16 => InformationReply,
+            17 => AddressMaskRequest,
+            18 => AddressMaskReply,
+            _ => return None,
+        })
+    }
+
+    /// The nine reply types the paper treats as DoS backscatter (§IV-B).
+    pub fn is_backscatter(self) -> bool {
+        use IcmpType::*;
+        matches!(
+            self,
+            EchoReply
+                | DestinationUnreachable
+                | SourceQuench
+                | Redirect
+                | TimeExceeded
+                | ParameterProblem
+                | TimestampReply
+                | InformationReply
+                | AddressMaskReply
+        )
+    }
+
+    /// Request types that indicate active scanning (echo request and the
+    /// other solicitation types).
+    pub fn is_scan(self) -> bool {
+        !self.is_backscatter()
+    }
+}
+
+impl fmt::Display for IcmpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use IcmpType::*;
+        let s = match self {
+            EchoReply => "echo-reply",
+            DestinationUnreachable => "destination-unreachable",
+            SourceQuench => "source-quench",
+            Redirect => "redirect",
+            EchoRequest => "echo-request",
+            TimeExceeded => "time-exceeded",
+            ParameterProblem => "parameter-problem",
+            TimestampRequest => "timestamp-request",
+            TimestampReply => "timestamp-reply",
+            InformationRequest => "information-request",
+            InformationReply => "information-reply",
+            AddressMaskRequest => "address-mask-request",
+            AddressMaskReply => "address-mask-reply",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_number_roundtrip() {
+        for p in TransportProtocol::ALL {
+            assert_eq!(TransportProtocol::from_number(p.number()), Some(p));
+        }
+        assert_eq!(TransportProtocol::from_number(47), None);
+    }
+
+    #[test]
+    fn transport_display() {
+        assert_eq!(TransportProtocol::Tcp.to_string(), "TCP");
+        assert_eq!(TransportProtocol::Udp.to_string(), "UDP");
+        assert_eq!(TransportProtocol::Icmp.to_string(), "ICMP");
+    }
+
+    #[test]
+    fn tcp_flag_algebra() {
+        let f = TcpFlags::SYN | TcpFlags::ACK | TcpFlags::PSH;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::SYN | TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::RST));
+        assert_eq!((f & TcpFlags::ACK).bits(), TcpFlags::ACK.bits());
+        let mut g = TcpFlags::EMPTY;
+        g |= TcpFlags::RST;
+        assert!(g.is_rst());
+    }
+
+    #[test]
+    fn bare_syn_is_scan_not_backscatter() {
+        assert!(TcpFlags::SYN.is_bare_syn());
+        assert!(!TcpFlags::SYN.is_backscatter());
+        assert!(!(TcpFlags::SYN | TcpFlags::ACK).is_bare_syn());
+    }
+
+    #[test]
+    fn synack_and_rst_are_backscatter() {
+        assert!((TcpFlags::SYN | TcpFlags::ACK).is_backscatter());
+        assert!(TcpFlags::RST.is_backscatter());
+        assert!((TcpFlags::RST | TcpFlags::ACK).is_backscatter());
+        assert!(!TcpFlags::ACK.is_backscatter());
+        assert!(!TcpFlags::FIN.is_backscatter());
+    }
+
+    #[test]
+    fn tcp_flags_display() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::EMPTY.to_string(), "-");
+        assert_eq!(TcpFlags::RST.to_string(), "RST");
+    }
+
+    #[test]
+    fn icmp_number_roundtrip_all_modeled() {
+        for n in 0u8..=255 {
+            if let Some(t) = IcmpType::from_number(n) {
+                assert_eq!(t.number(), n);
+            }
+        }
+        assert_eq!(IcmpType::from_number(8), Some(IcmpType::EchoRequest));
+        assert_eq!(IcmpType::from_number(200), None);
+    }
+
+    #[test]
+    fn icmp_backscatter_set_matches_paper_list() {
+        use IcmpType::*;
+        let backscatter = [
+            EchoReply,
+            DestinationUnreachable,
+            SourceQuench,
+            Redirect,
+            TimeExceeded,
+            ParameterProblem,
+            TimestampReply,
+            InformationReply,
+            AddressMaskReply,
+        ];
+        for t in backscatter {
+            assert!(t.is_backscatter(), "{t} should be backscatter");
+            assert!(!t.is_scan());
+        }
+        for t in [EchoRequest, TimestampRequest, InformationRequest, AddressMaskRequest] {
+            assert!(t.is_scan(), "{t} should be scan");
+        }
+    }
+
+    #[test]
+    fn icmp_backscatter_and_scan_partition() {
+        for n in 0u8..=255 {
+            if let Some(t) = IcmpType::from_number(n) {
+                assert!(t.is_backscatter() ^ t.is_scan());
+            }
+        }
+    }
+}

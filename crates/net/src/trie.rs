@@ -1,0 +1,278 @@
+//! A binary longest-prefix-match trie for IP-keyed metadata.
+//!
+//! Used to answer "which registered prefix covers this source address?" —
+//! e.g. mapping darknet source IPs to ISP/geography blocks during
+//! correlation, or testing telescope membership against several dark
+//! prefixes at once.
+
+use crate::addr::{ip_to_u32, Ipv4Cidr};
+use std::net::Ipv4Addr;
+
+/// A longest-prefix-match trie from [`Ipv4Cidr`] to values of type `T`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), iotscope_net::NetError> {
+/// use iotscope_net::trie::PrefixTrie;
+/// use std::net::Ipv4Addr;
+///
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("10.0.0.0/8".parse()?, "corp");
+/// trie.insert("10.20.0.0/16".parse()?, "lab");
+///
+/// assert_eq!(trie.longest_match(Ipv4Addr::new(10, 20, 3, 4)), Some(&"lab"));
+/// assert_eq!(trie.longest_match(Ipv4Addr::new(10, 9, 9, 9)), Some(&"corp"));
+/// assert_eq!(trie.longest_match(Ipv4Addr::new(11, 0, 0, 1)), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: [Option<u32>; 2],
+    value: Option<T>,
+}
+
+impl<T> Node<T> {
+    fn empty() -> Self {
+        Node {
+            children: [None, None],
+            value: None,
+        }
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::empty()],
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or replace) the value for `prefix`; returns the previous
+    /// value if the exact prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Cidr, value: T) -> Option<T> {
+        let bits = ip_to_u32(prefix.network());
+        let mut node = 0usize;
+        for depth in 0..prefix.prefix_len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            node = match self.nodes[node].children[bit] {
+                Some(next) => next as usize,
+                None => {
+                    let next = self.nodes.len();
+                    self.nodes.push(Node::empty());
+                    self.nodes[node].children[bit] = Some(next as u32);
+                    next
+                }
+            };
+        }
+        let prev = self.nodes[node].value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// The value of the most specific (longest) registered prefix covering
+    /// `ip`, or `None` if no prefix covers it.
+    pub fn longest_match(&self, ip: Ipv4Addr) -> Option<&T> {
+        self.longest_match_entry(ip).map(|(_, v)| v)
+    }
+
+    /// Like [`longest_match`](Self::longest_match) but also yields the
+    /// matched prefix length.
+    pub fn longest_match_entry(&self, ip: Ipv4Addr) -> Option<(u8, &T)> {
+        let bits = ip_to_u32(ip);
+        let mut node = 0usize;
+        let mut best: Option<(u8, &T)> = self.nodes[0].value.as_ref().map(|v| (0u8, v));
+        for depth in 0..32u8 {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(next) => {
+                    node = next as usize;
+                    if let Some(v) = self.nodes[node].value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// The value registered for exactly `prefix`, if present.
+    pub fn get_exact(&self, prefix: Ipv4Cidr) -> Option<&T> {
+        let bits = ip_to_u32(prefix.network());
+        let mut node = 0usize;
+        for depth in 0..prefix.prefix_len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            node = self.nodes[node].children[bit]? as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+
+    /// Whether any registered prefix covers `ip`.
+    pub fn covers(&self, ip: Ipv4Addr) -> bool {
+        self.longest_match(ip).is_some()
+    }
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        PrefixTrie::new()
+    }
+}
+
+impl<T> FromIterator<(Ipv4Cidr, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Cidr, T)>>(iter: I) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+impl<T> Extend<(Ipv4Cidr, T)> for PrefixTrie<T> {
+    fn extend<I: IntoIterator<Item = (Ipv4Cidr, T)>>(&mut self, iter: I) {
+        for (p, v) in iter {
+            self.insert(p, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::u32_to_ip;
+    use proptest::prelude::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let trie: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(trie.is_empty());
+        assert_eq!(trie.longest_match(Ipv4Addr::new(1, 2, 3, 4)), None);
+        assert!(!trie.covers(Ipv4Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(cidr("10.0.0.0/8"), 8);
+        trie.insert(cidr("10.20.0.0/16"), 16);
+        trie.insert(cidr("10.20.30.0/24"), 24);
+        assert_eq!(trie.longest_match(Ipv4Addr::new(10, 20, 30, 40)), Some(&24));
+        assert_eq!(trie.longest_match(Ipv4Addr::new(10, 20, 99, 1)), Some(&16));
+        assert_eq!(trie.longest_match(Ipv4Addr::new(10, 99, 0, 1)), Some(&8));
+        assert_eq!(trie.longest_match(Ipv4Addr::new(11, 0, 0, 1)), None);
+        assert_eq!(
+            trie.longest_match_entry(Ipv4Addr::new(10, 20, 30, 40)),
+            Some((24, &24))
+        );
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(cidr("0.0.0.0/0"), "default");
+        assert_eq!(trie.longest_match(Ipv4Addr::new(255, 1, 2, 3)), Some(&"default"));
+        assert_eq!(
+            trie.longest_match_entry(Ipv4Addr::new(0, 0, 0, 0)),
+            Some((0, &"default"))
+        );
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_previous() {
+        let mut trie = PrefixTrie::new();
+        assert_eq!(trie.insert(cidr("192.0.2.0/24"), 1), None);
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.insert(cidr("192.0.2.0/24"), 2), Some(1));
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.get_exact(cidr("192.0.2.0/24")), Some(&2));
+    }
+
+    #[test]
+    fn get_exact_distinguishes_lengths() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(cidr("10.0.0.0/8"), "a");
+        assert_eq!(trie.get_exact(cidr("10.0.0.0/8")), Some(&"a"));
+        assert_eq!(trie.get_exact(cidr("10.0.0.0/16")), None);
+        assert_eq!(trie.get_exact(cidr("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn host_route_matches_single_address() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(cidr("203.0.113.7/32"), ());
+        assert!(trie.covers(Ipv4Addr::new(203, 0, 113, 7)));
+        assert!(!trie.covers(Ipv4Addr::new(203, 0, 113, 8)));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut trie: PrefixTrie<i32> =
+            vec![(cidr("10.0.0.0/8"), 1), (cidr("172.16.0.0/12"), 2)]
+                .into_iter()
+                .collect();
+        trie.extend([(cidr("192.168.0.0/16"), 3)]);
+        assert_eq!(trie.len(), 3);
+        assert_eq!(trie.longest_match(Ipv4Addr::new(172, 20, 1, 1)), Some(&2));
+        assert_eq!(trie.longest_match(Ipv4Addr::new(192, 168, 9, 9)), Some(&3));
+    }
+
+    /// Reference model: linear scan over (prefix, value) pairs.
+    fn linear_longest<T>(entries: &[(Ipv4Cidr, T)], ip: Ipv4Addr) -> Option<&T> {
+        entries
+            .iter()
+            .filter(|(p, _)| p.contains(ip))
+            .max_by_key(|(p, _)| p.prefix_len())
+            .map(|(_, v)| v)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_trie_equals_linear_scan(
+            entries in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u16>()), 0..40),
+            probes in proptest::collection::vec(any::<u32>(), 0..60),
+        ) {
+            // Deduplicate identical prefixes keeping the last value, to match
+            // insert-replaces semantics.
+            let mut map = std::collections::HashMap::new();
+            for (net, len, val) in &entries {
+                let c = Ipv4Cidr::new(u32_to_ip(*net), *len).unwrap();
+                map.insert(c, *val);
+            }
+            let entries: Vec<(Ipv4Cidr, u16)> = map.into_iter().collect();
+            let trie: PrefixTrie<u16> = entries.iter().cloned().collect();
+            prop_assert_eq!(trie.len(), entries.len());
+            for probe in probes {
+                let ip = u32_to_ip(probe);
+                let expect = linear_longest(&entries, ip).copied();
+                prop_assert_eq!(trie.longest_match(ip).copied(), expect);
+            }
+        }
+    }
+}

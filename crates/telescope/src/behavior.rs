@@ -1,0 +1,477 @@
+//! Actor behaviors: *what* an actor emits toward the telescope.
+//!
+//! Each behavior turns a per-hour packet allowance into flowtuples. The
+//! catalogue covers everything the paper observes: TCP SYN scanning
+//! (§IV-C), ICMP echo scanning, UDP spraying and dedicated UDP port
+//! scanning (§IV-A), DoS backscatter (§IV-B), the interval-119 port sweep
+//! (Fig 9b), and background misconfiguration noise.
+
+use crate::config::TelescopeConfig;
+use iotscope_devicedb::DeviceId;
+use iotscope_net::flowtuple::FlowTuple;
+use iotscope_net::protocol::{IcmpType, TcpFlags};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// What a traffic source sends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActorBehavior {
+    /// TCP SYN scanning of a port set (one packet per flow). With
+    /// probability `random_port_prob` a probe targets a uniformly random
+    /// port instead — CPS scanners sweep wider port ranges than consumer
+    /// scanners (§IV-C: 576 vs 246 distinct ports/hour).
+    TcpScan {
+        /// Destination ports of the scanned service group.
+        ports: Vec<u16>,
+        /// Probability of probing a random port instead.
+        random_port_prob: f64,
+    },
+    /// ICMP echo-request scanning (ping sweeps).
+    IcmpScan,
+    /// UDP spraying across random destinations/ports, with extra mass on
+    /// `favored` ports (the Netcore-backdoor family of Table IV).
+    UdpSpray {
+        /// `(port, weight)` pairs that receive the favored mass.
+        favored: Vec<(u16, f64)>,
+        /// Probability a packet targets a favored port.
+        favored_prob: f64,
+        /// Packets aggregated per emitted flow.
+        pkts_per_flow: u32,
+    },
+    /// Dedicated UDP scanning of a single port (the 91–226-device groups
+    /// behind NetBIOS/137, 53413, mDNS/5353, … in Table IV).
+    UdpPortScan {
+        /// The scanned port.
+        port: u16,
+        /// Packets aggregated per emitted flow.
+        pkts_per_flow: u32,
+    },
+    /// DoS-victim backscatter: replies (SYN-ACK/RST/ICMP echo-reply) to
+    /// spoofed flood sources that happen to fall in the dark space.
+    Backscatter {
+        /// The attacked service's port (becomes the reply's source port).
+        service_port: u16,
+        /// Fraction of replies that are ICMP rather than TCP.
+        icmp_share: f64,
+    },
+    /// A one-off wide port sweep: `ports` distinct ports across
+    /// `dst_count` destinations (the Dominican-Republic IP camera of
+    /// §IV-C scanning 10,249 ports on 55 hosts at interval 119).
+    PortSweep {
+        /// Number of distinct destination addresses.
+        dst_count: u32,
+        /// Number of distinct ports swept.
+        port_count: u32,
+    },
+    /// Background misconfiguration noise (mis-addressed DNS/NTP/SSDP).
+    Misconfig,
+}
+
+/// One traffic source: a device (or anonymous noise host) with a behavior,
+/// an activity pattern, and a total packet budget over the window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actor {
+    /// The inventory device driving this actor; `None` for noise sources
+    /// that are not IoT devices (they must not correlate).
+    pub device: Option<DeviceId>,
+    /// Source address of all emitted flows.
+    pub src_ip: Ipv4Addr,
+    /// What the actor sends.
+    pub behavior: ActorBehavior,
+    /// When the actor is active.
+    pub pattern: crate::pattern::ActivityPattern,
+    /// Total packets over the whole window (already scaled).
+    pub budget: f64,
+    /// First interval (1-based) at which the actor may emit; models the
+    /// staggered onset behind the paper's discovery curve (Fig 2).
+    pub onset: u32,
+    /// Last interval at which the actor may emit (`u32::MAX` = never
+    /// retires). Compromised devices churn — infections get cleaned or
+    /// devices go offline — which keeps the *hourly* active population
+    /// roughly stationary even as the *cumulative* discovered count grows.
+    pub retire: u32,
+    /// Emit at least one flow on the first active interval even if the
+    /// scaled budget rounds to zero, so the device is discoverable.
+    pub guarantee_onset_flow: bool,
+}
+
+impl Actor {
+    /// Emit flows for one hour given a packet allowance.
+    pub fn emit<R: Rng>(
+        &self,
+        n_packets: u64,
+        rng: &mut R,
+        telescope: &TelescopeConfig,
+        out: &mut Vec<FlowTuple>,
+    ) {
+        if n_packets == 0 {
+            return;
+        }
+        match &self.behavior {
+            ActorBehavior::TcpScan {
+                ports,
+                random_port_prob,
+            } => {
+                for _ in 0..n_packets {
+                    let dst = telescope.random_dark_addr(rng);
+                    let port = if !ports.is_empty() && rng.gen::<f64>() >= *random_port_prob {
+                        ports[rng.gen_range(0..ports.len())]
+                    } else {
+                        rng.gen::<u16>()
+                    };
+                    out.push(
+                        FlowTuple::tcp(self.src_ip, dst, ephemeral_port(rng), port, TcpFlags::SYN)
+                            .with_ttl(plausible_ttl(rng)),
+                    );
+                }
+            }
+            ActorBehavior::IcmpScan => {
+                for _ in 0..n_packets {
+                    let dst = telescope.random_dark_addr(rng);
+                    out.push(
+                        FlowTuple::icmp(self.src_ip, dst, IcmpType::EchoRequest)
+                            .with_ttl(plausible_ttl(rng)),
+                    );
+                }
+            }
+            ActorBehavior::UdpSpray {
+                favored,
+                favored_prob,
+                pkts_per_flow,
+            } => {
+                let per_flow = (*pkts_per_flow).max(1);
+                let flows = n_packets.div_ceil(u64::from(per_flow));
+                let mut remaining = n_packets;
+                for _ in 0..flows {
+                    let dst = telescope.random_dark_addr(rng);
+                    let port = if !favored.is_empty() && rng.gen::<f64>() < *favored_prob {
+                        weighted_port(favored, rng)
+                    } else {
+                        rng.gen::<u16>()
+                    };
+                    let pkts = remaining.min(u64::from(per_flow)) as u32;
+                    remaining -= u64::from(pkts);
+                    let mut f = FlowTuple::udp(self.src_ip, dst, ephemeral_port(rng), port)
+                        .with_packets(pkts)
+                        .with_ttl(plausible_ttl(rng));
+                    f.ip_len = rng.gen_range(60..=520);
+                    out.push(f);
+                }
+            }
+            ActorBehavior::UdpPortScan { port, pkts_per_flow } => {
+                let per_flow = (*pkts_per_flow).max(1);
+                let flows = n_packets.div_ceil(u64::from(per_flow));
+                let mut remaining = n_packets;
+                for _ in 0..flows {
+                    let dst = telescope.random_dark_addr(rng);
+                    let pkts = remaining.min(u64::from(per_flow)) as u32;
+                    remaining -= u64::from(pkts);
+                    out.push(
+                        FlowTuple::udp(self.src_ip, dst, ephemeral_port(rng), *port)
+                            .with_packets(pkts)
+                            .with_ttl(plausible_ttl(rng)),
+                    );
+                }
+            }
+            ActorBehavior::Backscatter {
+                service_port,
+                icmp_share,
+            } => {
+                let mut remaining = n_packets;
+                while remaining > 0 {
+                    let dst = telescope.random_dark_addr(rng);
+                    let pkts = remaining.min(u64::from(rng.gen_range(1..=3u32))) as u32;
+                    remaining -= u64::from(pkts);
+                    if rng.gen::<f64>() < *icmp_share {
+                        out.push(
+                            FlowTuple::icmp(self.src_ip, dst, backscatter_icmp_type(rng))
+                                .with_packets(pkts)
+                                .with_ttl(plausible_ttl(rng)),
+                        );
+                    } else {
+                        let flags = if rng.gen::<f64>() < 0.85 {
+                            TcpFlags::SYN | TcpFlags::ACK
+                        } else {
+                            TcpFlags::RST | TcpFlags::ACK
+                        };
+                        out.push(
+                            FlowTuple::tcp(self.src_ip, dst, *service_port, ephemeral_port(rng), flags)
+                                .with_packets(pkts)
+                                .with_ttl(plausible_ttl(rng)),
+                        );
+                    }
+                }
+            }
+            ActorBehavior::PortSweep { dst_count, port_count } => {
+                let dsts: Vec<Ipv4Addr> = (0..(*dst_count).max(1))
+                    .map(|_| telescope.random_dark_addr(rng))
+                    .collect();
+                let base: u16 = rng.gen_range(1..=10_000);
+                let span = (*port_count).max(1);
+                for i in 0..n_packets {
+                    let port = base.wrapping_add((i % u64::from(span)) as u16);
+                    let dst = dsts[(i % dsts.len() as u64) as usize];
+                    out.push(
+                        FlowTuple::tcp(self.src_ip, dst, ephemeral_port(rng), port, TcpFlags::SYN)
+                            .with_ttl(plausible_ttl(rng)),
+                    );
+                }
+            }
+            ActorBehavior::Misconfig => {
+                const NOISE_PORTS: [u16; 4] = [53, 123, 1900, 161];
+                for _ in 0..n_packets {
+                    let dst = telescope.random_dark_addr(rng);
+                    let port = NOISE_PORTS[rng.gen_range(0..NOISE_PORTS.len())];
+                    out.push(
+                        FlowTuple::udp(self.src_ip, dst, ephemeral_port(rng), port)
+                            .with_ttl(plausible_ttl(rng)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether this actor's behavior classifies as scanning once observed
+    /// (used by the ground-truth ledger).
+    pub fn is_scanning_behavior(&self) -> bool {
+        matches!(
+            self.behavior,
+            ActorBehavior::TcpScan { .. }
+                | ActorBehavior::IcmpScan
+                | ActorBehavior::PortSweep { .. }
+        )
+    }
+}
+
+/// A plausible initial-TTL-minus-hops value.
+fn plausible_ttl<R: Rng>(rng: &mut R) -> u8 {
+    let base = *[64u8, 128, 255]
+        .get(rng.gen_range(0..3usize))
+        .expect("index in range");
+    base - rng.gen_range(4..28)
+}
+
+/// A random ephemeral source port.
+fn ephemeral_port<R: Rng>(rng: &mut R) -> u16 {
+    rng.gen_range(1025..=65535)
+}
+
+fn weighted_port<R: Rng>(favored: &[(u16, f64)], rng: &mut R) -> u16 {
+    let total: f64 = favored.iter().map(|(_, w)| *w).sum();
+    let mut draw = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (p, w) in favored {
+        if draw < *w {
+            return *p;
+        }
+        draw -= w;
+    }
+    favored.last().expect("non-empty favored list").0
+}
+
+/// Draw one of the paper's nine backscatter ICMP reply types, biased
+/// toward echo-reply and destination-unreachable as at real telescopes.
+fn backscatter_icmp_type<R: Rng>(rng: &mut R) -> IcmpType {
+    match rng.gen_range(0..10u32) {
+        0..=5 => IcmpType::EchoReply,
+        6..=7 => IcmpType::DestinationUnreachable,
+        8 => IcmpType::TimeExceeded,
+        _ => IcmpType::SourceQuench,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ActivityPattern;
+    use iotscope_net::protocol::TransportProtocol;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn actor(behavior: ActorBehavior) -> Actor {
+        Actor {
+            device: Some(DeviceId(1)),
+            src_ip: Ipv4Addr::new(203, 0, 113, 9),
+            behavior,
+            pattern: ActivityPattern::Steady,
+            budget: 100.0,
+            onset: 1,
+            retire: u32::MAX,
+            guarantee_onset_flow: true,
+        }
+    }
+
+    fn emit(behavior: ActorBehavior, n: u64, seed: u64) -> Vec<FlowTuple> {
+        let cfg = TelescopeConfig::paper();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        actor(behavior).emit(n, &mut rng, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn tcp_scan_emits_bare_syns_to_service_ports() {
+        let flows = emit(
+            ActorBehavior::TcpScan {
+                ports: vec![23, 2323],
+                random_port_prob: 0.0,
+            },
+            200,
+            1,
+        );
+        assert_eq!(flows.len(), 200);
+        for f in &flows {
+            assert_eq!(f.protocol, TransportProtocol::Tcp);
+            assert!(f.tcp_flags.is_bare_syn());
+            assert!(f.dst_port == 23 || f.dst_port == 2323);
+            assert_eq!(f.packets, 1);
+            assert!(TelescopeConfig::paper().contains(f.dst_ip));
+        }
+    }
+
+    #[test]
+    fn tcp_scan_random_port_prob_widens_ports() {
+        let flows = emit(
+            ActorBehavior::TcpScan {
+                ports: vec![23],
+                random_port_prob: 0.5,
+            },
+            400,
+            2,
+        );
+        let distinct: std::collections::HashSet<u16> = flows.iter().map(|f| f.dst_port).collect();
+        assert!(distinct.len() > 100, "only {} ports", distinct.len());
+        assert!(flows.iter().filter(|f| f.dst_port == 23).count() > 120);
+    }
+
+    #[test]
+    fn icmp_scan_is_echo_request() {
+        let flows = emit(ActorBehavior::IcmpScan, 50, 3);
+        assert_eq!(flows.len(), 50);
+        for f in &flows {
+            assert_eq!(f.icmp_type(), Some(IcmpType::EchoRequest));
+        }
+    }
+
+    #[test]
+    fn udp_spray_hits_favored_ports_proportionally() {
+        let flows = emit(
+            ActorBehavior::UdpSpray {
+                favored: vec![(37547, 3.0), (32124, 1.0)],
+                favored_prob: 0.5,
+                pkts_per_flow: 1,
+            },
+            2000,
+            4,
+        );
+        let total: u64 = flows.iter().map(|f| u64::from(f.packets)).sum();
+        assert_eq!(total, 2000);
+        let hits_a = flows.iter().filter(|f| f.dst_port == 37547).count();
+        let hits_b = flows.iter().filter(|f| f.dst_port == 32124).count();
+        assert!(hits_a > 2 * hits_b, "a={hits_a} b={hits_b}");
+        assert!(hits_a + hits_b > 800);
+    }
+
+    #[test]
+    fn udp_pkts_per_flow_aggregates() {
+        let flows = emit(
+            ActorBehavior::UdpPortScan {
+                port: 137,
+                pkts_per_flow: 4,
+            },
+            10,
+            5,
+        );
+        let total: u64 = flows.iter().map(|f| u64::from(f.packets)).sum();
+        assert_eq!(total, 10);
+        assert_eq!(flows.len(), 3); // ceil(10/4)
+        for f in &flows {
+            assert_eq!(f.dst_port, 137);
+            assert_eq!(f.protocol, TransportProtocol::Udp);
+        }
+    }
+
+    #[test]
+    fn backscatter_replies_look_like_backscatter() {
+        let flows = emit(
+            ActorBehavior::Backscatter {
+                service_port: 44818,
+                icmp_share: 0.1,
+            },
+            500,
+            6,
+        );
+        let total: u64 = flows.iter().map(|f| u64::from(f.packets)).sum();
+        assert_eq!(total, 500);
+        let mut saw_icmp = false;
+        for f in &flows {
+            match f.protocol {
+                TransportProtocol::Tcp => {
+                    assert!(f.tcp_flags.is_backscatter(), "flags {}", f.tcp_flags);
+                    assert_eq!(f.src_port, 44818);
+                }
+                TransportProtocol::Icmp => {
+                    saw_icmp = true;
+                    assert!(f.icmp_type().unwrap().is_backscatter());
+                }
+                TransportProtocol::Udp => panic!("backscatter must not emit UDP"),
+            }
+        }
+        assert!(saw_icmp);
+    }
+
+    #[test]
+    fn port_sweep_covers_many_ports_few_dsts() {
+        let flows = emit(
+            ActorBehavior::PortSweep {
+                dst_count: 55,
+                port_count: 10_249,
+            },
+            10_249,
+            7,
+        );
+        let ports: std::collections::HashSet<u16> = flows.iter().map(|f| f.dst_port).collect();
+        let dsts: std::collections::HashSet<Ipv4Addr> = flows.iter().map(|f| f.dst_ip).collect();
+        assert!(ports.len() > 10_000, "{} ports", ports.len());
+        assert!(dsts.len() <= 55);
+    }
+
+    #[test]
+    fn misconfig_targets_infrastructure_ports() {
+        let flows = emit(ActorBehavior::Misconfig, 100, 8);
+        for f in &flows {
+            assert!(matches!(f.dst_port, 53 | 123 | 1900 | 161));
+        }
+    }
+
+    #[test]
+    fn zero_allowance_emits_nothing() {
+        let flows = emit(ActorBehavior::IcmpScan, 0, 9);
+        assert!(flows.is_empty());
+    }
+
+    #[test]
+    fn emission_is_deterministic_per_seed() {
+        let a = emit(ActorBehavior::IcmpScan, 20, 10);
+        let b = emit(ActorBehavior::IcmpScan, 20, 10);
+        assert_eq!(a, b);
+        let c = emit(ActorBehavior::IcmpScan, 20, 11);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scanning_behavior_predicate() {
+        assert!(actor(ActorBehavior::IcmpScan).is_scanning_behavior());
+        assert!(actor(ActorBehavior::TcpScan {
+            ports: vec![23],
+            random_port_prob: 0.0
+        })
+        .is_scanning_behavior());
+        assert!(!actor(ActorBehavior::Backscatter {
+            service_port: 80,
+            icmp_share: 0.0
+        })
+        .is_scanning_behavior());
+        assert!(!actor(ActorBehavior::Misconfig).is_scanning_behavior());
+    }
+}

@@ -1,0 +1,99 @@
+//! Telescope configuration.
+
+use iotscope_net::addr::Ipv4Cidr;
+use iotscope_net::time::AnalysisWindow;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// The monitored dark address space and analysis window.
+///
+/// The UCSD telescope monitors a /8 (≈16.7M routable but unused
+/// addresses); scaled-down runs may use a shorter window but keep the /8 so
+/// address-diversity statistics (distinct destination IPs per hour) retain
+/// their shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelescopeConfig {
+    /// The dark prefix; packets *to* these addresses are captured.
+    pub prefix: Ipv4Cidr,
+    /// The hourly analysis window.
+    pub window: AnalysisWindow,
+}
+
+impl TelescopeConfig {
+    /// The paper's setup: a /8 telescope over the 143-hour April 2017
+    /// window.
+    pub fn paper() -> Self {
+        TelescopeConfig {
+            prefix: default_prefix(),
+            window: AnalysisWindow::paper(),
+        }
+    }
+
+    /// A short window (same /8 prefix) for tests.
+    pub fn short(hours: u32) -> Self {
+        TelescopeConfig {
+            prefix: default_prefix(),
+            window: AnalysisWindow::short(hours),
+        }
+    }
+
+    /// Number of dark addresses monitored.
+    pub fn num_dark_addresses(&self) -> u64 {
+        self.prefix.num_addresses()
+    }
+
+    /// Whether `ip` is inside the dark space.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.prefix.contains(ip)
+    }
+
+    /// Draw a uniformly random dark address — the destination of scans and
+    /// the spoofed source (hence backscatter destination) of DoS floods.
+    pub fn random_dark_addr<R: Rng>(&self, rng: &mut R) -> Ipv4Addr {
+        let idx = rng.gen_range(0..self.prefix.num_addresses());
+        self.prefix.addr_at(idx)
+    }
+}
+
+impl Default for TelescopeConfig {
+    fn default() -> Self {
+        TelescopeConfig::paper()
+    }
+}
+
+fn default_prefix() -> Ipv4Cidr {
+    "44.0.0.0/8".parse().expect("static CIDR is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_config_is_a_slash8_over_143_hours() {
+        let cfg = TelescopeConfig::paper();
+        assert_eq!(cfg.num_dark_addresses(), 1 << 24);
+        assert_eq!(cfg.window.num_hours(), 143);
+    }
+
+    #[test]
+    fn random_dark_addr_stays_inside() {
+        let cfg = TelescopeConfig::paper();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let ip = cfg.random_dark_addr(&mut rng);
+            assert!(cfg.contains(ip));
+        }
+    }
+
+    #[test]
+    fn random_dark_addr_is_diverse() {
+        let cfg = TelescopeConfig::paper();
+        let mut rng = StdRng::seed_from_u64(6);
+        let distinct: std::collections::HashSet<Ipv4Addr> =
+            (0..1000).map(|_| cfg.random_dark_addr(&mut rng)).collect();
+        assert!(distinct.len() > 990, "only {} distinct", distinct.len());
+    }
+}

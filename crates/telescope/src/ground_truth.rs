@@ -1,0 +1,278 @@
+//! The ground-truth ledger: what the calibrated scenario planted.
+//!
+//! Validation compares what the analysis pipeline *infers* from the
+//! generated flowtuples against this ledger. The analysis never reads it.
+
+use iotscope_devicedb::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Roles a device can play in the simulation (non-exclusive: most scanners
+/// also spray UDP, matching §IV-A's 25,242 UDP devices out of 26,881).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Emits TCP SYN scans.
+    TcpScanner,
+    /// Emits ICMP echo-request scans.
+    IcmpScanner,
+    /// Emits UDP traffic.
+    UdpActor,
+    /// A DoS victim emitting backscatter.
+    DosVictim,
+}
+
+/// What the scenario planted, per device and globally.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Roles per designated device.
+    pub roles: HashMap<DeviceId, HashSet<Role>>,
+    /// First interval at which each designated device emits (drives the
+    /// discovery curve of Fig 2).
+    pub onset: HashMap<DeviceId, u32>,
+    /// Intervals carrying planted DoS spikes (Fig 7).
+    pub dos_spike_intervals: Vec<u32>,
+    /// Devices planted as *truly malicious* beyond scanning — the subset
+    /// the threat-intel substrate will index (Section V).
+    pub flagged_malicious: Vec<DeviceId>,
+    /// Addresses of planted *unindexed* IoT devices: they behave like IoT
+    /// scanners but are absent from the inventory (the §VI fuzzy-
+    /// fingerprinting target population).
+    pub shadow_iot: Vec<std::net::Ipv4Addr>,
+    /// Planted coordinated botnets (§VII future work): each inner vector
+    /// lists one botnet's member devices.
+    pub botnets: Vec<Vec<DeviceId>>,
+}
+
+impl GroundTruth {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Write the ledger to a line-oriented text file:
+    ///
+    /// ```text
+    /// #iotscope-truth v1
+    /// role|<device-id>|<onset>|<Role>[+<Role>…]
+    /// spike|<interval>
+    /// shadow|<ip>
+    /// botnet|<device-id>[+<device-id>…]
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(w, "#iotscope-truth v1")?;
+        let mut ids: Vec<&DeviceId> = self.roles.keys().collect();
+        ids.sort();
+        for id in ids {
+            let mut roles: Vec<String> = self.roles[id].iter().map(|r| format!("{r:?}")).collect();
+            roles.sort();
+            let onset = self.onset.get(id).copied().unwrap_or(0);
+            writeln!(w, "role|{}|{}|{}", id.0, onset, roles.join("+"))?;
+        }
+        for i in &self.dos_spike_intervals {
+            writeln!(w, "spike|{i}")?;
+        }
+        for ip in &self.shadow_iot {
+            writeln!(w, "shadow|{ip}")?;
+        }
+        for members in &self.botnets {
+            let list: Vec<String> = members.iter().map(|d| d.0.to_string()).collect();
+            writeln!(w, "botnet|{}", list.join("+"))?;
+        }
+        w.flush()
+    }
+
+    /// Load a ledger written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed content.
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<GroundTruth> {
+        use std::io::BufRead as _;
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| bad("empty truth file".into()))?;
+        if header.trim() != "#iotscope-truth v1" {
+            return Err(bad(format!("bad header {header:?}")));
+        }
+        let mut truth = GroundTruth::new();
+        for line in lines {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').collect();
+            match fields[0] {
+                "role" if fields.len() == 4 => {
+                    let id = DeviceId(
+                        fields[1]
+                            .parse()
+                            .map_err(|_| bad(format!("bad device id {:?}", fields[1])))?,
+                    );
+                    let onset: u32 = fields[2]
+                        .parse()
+                        .map_err(|_| bad(format!("bad onset {:?}", fields[2])))?;
+                    if onset > 0 {
+                        truth.record_onset(id, onset);
+                    }
+                    for role in fields[3].split('+') {
+                        let role = match role {
+                            "TcpScanner" => Role::TcpScanner,
+                            "IcmpScanner" => Role::IcmpScanner,
+                            "UdpActor" => Role::UdpActor,
+                            "DosVictim" => Role::DosVictim,
+                            other => return Err(bad(format!("unknown role {other:?}"))),
+                        };
+                        truth.add_role(id, role);
+                    }
+                }
+                "spike" if fields.len() == 2 => {
+                    truth.dos_spike_intervals.push(
+                        fields[1]
+                            .parse()
+                            .map_err(|_| bad(format!("bad interval {:?}", fields[1])))?,
+                    );
+                }
+                "shadow" if fields.len() == 2 => {
+                    truth.shadow_iot.push(
+                        fields[1]
+                            .parse()
+                            .map_err(|_| bad(format!("bad ip {:?}", fields[1])))?,
+                    );
+                }
+                "botnet" if fields.len() == 2 => {
+                    let mut members = Vec::new();
+                    for part in fields[1].split('+') {
+                        members.push(DeviceId(
+                            part.parse()
+                                .map_err(|_| bad(format!("bad member {part:?}")))?,
+                        ));
+                    }
+                    truth.botnets.push(members);
+                }
+                other => return Err(bad(format!("unknown record {other:?}"))),
+            }
+        }
+        Ok(truth)
+    }
+
+    /// Record `role` for `device`.
+    pub fn add_role(&mut self, device: DeviceId, role: Role) {
+        self.roles.entry(device).or_default().insert(role);
+    }
+
+    /// Record the first-emission interval for `device` (keeps the minimum
+    /// across repeated records).
+    pub fn record_onset(&mut self, device: DeviceId, interval: u32) {
+        self.onset
+            .entry(device)
+            .and_modify(|i| *i = (*i).min(interval))
+            .or_insert(interval);
+    }
+
+    /// All devices holding `role`.
+    pub fn devices_with_role(&self, role: Role) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self
+            .roles
+            .iter()
+            .filter(|(_, roles)| roles.contains(&role))
+            .map(|(d, _)| *d)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Whether `device` holds `role`.
+    pub fn has_role(&self, device: DeviceId, role: Role) -> bool {
+        self.roles.get(&device).is_some_and(|r| r.contains(&role))
+    }
+
+    /// Number of designated (planted) devices.
+    pub fn num_designated(&self) -> usize {
+        self.roles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_accumulate_per_device() {
+        let mut gt = GroundTruth::new();
+        gt.add_role(DeviceId(1), Role::TcpScanner);
+        gt.add_role(DeviceId(1), Role::UdpActor);
+        gt.add_role(DeviceId(2), Role::DosVictim);
+        assert!(gt.has_role(DeviceId(1), Role::TcpScanner));
+        assert!(gt.has_role(DeviceId(1), Role::UdpActor));
+        assert!(!gt.has_role(DeviceId(1), Role::DosVictim));
+        assert_eq!(gt.num_designated(), 2);
+        assert_eq!(gt.devices_with_role(Role::DosVictim), vec![DeviceId(2)]);
+    }
+
+    #[test]
+    fn onset_keeps_minimum() {
+        let mut gt = GroundTruth::new();
+        gt.record_onset(DeviceId(5), 30);
+        gt.record_onset(DeviceId(5), 10);
+        gt.record_onset(DeviceId(5), 20);
+        assert_eq!(gt.onset[&DeviceId(5)], 10);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut gt = GroundTruth::new();
+        gt.add_role(DeviceId(3), Role::TcpScanner);
+        gt.add_role(DeviceId(3), Role::UdpActor);
+        gt.add_role(DeviceId(9), Role::DosVictim);
+        gt.record_onset(DeviceId(3), 17);
+        gt.record_onset(DeviceId(9), 1);
+        gt.dos_spike_intervals = vec![6, 53];
+        gt.shadow_iot = vec![std::net::Ipv4Addr::new(198, 51, 0, 1)];
+        gt.botnets = vec![vec![DeviceId(3), DeviceId(9)]];
+
+        let path = std::env::temp_dir().join(format!("iotscope-truth-{}.tsv", std::process::id()));
+        gt.save(&path).unwrap();
+        let back = GroundTruth::load(&path).unwrap();
+        assert_eq!(back.roles, gt.roles);
+        assert_eq!(back.onset, gt.onset);
+        assert_eq!(back.dos_spike_intervals, gt.dos_spike_intervals);
+        assert_eq!(back.shadow_iot, gt.shadow_iot);
+        assert_eq!(back.botnets, gt.botnets);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("iotscope-truth-bad-{}.tsv", std::process::id()));
+        std::fs::write(&path, "not a truth file\n").unwrap();
+        assert!(GroundTruth::load(&path).is_err());
+        std::fs::write(&path, "#iotscope-truth v1\nrole|x|1|TcpScanner\n").unwrap();
+        assert!(GroundTruth::load(&path).is_err());
+        std::fs::write(&path, "#iotscope-truth v1\nrole|1|1|Wizard\n").unwrap();
+        assert!(GroundTruth::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn devices_with_role_sorted() {
+        let mut gt = GroundTruth::new();
+        for id in [9u32, 3, 7] {
+            gt.add_role(DeviceId(id), Role::UdpActor);
+        }
+        assert_eq!(
+            gt.devices_with_role(Role::UdpActor),
+            vec![DeviceId(3), DeviceId(7), DeviceId(9)]
+        );
+    }
+}

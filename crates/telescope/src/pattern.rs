@@ -1,0 +1,224 @@
+//! Activity patterns: *when* an actor emits, as a per-interval weight.
+//!
+//! A pattern maps a 1-based interval index to a non-negative weight. The
+//! scenario engine normalizes weights over the window so an actor's total
+//! budget is spent proportionally to its pattern — changing a pattern never
+//! changes how much an actor sends in total, only when.
+
+use serde::{Deserialize, Serialize};
+
+/// When an actor is active across the analysis window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActivityPattern {
+    /// Uniform weight on every interval.
+    Steady,
+    /// Active `on_hours` out of every `period` hours, shifted by `phase`
+    /// (models devices that scan in repeated sessions, §IV-A1).
+    Duty {
+        /// Cycle length in hours (≥ 1).
+        period: u32,
+        /// Active hours at the start of each cycle (1..=period).
+        on_hours: u32,
+        /// Phase shift in hours.
+        phase: u32,
+    },
+    /// Active only in `start..=end` (inclusive, 1-based intervals) — e.g.
+    /// the BackroomNet scanner that appears at interval 113 (§IV-C1).
+    Window {
+        /// First active interval.
+        start: u32,
+        /// Last active interval.
+        end: u32,
+    },
+    /// A low constant baseline plus sharp bursts at specific intervals —
+    /// DoS attack episodes (Fig 7) and the SSH scan bursts at intervals
+    /// 32/69 (Fig 10).
+    Bursts {
+        /// Baseline weight applied to every interval.
+        baseline: f64,
+        /// `(interval, weight)` spikes added on top of the baseline.
+        spikes: Vec<(u32, f64)>,
+    },
+    /// Weight 1 before `knee`, then linearly ramping to `factor` at the end
+    /// of the window — the HTTP scan growth after interval 92 (Fig 10).
+    Ramp {
+        /// Interval where the ramp starts.
+        knee: u32,
+        /// Weight multiplier reached at the final interval (≥ 1).
+        factor: f64,
+    },
+}
+
+impl ActivityPattern {
+    /// The unnormalized weight of `interval` (1-based) in a window of
+    /// `num_hours` intervals.
+    pub fn weight(&self, interval: u32, num_hours: u32) -> f64 {
+        debug_assert!(interval >= 1);
+        match self {
+            ActivityPattern::Steady => 1.0,
+            ActivityPattern::Duty {
+                period,
+                on_hours,
+                phase,
+            } => {
+                let period = (*period).max(1);
+                let pos = (interval - 1 + phase) % period;
+                if pos < (*on_hours).min(period) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivityPattern::Window { start, end } => {
+                if interval >= *start && interval <= *end {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivityPattern::Bursts { baseline, spikes } => {
+                let spike: f64 = spikes
+                    .iter()
+                    .filter(|(i, _)| *i == interval)
+                    .map(|(_, w)| *w)
+                    .sum();
+                baseline.max(0.0) + spike
+            }
+            ActivityPattern::Ramp { knee, factor } => {
+                if interval <= *knee || num_hours <= *knee {
+                    1.0
+                } else {
+                    let t = f64::from(interval - knee) / f64::from(num_hours - knee);
+                    1.0 + (factor - 1.0).max(0.0) * t
+                }
+            }
+        }
+    }
+
+    /// Sum of weights over a window — the normalization constant.
+    pub fn total_weight(&self, num_hours: u32) -> f64 {
+        (1..=num_hours).map(|i| self.weight(i, num_hours)).sum()
+    }
+
+    /// The first interval with positive weight, if any.
+    pub fn first_active(&self, num_hours: u32) -> Option<u32> {
+        (1..=num_hours).find(|i| self.weight(*i, num_hours) > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: u32 = 143;
+
+    #[test]
+    fn steady_is_uniform() {
+        let p = ActivityPattern::Steady;
+        assert_eq!(p.weight(1, H), 1.0);
+        assert_eq!(p.weight(143, H), 1.0);
+        assert_eq!(p.total_weight(H), 143.0);
+        assert_eq!(p.first_active(H), Some(1));
+    }
+
+    #[test]
+    fn duty_cycles() {
+        let p = ActivityPattern::Duty {
+            period: 6,
+            on_hours: 2,
+            phase: 0,
+        };
+        assert_eq!(p.weight(1, H), 1.0);
+        assert_eq!(p.weight(2, H), 1.0);
+        assert_eq!(p.weight(3, H), 0.0);
+        assert_eq!(p.weight(7, H), 1.0);
+        // Phase shifts the cycle.
+        let q = ActivityPattern::Duty {
+            period: 6,
+            on_hours: 2,
+            phase: 3,
+        };
+        assert_eq!(q.weight(1, H), 0.0);
+        assert_eq!(q.weight(4, H), 1.0);
+    }
+
+    #[test]
+    fn duty_on_hours_capped_by_period() {
+        let p = ActivityPattern::Duty {
+            period: 4,
+            on_hours: 99,
+            phase: 0,
+        };
+        assert_eq!(p.total_weight(8), 8.0);
+    }
+
+    #[test]
+    fn window_bounds_inclusive() {
+        let p = ActivityPattern::Window { start: 113, end: 142 };
+        assert_eq!(p.weight(112, H), 0.0);
+        assert_eq!(p.weight(113, H), 1.0);
+        assert_eq!(p.weight(142, H), 1.0);
+        assert_eq!(p.weight(143, H), 0.0);
+        assert_eq!(p.total_weight(H), 30.0);
+        assert_eq!(p.first_active(H), Some(113));
+    }
+
+    #[test]
+    fn bursts_add_to_baseline() {
+        let p = ActivityPattern::Bursts {
+            baseline: 0.1,
+            spikes: vec![(6, 10.0), (7, 10.0), (6, 5.0)],
+        };
+        assert_eq!(p.weight(5, H), 0.1);
+        assert_eq!(p.weight(6, H), 15.1);
+        assert_eq!(p.weight(7, H), 10.1);
+        let total = p.total_weight(H);
+        assert!((total - (0.1 * 143.0 + 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursts_zero_baseline_is_silent_between_spikes() {
+        let p = ActivityPattern::Bursts {
+            baseline: 0.0,
+            spikes: vec![(49, 1.0)],
+        };
+        assert_eq!(p.first_active(H), Some(49));
+        assert_eq!(p.weight(50, H), 0.0);
+    }
+
+    #[test]
+    fn ramp_grows_after_knee() {
+        let p = ActivityPattern::Ramp { knee: 92, factor: 2.0 };
+        assert_eq!(p.weight(1, H), 1.0);
+        assert_eq!(p.weight(92, H), 1.0);
+        assert!(p.weight(100, H) > 1.0);
+        assert!((p.weight(143, H) - 2.0).abs() < 1e-9);
+        // Monotone after the knee.
+        for i in 93..H {
+            assert!(p.weight(i + 1, H) >= p.weight(i, H));
+        }
+    }
+
+    #[test]
+    fn ramp_degenerate_window() {
+        let p = ActivityPattern::Ramp { knee: 92, factor: 2.0 };
+        assert_eq!(p.weight(5, 10), 1.0); // window shorter than knee
+    }
+
+    #[test]
+    fn total_weight_matches_manual_sum() {
+        let patterns = [
+            ActivityPattern::Steady,
+            ActivityPattern::Duty {
+                period: 24,
+                on_hours: 6,
+                phase: 5,
+            },
+            ActivityPattern::Ramp { knee: 50, factor: 3.0 },
+        ];
+        for p in patterns {
+            let manual: f64 = (1..=H).map(|i| p.weight(i, H)).sum();
+            assert!((p.total_weight(H) - manual).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Sharing telescope data without leaking identities (§VI).
+//!
+//! The paper plans "an authenticated API to share IoT-relevant malicious
+//! empirical data … with the research community". Raw darknet traffic
+//! identifies victims and compromised devices, so telescopes share
+//! *prefix-preserving anonymized* traces (as CAIDA does). This example
+//! shows what survives anonymization and what (deliberately) breaks:
+//!
+//! * port/protocol/temporal analyses — identical before and after;
+//! * subnet structure — preserved (same /24 in → same /24 out);
+//! * inventory correlation — destroyed (the receiving party cannot map
+//!   traffic back to devices without the key).
+//!
+//! ```text
+//! cargo run -p iotscope-examples --release --bin data_sharing
+//! ```
+
+use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::scan;
+use iotscope_net::anon::Anonymizer;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use iotscope_telescope::HourTraffic;
+
+fn main() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(271828));
+    let traffic = built.scenario.generate();
+
+    // The telescope operator anonymizes before sharing.
+    let anonymizer = Anonymizer::new(0xC0FF_EE00_5EC2_E7E5);
+    let shared: Vec<HourTraffic> = traffic
+        .iter()
+        .map(|h| HourTraffic {
+            interval: h.interval,
+            hour: h.hour,
+            flows: h.flows.iter().map(|f| anonymizer.anonymize_flow(f)).collect(),
+        })
+        .collect();
+
+    let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
+    let original = pipeline.analyze(&traffic);
+    let received = pipeline.analyze(&shared);
+
+    println!("== what the receiving researcher still sees ==");
+    let orig_rows = scan::protocol_table(&original);
+    let recv_scan: u64 = received.unmatched_packets;
+    println!(
+        "original: {} scan pkts across services; top service {} at {:.1}%",
+        orig_rows.iter().map(|r| r.packets).sum::<u64>(),
+        orig_rows[0].label,
+        orig_rows[0].pct
+    );
+    // Port/protocol structure survives: recompute Table V over the shared
+    // trace by dst port (no inventory needed).
+    let mut telnet = 0u64;
+    let mut total = 0u64;
+    for h in &shared {
+        for f in &h.flows {
+            if f.protocol == iotscope_net::protocol::TransportProtocol::Tcp
+                && f.tcp_flags.is_bare_syn()
+            {
+                total += u64::from(f.packets);
+                if matches!(f.dst_port, 23 | 2323 | 23231) {
+                    telnet += u64::from(f.packets);
+                }
+            }
+        }
+    }
+    println!(
+        "shared:   telnet still {:.1}% of scan packets — port analyses intact",
+        100.0 * telnet as f64 / total as f64
+    );
+
+    println!("\n== what anonymization removed ==");
+    println!(
+        "original correlation: {} devices matched, {} noise packets",
+        original.observations.len(),
+        original.unmatched_packets
+    );
+    println!(
+        "shared   correlation: {} devices matched, {} unmatched packets",
+        received.observations.len(),
+        recv_scan
+    );
+    assert!(received.observations.len() < original.observations.len() / 100);
+
+    println!("\n== subnet structure is preserved ==");
+    let x = std::net::Ipv4Addr::new(100, 20, 30, 40);
+    let y = std::net::Ipv4Addr::new(100, 20, 30, 99);
+    let (ax, ay) = (anonymizer.anonymize(x), anonymizer.anonymize(y));
+    println!("{x} and {y} (same /24)  →  {ax} and {ay}");
+    assert_eq!(ax.octets()[..3], ay.octets()[..3]);
+    println!("…still the same /24 after anonymization, but unrecognizable.");
+    println!("\nonly the key holder can reverse it: {} → {}", ax, anonymizer.de_anonymize(ax));
+}

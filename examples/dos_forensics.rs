@@ -1,0 +1,129 @@
+//! DoS forensics from backscatter alone.
+//!
+//! Plants a set of DoS attack episodes against specific IoT devices (an
+//! Ethernet/IP PLC, a printer, a camera), then shows how a telescope
+//! analyst reconstructs them: which hours carried attacks, who the victim
+//! was, how intense each episode ran, and the victim's exposed service —
+//! exactly the §IV-B investigation of the paper.
+//!
+//! ```text
+//! cargo run -p iotscope-examples --bin dos_forensics
+//! ```
+
+use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::{dos, stats};
+use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
+use iotscope_devicedb::{ConsumerKind, CpsService, DeviceProfile};
+use iotscope_telescope::behavior::{Actor, ActorBehavior};
+use iotscope_telescope::pattern::ActivityPattern;
+use iotscope_telescope::{Scenario, TelescopeConfig};
+
+fn main() {
+    let inventory = InventoryBuilder::new(SynthConfig::small(77)).build();
+
+    // Pick three interesting victims from the inventory.
+    let plc = inventory
+        .db
+        .iter()
+        .find(|d| {
+            d.profile
+                .cps_services()
+                .is_some_and(|s| s.contains(&CpsService::EthernetIp))
+        })
+        .expect("inventory has an Ethernet/IP device");
+    let printer = inventory
+        .db
+        .iter()
+        .find(|d| d.profile.consumer_kind() == Some(ConsumerKind::Printer))
+        .expect("inventory has a printer");
+    let camera = inventory
+        .db
+        .iter()
+        .find(|d| d.profile.consumer_kind() == Some(ConsumerKind::IpCamera))
+        .expect("inventory has a camera");
+
+    // Plant the attack schedule: the PLC gets hammered twice, the printer
+    // and camera once each; everyone trickles a little baseline.
+    type Episode<'a> = (&'a iotscope_devicedb::IotDevice, u16, f64, Vec<(u32, f64)>);
+    let mut actors = Vec::new();
+    let plan: [Episode<'_>; 3] = [
+        (plc, 44818, 80_000.0, vec![(10, 1.0), (11, 1.0), (90, 0.7)]),
+        (printer, 9100, 25_000.0, vec![(49, 1.0)]),
+        (camera, 554, 15_000.0, vec![(120, 1.0)]),
+    ];
+    for (dev, port, budget, spikes) in plan {
+        actors.push(Actor {
+            device: Some(dev.id),
+            src_ip: dev.ip,
+            behavior: ActorBehavior::Backscatter {
+                service_port: port,
+                icmp_share: 0.1,
+            },
+            pattern: ActivityPattern::Bursts {
+                baseline: 0.001,
+                spikes,
+            },
+            budget,
+            onset: 1,
+            retire: u32::MAX,
+            guarantee_onset_flow: true,
+        });
+    }
+
+    let scenario = Scenario::new(TelescopeConfig::paper(), 7, actors);
+    let analysis = AnalysisPipeline::new(&inventory.db, 143).analyze(&scenario.generate());
+
+    println!("== backscatter forensics ==\n");
+    let s = dos::summary(&analysis, 10_000);
+    println!(
+        "victims inferred: {}  backscatter packets: {}  heavy victims: {}\n",
+        s.victims, s.packets, s.heavy_victims
+    );
+
+    println!("detected attack episodes:");
+    for e in dos::detect_spikes(&analysis, 8.0) {
+        let dev = inventory.db.device(e.victim);
+        let service = match &dev.profile {
+            DeviceProfile::Cps(sv) => sv[0].to_string(),
+            DeviceProfile::Consumer(k) => k.to_string(),
+        };
+        println!(
+            "  interval {:>3}: {:>7} pkts — victim {} [{} in {}], {:.0}% from that single device",
+            e.interval,
+            e.total,
+            dev.ip,
+            service,
+            dev.country.name(),
+            100.0 * e.victim_share
+        );
+    }
+
+    // Per-victim intensity distribution (the Fig 6 view).
+    let (_, backscatter_cdf) = iotscope_core::characterize::packet_cdfs(&analysis);
+    println!(
+        "\nper-victim backscatter: median={:.0} max={:.0}",
+        backscatter_cdf.quantile(0.5).unwrap_or(0.0),
+        backscatter_cdf.quantile(1.0).unwrap_or(0.0)
+    );
+
+    // Was the PLC attacked harder than the consumer devices? (The paper's
+    // Mann-Whitney on hourly backscatter, CPS vs consumer.)
+    if let Some(mw) = dos::backscatter_realm_test(&analysis) {
+        println!(
+            "hourly backscatter consumer-vs-CPS Mann-Whitney: Z={:.2}, p={:.2e} — {}",
+            mw.z,
+            mw.p_value,
+            if mw.p_value < 0.05 {
+                "CPS victims attacked significantly harder"
+            } else {
+                "no significant realm difference"
+            }
+        );
+    }
+    let med = |v: &[u64]| stats::mean(&v.iter().map(|x| *x as f64).collect::<Vec<_>>());
+    println!(
+        "mean hourly backscatter: CPS {:.0} vs consumer {:.0}",
+        med(dos::hourly(&analysis, iotscope_devicedb::Realm::Cps)),
+        med(dos::hourly(&analysis, iotscope_devicedb::Realm::Consumer)),
+    );
+}

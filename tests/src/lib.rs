@@ -1,0 +1,1 @@
+//! Integration test crate for the iotscope workspace; see tests/tests/.

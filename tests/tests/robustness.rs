@@ -1,0 +1,117 @@
+//! Robustness and invariant properties across crate boundaries:
+//! parsers never panic on arbitrary bytes, budgets are conserved, and
+//! generated traffic satisfies structural invariants.
+
+use iotscope_core::classify::{classify, TrafficClass};
+use iotscope_intel::sandbox::SandboxReport;
+use iotscope_net::store::decode_hour;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The flowtuple store decoder must reject, never panic on, arbitrary
+    /// bytes.
+    #[test]
+    fn store_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_hour(&bytes);
+    }
+
+    /// Same for bytes that start with the real magic (deeper paths).
+    #[test]
+    fn store_decoder_never_panics_with_magic(tail in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut bytes = b"IOTFT01".to_vec();
+        bytes.extend(tail);
+        let _ = decode_hour(&bytes);
+    }
+
+    /// The sandbox-report parser must reject, never panic on, arbitrary
+    /// text.
+    #[test]
+    fn sandbox_parser_never_panics(text in "\\PC{0,400}") {
+        let _ = SandboxReport::parse_xml(&text);
+    }
+
+    /// Sandbox parser with tag-shaped noise.
+    #[test]
+    fn sandbox_parser_never_panics_on_tag_soup(
+        tags in proptest::collection::vec(("[a-z0-9_]{1,12}", "\\PC{0,24}"), 0..12),
+    ) {
+        let mut text = String::from("<report>\n");
+        for (tag, value) in tags {
+            text.push_str(&format!("<{tag}>{value}</{tag}>\n"));
+        }
+        text.push_str("</report>\n");
+        let _ = SandboxReport::parse_xml(&text);
+    }
+}
+
+#[test]
+fn generated_traffic_structural_invariants() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(808));
+    let telescope = *built.scenario.telescope();
+    for interval in [1u32, 30, 70, 119, 143] {
+        let hour = built.scenario.generate_hour(interval);
+        assert_eq!(hour.interval, interval);
+        for flow in &hour.flows {
+            // Every flow lands inside the dark space and carries packets.
+            assert!(telescope.contains(flow.dst_ip), "{} outside telescope", flow.dst_ip);
+            assert!(!telescope.contains(flow.src_ip), "source {} inside telescope", flow.src_ip);
+            assert!(flow.packets >= 1);
+            // Every flow classifies into exactly one class (total function).
+            let _ = classify(flow);
+        }
+    }
+}
+
+#[test]
+fn scenario_budget_is_conserved_within_tolerance() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(809));
+    let expected = built.scenario.expected_total_packets();
+    let actual: u64 = built
+        .scenario
+        .generate()
+        .iter()
+        .map(|h| h.flows.iter().map(|f| u64::from(f.packets)).sum::<u64>())
+        .sum();
+    // Bernoulli rounding + guaranteed discovery flows keep the total near
+    // the expectation.
+    let ratio = actual as f64 / expected;
+    assert!((0.9..=1.15).contains(&ratio), "actual {actual} vs expected {expected}");
+}
+
+#[test]
+fn victims_and_scanners_partition_backscatter() {
+    // Global invariant over a full run: backscatter comes only from
+    // planted victims; scan packets only from non-victims.
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(810));
+    let traffic = built.scenario.generate();
+    let victims: std::collections::HashSet<_> = built
+        .truth
+        .devices_with_role(iotscope_telescope::ground_truth::Role::DosVictim)
+        .into_iter()
+        .map(|d| built.inventory.db.device(d).ip)
+        .collect();
+    for hour in &traffic {
+        for flow in &hour.flows {
+            match classify(flow) {
+                TrafficClass::Backscatter => {
+                    assert!(
+                        victims.contains(&flow.src_ip),
+                        "backscatter from non-victim {}",
+                        flow.src_ip
+                    );
+                }
+                TrafficClass::TcpScan | TrafficClass::IcmpScan => {
+                    assert!(
+                        !victims.contains(&flow.src_ip),
+                        "scan from victim {}",
+                        flow.src_ip
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate store/pipeline integration: the on-disk path must produce
+//! the same analysis as the in-memory path, survive the paper's
+//! data-quality rules, and fail loudly on corruption.
+
+use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::report::Report;
+use iotscope_net::store::{FlowStore, StoreOptions};
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iotscope-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn disk_roundtrip_preserves_the_full_report() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(7));
+    let window = built.scenario.telescope().window;
+    let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
+
+    let mem = pipeline.analyze(&built.scenario.generate());
+
+    let dir = tmpdir("roundtrip");
+    let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+    built.scenario.write_to_store(&store).unwrap();
+    let (disk, dropped) = pipeline.analyze_store(&store, &window).unwrap();
+    assert!(dropped.is_empty());
+
+    // The two paths agree on every aggregate the report uses.
+    assert_eq!(mem.observations, disk.observations);
+    assert_eq!(mem.protocol_packets, disk.protocol_packets);
+    assert_eq!(mem.scan_services, disk.scan_services);
+    assert_eq!(mem.udp_ports, disk.udp_ports);
+    assert_eq!(mem.backscatter_intervals, disk.backscatter_intervals);
+    assert_eq!(mem.top5_series, disk.top5_series);
+
+    let report_mem = Report::build(&mem, &built.inventory.db, &built.inventory.isps, None);
+    let report_disk = Report::build(&disk, &built.inventory.db, &built.inventory.isps, None);
+    assert_eq!(report_mem.render(), report_disk.render());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn plain_and_delta_encoding_agree() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(8));
+    let window = built.scenario.telescope().window;
+    let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
+
+    let dir_a = tmpdir("delta");
+    let dir_b = tmpdir("plain");
+    let store_a = FlowStore::create(&dir_a, StoreOptions { delta_encode: true }).unwrap();
+    let store_b = FlowStore::create(&dir_b, StoreOptions { delta_encode: false }).unwrap();
+    built.scenario.write_to_store(&store_a).unwrap();
+    built.scenario.write_to_store(&store_b).unwrap();
+
+    let (a, _) = pipeline.analyze_store(&store_a, &window).unwrap();
+    let (b, _) = pipeline.analyze_store(&store_b, &window).unwrap();
+    assert_eq!(a.observations, b.observations);
+    assert_eq!(a.udp_ports, b.udp_ports);
+
+    // Delta encoding is the smaller format.
+    let size = |d: &PathBuf| -> u64 {
+        walkdir_size(d)
+    };
+    assert!(size(&dir_a) < size(&dir_b), "{} !< {}", size(&dir_a), size(&dir_b));
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+fn walkdir_size(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let entry = entry.unwrap();
+            let meta = entry.metadata().unwrap();
+            if meta.is_dir() {
+                stack.push(entry.path());
+            } else {
+                total += meta.len();
+            }
+        }
+    }
+    total
+}
+
+#[test]
+fn missing_day_is_dropped_and_reported() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(9));
+    let window = built.scenario.telescope().window;
+    let dir = tmpdir("dropday");
+    let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+    built.scenario.write_to_store(&store).unwrap();
+    // Delete 10 hours of day 4 (the April-18-style outage).
+    for (interval, hour) in window.iter_intervals() {
+        if window.day_of_interval(interval).unwrap() == 4 && interval % 2 == 0 {
+            std::fs::remove_file(store.hour_path(hour)).unwrap();
+        }
+    }
+    let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
+    let (analysis, dropped) = pipeline.analyze_store(&store, &window).unwrap();
+    assert_eq!(dropped, vec![4]);
+    // Day-4 intervals (97..=120) contribute nothing.
+    for i in 96..120usize {
+        assert_eq!(analysis.tcp_scan[0].packets[i], 0);
+        assert_eq!(analysis.udp[1].packets[i], 0);
+        assert_eq!(analysis.backscatter_hourly[0][i], 0);
+    }
+    // Other days still analyzed.
+    assert!(analysis.total_packets() > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sequential_and_parallel_analysis_agree_end_to_end() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(10));
+    let traffic = built.scenario.generate();
+    let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
+    let seq = pipeline.analyze(&traffic);
+    for threads in [2usize, 3, 8, 64] {
+        let par = pipeline.analyze_parallel(&traffic, threads);
+        assert_eq!(seq.observations, par.observations, "threads={threads}");
+        assert_eq!(seq.scan_services, par.scan_services);
+        assert_eq!(seq.backscatter_intervals, par.backscatter_intervals);
+    }
+}
+
+#[test]
+fn empty_device_db_correlates_nothing() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(11));
+    let traffic = built.scenario.generate();
+    let empty = iotscope_devicedb::DeviceDb::new();
+    let pipeline = AnalysisPipeline::new(&empty, 143);
+    let analysis = pipeline.analyze(&traffic);
+    assert!(analysis.observations.is_empty());
+    assert!(analysis.unmatched_flows > 0);
+    let flows: u64 = traffic.iter().map(|h| h.flows.len() as u64).sum();
+    assert_eq!(analysis.unmatched_flows, flows);
+}
