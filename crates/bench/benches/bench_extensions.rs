@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use iotscope_core::botnet::{self, BotnetConfig};
 use iotscope_core::fingerprint::{candidate_iot_devices, FingerprintModel};
+use iotscope_core::pipeline::AnalysisPipeline;
 use iotscope_core::stream::{StreamConfig, StreamingAnalyzer};
 use iotscope_core::{attribution, behavior, malicious};
-use iotscope_core::pipeline::AnalysisPipeline;
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 use iotscope_telescope::HourTraffic;
@@ -52,8 +52,7 @@ fn bench_extensions(c: &mut Criterion) {
     });
     group.bench_function("streaming_48h", |b| {
         b.iter(|| {
-            let mut s =
-                StreamingAnalyzer::new(&built.inventory.db, 143, StreamConfig::default());
+            let mut s = StreamingAnalyzer::new(&built.inventory.db, 143, StreamConfig::default());
             for h in &traffic {
                 s.push_hour(h);
             }

@@ -29,10 +29,14 @@ fn bench_intel(c: &mut Criterion) {
         b.iter(|| malicious::select_candidates(&analysis, 400))
     });
     group.bench_function("table_vi_threat_summary", |b| {
-        b.iter(|| malicious::threat_summary(&analysis, &built.inventory.db, &intel.threats, &candidates))
+        b.iter(|| {
+            malicious::threat_summary(&analysis, &built.inventory.db, &intel.threats, &candidates)
+        })
     });
     group.bench_function("fig11_packet_cdfs", |b| {
-        b.iter(|| malicious::packet_cdfs(&analysis, &built.inventory.db, &intel.threats, &candidates))
+        b.iter(|| {
+            malicious::packet_cdfs(&analysis, &built.inventory.db, &intel.threats, &candidates)
+        })
     });
     group.bench_function("table_vii_malware_correlation", |b| {
         b.iter(|| {

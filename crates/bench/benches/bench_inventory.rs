@@ -9,7 +9,12 @@ fn bench_inventory(c: &mut Criterion) {
     let mut group = c.benchmark_group("inventory");
     group.sample_size(10);
     group.bench_function("build_small_inventory", |b| {
-        b.iter(|| InventoryBuilder::new(SynthConfig::small(9)).build().db.len())
+        b.iter(|| {
+            InventoryBuilder::new(SynthConfig::small(9))
+                .build()
+                .db
+                .len()
+        })
     });
 
     let out = InventoryBuilder::new(SynthConfig::small(9)).build();
@@ -17,9 +22,13 @@ fn bench_inventory(c: &mut Criterion) {
         b.iter(|| characterize::country_deployment(&out.db).len())
     });
     group.bench_function("lookup_ip_hit_rate", |b| {
-        let probes: Vec<std::net::Ipv4Addr> =
-            out.db.iter().take(500).map(|d| d.ip).collect();
-        b.iter(|| probes.iter().filter(|ip| out.db.lookup_ip(**ip).is_some()).count())
+        let probes: Vec<std::net::Ipv4Addr> = out.db.iter().take(500).map(|d| d.ip).collect();
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|ip| out.db.lookup_ip(**ip).is_some())
+                .count()
+        })
     });
     group.finish();
 }

@@ -18,14 +18,38 @@ fn bench_store(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("encode_delta", |b| {
-        b.iter(|| encode_hour(UnixHour::new(1), &flows, StoreOptions { delta_encode: true }))
+        b.iter(|| {
+            encode_hour(
+                UnixHour::new(1),
+                &flows,
+                StoreOptions { delta_encode: true },
+            )
+        })
     });
     group.bench_function("encode_plain", |b| {
-        b.iter(|| encode_hour(UnixHour::new(1), &flows, StoreOptions { delta_encode: false }))
+        b.iter(|| {
+            encode_hour(
+                UnixHour::new(1),
+                &flows,
+                StoreOptions {
+                    delta_encode: false,
+                },
+            )
+        })
     });
 
-    let delta_bytes = encode_hour(UnixHour::new(1), &flows, StoreOptions { delta_encode: true });
-    let plain_bytes = encode_hour(UnixHour::new(1), &flows, StoreOptions { delta_encode: false });
+    let delta_bytes = encode_hour(
+        UnixHour::new(1),
+        &flows,
+        StoreOptions { delta_encode: true },
+    );
+    let plain_bytes = encode_hour(
+        UnixHour::new(1),
+        &flows,
+        StoreOptions {
+            delta_encode: false,
+        },
+    );
     eprintln!(
         "[ablation] hour of {n} flows: delta={}B plain={}B ({:.1}% saved)",
         delta_bytes.len(),
@@ -34,10 +58,18 @@ fn bench_store(c: &mut Criterion) {
     );
 
     group.bench_function("decode_delta", |b| {
-        b.iter_batched(|| delta_bytes.clone(), |buf| decode_hour(&buf).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || delta_bytes.clone(),
+            |buf| decode_hour(&buf).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
     group.bench_function("decode_plain", |b| {
-        b.iter_batched(|| plain_bytes.clone(), |buf| decode_hour(&buf).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || plain_bytes.clone(),
+            |buf| decode_hour(&buf).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
     group.finish();
 }

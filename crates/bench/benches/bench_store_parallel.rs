@@ -1,0 +1,46 @@
+//! Store-backed pipeline benchmark: read + decode + aggregate a full
+//! simulated window from disk, sequentially and with the parallel
+//! reader/decoder pool, reporting hours/s so the thread scaling is
+//! directly comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_net::store::{FlowStore, StoreOptions};
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+fn bench_store_parallel(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(1));
+    let window = built.scenario.telescope().window;
+    let dir = std::env::temp_dir().join(format!("iotscope-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FlowStore::create(&dir, StoreOptions::default()).expect("create bench store");
+    built
+        .scenario
+        .write_to_store(&store)
+        .expect("write bench store");
+    let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
+
+    let mut group = c.benchmark_group("store_parallel");
+    group.throughput(Throughput::Elements(u64::from(window.num_hours())));
+    group.sample_size(10);
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_store", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    pipeline
+                        .analyze_store_with_stats(&store, &window, t)
+                        .expect("bench store analysis")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_store_parallel);
+criterion_main!(benches);

@@ -204,7 +204,16 @@ fn dump_csv(dir: &str, analysis: &iotscope_core::Analysis) -> std::io::Result<()
     let mut f = std::fs::File::create(path("fig10_top5_hourly"))?;
     writeln!(f, "interval,telnet,http,ssh,backroomnet,cwmp")?;
     for (i, row) in scan::top5_series(analysis).iter().enumerate() {
-        writeln!(f, "{},{},{},{},{},{}", i + 1, row[0], row[1], row[2], row[3], row[4])?;
+        writeln!(
+            f,
+            "{},{},{},{},{},{}",
+            i + 1,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
+        )?;
     }
     Ok(())
 }

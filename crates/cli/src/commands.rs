@@ -3,7 +3,7 @@
 use crate::{parse_opts, CliError};
 use iotscope_core::botnet::{self, BotnetConfig};
 use iotscope_core::fingerprint::{candidate_iot_devices, FingerprintModel};
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, StoreReadStats};
 use iotscope_core::report::{Report, ReportIntel};
 use iotscope_core::stream::{Alert, StreamConfig, StreamingAnalyzer};
 use iotscope_core::{attribution, behavior, malicious};
@@ -48,7 +48,10 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     let mut meta = BTreeMap::new();
     meta.insert("seed".to_owned(), seed.to_string());
     meta.insert("scale".to_owned(), scale.to_string());
-    meta.insert("size".to_owned(), if tiny { "tiny" } else { "paper" }.to_owned());
+    meta.insert(
+        "size".to_owned(),
+        if tiny { "tiny" } else { "paper" }.to_owned(),
+    );
     inventory_io::save(
         out.join("inventory.tsv"),
         &built.inventory.db,
@@ -104,12 +107,28 @@ fn meta_seed(inv: &LoadedInventory) -> u64 {
         .unwrap_or(42)
 }
 
-/// `iotscope analyze --data DIR [--intel]`
+/// `iotscope analyze --data DIR [--intel] [--threads N] [--stats]`
+///
+/// Runs the store-backed pipeline: hour files are read, decoded, and
+/// aggregated by a pool of `--threads` workers (default 8) directly
+/// from `DIR/darknet`, applying the paper's day-completeness rule.
+/// `--stats` appends per-stage accounting to the report.
 pub fn analyze(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["--data"], &["--intel"])?;
-    let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
-    let pipeline = AnalysisPipeline::new(&inventory.db, AnalysisWindow::paper().num_hours());
-    let analysis = pipeline.analyze_parallel(&traffic, 8);
+    let opts = parse_opts(args, &["--data", "--threads"], &["--intel", "--stats"])?;
+    let dir = data_dir(&opts)?;
+    let threads: usize = opt_parse(&opts, "--threads", 8)?;
+    let inventory = inventory_io::load(dir.join("inventory.tsv"))?;
+    let store = FlowStore::open(dir.join("darknet"))?;
+    let window = AnalysisWindow::paper();
+    let pipeline = AnalysisPipeline::new(&inventory.db, window.num_hours());
+    let result = pipeline.analyze_store_with_stats(&store, &window, threads)?;
+    if result.stats.hours_ingested == 0 {
+        return Err(CliError::Run(format!(
+            "no hourly flowtuple files under {}/darknet",
+            dir.display()
+        )));
+    }
+    let analysis = result.analysis;
 
     let intel_out;
     let intel = if opts.contains_key("--intel") {
@@ -126,7 +145,32 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
         None
     };
     let report = Report::build(&analysis, &inventory.db, &inventory.isps, intel);
-    Ok(report.render())
+    let mut text = report.render();
+    if opts.contains_key("--stats") {
+        text.push_str(&render_store_stats(&result.stats, &result.dropped_days));
+    }
+    Ok(text)
+}
+
+/// Render the `--stats` section appended to the analyze report.
+fn render_store_stats(stats: &StoreReadStats, dropped_days: &[u32]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== store read stats ==");
+    let _ = writeln!(out, "threads:         {}", stats.threads);
+    let _ = writeln!(
+        out,
+        "hours ingested:  {} ({} missing, {} skipped; dropped days {dropped_days:?})",
+        stats.hours_ingested, stats.hours_missing, stats.hours_skipped
+    );
+    let _ = writeln!(out, "bytes read:      {}", stats.bytes_read);
+    let _ = writeln!(out, "records decoded: {}", stats.records_decoded);
+    let _ = writeln!(
+        out,
+        "stage times:     read {:.1?}, decode {:.1?}, ingest {:.1?}, merge {:.1?} (summed across workers)",
+        stats.read_time, stats.decode_time, stats.ingest_time, stats.merge_time
+    );
+    let _ = writeln!(out, "wall time:       {:.1?}", stats.wall_time);
+    out
 }
 
 /// `iotscope watch --data DIR`
@@ -215,7 +259,11 @@ pub fn investigate(args: &[String]) -> Result<String, CliError> {
                 candidates.len()
             );
             for c in candidates.iter().take(20) {
-                let _ = writeln!(out, "  {:<16} score {:.2}  {:>8} pkts", c.ip, c.score, c.packets);
+                let _ = writeln!(
+                    out,
+                    "  {:<16} score {:.2}  {:>8} pkts",
+                    c.ip, c.score, c.packets
+                );
             }
         }
         None => {
@@ -223,7 +271,10 @@ pub fn investigate(args: &[String]) -> Result<String, CliError> {
         }
     }
 
-    let _ = writeln!(out, "\n== coordinated scanning crews (botnet clustering) ==");
+    let _ = writeln!(
+        out,
+        "\n== coordinated scanning crews (botnet clustering) =="
+    );
     let clusters = botnet::cluster(&vectors, &BotnetConfig::default());
     if clusters.is_empty() {
         let _ = writeln!(out, "no coordinated clusters found");
@@ -365,7 +416,13 @@ pub fn diff(args: &[String]) -> Result<String, CliError> {
             .relative()
             .map(|r| format!("{:+.1}%", 100.0 * r))
             .unwrap_or_else(|| "n/a".to_owned());
-        let _ = writeln!(out, "  {:<12} {:>10} -> {:>10}  ({rel})", c.class.to_string(), c.before, c.after);
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} -> {:>10}  ({rel})",
+            c.class.to_string(),
+            c.before,
+            c.after
+        );
     }
     Ok(out)
 }
@@ -393,8 +450,10 @@ pub fn validate(args: &[String]) -> Result<String, CliError> {
     let recovered = designated.intersection(&inferred).count();
     let false_pos = inferred.difference(&designated).count();
 
-    let truth_victims: std::collections::HashSet<_> =
-        truth.devices_with_role(Role::DosVictim).into_iter().collect();
+    let truth_victims: std::collections::HashSet<_> = truth
+        .devices_with_role(Role::DosVictim)
+        .into_iter()
+        .collect();
     let inferred_victims: std::collections::HashSet<_> =
         analysis.dos_victims().into_iter().collect();
     let victim_hits = truth_victims.intersection(&inferred_victims).count();
@@ -464,6 +523,25 @@ mod tests {
         assert!(report.contains("Table VII"));
         assert!(report.contains("compromised devices: 1050"));
 
+        // Thread count must not change the report; --stats appends a
+        // section with the run's accounting.
+        let with_stats = analyze(&args(&[
+            "--data",
+            dir_s,
+            "--intel",
+            "--threads",
+            "3",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(
+            with_stats.starts_with(&report),
+            "report differs across thread counts"
+        );
+        assert!(with_stats.contains("== store read stats =="));
+        assert!(with_stats.contains("threads:         3"));
+        assert!(with_stats.contains("hours ingested:  143"));
+
         let watch_out = watch(&args(&["--data", dir_s])).unwrap();
         assert!(watch_out.contains("devices discovered"));
         assert!(watch_out.contains("1050 compromised devices indexed"));
@@ -511,8 +589,22 @@ mod tests {
     fn diff_between_two_seeds_reports_churn() {
         let a = tmpdir("diff-a");
         let b = tmpdir("diff-b");
-        simulate(&args(&["--out", a.to_str().unwrap(), "--tiny", "--seed", "21"])).unwrap();
-        simulate(&args(&["--out", b.to_str().unwrap(), "--tiny", "--seed", "21"])).unwrap();
+        simulate(&args(&[
+            "--out",
+            a.to_str().unwrap(),
+            "--tiny",
+            "--seed",
+            "21",
+        ]))
+        .unwrap();
+        simulate(&args(&[
+            "--out",
+            b.to_str().unwrap(),
+            "--tiny",
+            "--seed",
+            "21",
+        ]))
+        .unwrap();
         // Identical seeds: zero churn.
         let same = diff(&args(&[
             "--baseline",
@@ -521,7 +613,10 @@ mod tests {
             b.to_str().unwrap(),
         ]))
         .unwrap();
-        assert!(same.contains("0 appeared, 0 disappeared (churn 0.0%)"), "{same}");
+        assert!(
+            same.contains("0 appeared, 0 disappeared (churn 0.0%)"),
+            "{same}"
+        );
         std::fs::remove_dir_all(&a).unwrap();
         std::fs::remove_dir_all(&b).unwrap();
     }
@@ -551,7 +646,10 @@ mod tests {
 
     #[test]
     fn simulate_requires_out() {
-        assert!(matches!(simulate(&args(&["--tiny"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            simulate(&args(&["--tiny"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

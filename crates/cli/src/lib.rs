@@ -67,7 +67,7 @@ iotscope — darknet-based IoT threat analysis (Torabi et al., DSN 2018)
 
 USAGE:
     iotscope simulate --out DIR [--seed N] [--scale F] [--tiny]
-    iotscope analyze --data DIR [--intel]
+    iotscope analyze --data DIR [--intel] [--threads N] [--stats]
     iotscope watch --data DIR
     iotscope investigate --data DIR [--intel]
     iotscope export --data DIR --out DIR [--key K]
@@ -78,7 +78,9 @@ COMMANDS:
     simulate     build a synthetic inventory + 143 hours of telescope
                  traffic into DIR (inventory.tsv + darknet/)
     analyze      run the full pipeline over DIR and print every table
-                 and figure of the paper (--intel adds Section V)
+                 and figure of the paper (--intel adds Section V;
+                 --threads N sizes the store reader pool, --stats
+                 appends per-stage read/decode/ingest accounting)
     watch        replay DIR hour-by-hour through the near-real-time
                  analyzer, printing alerts
     investigate  run the follow-up analyses over DIR: fingerprint
@@ -157,7 +159,10 @@ mod tests {
 
     #[test]
     fn parse_opts_value_and_bool() {
-        let args: Vec<String> = ["--out", "dir", "--tiny"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--out", "dir", "--tiny"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let opts = parse_opts(&args, &["--out"], &["--tiny"]).unwrap();
         assert_eq!(opts["--out"], "dir");
         assert_eq!(opts["--tiny"], "true");

@@ -743,8 +743,13 @@ mod tests {
             2,
             vec![
                 syn([1, 0, 0, 1], 80),
-                FlowTuple::udp(Ipv4Addr::new(2, 0, 0, 1), Ipv4Addr::new(44, 0, 0, 9), 1, 137)
-                    .with_packets(7),
+                FlowTuple::udp(
+                    Ipv4Addr::new(2, 0, 0, 1),
+                    Ipv4Addr::new(44, 0, 0, 9),
+                    1,
+                    137,
+                )
+                .with_packets(7),
             ],
         );
         let mut seq = Analyzer::new(&db, 4);
@@ -782,11 +787,19 @@ mod tests {
         let db = db();
         let mut an = Analyzer::new(&db, 48);
         an.ingest_hour(&hour(2, vec![syn([1, 0, 0, 1], 23).with_packets(5)]));
-        an.ingest_hour(&hour(30, vec![
-            syn([2, 0, 0, 1], 22).with_packets(7),
-            FlowTuple::udp(Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(44, 0, 0, 3), 1, 137)
+        an.ingest_hour(&hour(
+            30,
+            vec![
+                syn([2, 0, 0, 1], 22).with_packets(7),
+                FlowTuple::udp(
+                    Ipv4Addr::new(1, 0, 0, 1),
+                    Ipv4Addr::new(44, 0, 0, 3),
+                    1,
+                    137,
+                )
                 .with_packets(3),
-        ]));
+            ],
+        ));
         let a = an.finish();
         assert_eq!(a.daily_packet_totals(None), vec![5, 10]);
         assert_eq!(a.daily_packet_totals(Some(Realm::Consumer)), vec![5, 3]);

@@ -109,7 +109,9 @@ pub fn attribute(
         // profile intersects the device's scanned ports.
         let mut candidates: BTreeSet<MalwareFamily> = direct.clone();
         for family in profiles.families() {
-            let Some(fports) = profiles.ports(family) else { continue };
+            let Some(fports) = profiles.ports(family) else {
+                continue;
+            };
             if v.scan_ports.keys().any(|p| fports.contains(p)) {
                 candidates.insert(family);
             }

@@ -126,7 +126,11 @@ pub fn cosine(a: &BTreeMap<u16, u64>, b: &BTreeMap<u16, u64>) -> f64 {
 /// Sources are keyed by address; matched devices carry their
 /// [`DeviceId`]. `hours` is the window length (1-based interval indices
 /// must fit).
-pub fn extract(traffic: &[HourTraffic], db: &DeviceDb, hours: u32) -> HashMap<Ipv4Addr, BehaviorVector> {
+pub fn extract(
+    traffic: &[HourTraffic],
+    db: &DeviceDb,
+    hours: u32,
+) -> HashMap<Ipv4Addr, BehaviorVector> {
     let mut out: HashMap<Ipv4Addr, BehaviorVector> = HashMap::new();
     for hour in traffic {
         assert!(
@@ -238,7 +242,10 @@ mod tests {
         let vecs = extract(&[hour(1, vec![bs])], &db, 4);
         let dev = &vecs[&Ipv4Addr::new(1, 0, 0, 1)];
         assert!(dev.scan_ports.is_empty());
-        assert_eq!(dev.class[crate::analysis::class_idx(TrafficClass::Backscatter)], 1);
+        assert_eq!(
+            dev.class[crate::analysis::class_idx(TrafficClass::Backscatter)],
+            1
+        );
     }
 
     #[test]
@@ -270,9 +277,15 @@ mod tests {
         // Two sources active in the same two hours correlate; a constant
         // one yields None.
         let traffic = vec![
-            hour(1, vec![syn([1, 0, 0, 1], 23, 10), syn([9, 9, 9, 9], 23, 20)]),
+            hour(
+                1,
+                vec![syn([1, 0, 0, 1], 23, 10), syn([9, 9, 9, 9], 23, 20)],
+            ),
             hour(2, vec![syn([8, 8, 8, 8], 445, 1)]),
-            hour(3, vec![syn([1, 0, 0, 1], 23, 10), syn([9, 9, 9, 9], 23, 20)]),
+            hour(
+                3,
+                vec![syn([1, 0, 0, 1], 23, 10), syn([9, 9, 9, 9], 23, 20)],
+            ),
         ];
         let vecs = extract(&traffic, &db, 4);
         let a = &vecs[&Ipv4Addr::new(1, 0, 0, 1)];

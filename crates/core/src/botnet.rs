@@ -144,8 +144,7 @@ pub fn cluster(
         }
         let mut members: Vec<Ipv4Addr> = idxs.iter().map(|i| scanners[*i].ip).collect();
         members.sort();
-        let mut devices: Vec<DeviceId> =
-            idxs.iter().filter_map(|i| scanners[*i].device).collect();
+        let mut devices: Vec<DeviceId> = idxs.iter().filter_map(|i| scanners[*i].device).collect();
         devices.sort();
         // Signature = ports scanned by every member.
         let mut signature: BTreeSet<u16> = scanners[idxs[0]].scan_ports.keys().copied().collect();
@@ -254,7 +253,9 @@ mod tests {
         for lone in 0..6u8 {
             let ip = Ipv4Addr::new(10, 0, 2, lone + 1);
             let h = (lone as usize % 8) + 1;
-            hours[h - 1].flows.push(syn(ip, 40000 + u16::from(lone), 50));
+            hours[h - 1]
+                .flows
+                .push(syn(ip, 40000 + u16::from(lone), 50));
         }
         hours
     }
@@ -269,10 +270,7 @@ mod tests {
         let b = &clusters[1];
         assert_eq!(a.size(), 5);
         assert_eq!(b.size(), 4);
-        assert_eq!(
-            a.signature_ports,
-            BTreeSet::from([5555u16, 7001])
-        );
+        assert_eq!(a.signature_ports, BTreeSet::from([5555u16, 7001]));
         assert_eq!(b.signature_ports, BTreeSet::from([30005u16]));
         // Peak interval lies on a planted active hour.
         assert!([2u32, 6].contains(&a.peak_interval));

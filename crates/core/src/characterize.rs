@@ -98,7 +98,10 @@ pub fn compromised_country_count(analysis: &Analysis, db: &DeviceDb) -> usize {
 
 /// Fig 3: compromised consumer devices by kind with percentages,
 /// descending.
-pub fn consumer_kind_breakdown(analysis: &Analysis, db: &DeviceDb) -> Vec<(ConsumerKind, usize, f64)> {
+pub fn consumer_kind_breakdown(
+    analysis: &Analysis,
+    db: &DeviceDb,
+) -> Vec<(ConsumerKind, usize, f64)> {
     let mut counts: HashMap<ConsumerKind, usize> = HashMap::new();
     let mut total = 0usize;
     for obs in analysis.observations.values() {
@@ -297,17 +300,42 @@ mod tests {
 
     fn test_db() -> DeviceDb {
         DeviceDb::from_devices([
-            device([1, 0, 0, 1], "RU", DeviceProfile::Consumer(ConsumerKind::Router), 0),
-            device([1, 0, 0, 2], "RU", DeviceProfile::Consumer(ConsumerKind::IpCamera), 0),
-            device([1, 0, 0, 3], "US", DeviceProfile::Consumer(ConsumerKind::Printer), 1),
+            device(
+                [1, 0, 0, 1],
+                "RU",
+                DeviceProfile::Consumer(ConsumerKind::Router),
+                0,
+            ),
+            device(
+                [1, 0, 0, 2],
+                "RU",
+                DeviceProfile::Consumer(ConsumerKind::IpCamera),
+                0,
+            ),
+            device(
+                [1, 0, 0, 3],
+                "US",
+                DeviceProfile::Consumer(ConsumerKind::Printer),
+                1,
+            ),
             device(
                 [1, 0, 0, 4],
                 "CN",
                 DeviceProfile::Cps(vec![CpsService::EthernetIp, CpsService::ModbusTcp]),
                 2,
             ),
-            device([1, 0, 0, 5], "CN", DeviceProfile::Cps(vec![CpsService::EthernetIp]), 2),
-            device([1, 0, 0, 6], "US", DeviceProfile::Consumer(ConsumerKind::Router), 1),
+            device(
+                [1, 0, 0, 5],
+                "CN",
+                DeviceProfile::Cps(vec![CpsService::EthernetIp]),
+                2,
+            ),
+            device(
+                [1, 0, 0, 6],
+                "US",
+                DeviceProfile::Consumer(ConsumerKind::Router),
+                1,
+            ),
         ])
     }
 

@@ -143,13 +143,22 @@ mod tests {
 
     #[test]
     fn icmp_truth_table() {
-        assert_eq!(classify(&icmp(IcmpType::EchoRequest)), TrafficClass::IcmpScan);
-        assert_eq!(classify(&icmp(IcmpType::EchoReply)), TrafficClass::Backscatter);
+        assert_eq!(
+            classify(&icmp(IcmpType::EchoRequest)),
+            TrafficClass::IcmpScan
+        );
+        assert_eq!(
+            classify(&icmp(IcmpType::EchoReply)),
+            TrafficClass::Backscatter
+        );
         assert_eq!(
             classify(&icmp(IcmpType::DestinationUnreachable)),
             TrafficClass::Backscatter
         );
-        assert_eq!(classify(&icmp(IcmpType::TimeExceeded)), TrafficClass::Backscatter);
+        assert_eq!(
+            classify(&icmp(IcmpType::TimeExceeded)),
+            TrafficClass::Backscatter
+        );
         assert_eq!(
             classify(&icmp(IcmpType::TimestampRequest)),
             TrafficClass::IcmpScan

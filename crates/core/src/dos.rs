@@ -110,7 +110,11 @@ pub fn victim_countries(analysis: &Analysis, db: &DeviceDb) -> Vec<VictimCountry
         row.packets += bs;
     }
     let mut rows: Vec<VictimCountryRow> = map.into_values().collect();
-    rows.sort_by(|a, b| b.victims().cmp(&a.victims()).then(a.country.cmp(&b.country)));
+    rows.sort_by(|a, b| {
+        b.victims()
+            .cmp(&a.victims())
+            .then(a.country.cmp(&b.country))
+    });
     rows
 }
 

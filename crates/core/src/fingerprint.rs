@@ -179,11 +179,19 @@ fn normalize5(v: [u64; 5]) -> [f64; 5] {
 /// 1 − half the L1 distance between two distributions (the overlap
 /// coefficient), in `0.0..=1.0`.
 fn mix_similarity3(a: [f64; 3], b: [f64; 3]) -> f64 {
-    1.0 - 0.5 * a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>()
+    1.0 - 0.5
+        * a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>()
 }
 
 fn mix_similarity5(a: [f64; 5], b: [f64; 5]) -> f64 {
-    1.0 - 0.5 * a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>()
+    1.0 - 0.5
+        * a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>()
 }
 
 #[cfg(test)]

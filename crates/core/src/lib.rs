@@ -58,5 +58,5 @@ pub mod udp;
 
 pub use analysis::{Analysis, Analyzer};
 pub use classify::{classify, TrafficClass};
-pub use pipeline::AnalysisPipeline;
+pub use pipeline::{AnalysisPipeline, StoreAnalysis, StoreReadStats};
 pub use report::{Report, ReportIntel};

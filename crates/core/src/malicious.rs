@@ -6,8 +6,8 @@ use crate::analysis::Analysis;
 use crate::classify::TrafficClass;
 use crate::stats::Ecdf;
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
-use iotscope_intel::{MalwareDb, MalwareFamily, MalwareHash, ThreatCategory, ThreatRepo};
 use iotscope_intel::family::FamilyResolver;
+use iotscope_intel::{MalwareDb, MalwareFamily, MalwareHash, ThreatCategory, ThreatRepo};
 use std::collections::BTreeSet;
 
 /// §V-A's exploration set: every DoS victim plus the top-`n` devices per
@@ -20,12 +20,7 @@ pub fn select_candidates(analysis: &Analysis, top_n_per_realm: usize) -> Vec<Dev
             .observations
             .values()
             .filter(|o| o.realm == realm)
-            .map(|o| {
-                (
-                    o.scan_packets() + o.packets(TrafficClass::Udp),
-                    o.device,
-                )
-            })
+            .map(|o| (o.scan_packets() + o.packets(TrafficClass::Udp), o.device))
             .filter(|(pkts, _)| *pkts > 0)
             .collect();
         devices.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -177,10 +172,8 @@ pub fn malware_correlation(
         hashes.extend(sample_hashes);
         domains.extend(malware.domains_contacting(ip));
     }
-    let families: BTreeSet<MalwareFamily> = hashes
-        .iter()
-        .filter_map(|h| resolver.resolve(h))
-        .collect();
+    let families: BTreeSet<MalwareFamily> =
+        hashes.iter().filter_map(|h| resolver.resolve(h)).collect();
     MalwareFindings {
         devices,
         hashes: hashes.into_iter().collect(),
@@ -291,10 +284,18 @@ mod tests {
         let s = threat_summary(&a, &dbv, &repo, &candidates);
         assert_eq!(s.explored, 4);
         assert_eq!(s.flagged.len(), 2);
-        let scanning = s.rows.iter().find(|r| r.category == ThreatCategory::Scanning).unwrap();
+        let scanning = s
+            .rows
+            .iter()
+            .find(|r| r.category == ThreatCategory::Scanning)
+            .unwrap();
         assert_eq!(scanning.devices, 2);
         assert!((scanning.pct - 100.0).abs() < 1e-9);
-        let malware = s.rows.iter().find(|r| r.category == ThreatCategory::Malware).unwrap();
+        let malware = s
+            .rows
+            .iter()
+            .find(|r| r.category == ThreatCategory::Malware)
+            .unwrap();
         assert_eq!(malware.devices, 1);
         assert_eq!(s.consumer_malware_devices, 1);
         assert_eq!(s.cps_malware_devices, 0);

@@ -4,9 +4,64 @@
 use crate::analysis::{Analysis, Analyzer};
 use iotscope_devicedb::DeviceDb;
 use iotscope_net::store::FlowStore;
-use iotscope_net::time::AnalysisWindow;
+use iotscope_net::time::{AnalysisWindow, UnixHour};
 use iotscope_net::NetError;
 use iotscope_telescope::HourTraffic;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Accounting for one store-backed analysis run.
+///
+/// Stage times are summed across workers, so with N threads they can
+/// add up to roughly N× the wall time — compare them to each other (is
+/// this run I/O-bound or decode-bound?) rather than to `wall_time`.
+#[derive(Debug, Clone, Default)]
+pub struct StoreReadStats {
+    /// Worker threads actually used (after clamping to the work list).
+    pub threads: usize,
+    /// Hour files read, decoded, and ingested.
+    pub hours_ingested: u64,
+    /// Window hours with no file on disk.
+    pub hours_missing: u64,
+    /// Hour files present but skipped by the day-completeness rule.
+    pub hours_skipped: u64,
+    /// Total on-disk bytes read.
+    pub bytes_read: u64,
+    /// Total flowtuple records decoded.
+    pub records_decoded: u64,
+    /// Time spent reading files (summed across workers).
+    pub read_time: Duration,
+    /// Time spent decoding payloads (summed across workers).
+    pub decode_time: Duration,
+    /// Time spent aggregating decoded hours (summed across workers).
+    pub ingest_time: Duration,
+    /// Time spent merging worker partials (single-threaded).
+    pub merge_time: Duration,
+    /// End-to-end elapsed time for the whole run.
+    pub wall_time: Duration,
+}
+
+/// Result of a store-backed analysis: the aggregation itself, the days
+/// dropped by the completeness rule, and per-stage accounting.
+#[derive(Debug, Clone)]
+pub struct StoreAnalysis {
+    /// The aggregation, identical to what the sequential path produces.
+    pub analysis: Analysis,
+    /// Day indices dropped by the paper's completeness rule (§III-A2).
+    pub dropped_days: Vec<u32>,
+    /// Per-stage accounting for this run.
+    pub stats: StoreReadStats,
+}
+
+/// One run's window coverage: which days are dropped, which present
+/// hours remain to be read, and how many hours fell to each rule.
+struct Coverage {
+    dropped_days: Vec<u32>,
+    work: Vec<(u32, UnixHour)>,
+    hours_missing: u64,
+    hours_skipped: u64,
+}
 
 /// Analysis entry points bound to a device inventory and window length.
 ///
@@ -95,37 +150,247 @@ impl<'a> AnalysisPipeline<'a> {
         store: &FlowStore,
         window: &AnalysisWindow,
     ) -> Result<(Analysis, Vec<u32>), NetError> {
-        // Determine per-day coverage.
-        let mut present_per_day: Vec<u32> = vec![0; window.num_days() as usize];
-        for (interval, hour) in window.iter_intervals() {
-            if store.has_hour(hour) {
-                let day = window.day_of_interval(interval)?;
-                present_per_day[day as usize] += 1;
-            }
-        }
-        let dropped: Vec<u32> = (0..window.num_days())
-            .filter(|d| {
-                let expected = window.hours_in_day(*d);
-                let bar = expected.saturating_sub(1);
-                present_per_day[*d as usize] < bar.max(1)
-            })
-            .collect();
-
-        let mut an = Analyzer::new(self.db, self.hours);
-        for (interval, hour) in window.iter_intervals() {
-            let day = window.day_of_interval(interval)?;
-            if dropped.contains(&day) || !store.has_hour(hour) {
-                continue;
-            }
-            let flows = store.read_hour(hour)?;
-            an.ingest_hour(&HourTraffic {
-                interval,
-                hour,
-                flows,
-            });
-        }
-        Ok((an.finish(), dropped))
+        let out = self.analyze_store_with_stats(store, window, 1)?;
+        Ok((out.analysis, out.dropped_days))
     }
+
+    /// Parallel [`analyze_store`](Self::analyze_store): hour files are
+    /// read and decoded by a pool of `threads` workers and the partial
+    /// aggregations merged, producing the *same result* as the
+    /// sequential path (see `Analyzer::merge`).
+    ///
+    /// # Errors
+    ///
+    /// As [`analyze_store`](Self::analyze_store); when several hours are
+    /// corrupt the error for the earliest interval is reported, matching
+    /// what the sequential path would hit first.
+    pub fn analyze_store_parallel(
+        &self,
+        store: &FlowStore,
+        window: &AnalysisWindow,
+        threads: usize,
+    ) -> Result<(Analysis, Vec<u32>), NetError> {
+        let out = self.analyze_store_with_stats(store, window, threads)?;
+        Ok((out.analysis, out.dropped_days))
+    }
+
+    /// The full store-backed entry point: analyze `window` from `store`
+    /// with `threads` workers (`<= 1` runs inline on the caller's
+    /// thread) and return per-stage accounting alongside the analysis.
+    ///
+    /// # Errors
+    ///
+    /// As [`analyze_store`](Self::analyze_store).
+    pub fn analyze_store_with_stats(
+        &self,
+        store: &FlowStore,
+        window: &AnalysisWindow,
+        threads: usize,
+    ) -> Result<StoreAnalysis, NetError> {
+        let wall_start = Instant::now();
+        let cov = coverage(store, window)?;
+        let threads = threads.clamp(1, 64).min(cov.work.len().max(1));
+        let mut stats = StoreReadStats {
+            threads,
+            hours_missing: cov.hours_missing,
+            hours_skipped: cov.hours_skipped,
+            ..StoreReadStats::default()
+        };
+        let analysis = if threads <= 1 {
+            let mut an = Analyzer::new(self.db, self.hours);
+            for &(interval, hour) in &cov.work {
+                let t0 = Instant::now();
+                let bytes = store.read_hour_bytes(hour)?;
+                let t1 = Instant::now();
+                let flows = store.decode_hour_for(hour, &bytes)?;
+                let t2 = Instant::now();
+                stats.bytes_read += bytes.len() as u64;
+                stats.records_decoded += flows.len() as u64;
+                an.ingest_hour(&HourTraffic {
+                    interval,
+                    hour,
+                    flows,
+                });
+                let t3 = Instant::now();
+                stats.read_time += t1 - t0;
+                stats.decode_time += t2 - t1;
+                stats.ingest_time += t3 - t2;
+                stats.hours_ingested += 1;
+            }
+            an.finish()
+        } else {
+            self.analyze_store_pooled(store, &cov.work, threads, &mut stats)?
+        };
+        stats.wall_time = wall_start.elapsed();
+        Ok(StoreAnalysis {
+            analysis,
+            dropped_days: cov.dropped_days,
+            stats,
+        })
+    }
+
+    /// The worker pool behind the parallel store path: a producer feeds
+    /// `(interval, hour)` items through a bounded channel to `threads`
+    /// workers, each running read → decode → ingest into its own
+    /// [`Analyzer`]; partials are merged at the end. On the first error
+    /// a stop flag halts the producer and the error with the smallest
+    /// interval wins, so the reported failure is deterministic.
+    fn analyze_store_pooled(
+        &self,
+        store: &FlowStore,
+        work: &[(u32, UnixHour)],
+        threads: usize,
+        stats: &mut StoreReadStats,
+    ) -> Result<Analysis, NetError> {
+        let stop = AtomicBool::new(false);
+        let first_err: Mutex<Option<(u32, NetError)>> = Mutex::new(None);
+        let fail = |interval: u32, err: NetError| {
+            let mut slot = first_err.lock().expect("error slot not poisoned");
+            match &*slot {
+                Some((seen, _)) if *seen <= interval => {}
+                _ => *slot = Some((interval, err)),
+            }
+            stop.store(true, Ordering::Relaxed);
+        };
+
+        let partials: Vec<(Analyzer<'_>, StoreReadStats)> = crossbeam::scope(|scope| {
+            let (tx, rx) = crossbeam::channel::bounded::<(u32, UnixHour)>(threads * 2);
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let fail = &fail;
+                    let stop = &stop;
+                    scope.spawn(move |_| {
+                        let mut an = Analyzer::new(self.db, self.hours);
+                        let mut w = StoreReadStats::default();
+                        while let Ok((interval, hour)) = rx.recv() {
+                            if stop.load(Ordering::Relaxed) {
+                                continue; // drain so the producer never blocks
+                            }
+                            let t0 = Instant::now();
+                            let bytes = match store.read_hour_bytes(hour) {
+                                Ok(b) => b,
+                                Err(e) => {
+                                    fail(interval, e);
+                                    continue;
+                                }
+                            };
+                            let t1 = Instant::now();
+                            let flows = match store.decode_hour_for(hour, &bytes) {
+                                Ok(f) => f,
+                                Err(e) => {
+                                    fail(interval, e);
+                                    continue;
+                                }
+                            };
+                            let t2 = Instant::now();
+                            w.bytes_read += bytes.len() as u64;
+                            w.records_decoded += flows.len() as u64;
+                            an.ingest_hour(&HourTraffic {
+                                interval,
+                                hour,
+                                flows,
+                            });
+                            let t3 = Instant::now();
+                            w.read_time += t1 - t0;
+                            w.decode_time += t2 - t1;
+                            w.ingest_time += t3 - t2;
+                            w.hours_ingested += 1;
+                        }
+                        (an, w)
+                    })
+                })
+                .collect();
+            drop(rx);
+            for &(interval, hour) in work {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if tx.send((interval, hour)).is_err() {
+                    break;
+                }
+            }
+            drop(tx);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("store worker does not panic"))
+                .collect()
+        })
+        .expect("store analysis scope does not panic");
+
+        if let Some((_, err)) = first_err.into_inner().expect("error slot not poisoned") {
+            return Err(err);
+        }
+
+        let merge_start = Instant::now();
+        let mut iter = partials.into_iter();
+        let (mut first, w) = iter.next().expect("at least one worker partial");
+        add_worker_stats(stats, &w);
+        for (p, w) in iter {
+            add_worker_stats(stats, &w);
+            first.merge(p);
+        }
+        stats.merge_time = merge_start.elapsed();
+        Ok(first.finish())
+    }
+}
+
+/// Accumulate one worker's counters into the run totals.
+fn add_worker_stats(stats: &mut StoreReadStats, w: &StoreReadStats) {
+    stats.hours_ingested += w.hours_ingested;
+    stats.bytes_read += w.bytes_read;
+    stats.records_decoded += w.records_decoded;
+    stats.read_time += w.read_time;
+    stats.decode_time += w.decode_time;
+    stats.ingest_time += w.ingest_time;
+}
+
+/// Single pass over `window` computing the paper's day-completeness
+/// rule (days with fewer than `hours_in_day - 1` present hours are
+/// dropped, §III-A2) and the resulting work list of hours to read.
+/// Each hour is probed and mapped to its day exactly once.
+fn coverage(store: &FlowStore, window: &AnalysisWindow) -> Result<Coverage, NetError> {
+    let num_days = window.num_days() as usize;
+    let mut present_per_day: Vec<u32> = vec![0; num_days];
+    let mut entries: Vec<(u32, UnixHour, u32, bool)> =
+        Vec::with_capacity(window.num_hours() as usize);
+    for (interval, hour) in window.iter_intervals() {
+        let day = window.day_of_interval(interval)?;
+        let present = store.has_hour(hour);
+        if present {
+            present_per_day[day as usize] += 1;
+        }
+        entries.push((interval, hour, day, present));
+    }
+    let mut day_kept = vec![false; num_days];
+    let mut dropped_days = Vec::new();
+    for d in 0..window.num_days() {
+        let expected = window.hours_in_day(d);
+        let bar = expected.saturating_sub(1).max(1);
+        if present_per_day[d as usize] < bar {
+            dropped_days.push(d);
+        } else {
+            day_kept[d as usize] = true;
+        }
+    }
+    let mut work = Vec::with_capacity(entries.len());
+    let mut hours_missing = 0;
+    let mut hours_skipped = 0;
+    for (interval, hour, day, present) in entries {
+        if !present {
+            hours_missing += 1;
+        } else if day_kept[day as usize] {
+            work.push((interval, hour));
+        } else {
+            hours_skipped += 1;
+        }
+    }
+    Ok(Coverage {
+        dropped_days,
+        work,
+        hours_missing,
+        hours_skipped,
+    })
 }
 
 #[cfg(test)]

@@ -102,8 +102,15 @@ impl Report {
             Some(i) => {
                 let candidates = malicious::select_candidates(analysis, i.top_n_per_realm);
                 (
-                    Some(malicious::threat_summary(analysis, db, i.threats, &candidates)),
-                    Some(malicious::malware_correlation(analysis, db, i.malware, i.resolver)),
+                    Some(malicious::threat_summary(
+                        analysis,
+                        db,
+                        i.threats,
+                        &candidates,
+                    )),
+                    Some(malicious::malware_correlation(
+                        analysis, db, i.malware, i.resolver,
+                    )),
                 )
             }
             None => (None, None),
@@ -126,7 +133,10 @@ impl Report {
             unmatched: (analysis.unmatched_flows, analysis.unmatched_packets),
             total_packets: analysis.total_packets(),
             countries: characterize::compromised_country_count(analysis, db),
-            fig1a: characterize::country_deployment(db).into_iter().take(15).collect(),
+            fig1a: characterize::country_deployment(db)
+                .into_iter()
+                .take(15)
+                .collect(),
             fig1b: characterize::compromised_by_country(analysis, db)
                 .into_iter()
                 .take(15)
@@ -147,7 +157,10 @@ impl Report {
             dos_summary: dos::summary(analysis, 1000),
             dos_spikes: dos::detect_spikes(analysis, 6.0),
             backscatter_test: dos::backscatter_realm_test(analysis),
-            fig8: dos::victim_countries(analysis, db).into_iter().take(15).collect(),
+            fig8: dos::victim_countries(analysis, db)
+                .into_iter()
+                .take(15)
+                .collect(),
             scan_summary: scan::summary(analysis),
             table5: scan::protocol_table(analysis),
             table5_coverage: scan::named_coverage(analysis),
@@ -184,9 +197,18 @@ impl Report {
 
         let _ = writeln!(s, "\n-- Fig 1a: top countries by deployed IoT devices --");
         for r in &self.fig1a {
-            let _ = writeln!(s, "{:<16} consumer={:<8} cps={:<8}", r.country.name(), r.consumer, r.cps);
+            let _ = writeln!(
+                s,
+                "{:<16} consumer={:<8} cps={:<8}",
+                r.country.name(),
+                r.consumer,
+                r.cps
+            );
         }
-        let _ = writeln!(s, "\n-- Fig 1b: top countries by compromised IoT devices --");
+        let _ = writeln!(
+            s,
+            "\n-- Fig 1b: top countries by compromised IoT devices --"
+        );
         for r in &self.fig1b {
             let pct = r.pct_compromised.unwrap_or(0.0);
             let _ = writeln!(
@@ -213,13 +235,24 @@ impl Report {
         }
         let _ = writeln!(s, "\n-- Table I: top ISPs, compromised consumer devices --");
         for r in &self.table1 {
-            let _ = writeln!(s, "{:<20} {:<14} {:>6} ({:.1}%)", r.name, r.country, r.devices, r.pct);
+            let _ = writeln!(
+                s,
+                "{:<20} {:<14} {:>6} ({:.1}%)",
+                r.name, r.country, r.devices, r.pct
+            );
         }
         let _ = writeln!(s, "\n-- Table II: top ISPs, compromised CPS devices --");
         for r in &self.table2 {
-            let _ = writeln!(s, "{:<20} {:<14} {:>6} ({:.1}%)", r.name, r.country, r.devices, r.pct);
+            let _ = writeln!(
+                s,
+                "{:<20} {:<14} {:>6} ({:.1}%)",
+                r.name, r.country, r.devices, r.pct
+            );
         }
-        let _ = writeln!(s, "\n-- Table III: top CPS services among compromised devices --");
+        let _ = writeln!(
+            s,
+            "\n-- Table III: top CPS services among compromised devices --"
+        );
         for (svc, n, pct) in &self.table3 {
             let _ = writeln!(s, "{:<28} {:>6} ({:.1}%)", svc.to_string(), n, pct);
         }
@@ -255,7 +288,11 @@ impl Report {
             u.consumer_mean_dsts, u.cps_mean_dsts, u.consumer_mean_ports, u.cps_mean_ports
         );
         if let Some(c) = &self.udp_correlation {
-            let _ = writeln!(s, "consumer ports~destinations Pearson r={:.2} p={:.1e}", c.r, c.p_value);
+            let _ = writeln!(
+                s,
+                "consumer ports~destinations Pearson r={:.2} p={:.1e}",
+                c.r, c.p_value
+            );
         }
         for r in &self.table4 {
             let _ = writeln!(
@@ -296,7 +333,10 @@ impl Report {
                 100.0 * e.victim_share
             );
         }
-        let _ = writeln!(s, "Fig 8: top countries by DoS victims / backscatter packets:");
+        let _ = writeln!(
+            s,
+            "Fig 8: top countries by DoS victims / backscatter packets:"
+        );
         for r in &self.fig8 {
             let _ = writeln!(
                 s,
@@ -330,14 +370,28 @@ impl Report {
             100.0 * sc.icmp_consumer_packet_share
         );
         if let Some(c) = &self.scanners_correlation {
-            let _ = writeln!(s, "scanners~packets Pearson r={:.2} p={:.2}", c.r, c.p_value);
+            let _ = writeln!(
+                s,
+                "scanners~packets Pearson r={:.2} p={:.2}",
+                c.r, c.p_value
+            );
         }
-        let _ = writeln!(s, "Table V (named-group coverage {:.1}%):", self.table5_coverage);
+        let _ = writeln!(
+            s,
+            "Table V (named-group coverage {:.1}%):",
+            self.table5_coverage
+        );
         for r in &self.table5 {
             let _ = writeln!(
                 s,
                 "  {:<26} pkts={:<9} ({:>5.1}%) consumer={:>5.1}%/{:<5} cps={:>5.1}%/{}",
-                r.label, r.packets, r.pct, r.consumer_pct, r.consumer_devices, r.cps_pct, r.cps_devices
+                r.label,
+                r.packets,
+                r.pct,
+                r.consumer_pct,
+                r.consumer_devices,
+                r.cps_pct,
+                r.cps_devices
             );
         }
 
@@ -357,7 +411,13 @@ impl Report {
                 t.consumer_malware_devices
             );
             for r in &t.rows {
-                let _ = writeln!(s, "  {:<55} {:>5} ({:.1}%)", r.category.to_string(), r.devices, r.pct);
+                let _ = writeln!(
+                    s,
+                    "  {:<55} {:>5} ({:.1}%)",
+                    r.category.to_string(),
+                    r.devices,
+                    r.pct
+                );
             }
         }
         if let Some(m) = &self.malware_findings {

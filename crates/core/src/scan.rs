@@ -227,7 +227,9 @@ mod tests {
     use super::*;
     use crate::analysis::Analyzer;
     use iotscope_devicedb::device::DeviceProfile;
-    use iotscope_devicedb::{ConsumerKind, CountryCode, CpsService, DeviceDb, DeviceId, IotDevice, IspId};
+    use iotscope_devicedb::{
+        ConsumerKind, CountryCode, CpsService, DeviceDb, DeviceId, IotDevice, IspId,
+    };
     use iotscope_net::flowtuple::FlowTuple;
     use iotscope_net::protocol::{IcmpType, TcpFlags};
     use iotscope_net::time::UnixHour;

@@ -308,7 +308,8 @@ mod tests {
     fn streaming_matches_batch_analysis() {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(56));
         let traffic = built.scenario.generate();
-        let batch = crate::pipeline::AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
+        let batch =
+            crate::pipeline::AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
         let mut stream = StreamingAnalyzer::new(&built.inventory.db, 143, StreamConfig::default());
         for hour in &traffic {
             stream.push_hour(hour);
@@ -387,7 +388,9 @@ mod tests {
         let sweeps: Vec<(u32, Realm)> = alerts
             .iter()
             .filter_map(|a| match a {
-                Alert::PortSweep { interval, realm, .. } => Some((*interval, *realm)),
+                Alert::PortSweep {
+                    interval, realm, ..
+                } => Some((*interval, *realm)),
                 _ => None,
             })
             .collect();
@@ -419,10 +422,9 @@ mod tests {
         let (analysis, alerts) = stream.finish();
         assert!(analysis.observations.len() > 500);
         // The interval-119 port sweep still alerts after the gap.
-        assert!(alerts.iter().any(|a| matches!(
-            a,
-            Alert::PortSweep { interval: 119, .. }
-        )));
+        assert!(alerts
+            .iter()
+            .any(|a| matches!(a, Alert::PortSweep { interval: 119, .. })));
         // Nothing attributed to the missing hours.
         for i in 19..39usize {
             assert_eq!(analysis.tcp_scan[0].packets[i], 0);

@@ -70,8 +70,8 @@ pub fn classify_source(v: &BehaviorVector, udp_ports: &[u16]) -> SourceKind {
     }
     if udp >= DOMINANCE {
         // Misconfiguration: everything goes to a few infrastructure ports.
-        let all_infra = !udp_ports.is_empty()
-            && udp_ports.iter().all(|p| MISCONFIG_PORTS.contains(p));
+        let all_infra =
+            !udp_ports.is_empty() && udp_ports.iter().all(|p| MISCONFIG_PORTS.contains(p));
         if all_infra && udp_ports.len() <= MISCONFIG_PORTS.len() {
             return SourceKind::Misconfiguration;
         }
@@ -113,7 +113,10 @@ pub fn classify_sources(
     for hour in traffic {
         for flow in &hour.flows {
             if classify(flow) == TrafficClass::Udp {
-                udp_ports.entry(flow.src_ip).or_default().insert(flow.dst_port);
+                udp_ports
+                    .entry(flow.src_ip)
+                    .or_default()
+                    .insert(flow.dst_port);
             }
         }
     }
@@ -219,7 +222,10 @@ mod tests {
         let db = DeviceDb::new();
         let vectors = extract(&traffic, &db, 4);
         let summary = classify_sources(&traffic, &vectors);
-        assert_eq!(summary.labels[&Ipv4Addr::new(9, 1, 0, 1)], SourceKind::Mixed);
+        assert_eq!(
+            summary.labels[&Ipv4Addr::new(9, 1, 0, 1)],
+            SourceKind::Mixed
+        );
     }
 
     #[test]

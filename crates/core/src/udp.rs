@@ -134,7 +134,9 @@ mod tests {
     use super::*;
     use crate::analysis::Analyzer;
     use iotscope_devicedb::device::DeviceProfile;
-    use iotscope_devicedb::{ConsumerKind, CountryCode, CpsService, DeviceDb, DeviceId, IotDevice, IspId};
+    use iotscope_devicedb::{
+        ConsumerKind, CountryCode, CpsService, DeviceDb, DeviceId, IotDevice, IspId,
+    };
     use iotscope_net::flowtuple::FlowTuple;
     use iotscope_net::time::UnixHour;
     use iotscope_telescope::HourTraffic;

@@ -294,7 +294,10 @@ mod tests {
         assert_eq!(db.push(dev([9, 9, 9, 9], "RU", Realm::Cps)), None);
         assert_eq!(db.len(), 1);
         assert_eq!(
-            db.lookup_ip(Ipv4Addr::new(9, 9, 9, 9)).unwrap().country.code(),
+            db.lookup_ip(Ipv4Addr::new(9, 9, 9, 9))
+                .unwrap()
+                .country
+                .code(),
             "US"
         );
     }

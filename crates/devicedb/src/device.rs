@@ -78,7 +78,14 @@ impl IotDevice {
 
 impl fmt::Display for IotDevice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} [{}] {}", self.id, self.ip, self.realm(), self.country)
+        write!(
+            f,
+            "{} {} [{}] {}",
+            self.id,
+            self.ip,
+            self.realm(),
+            self.country
+        )
     }
 }
 

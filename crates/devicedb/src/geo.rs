@@ -349,13 +349,18 @@ mod tests {
         }
         for code in ["US", "GB", "RU", "DE"] {
             let info = CountryCode::from_code(code).unwrap().info();
-            assert!(info.cps_deploy_share < 0.5, "{code} should be consumer-heavy");
+            assert!(
+                info.cps_deploy_share < 0.5,
+                "{code} should be consumer-heavy"
+            );
         }
     }
 
     #[test]
     fn compromised_weights_follow_paper_ranking() {
-        let w = |code: &str, f: fn(&CountryInfo) -> f64| f(CountryCode::from_code(code).unwrap().info());
+        let w = |code: &str, f: fn(&CountryInfo) -> f64| {
+            f(CountryCode::from_code(code).unwrap().info())
+        };
         // §III-B1: Russia 32% > U.S. 9% > Indonesia/Thailand 4% consumer.
         assert!(w("RU", |i| i.consumer_comp_weight) > w("US", |i| i.consumer_comp_weight));
         assert!(w("US", |i| i.consumer_comp_weight) > w("ID", |i| i.consumer_comp_weight));
@@ -367,7 +372,11 @@ mod tests {
 
     #[test]
     fn table_is_large_enough_for_wide_spread() {
-        assert!(CountryCode::count() >= 80, "need many countries, got {}", CountryCode::count());
+        assert!(
+            CountryCode::count() >= 80,
+            "need many countries, got {}",
+            CountryCode::count()
+        );
         assert_eq!(CountryCode::all().count(), CountryCode::count());
     }
 

@@ -285,10 +285,7 @@ mod tests {
             assert_eq!(a.country, b.country);
             assert_eq!(a.profile, b.profile);
             // ISP ids are renumbered, but resolve to the same name/country.
-            assert_eq!(
-                out.isps.isp(a.isp).name(),
-                loaded.isps.isp(b.isp).name()
-            );
+            assert_eq!(out.isps.isp(a.isp).name(), loaded.isps.isp(b.isp).name());
             assert_eq!(
                 out.isps.isp(a.isp).country(),
                 loaded.isps.isp(b.isp).country()
@@ -352,7 +349,9 @@ mod tests {
         let path = tmpfile("cps");
         std::fs::write(
             &path,
-            format!("{HEADER}\nisp|0|CN|China Telecom\ndev|1.2.3.4|CN|0|cps:EthernetIp+ModbusTcp\n"),
+            format!(
+                "{HEADER}\nisp|0|CN|China Telecom\ndev|1.2.3.4|CN|0|cps:EthernetIp+ModbusTcp\n"
+            ),
         )
         .unwrap();
         let loaded = load(&path).unwrap();
@@ -369,7 +368,9 @@ mod tests {
         let path = tmpfile("comments");
         std::fs::write(
             &path,
-            format!("{HEADER}\n\n# a comment\nisp|0|US|Comcast\n\ndev|1.2.3.4|US|0|consumer:Printer\n"),
+            format!(
+                "{HEADER}\n\n# a comment\nisp|0|US|Comcast\n\ndev|1.2.3.4|US|0|consumer:Printer\n"
+            ),
         )
         .unwrap();
         let loaded = load(&path).unwrap();

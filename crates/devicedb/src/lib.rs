@@ -32,8 +32,8 @@
 
 pub mod db;
 pub mod device;
-pub mod inventory_io;
 pub mod geo;
+pub mod inventory_io;
 pub mod isp;
 pub mod synth;
 pub mod taxonomy;

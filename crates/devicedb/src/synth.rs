@@ -136,7 +136,9 @@ impl CountrySampler {
         let total = *self.cumulative.last().expect("non-empty table");
         let draw = rng.gen_range(0.0..total);
         let idx = self.cumulative.partition_point(|&c| c <= draw);
-        CountryCode::all().nth(idx.min(COUNTRIES.len() - 1)).expect("index in range")
+        CountryCode::all()
+            .nth(idx.min(COUNTRIES.len() - 1))
+            .expect("index in range")
     }
 }
 
@@ -162,8 +164,9 @@ impl InventoryBuilder {
 
         let comp_consumer = CountrySampler::new(|i| COUNTRIES[i].consumer_comp_weight);
         let comp_cps = CountrySampler::new(|i| COUNTRIES[i].cps_comp_weight);
-        let deploy_consumer =
-            CountrySampler::new(|i| COUNTRIES[i].deploy_weight * (1.0 - COUNTRIES[i].cps_deploy_share));
+        let deploy_consumer = CountrySampler::new(|i| {
+            COUNTRIES[i].deploy_weight * (1.0 - COUNTRIES[i].cps_deploy_share)
+        });
         let deploy_cps =
             CountrySampler::new(|i| COUNTRIES[i].deploy_weight * COUNTRIES[i].cps_deploy_share);
 
@@ -303,7 +306,10 @@ mod tests {
         let out = small_output(1);
         let cfg = SynthConfig::small(1);
         assert_eq!(out.db.len() as u32, cfg.total_devices());
-        assert_eq!(out.designated_consumer.len() as u32, cfg.designated_consumer);
+        assert_eq!(
+            out.designated_consumer.len() as u32,
+            cfg.designated_consumer
+        );
         assert_eq!(out.designated_cps.len() as u32, cfg.designated_cps);
         let (consumer, cps) = out.db.realm_counts();
         assert_eq!(consumer as u32, cfg.consumer_total);
@@ -336,12 +342,11 @@ mod tests {
     fn different_seed_different_inventory() {
         let a = small_output(1);
         let b = small_output(2);
-        let diff = a
-            .db
-            .iter()
-            .zip(b.db.iter())
-            .filter(|(x, y)| x.ip != y.ip)
-            .count();
+        let diff =
+            a.db.iter()
+                .zip(b.db.iter())
+                .filter(|(x, y)| x.ip != y.ip)
+                .count();
         assert!(diff > 0);
     }
 
@@ -386,7 +391,12 @@ mod tests {
             *counts.entry(out.db.device(*id).country.code()).or_insert(0) += 1;
         }
         let share = |c: &str| *counts.get(c).unwrap_or(&0) as f64 / 4000.0;
-        assert!(share("CN") > share("RU"), "CN {} RU {}", share("CN"), share("RU"));
+        assert!(
+            share("CN") > share("RU"),
+            "CN {} RU {}",
+            share("CN"),
+            share("RU")
+        );
         assert!(share("RU") > share("KR"));
         assert!(share("KR") > share("US"));
     }
@@ -414,7 +424,9 @@ mod tests {
         let mut counts: HashMap<ConsumerKind, usize> = HashMap::new();
         let n = 10_000;
         for _ in 0..n {
-            *counts.entry(draw_consumer_kind(&mut rng, true)).or_insert(0) += 1;
+            *counts
+                .entry(draw_consumer_kind(&mut rng, true))
+                .or_insert(0) += 1;
         }
         let share = |k: ConsumerKind| *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
         assert!((0.49..=0.56).contains(&share(ConsumerKind::Router)));
@@ -433,7 +445,11 @@ mod tests {
             let services = draw_cps_services(&mut rng);
             assert!((1..=3).contains(&services.len()));
             let set: std::collections::HashSet<_> = services.iter().collect();
-            assert_eq!(set.len(), services.len(), "duplicate service in {services:?}");
+            assert_eq!(
+                set.len(),
+                services.len(),
+                "duplicate service in {services:?}"
+            );
             if services.len() > 1 {
                 multi += 1;
             }

@@ -402,7 +402,10 @@ mod tests {
     #[test]
     fn consumer_weights_sum_to_100() {
         let deploy: f64 = ConsumerKind::ALL.iter().map(|k| k.deploy_weight()).sum();
-        let comp: f64 = ConsumerKind::ALL.iter().map(|k| k.compromised_weight()).sum();
+        let comp: f64 = ConsumerKind::ALL
+            .iter()
+            .map(|k| k.compromised_weight())
+            .sum();
         assert!((deploy - 100.0).abs() < 0.5, "deploy sums to {deploy}");
         assert!((comp - 100.0).abs() < 0.5, "compromised sums to {comp}");
     }
@@ -412,7 +415,9 @@ mod tests {
         // Fig 3 vs §III-A1: routers and cameras make up a larger share of
         // the compromised population than of deployments.
         assert!(ConsumerKind::Router.compromised_weight() > ConsumerKind::Router.deploy_weight());
-        assert!(ConsumerKind::IpCamera.compromised_weight() > ConsumerKind::IpCamera.deploy_weight());
+        assert!(
+            ConsumerKind::IpCamera.compromised_weight() > ConsumerKind::IpCamera.deploy_weight()
+        );
         assert!(ConsumerKind::Printer.compromised_weight() < ConsumerKind::Printer.deploy_weight());
     }
 

@@ -83,7 +83,9 @@ pub struct IntelBuilder {
 /// The 33 domains the malware correlation surfaced (§V-B); synthetic
 /// stand-ins with stable names.
 fn domain_pool() -> Vec<String> {
-    (0..33).map(|i| format!("c2-{i:02}.badnet.example")).collect()
+    (0..33)
+        .map(|i| format!("c2-{i:02}.badnet.example"))
+        .collect()
 }
 
 impl IntelBuilder {
@@ -104,7 +106,11 @@ impl IntelBuilder {
         let hashes: Vec<(MalwareHash, MalwareFamily)> = (0..24)
             .map(|i| {
                 let family = MalwareFamily::ALL[i % MalwareFamily::ALL.len()];
-                let hash = MalwareHash::from_hex(format!("{:016x}{:016x}", rng.gen::<u64>(), rng.gen::<u64>()));
+                let hash = MalwareHash::from_hex(format!(
+                    "{:016x}{:016x}",
+                    rng.gen::<u64>(),
+                    rng.gen::<u64>()
+                ));
                 resolver.register(hash.clone(), family);
                 (hash, family)
             })
@@ -172,7 +178,12 @@ impl IntelBuilder {
     }
 
     fn event(rng: &mut StdRng, ip: Ipv4Addr, category: ThreatCategory) -> ThreatEvent {
-        const SOURCES: [&str; 4] = ["honeypot-agg", "dnsbl-feed", "abuse-report", "ids-telemetry"];
+        const SOURCES: [&str; 4] = [
+            "honeypot-agg",
+            "dnsbl-feed",
+            "abuse-report",
+            "ids-telemetry",
+        ];
         ThreatEvent {
             ip,
             category,
@@ -237,7 +248,11 @@ mod tests {
     fn flags_about_nine_percent() {
         let (_, out) = setup();
         // 1050 candidates × 9.2% ≈ 97.
-        assert!((70..=130).contains(&out.flagged_devices.len()), "{}", out.flagged_devices.len());
+        assert!(
+            (70..=130).contains(&out.flagged_devices.len()),
+            "{}",
+            out.flagged_devices.len()
+        );
     }
 
     #[test]
@@ -257,7 +272,11 @@ mod tests {
         let share = |cat: ThreatCategory| {
             out.flagged_devices
                 .iter()
-                .filter(|id| out.threats.categories_for(inv.db.device(**id).ip).contains(&cat))
+                .filter(|id| {
+                    out.threats
+                        .categories_for(inv.db.device(**id).ip)
+                        .contains(&cat)
+                })
                 .count() as f64
                 / n
         };

@@ -81,7 +81,10 @@ impl Anonymizer {
 
     /// Anonymize the source and destination of a flowtuple (the record
     /// shape shared with the community keeps ports/flags/counters).
-    pub fn anonymize_flow(&self, flow: &crate::flowtuple::FlowTuple) -> crate::flowtuple::FlowTuple {
+    pub fn anonymize_flow(
+        &self,
+        flow: &crate::flowtuple::FlowTuple,
+    ) -> crate::flowtuple::FlowTuple {
         let mut out = *flow;
         out.src_ip = self.anonymize(flow.src_ip);
         out.dst_ip = self.anonymize(flow.dst_ip);

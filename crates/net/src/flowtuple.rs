@@ -129,7 +129,9 @@ impl FlowTuple {
         if self.protocol != TransportProtocol::Icmp {
             return None;
         }
-        u8::try_from(self.src_port).ok().and_then(IcmpType::from_number)
+        u8::try_from(self.src_port)
+            .ok()
+            .and_then(IcmpType::from_number)
     }
 
     /// Serialize into `buf` using the fixed-field + varint layout.
@@ -241,9 +243,7 @@ impl FlowTuple {
             protocol: TransportProtocol::from_number(proto_num)
                 .ok_or_else(|| bad("protocol number", fields[4]))?,
             ttl: fields[5].parse().map_err(|_| bad("ttl", fields[5]))?,
-            tcp_flags: TcpFlags::from_bits(
-                fields[6].parse().map_err(|_| bad("flags", fields[6]))?,
-            ),
+            tcp_flags: TcpFlags::from_bits(fields[6].parse().map_err(|_| bad("flags", fields[6]))?),
             ip_len: fields[7].parse().map_err(|_| bad("ip len", fields[7]))?,
             packets: fields[8].parse().map_err(|_| bad("packets", fields[8]))?,
         })

@@ -76,7 +76,9 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::ParseCidr(s) => write!(f, "invalid CIDR syntax: {s}"),
-            NetError::InvalidPrefixLen(n) => write!(f, "invalid prefix length {n} (expected 0..=32)"),
+            NetError::InvalidPrefixLen(n) => {
+                write!(f, "invalid prefix length {n} (expected 0..=32)")
+            }
             NetError::Codec(s) => write!(f, "flowtuple codec error: {s}"),
             NetError::Io(e) => write!(f, "i/o error: {e}"),
             NetError::InvalidInterval(s) => write!(f, "invalid interval: {s}"),

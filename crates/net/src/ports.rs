@@ -91,9 +91,7 @@ impl ScanService {
 
     /// Classify a TCP destination port into its Table V group, if any.
     pub fn from_port(port: u16) -> Option<ScanService> {
-        Self::ALL
-            .into_iter()
-            .find(|s| s.ports().contains(&port))
+        Self::ALL.into_iter().find(|s| s.ports().contains(&port))
     }
 
     /// The label used in Table V, e.g. `"Telnet /23/2323/23231"`.
@@ -258,7 +256,10 @@ mod tests {
         assert_eq!(ScanService::from_port(8080), Some(ScanService::Http));
         assert_eq!(ScanService::from_port(7547), Some(ScanService::Cwmp));
         assert_eq!(ScanService::from_port(3387), Some(ScanService::BackroomNet));
-        assert_eq!(ScanService::from_port(21677), Some(ScanService::Unassigned21677));
+        assert_eq!(
+            ScanService::from_port(21677),
+            Some(ScanService::Unassigned21677)
+        );
         assert_eq!(ScanService::from_port(9999), None);
     }
 

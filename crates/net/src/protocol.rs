@@ -76,7 +76,9 @@ impl fmt::Display for TransportProtocol {
 /// assert!(synack.is_syn_ack());
 /// assert!(!TcpFlags::SYN.is_syn_ack());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TcpFlags(u8);
 
 impl TcpFlags {
@@ -376,7 +378,12 @@ mod tests {
             assert!(t.is_backscatter(), "{t} should be backscatter");
             assert!(!t.is_scan());
         }
-        for t in [EchoRequest, TimestampRequest, InformationRequest, AddressMaskRequest] {
+        for t in [
+            EchoRequest,
+            TimestampRequest,
+            InformationRequest,
+            AddressMaskRequest,
+        ] {
             assert!(t.is_scan(), "{t} should be scan");
         }
     }

@@ -38,8 +38,26 @@ use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 7] = b"IOTFT01";
+/// Legacy format: the checksum covers only the payload, so header
+/// corruption (flags, hour, count) went undetected. Read-only.
+const MAGIC_V1: &[u8; 7] = b"IOTFT01";
+/// Current format: the checksum covers the header prefix (magic, flags,
+/// hour, count) *and* the payload. All new files are written as v2.
+const MAGIC_V2: &[u8; 7] = b"IOTFT02";
 const FLAG_DELTA: u8 = 0b0000_0001;
+
+/// Header layout: magic (7) + flags (1) + hour (8) + count (4) +
+/// checksum (8). The checksum field itself is never hashed; in v2 the
+/// hash covers everything before it plus the payload after it.
+const HEADER: usize = 7 + 1 + 8 + 4 + 8;
+/// Bytes of header covered by the v2 checksum (everything before it).
+const HEADER_HASHED: usize = HEADER - 8;
+
+/// The smallest possible encoded record: a delta record is a 1-byte
+/// source varint + 13 fixed bytes + a 1-byte packets varint (plain
+/// records are larger). Used to bound the record-count preallocation so
+/// a forged count can never allocate more than the file could hold.
+const MIN_RECORD_BYTES: usize = 15;
 
 /// Options controlling on-disk encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,17 +128,35 @@ impl FlowStore {
     /// Serialize `flows` into the file for `hour`, replacing any previous
     /// contents.
     ///
+    /// The bytes go to a `.ft.tmp` sibling first and are renamed into
+    /// place only once fully written, so an interrupted write never
+    /// leaves a truncated file where [`FlowStore::read_hour`] (or
+    /// [`FlowStore::has_hour`]) would find it.
+    ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates I/O failures; on failure the temporary file is removed.
     pub fn write_hour(&self, hour: UnixHour, flows: &[FlowTuple]) -> Result<(), NetError> {
         let path = self.hour_path(hour);
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir)?;
         }
+        let tmp = path.with_extension("ft.tmp");
         let bytes = encode_hour(hour, flows, self.options);
-        let mut f = fs::File::create(&path)?;
-        f.write_all(&bytes)?;
+        let write = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp);
+            return Err(NetError::Io(e));
+        }
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(NetError::Io(e));
+        }
         Ok(())
     }
 
@@ -134,14 +170,43 @@ impl FlowStore {
     /// [`NetError::Codec`] if it is corrupt, truncated, or covers a
     /// different hour than its name claims.
     pub fn read_hour(&self, hour: UnixHour) -> Result<Vec<FlowTuple>, NetError> {
+        let bytes = self.read_hour_bytes(hour)?;
+        self.decode_hour_for(hour, &bytes)
+    }
+
+    /// Read the raw on-disk bytes for `hour` without decoding them.
+    ///
+    /// Lets callers separate I/O from decoding — the parallel pipeline
+    /// uses this to time (and overlap) the two stages independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the file is missing or unreadable.
+    pub fn read_hour_bytes(&self, hour: UnixHour) -> Result<Vec<u8>, NetError> {
         let path = self.hour_path(hour);
         let mut bytes = Vec::new();
         fs::File::open(&path)?.read_to_end(&mut bytes)?;
-        let (file_hour, flows) = decode_hour(&bytes)?;
+        Ok(bytes)
+    }
+
+    /// Decode bytes previously read for `hour` (the counterpart of
+    /// [`FlowStore::read_hour_bytes`]), enforcing that the file really
+    /// covers `hour`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Codec`] if the bytes are corrupt, truncated,
+    /// or cover a different hour than the file name claims.
+    pub fn decode_hour_for(
+        &self,
+        hour: UnixHour,
+        bytes: &[u8],
+    ) -> Result<Vec<FlowTuple>, NetError> {
+        let (file_hour, flows) = decode_hour(bytes)?;
         if file_hour != hour {
             return Err(NetError::Codec(format!(
                 "file {} claims hour {file_hour}, expected {hour}",
-                path.display()
+                self.hour_path(hour).display()
             )));
         }
         Ok(flows)
@@ -164,8 +229,39 @@ impl FlowStore {
     }
 }
 
-/// Encode one hour's flows into the on-disk byte format.
+/// Encode one hour's flows into the current (v2) on-disk byte format,
+/// whose checksum covers the header as well as the payload.
 pub fn encode_hour(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions) -> Vec<u8> {
+    let payload = encode_payload(flows, options);
+    let mut out = Vec::with_capacity(payload.len() + HEADER);
+    out.extend_from_slice(MAGIC_V2);
+    out.put_u8(if options.delta_encode { FLAG_DELTA } else { 0 });
+    out.put_u64(hour.get());
+    out.put_u32(flows.len() as u32);
+    let mut hasher = Fnv1a::new();
+    hasher.update(&out[..HEADER_HASHED]);
+    hasher.update(&payload);
+    out.put_u64(hasher.finish());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encode one hour's flows in the legacy v1 format (payload-only
+/// checksum). Kept so compatibility tests can fabricate old files;
+/// nothing in the workspace writes v1 anymore.
+pub fn encode_hour_v1(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions) -> Vec<u8> {
+    let payload = encode_payload(flows, options);
+    let mut out = Vec::with_capacity(payload.len() + HEADER);
+    out.extend_from_slice(MAGIC_V1);
+    out.put_u8(if options.delta_encode { FLAG_DELTA } else { 0 });
+    out.put_u64(hour.get());
+    out.put_u32(flows.len() as u32);
+    out.put_u64(fnv1a(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn encode_payload(flows: &[FlowTuple], options: StoreOptions) -> Vec<u8> {
     let mut payload = Vec::with_capacity(flows.len() * 16);
     if options.delta_encode {
         let mut sorted: Vec<&FlowTuple> = flows.iter().collect();
@@ -182,14 +278,7 @@ pub fn encode_hour(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions) -
             f.encode_into(&mut payload);
         }
     }
-    let mut out = Vec::with_capacity(payload.len() + 32);
-    out.extend_from_slice(MAGIC);
-    out.put_u8(if options.delta_encode { FLAG_DELTA } else { 0 });
-    out.put_u64(hour.get());
-    out.put_u32(flows.len() as u32);
-    out.put_u64(fnv1a(&payload));
-    out.extend_from_slice(&payload);
-    out
+    payload
 }
 
 /// Decode an on-disk hour file back into `(hour, flows)`.
@@ -199,21 +288,46 @@ pub fn encode_hour(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions) -
 /// Returns [`NetError::Codec`] for bad magic, checksum mismatch,
 /// truncation, or trailing garbage.
 pub fn decode_hour(bytes: &[u8]) -> Result<(UnixHour, Vec<FlowTuple>), NetError> {
-    const HEADER: usize = 7 + 1 + 8 + 4 + 8;
     if bytes.len() < HEADER {
         return Err(NetError::Codec("file shorter than header".to_owned()));
     }
-    if &bytes[..7] != MAGIC {
-        return Err(NetError::Codec("bad magic (not a flowtuple file)".to_owned()));
-    }
+    let v2 = match &bytes[..7] {
+        m if m == MAGIC_V2 => true,
+        m if m == MAGIC_V1 => false,
+        _ => {
+            return Err(NetError::Codec(
+                "bad magic (not a flowtuple file)".to_owned(),
+            ))
+        }
+    };
     let mut hdr = &bytes[7..HEADER];
     let flags = hdr.get_u8();
     let hour = UnixHour::new(hdr.get_u64());
     let count = hdr.get_u32() as usize;
     let checksum = hdr.get_u64();
     let payload = &bytes[HEADER..];
-    if fnv1a(payload) != checksum {
-        return Err(NetError::Codec("checksum mismatch (corrupt file)".to_owned()));
+    let computed = if v2 {
+        let mut hasher = Fnv1a::new();
+        hasher.update(&bytes[..HEADER_HASHED]);
+        hasher.update(payload);
+        hasher.finish()
+    } else {
+        // v1 files only covered the payload; header corruption there is
+        // caught by the plausibility checks below as far as possible.
+        fnv1a(payload)
+    };
+    if computed != checksum {
+        return Err(NetError::Codec(
+            "checksum mismatch (corrupt file)".to_owned(),
+        ));
+    }
+    // A forged count must never drive the preallocation past what the
+    // payload could actually hold (records are >= MIN_RECORD_BYTES).
+    if count > payload.len() / MIN_RECORD_BYTES {
+        return Err(NetError::Codec(format!(
+            "implausible record count {count} for {}-byte payload",
+            payload.len()
+        )));
     }
     let delta = flags & FLAG_DELTA != 0;
     let mut flows = Vec::with_capacity(count);
@@ -280,14 +394,32 @@ fn decode_rest<B: Buf>(buf: &mut B) -> Result<FlowTuple, NetError> {
     })
 }
 
+/// Streaming 64-bit FNV-1a, so the checksum can cover discontiguous
+/// regions (header prefix + payload) without concatenating them.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// 64-bit FNV-1a over `data`.
 fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    let mut hasher = Fnv1a::new();
+    hasher.update(data);
+    hasher.finish()
 }
 
 #[cfg(test)]
@@ -306,8 +438,13 @@ mod tests {
                 23,
                 TcpFlags::SYN,
             ),
-            FlowTuple::udp(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(44, 5, 5, 5), 53, 37547)
-                .with_packets(7),
+            FlowTuple::udp(
+                Ipv4Addr::new(1, 2, 3, 4),
+                Ipv4Addr::new(44, 5, 5, 5),
+                53,
+                37547,
+            )
+            .with_packets(7),
             FlowTuple::icmp(
                 Ipv4Addr::new(5, 5, 5, 5),
                 Ipv4Addr::new(44, 7, 7, 7),
@@ -317,7 +454,8 @@ mod tests {
     }
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("iotscope-store-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("iotscope-store-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -330,7 +468,9 @@ mod tests {
     #[test]
     fn roundtrip_delta_and_plain() {
         for delta in [true, false] {
-            let opts = StoreOptions { delta_encode: delta };
+            let opts = StoreOptions {
+                delta_encode: delta,
+            };
             let hour = UnixHour::new(414_432);
             let bytes = encode_hour(hour, &flows(), opts);
             let (h, back) = decode_hour(&bytes).unwrap();
@@ -341,7 +481,9 @@ mod tests {
 
     #[test]
     fn plain_mode_preserves_order() {
-        let opts = StoreOptions { delta_encode: false };
+        let opts = StoreOptions {
+            delta_encode: false,
+        };
         let bytes = encode_hour(UnixHour::new(1), &flows(), opts);
         let (_, back) = decode_hour(&bytes).unwrap();
         assert_eq!(back, flows());
@@ -362,7 +504,13 @@ mod tests {
             })
             .collect();
         let d = encode_hour(UnixHour::new(1), &many, StoreOptions { delta_encode: true });
-        let p = encode_hour(UnixHour::new(1), &many, StoreOptions { delta_encode: false });
+        let p = encode_hour(
+            UnixHour::new(1),
+            &many,
+            StoreOptions {
+                delta_encode: false,
+            },
+        );
         assert!(d.len() < p.len(), "delta {} vs plain {}", d.len(), p.len());
     }
 
@@ -400,7 +548,13 @@ mod tests {
 
     #[test]
     fn trailing_garbage_detected() {
-        let mut bytes = encode_hour(UnixHour::new(1), &flows(), StoreOptions { delta_encode: false });
+        let mut bytes = encode_hour(
+            UnixHour::new(1),
+            &flows(),
+            StoreOptions {
+                delta_encode: false,
+            },
+        );
         // Appending bytes breaks the checksum; to test the trailing-byte
         // check specifically, rebuild with a forged checksum.
         let extra = [0u8; 3];
@@ -473,6 +627,119 @@ mod tests {
         };
         let p = store.hour_path(UnixHour::new(49));
         assert_eq!(p, PathBuf::from("/data/day-2/hour-49.ft"));
+    }
+
+    #[test]
+    fn v1_files_still_decode() {
+        for delta in [true, false] {
+            let opts = StoreOptions {
+                delta_encode: delta,
+            };
+            let hour = UnixHour::new(414_432);
+            let bytes = encode_hour_v1(hour, &flows(), opts);
+            assert_eq!(&bytes[..7], MAGIC_V1);
+            let (h, back) = decode_hour(&bytes).unwrap();
+            assert_eq!(h, hour);
+            assert_eq!(sorted(back), sorted(flows()), "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn new_files_are_v2() {
+        let bytes = encode_hour(UnixHour::new(1), &flows(), StoreOptions::default());
+        assert_eq!(&bytes[..7], MAGIC_V2);
+    }
+
+    #[test]
+    fn v2_header_corruption_detected() {
+        // Any header byte flip — flags, hour, or count — must fail the
+        // checksum (v1's payload-only hash missed all of these).
+        let clean = encode_hour(UnixHour::new(414_432), &flows(), StoreOptions::default());
+        for idx in 7..HEADER_HASHED {
+            let mut bytes = clean.clone();
+            bytes[idx] ^= 0x01;
+            let err = decode_hour(&bytes).unwrap_err();
+            assert!(
+                format!("{err}").contains("checksum"),
+                "byte {idx} flip gave: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_count_rejected_without_huge_alloc() {
+        // Fabricate a v1 file whose count claims ~4 billion records but
+        // whose payload is tiny. Before the plausibility clamp this
+        // preallocated count * sizeof(FlowTuple) bytes up front.
+        let mut bytes = encode_hour_v1(UnixHour::new(1), &flows(), StoreOptions::default());
+        let count_off = 7 + 1 + 8;
+        bytes[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = decode_hour(&bytes).unwrap_err();
+        assert!(
+            format!("{err}").contains("implausible record count"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn count_plausibility_bound_is_tight() {
+        // count == payload/MIN_RECORD_BYTES must pass (minimal delta
+        // records really are MIN_RECORD_BYTES long), one more must not.
+        let tiny: Vec<FlowTuple> = (0..4u32)
+            .map(|i| {
+                FlowTuple::tcp(
+                    Ipv4Addr::from(i + 1),
+                    Ipv4Addr::from(0u32),
+                    0,
+                    0,
+                    TcpFlags::from_bits(0),
+                )
+            })
+            .map(|f| FlowTuple {
+                ip_len: 0,
+                ttl: 0,
+                ..f
+            })
+            .collect();
+        let bytes = encode_hour(UnixHour::new(1), &tiny, StoreOptions { delta_encode: true });
+        let payload_len = bytes.len() - HEADER;
+        assert_eq!(
+            payload_len,
+            tiny.len() * MIN_RECORD_BYTES,
+            "minimal records should hit the MIN_RECORD_BYTES floor"
+        );
+        assert!(decode_hour(&bytes).is_ok());
+    }
+
+    #[test]
+    fn write_goes_through_tmp_and_renames() {
+        let dir = tmpdir("atomic");
+        let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+        let hour = UnixHour::new(100);
+        store.write_hour(hour, &flows()).unwrap();
+        let tmp = store.hour_path(hour).with_extension("ft.tmp");
+        assert!(!tmp.exists(), "temp file must not survive a clean write");
+        assert!(store.has_hour(hour));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_tmp_file_is_not_an_hour() {
+        // An interrupted writer dies between create and rename; the
+        // half-written temp file must be invisible to readers.
+        let dir = tmpdir("tmpfile");
+        let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+        let window = AnalysisWindow::short(3);
+        let hours: Vec<UnixHour> = window.iter_hours().collect();
+        store.write_hour(hours[0], &flows()).unwrap();
+        let tmp = store.hour_path(hours[1]).with_extension("ft.tmp");
+        fs::create_dir_all(tmp.parent().unwrap()).unwrap();
+        let full = encode_hour(hours[1], &flows(), StoreOptions::default());
+        fs::write(&tmp, &full[..full.len() / 2]).unwrap();
+        assert!(!store.has_hour(hours[1]));
+        assert_eq!(store.hours_present(&window), vec![hours[0]]);
+        assert!(matches!(store.read_hour(hours[1]), Err(NetError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     proptest! {

@@ -281,9 +281,15 @@ mod tests {
         // The window's last hour (interval 143) starts 2017-04-17T22:00Z.
         assert_eq!(start.plus(142).civil(), (2017, 4, 17, 22));
         // Leap-day handling: 2016-02-29 = 1456704000s.
-        assert_eq!(UnixHour::from_unix_secs(1_456_704_000).civil(), (2016, 2, 29, 0));
+        assert_eq!(
+            UnixHour::from_unix_secs(1_456_704_000).civil(),
+            (2016, 2, 29, 0)
+        );
         // Year boundary: 2017-01-01 = 1483228800s.
-        assert_eq!(UnixHour::from_unix_secs(1_483_228_800).civil(), (2017, 1, 1, 0));
+        assert_eq!(
+            UnixHour::from_unix_secs(1_483_228_800).civil(),
+            (2017, 1, 1, 0)
+        );
         assert_eq!(
             UnixHour::from_unix_secs(1_483_228_800 - 3600).civil(),
             (2016, 12, 31, 23)

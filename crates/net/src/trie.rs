@@ -197,7 +197,10 @@ mod tests {
     fn default_route_matches_everything() {
         let mut trie = PrefixTrie::new();
         trie.insert(cidr("0.0.0.0/0"), "default");
-        assert_eq!(trie.longest_match(Ipv4Addr::new(255, 1, 2, 3)), Some(&"default"));
+        assert_eq!(
+            trie.longest_match(Ipv4Addr::new(255, 1, 2, 3)),
+            Some(&"default")
+        );
         assert_eq!(
             trie.longest_match_entry(Ipv4Addr::new(0, 0, 0, 0)),
             Some((0, &"default"))
@@ -233,10 +236,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut trie: PrefixTrie<i32> =
-            vec![(cidr("10.0.0.0/8"), 1), (cidr("172.16.0.0/12"), 2)]
-                .into_iter()
-                .collect();
+        let mut trie: PrefixTrie<i32> = vec![(cidr("10.0.0.0/8"), 1), (cidr("172.16.0.0/12"), 2)]
+            .into_iter()
+            .collect();
         trie.extend([(cidr("192.168.0.0/16"), 3)]);
         assert_eq!(trie.len(), 3);
         assert_eq!(trie.longest_match(Ipv4Addr::new(172, 20, 1, 1)), Some(&2));

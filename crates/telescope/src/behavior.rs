@@ -159,7 +159,10 @@ impl Actor {
                     out.push(f);
                 }
             }
-            ActorBehavior::UdpPortScan { port, pkts_per_flow } => {
+            ActorBehavior::UdpPortScan {
+                port,
+                pkts_per_flow,
+            } => {
                 let per_flow = (*pkts_per_flow).max(1);
                 let flows = n_packets.div_ceil(u64::from(per_flow));
                 let mut remaining = n_packets;
@@ -196,14 +199,23 @@ impl Actor {
                             TcpFlags::RST | TcpFlags::ACK
                         };
                         out.push(
-                            FlowTuple::tcp(self.src_ip, dst, *service_port, ephemeral_port(rng), flags)
-                                .with_packets(pkts)
-                                .with_ttl(plausible_ttl(rng)),
+                            FlowTuple::tcp(
+                                self.src_ip,
+                                dst,
+                                *service_port,
+                                ephemeral_port(rng),
+                                flags,
+                            )
+                            .with_packets(pkts)
+                            .with_ttl(plausible_ttl(rng)),
                         );
                     }
                 }
             }
-            ActorBehavior::PortSweep { dst_count, port_count } => {
+            ActorBehavior::PortSweep {
+                dst_count,
+                port_count,
+            } => {
                 let dsts: Vec<Ipv4Addr> = (0..(*dst_count).max(1))
                     .map(|_| telescope.random_dark_addr(rng))
                     .collect();

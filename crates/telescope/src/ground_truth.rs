@@ -254,7 +254,8 @@ mod tests {
 
     #[test]
     fn load_rejects_garbage() {
-        let path = std::env::temp_dir().join(format!("iotscope-truth-bad-{}.tsv", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("iotscope-truth-bad-{}.tsv", std::process::id()));
         std::fs::write(&path, "not a truth file\n").unwrap();
         assert!(GroundTruth::load(&path).is_err());
         std::fs::write(&path, "#iotscope-truth v1\nrole|x|1|TcpScanner\n").unwrap();

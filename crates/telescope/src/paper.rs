@@ -199,8 +199,12 @@ impl PaperScenario {
         // Fig 8a: victim geography is *not* proportional to the compromised
         // population — Singapore/Indonesia lead consumer victims, China/US
         // lead CPS victims, while Russia (heavy on scanners) hosts few.
-        let consumer_victims = take_biased(&mut consumer_pool, &inventory.db, nv_c, &mut rng, |d| {
-            match d.country.code() {
+        let consumer_victims = take_biased(
+            &mut consumer_pool,
+            &inventory.db,
+            nv_c,
+            &mut rng,
+            |d| match d.country.code() {
                 "SG" => 10.0,
                 "ID" => 7.0,
                 "CN" => 2.0,
@@ -208,8 +212,8 @@ impl PaperScenario {
                 "US" => 1.5,
                 "RU" => 0.25,
                 _ => 1.0,
-            }
-        });
+            },
+        );
         let cps_victims = take_biased(&mut cps_pool, &inventory.db, nv_x, &mut rng, |d| {
             match d.country.code() {
                 "CN" => 2.5,
@@ -261,10 +265,18 @@ impl PaperScenario {
         // ------------------------------------------------------------------
         // 4. ICMP scanners.
         // ------------------------------------------------------------------
-        let ni_c = scaled_count(PAPER_CONSUMER_ICMP, c_ratio).max(1).min(consumer_pool.len());
-        let ni_x = scaled_count(PAPER_CPS_ICMP, x_ratio).max(1).min(cps_pool.len());
+        let ni_c = scaled_count(PAPER_CONSUMER_ICMP, c_ratio)
+            .max(1)
+            .min(consumer_pool.len());
+        let ni_x = scaled_count(PAPER_CPS_ICMP, x_ratio)
+            .max(1)
+            .min(cps_pool.len());
         for (ids, total_frac, n_paper) in [
-            (&consumer_pool[..ni_c], ICMP_CONSUMER_FRAC, PAPER_CONSUMER_ICMP),
+            (
+                &consumer_pool[..ni_c],
+                ICMP_CONSUMER_FRAC,
+                PAPER_CONSUMER_ICMP,
+            ),
             (&cps_pool[..ni_x], 1.0 - ICMP_CONSUMER_FRAC, PAPER_CPS_ICMP),
         ] {
             let per_device = ICMP_SCAN_TOTAL * total_frac / n_paper;
@@ -315,11 +327,18 @@ impl PaperScenario {
         // ------------------------------------------------------------------
         // 6. The interval-119 port sweep from an IP camera (Fig 9b).
         // ------------------------------------------------------------------
-        if let Some(cam) = pick_preferred(&tcp_consumer, &inventory.db, &[
-            &|d: &IotDevice| d.country.code() == "DO" && d.profile.consumer_kind() == Some(ConsumerKind::IpCamera),
-            &|d: &IotDevice| d.profile.consumer_kind() == Some(ConsumerKind::IpCamera),
-            &|_d: &IotDevice| true,
-        ]) {
+        if let Some(cam) = pick_preferred(
+            &tcp_consumer,
+            &inventory.db,
+            &[
+                &|d: &IotDevice| {
+                    d.country.code() == "DO"
+                        && d.profile.consumer_kind() == Some(ConsumerKind::IpCamera)
+                },
+                &|d: &IotDevice| d.profile.consumer_kind() == Some(ConsumerKind::IpCamera),
+                &|_d: &IotDevice| true,
+            ],
+        ) {
             let dev = inventory.db.device(cam);
             truth.add_role(cam, Role::TcpScanner);
             truth.record_onset(cam, 119);
@@ -348,15 +367,14 @@ impl PaperScenario {
         //    inventory, for the SVI fingerprinting follow-up.
         // ------------------------------------------------------------------
         for i in 0..config.shadow_iot {
-            let src = std::net::Ipv4Addr::new(
-                198,
-                51,
-                (i / 200) as u8,
-                (i % 200) as u8 + 1,
-            );
+            let src = std::net::Ipv4Addr::new(198, 51, (i / 200) as u8, (i % 200) as u8 + 1);
             truth.shadow_iot.push(src);
-            let service = [ScanService::Telnet, ScanService::Cwmp, ScanService::Http, ScanService::Irdmi]
-                [rng.gen_range(0..4)];
+            let service = [
+                ScanService::Telnet,
+                ScanService::Cwmp,
+                ScanService::Http,
+                ScanService::Irdmi,
+            ][rng.gen_range(0..4)];
             actors.push(Actor {
                 device: None,
                 src_ip: src,
@@ -428,12 +446,7 @@ impl PaperScenario {
         // 9. Non-IoT noise (must be filtered out by correlation).
         // ------------------------------------------------------------------
         for i in 0..config.noise_sources {
-            let src = std::net::Ipv4Addr::new(
-                198,
-                18 + (i % 2) as u8,
-                rng.gen(),
-                rng.gen(),
-            );
+            let src = std::net::Ipv4Addr::new(198, 18 + (i % 2) as u8, rng.gen(), rng.gen());
             let behavior = if rng.gen::<f64>() < 0.5 {
                 ActorBehavior::Misconfig
             } else {
@@ -531,10 +544,9 @@ impl PaperScenario {
         // per hour).
         let c_other = (other_budget * 0.30 / c_rest.len().max(1) as f64, c_rest);
         let x_other = (other_budget * 0.70 / x_rest.len().max(1) as f64, x_rest);
-        for ((per_device, ids), duty_on, port_range) in [
-            (c_other, 6..12u32, 1..=3u16),
-            (x_other, 2..6u32, 8..=25u16),
-        ] {
+        for ((per_device, ids), duty_on, port_range) in
+            [(c_other, 6..12u32, 1..=3u16), (x_other, 2..6u32, 8..=25u16)]
+        {
             for id in ids {
                 let dev = inventory.db.device(id);
                 let onset = onsets[&id];
@@ -588,7 +600,11 @@ impl PaperScenario {
         }
         // Heavy-hitter structure and special patterns per service. After
         // `concentrate`, indices < heavy_k are the planted heavy hitters.
-        let mut shares = lognormal_shares(rng, ids.len(), if realm == Realm::Consumer { 1.8 } else { 1.1 });
+        let mut shares = lognormal_shares(
+            rng,
+            ids.len(),
+            if realm == Realm::Consumer { 1.8 } else { 1.1 },
+        );
         let heavy_k = match service {
             ScanService::Telnet if realm == Realm::Consumer => {
                 // §IV-C1: 7 devices contribute 55% of all Telnet packets.
@@ -643,7 +659,11 @@ impl PaperScenario {
             let dev = inventory.db.device(*id);
             let mut onset = onsets[id];
             let heavy = i < heavy_k;
-            let retire = if heavy { u32::MAX } else { draw_retire(rng, onsets[id]) };
+            let retire = if heavy {
+                u32::MAX
+            } else {
+                draw_retire(rng, onsets[id])
+            };
             if heavy {
                 // Heavy hitters are long-running infections present from
                 // the first interval; their high-amplitude schedules are
@@ -667,12 +687,18 @@ impl PaperScenario {
                 ScanService::BackroomNet => {
                     // §IV-C1: starts at interval 113, runs ~30 hours.
                     onset = 1;
-                    ActivityPattern::Window { start: 113, end: 142 }
+                    ActivityPattern::Window {
+                        start: 113,
+                        end: 142,
+                    }
                 }
                 ScanService::Http => {
                     if rng.gen::<f64>() < 0.3 {
                         // The gradual post-92 growth of Fig 10.
-                        ActivityPattern::Ramp { knee: 92, factor: 2.5 }
+                        ActivityPattern::Ramp {
+                            knee: 92,
+                            factor: 2.5,
+                        }
                     } else {
                         ActivityPattern::Duty {
                             period: rng.gen_range(4..9),
@@ -746,10 +772,7 @@ impl PaperScenario {
         for (port, packets, devices, consumer_frac) in UDP_DEDICATED {
             let n_c = scaled_count(devices * consumer_frac, c_ratio).min(c_udp.len());
             let n_x = scaled_count(devices * (1.0 - consumer_frac), x_ratio).min(x_udp.len());
-            let group: Vec<DeviceId> = c_udp
-                .drain(..n_c)
-                .chain(x_udp.drain(..n_x))
-                .collect();
+            let group: Vec<DeviceId> = c_udp.drain(..n_c).chain(x_udp.drain(..n_x)).collect();
             if group.is_empty() {
                 continue;
             }
@@ -758,7 +781,12 @@ impl PaperScenario {
                 let dev = inventory.db.device(id);
                 let onset = onsets[&id];
                 let retire = draw_retire(rng, onset);
-                let b = rate_based(per_device * lognormal_factor(rng, 0.9) * scale, onset, retire, 143);
+                let b = rate_based(
+                    per_device * lognormal_factor(rng, 0.9) * scale,
+                    onset,
+                    retire,
+                    143,
+                );
                 truth.add_role(id, Role::UdpActor);
                 truth.record_onset(id, onset);
                 actors.push(Actor {
@@ -785,10 +813,9 @@ impl PaperScenario {
         let spray_budget_x = UDP_TOTAL * (1.0 - UDP_CONSUMER_FRAC) - 315_000.0 * x_ratio.min(1.0);
         let per_c = spray_budget_c.max(0.0) / (PAPER_CONSUMER_DESIGNATED * 0.95);
         let per_x = spray_budget_x.max(0.0) / (PAPER_CPS_DESIGNATED * 0.85);
-        for (ids, per_device, realm) in [
-            (c_udp, per_c, Realm::Consumer),
-            (x_udp, per_x, Realm::Cps),
-        ] {
+        for (ids, per_device, realm) in
+            [(c_udp, per_c, Realm::Consumer), (x_udp, per_x, Realm::Cps)]
+        {
             for id in ids {
                 let dev = inventory.db.device(id);
                 let onset = onsets[&id];
@@ -875,7 +902,15 @@ impl PaperScenario {
                 service: Some(CpsService::EthernetIp),
                 kind: None,
                 budget: 3.4e6,
-                spikes: vec![(6, 1.0), (7, 1.0), (8, 1.0), (53, 1.0), (54, 1.0), (55, 1.0), (56, 0.55)],
+                spikes: vec![
+                    (6, 1.0),
+                    (7, 1.0),
+                    (8, 1.0),
+                    (53, 1.0),
+                    (54, 1.0),
+                    (55, 1.0),
+                    (56, 0.55),
+                ],
             },
             SpikeSpec {
                 cps: true,
@@ -1160,10 +1195,7 @@ fn pick_preferred(
 /// The service port a victim would reply from.
 fn victim_service_port<R: Rng>(dev: &IotDevice, rng: &mut R) -> u16 {
     match &dev.profile {
-        DeviceProfile::Cps(services) => services
-            .first()
-            .map(|s| s.port())
-            .unwrap_or(502),
+        DeviceProfile::Cps(services) => services.first().map(|s| s.port()).unwrap_or(502),
         DeviceProfile::Consumer(kind) => match kind {
             ConsumerKind::Router => *[80u16, 23, 7547].get(rng.gen_range(0..3)).unwrap_or(&80),
             ConsumerKind::IpCamera => *[80u16, 554].get(rng.gen_range(0..2)).unwrap_or(&80),
@@ -1224,7 +1256,11 @@ mod tests {
         let b = built();
         let victims = b.truth.devices_with_role(Role::DosVictim);
         // tiny: 600 consumer (394/15299 → ~15) + 450 CPS (445/11582 → ~17).
-        assert!((20..=50).contains(&victims.len()), "{} victims", victims.len());
+        assert!(
+            (20..=50).contains(&victims.len()),
+            "{} victims",
+            victims.len()
+        );
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn window_bounds_inclusive() {
-        let p = ActivityPattern::Window { start: 113, end: 142 };
+        let p = ActivityPattern::Window {
+            start: 113,
+            end: 142,
+        };
         assert_eq!(p.weight(112, H), 0.0);
         assert_eq!(p.weight(113, H), 1.0);
         assert_eq!(p.weight(142, H), 1.0);
@@ -188,7 +191,10 @@ mod tests {
 
     #[test]
     fn ramp_grows_after_knee() {
-        let p = ActivityPattern::Ramp { knee: 92, factor: 2.0 };
+        let p = ActivityPattern::Ramp {
+            knee: 92,
+            factor: 2.0,
+        };
         assert_eq!(p.weight(1, H), 1.0);
         assert_eq!(p.weight(92, H), 1.0);
         assert!(p.weight(100, H) > 1.0);
@@ -201,7 +207,10 @@ mod tests {
 
     #[test]
     fn ramp_degenerate_window() {
-        let p = ActivityPattern::Ramp { knee: 92, factor: 2.0 };
+        let p = ActivityPattern::Ramp {
+            knee: 92,
+            factor: 2.0,
+        };
         assert_eq!(p.weight(5, 10), 1.0); // window shorter than knee
     }
 
@@ -214,7 +223,10 @@ mod tests {
                 on_hours: 6,
                 phase: 5,
             },
-            ActivityPattern::Ramp { knee: 50, factor: 3.0 },
+            ActivityPattern::Ramp {
+                knee: 50,
+                factor: 3.0,
+            },
         ];
         for p in patterns {
             let manual: f64 = (1..=H).map(|i| p.weight(i, H)).sum();

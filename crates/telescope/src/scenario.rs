@@ -172,7 +172,8 @@ impl Scenario {
                 continue;
             }
             let expected = actor.budget * w / sched.total_weight;
-            let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, idx as u64, u64::from(interval)));
+            let mut rng =
+                StdRng::seed_from_u64(derive_seed(self.seed, idx as u64, u64::from(interval)));
             let mut n = expected.floor() as u64;
             if rng.gen::<f64>() < expected.fract() {
                 n += 1;
@@ -260,7 +261,12 @@ mod tests {
 
     #[test]
     fn budget_is_spent_in_expectation() {
-        let s = short_scenario(vec![scan_actor([1, 2, 3, 4], 1000.0, ActivityPattern::Steady, 1)]);
+        let s = short_scenario(vec![scan_actor(
+            [1, 2, 3, 4],
+            1000.0,
+            ActivityPattern::Steady,
+            1,
+        )]);
         let total: u64 = s.generate().iter().map(HourTraffic::total_packets).sum();
         assert!((900..=1100).contains(&total), "total {total}");
         assert_eq!(s.expected_total_packets(), 1000.0);
@@ -268,7 +274,12 @@ mod tests {
 
     #[test]
     fn onset_suppresses_early_intervals() {
-        let s = short_scenario(vec![scan_actor([1, 2, 3, 4], 500.0, ActivityPattern::Steady, 6)]);
+        let s = short_scenario(vec![scan_actor(
+            [1, 2, 3, 4],
+            500.0,
+            ActivityPattern::Steady,
+            6,
+        )]);
         for i in 1..=5 {
             assert!(s.generate_hour(i).flows.is_empty(), "interval {i}");
         }
@@ -279,7 +290,12 @@ mod tests {
     #[test]
     fn onset_guarantee_emits_at_least_one_flow() {
         // Budget so small the probabilistic draw would almost surely be 0.
-        let s = short_scenario(vec![scan_actor([9, 9, 9, 9], 0.001, ActivityPattern::Steady, 4)]);
+        let s = short_scenario(vec![scan_actor(
+            [9, 9, 9, 9],
+            0.001,
+            ActivityPattern::Steady,
+            4,
+        )]);
         let h = s.generate_hour(4);
         assert!(
             !h.flows.is_empty(),
@@ -289,7 +305,12 @@ mod tests {
 
     #[test]
     fn zero_budget_actor_emits_nothing() {
-        let s = short_scenario(vec![scan_actor([9, 9, 9, 9], 0.0, ActivityPattern::Steady, 1)]);
+        let s = short_scenario(vec![scan_actor(
+            [9, 9, 9, 9],
+            0.0,
+            ActivityPattern::Steady,
+            1,
+        )]);
         let total: usize = s.generate().iter().map(|h| h.flows.len()).sum();
         assert_eq!(total, 0);
     }
@@ -315,7 +336,16 @@ mod tests {
     fn generate_hour_matches_generate() {
         let s = short_scenario(vec![
             scan_actor([1, 1, 1, 1], 200.0, ActivityPattern::Steady, 1),
-            scan_actor([2, 2, 2, 2], 100.0, ActivityPattern::Duty { period: 3, on_hours: 1, phase: 0 }, 2),
+            scan_actor(
+                [2, 2, 2, 2],
+                100.0,
+                ActivityPattern::Duty {
+                    period: 3,
+                    on_hours: 1,
+                    phase: 0,
+                },
+                2,
+            ),
         ]);
         let all = s.generate();
         for ht in &all {
@@ -362,12 +392,13 @@ mod tests {
                     start,
                     end: start + len,
                 }),
-                (0.0f64..0.5, proptest::collection::vec((1u32..20, 0.5f64..5.0), 0..4))
+                (
+                    0.0f64..0.5,
+                    proptest::collection::vec((1u32..20, 0.5f64..5.0), 0..4)
+                )
                     .prop_map(|(baseline, spikes)| ActivityPattern::Bursts { baseline, spikes }),
-                (1u32..20, 1.0f64..4.0).prop_map(|(knee, factor)| ActivityPattern::Ramp {
-                    knee,
-                    factor
-                }),
+                (1u32..20, 1.0f64..4.0)
+                    .prop_map(|(knee, factor)| ActivityPattern::Ramp { knee, factor }),
             ]
         }
 
@@ -442,13 +473,25 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("iotscope-scen-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
-        let s = short_scenario(vec![scan_actor([1, 1, 1, 1], 100.0, ActivityPattern::Steady, 1)]);
+        let s = short_scenario(vec![scan_actor(
+            [1, 1, 1, 1],
+            100.0,
+            ActivityPattern::Steady,
+            1,
+        )]);
         s.write_to_store(&store).unwrap();
         assert_eq!(store.hours_missing(&s.telescope().window).len(), 0);
         let h1 = s.generate_hour(1);
         let mut from_disk = store.read_hour(h1.hour).unwrap();
         let mut expect = h1.flows.clone();
-        let key = |f: &FlowTuple| (u32::from(f.src_ip), u32::from(f.dst_ip), f.dst_port, f.src_port);
+        let key = |f: &FlowTuple| {
+            (
+                u32::from(f.src_ip),
+                u32::from(f.dst_ip),
+                f.dst_port,
+                f.src_port,
+            )
+        };
         from_disk.sort_by_key(key);
         expect.sort_by_key(key);
         assert_eq!(from_disk, expect);

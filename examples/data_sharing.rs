@@ -32,7 +32,11 @@ fn main() {
         .map(|h| HourTraffic {
             interval: h.interval,
             hour: h.hour,
-            flows: h.flows.iter().map(|f| anonymizer.anonymize_flow(f)).collect(),
+            flows: h
+                .flows
+                .iter()
+                .map(|f| anonymizer.anonymize_flow(f))
+                .collect(),
         })
         .collect();
 
@@ -90,5 +94,9 @@ fn main() {
     println!("{x} and {y} (same /24)  →  {ax} and {ay}");
     assert_eq!(ax.octets()[..3], ay.octets()[..3]);
     println!("…still the same /24 after anonymization, but unrecognizable.");
-    println!("\nonly the key holder can reverse it: {} → {}", ax, anonymizer.de_anonymize(ax));
+    println!(
+        "\nonly the key holder can reverse it: {} → {}",
+        ax,
+        anonymizer.de_anonymize(ax)
+    );
 }

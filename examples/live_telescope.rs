@@ -57,7 +57,9 @@ fn main() {
                     packets,
                     factor,
                 } => {
-                    println!("  [h{interval:>3}] scan surge: {service} {packets} pkts ({factor:.1}x)");
+                    println!(
+                        "  [h{interval:>3}] scan surge: {service} {packets} pkts ({factor:.1}x)"
+                    );
                     printed += 1;
                 }
                 Alert::PortSweep {
@@ -92,13 +94,23 @@ fn main() {
     );
     let planted: std::collections::HashSet<_> = built.truth.shadow_iot.iter().collect();
     for c in candidates.iter().take(8) {
-        let verdict = if planted.contains(&c.ip) { "planted shadow device ✔" } else { "(other)" };
-        println!("  {:<16} score {:.2} {:>8} pkts  {verdict}", c.ip, c.score, c.packets);
+        let verdict = if planted.contains(&c.ip) {
+            "planted shadow device ✔"
+        } else {
+            "(other)"
+        };
+        println!(
+            "  {:<16} score {:.2} {:>8} pkts  {verdict}",
+            c.ip, c.score, c.packets
+        );
     }
     println!(
         "  flagged {} candidates; {} of {} planted shadow devices recovered\n",
         candidates.len(),
-        candidates.iter().filter(|c| planted.contains(&c.ip)).count(),
+        candidates
+            .iter()
+            .filter(|c| planted.contains(&c.ip))
+            .count(),
         planted.len()
     );
 
@@ -115,7 +127,10 @@ fn main() {
             c.total_packets
         );
     }
-    println!("  (planted: {} coordinated crews)\n", built.truth.botnets.len());
+    println!(
+        "  (planted: {} coordinated crews)\n",
+        built.truth.botnets.len()
+    );
 
     // ---- phase 4: malware attribution ------------------------------------
     println!("== malware attribution ==");
@@ -132,7 +147,11 @@ fn main() {
     for f in findings.iter().take(8) {
         println!(
             "  dev#{:<6} → {:<10} score {:.2}  direct={} port-overlap={:?}",
-            f.device.0, f.family.to_string(), f.score, f.evidence.direct_contact, f.evidence.port_overlap
+            f.device.0,
+            f.family.to_string(),
+            f.score,
+            f.evidence.direct_contact,
+            f.evidence.port_overlap
         );
     }
     println!("  {} attributions total", findings.len());

@@ -63,7 +63,12 @@ fn main() {
     }
 
     // Light pre-existing background: a handful of HTTP scanners.
-    for dev in inventory.db.iter().filter(|d| d.realm() == Realm::Cps).take(25) {
+    for dev in inventory
+        .db
+        .iter()
+        .filter(|d| d.realm() == Realm::Cps)
+        .take(25)
+    {
         actors.push(Actor {
             device: Some(dev.id),
             src_ip: dev.ip,
@@ -96,11 +101,13 @@ fn main() {
         let hi = ((day + 1) * 24).min(143);
         let telnet: u64 = series[lo..hi].iter().map(|r| r[0]).sum();
         let all: u64 = (lo..hi)
-            .map(|i| {
-                analysis.tcp_scan[0].packets[i] + analysis.tcp_scan[1].packets[i]
-            })
+            .map(|i| analysis.tcp_scan[0].packets[i] + analysis.tcp_scan[1].packets[i])
             .sum();
-        let share = if all == 0 { 0.0 } else { 100.0 * telnet as f64 / all as f64 };
+        let share = if all == 0 {
+            0.0
+        } else {
+            100.0 * telnet as f64 / all as f64
+        };
         println!(
             "{day:>3} | {:>19} | {telnet:>15} | {share:>11.1}%",
             curve[day].0 - prev,
@@ -109,7 +116,10 @@ fn main() {
     }
 
     let table = scan::protocol_table(&analysis);
-    println!("\ntop scanned service: {} ({:.1}% of scan packets)", table[0].label, table[0].pct);
+    println!(
+        "\ntop scanned service: {} ({:.1}% of scan packets)",
+        table[0].label, table[0].pct
+    );
     println!(
         "inferred scanners: {} (planted: {} bots + 25 background)",
         analysis.tcp_scanners().len(),

@@ -22,7 +22,10 @@ fn main() {
     // 2. Generate the telescope's flowtuple stream.
     let traffic = built.scenario.generate();
     let flows: usize = traffic.iter().map(|h| h.flows.len()).sum();
-    println!("telescope captured {flows} flows over {} hours", traffic.len());
+    println!(
+        "telescope captured {flows} flows over {} hours",
+        traffic.len()
+    );
 
     // 3. Correlate against the inventory and characterize.
     let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);

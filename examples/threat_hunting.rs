@@ -19,7 +19,10 @@ fn main() {
     let built = PaperScenario::build(PaperScenarioConfig::tiny(1337));
     let traffic = built.scenario.generate();
     let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze_parallel(&traffic, 4);
-    println!("inferred {} compromised devices", analysis.observations.len());
+    println!(
+        "inferred {} compromised devices",
+        analysis.observations.len()
+    );
 
     // Stand up the intel substrates (Cymon-like repo + malware DB).
     let candidates = malicious::select_candidates(&analysis, 400);
@@ -33,7 +36,8 @@ fn main() {
     );
 
     // Table VI.
-    let summary = malicious::threat_summary(&analysis, &built.inventory.db, &intel.threats, &candidates);
+    let summary =
+        malicious::threat_summary(&analysis, &built.inventory.db, &intel.threats, &candidates);
     println!(
         "== Table VI: {} of {} explored devices flagged ({:.1}%) ==",
         summary.flagged.len(),
@@ -41,7 +45,12 @@ fn main() {
         100.0 * summary.flagged.len() as f64 / summary.explored as f64
     );
     for row in &summary.rows {
-        println!("  {:<55} {:>4} ({:.1}%)", row.category.to_string(), row.devices, row.pct);
+        println!(
+            "  {:<55} {:>4} ({:.1}%)",
+            row.category.to_string(),
+            row.devices,
+            row.pct
+        );
     }
 
     // Table VII.

@@ -10,7 +10,8 @@ fn same_seed_produces_identical_reports() {
     let render = |seed: u64| {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(seed));
         let traffic = built.scenario.generate();
-        let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze_parallel(&traffic, 4);
+        let analysis =
+            AnalysisPipeline::new(&built.inventory.db, 143).analyze_parallel(&traffic, 4);
         Report::build(&analysis, &built.inventory.db, &built.inventory.isps, None).render()
     };
     assert_eq!(render(123), render(123));
@@ -76,6 +77,10 @@ fn telnet_dominates_at_every_scale() {
             Some(iotscope_net::ports::ScanService::Telnet),
             "scale {scale}"
         );
-        assert!(rows[0].pct > 35.0, "scale {scale}: telnet pct {}", rows[0].pct);
+        assert!(
+            rows[0].pct > 35.0,
+            "scale {scale}: telnet pct {}",
+            rows[0].pct
+        );
     }
 }

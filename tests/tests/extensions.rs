@@ -71,12 +71,7 @@ fn botnet_clustering_recovers_planted_crews() {
         let planted_set: HashSet<_> = planted.iter().copied().collect();
         let best = clusters
             .iter()
-            .map(|c| {
-                c.devices
-                    .iter()
-                    .filter(|d| planted_set.contains(d))
-                    .count()
-            })
+            .map(|c| c.devices.iter().filter(|d| planted_set.contains(d)).count())
             .max()
             .unwrap_or(0);
         assert!(
@@ -112,7 +107,10 @@ fn attribution_scores_direct_contacts_highest() {
         &intel.resolver,
     );
     for d in &direct.devices {
-        assert!(attributed.contains(d), "direct-contact device {d} unattributed");
+        assert!(
+            attributed.contains(d),
+            "direct-contact device {d} unattributed"
+        );
     }
     // Direct-contact findings outrank behavioral-only ones.
     let min_direct = findings
@@ -163,7 +161,8 @@ fn streaming_alerts_reconstruct_the_event_timeline() {
         })
         .collect();
     assert!(
-        spikes.iter().any(|i| (53..=56).contains(i)) || spikes.iter().any(|i| [99, 127].contains(i)),
+        spikes.iter().any(|i| (53..=56).contains(i))
+            || spikes.iter().any(|i| [99, 127].contains(i)),
         "spikes {spikes:?}"
     );
 

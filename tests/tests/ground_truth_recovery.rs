@@ -29,7 +29,10 @@ fn every_designated_device_is_inferred() {
         .copied()
         .collect();
     let inferred: HashSet<_> = analysis.compromised_devices().into_iter().collect();
-    assert_eq!(inferred, designated, "inference must recover exactly the planted set");
+    assert_eq!(
+        inferred, designated,
+        "inference must recover exactly the planted set"
+    );
 }
 
 #[test]
@@ -43,14 +46,20 @@ fn no_benign_device_is_inferred() {
         .copied()
         .collect();
     for id in analysis.observations.keys() {
-        assert!(designated.contains(id), "benign device {id} falsely inferred");
+        assert!(
+            designated.contains(id),
+            "benign device {id} falsely inferred"
+        );
     }
 }
 
 #[test]
 fn noise_sources_are_filtered_not_correlated() {
     let (built, analysis) = fixture();
-    assert!(analysis.unmatched_flows > 0, "noise must reach the telescope");
+    assert!(
+        analysis.unmatched_flows > 0,
+        "noise must reach the telescope"
+    );
     // Noise sources live outside the inventory; every observation maps to
     // a real device (guaranteed by construction of lookup, asserted via
     // the device-id space).
@@ -141,7 +150,10 @@ fn dos_spike_intervals_carry_planted_spikes() {
     for interval in &built.truth.dos_spike_intervals {
         let idx = (*interval - 1) as usize;
         let slot = &analysis.backscatter_intervals[idx];
-        assert!(slot.total > 0, "planted spike at {interval} produced no backscatter");
+        assert!(
+            slot.total > 0,
+            "planted spike at {interval} produced no backscatter"
+        );
         let victim = slot.top_victim.expect("spike interval has a top victim").0;
         assert!(
             built.truth.has_role(victim, Role::DosVictim),

@@ -109,7 +109,11 @@ fn fig_3_consumer_kind_mix() {
     let rows = characterize::consumer_kind_breakdown(&f.analysis, &f.built.inventory.db);
     // Routers 52.4% > cameras 25.2% > printers 18% > storage 3.6%.
     assert_eq!(rows[0].0, ConsumerKind::Router);
-    assert!((48.0..=57.0).contains(&rows[0].2), "router pct {}", rows[0].2);
+    assert!(
+        (48.0..=57.0).contains(&rows[0].2),
+        "router pct {}",
+        rows[0].2
+    );
     assert_eq!(rows[1].0, ConsumerKind::IpCamera);
     assert!((21.0..=29.0).contains(&rows[1].2));
     assert_eq!(rows[2].0, ConsumerKind::Printer);
@@ -148,7 +152,10 @@ fn table_ii_cps_isps() {
     );
     let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
     for expected in ["Rostelecom", "Korea Telecom", "Turk Telekom"] {
-        assert!(names.contains(&expected), "{expected} missing from {names:?}");
+        assert!(
+            names.contains(&expected),
+            "{expected} missing from {names:?}"
+        );
     }
     // Unlike Table I, no CPS ISP dominates (top ≈4.5%).
     assert!(rows[0].pct < 8.0, "top CPS ISP pct {}", rows[0].pct);
@@ -159,7 +166,11 @@ fn table_iii_cps_services() {
     let f = fixture();
     let rows = characterize::cps_service_breakdown(&f.analysis, &f.built.inventory.db);
     assert_eq!(rows[0].0, CpsService::TelventOasysDna);
-    assert!((16.0..=23.0).contains(&rows[0].2), "Telvent pct {}", rows[0].2);
+    assert!(
+        (16.0..=23.0).contains(&rows[0].2),
+        "Telvent pct {}",
+        rows[0].2
+    );
     assert_eq!(rows[1].0, CpsService::SncGene);
     let top10: Vec<CpsService> = rows[..10].iter().map(|r| r.0).collect();
     assert!(top10.contains(&CpsService::NiagaraFox));
@@ -177,8 +188,16 @@ fn fig_4_protocol_mix() {
     let total: f64 = mix.iter().flat_map(|r| r.iter()).sum();
     assert!((total - 100.0).abs() < 1e-6);
     // TCP dominates both realms; consumer TCP ≈46.8% > CPS TCP ≈38.8%.
-    assert!(mix[0][0] > 40.0 && mix[0][0] < 55.0, "consumer TCP {}", mix[0][0]);
-    assert!(mix[1][0] > 32.0 && mix[1][0] < 48.0, "cps TCP {}", mix[1][0]);
+    assert!(
+        mix[0][0] > 40.0 && mix[0][0] < 55.0,
+        "consumer TCP {}",
+        mix[0][0]
+    );
+    assert!(
+        mix[1][0] > 32.0 && mix[1][0] < 48.0,
+        "cps TCP {}",
+        mix[1][0]
+    );
     assert!(mix[0][0] > mix[1][0]);
     // UDP: consumer ≈6.5% > CPS ≈3.9%.
     assert!(mix[0][1] > mix[1][1]);
@@ -220,10 +239,17 @@ fn table_iv_udp_ports() {
     assert_eq!(rows.len(), 10);
     // Port 37547 (Netcore backdoor) leads with ≈2.5% of UDP packets.
     assert_eq!(rows[0].port, 37547);
-    assert!((1.5..=3.5).contains(&rows[0].pct), "37547 pct {}", rows[0].pct);
+    assert!(
+        (1.5..=3.5).contains(&rows[0].pct),
+        "37547 pct {}",
+        rows[0].pct
+    );
     let ports: Vec<u16> = rows.iter().map(|r| r.port).collect();
     for expected in [137u16, 53413, 32124, 28183, 5353, 53, 3544, 1194] {
-        assert!(ports.contains(&expected), "port {expected} missing: {ports:?}");
+        assert!(
+            ports.contains(&expected),
+            "port {expected} missing: {ports:?}"
+        );
     }
     // Top 10 take ≈10.7% of UDP packets; the rest spreads over 60k+ ports.
     let top10_pct: f64 = rows.iter().map(|r| r.pct).sum();
@@ -257,12 +283,20 @@ fn fig_7_dos_spike_schedule() {
     let intervals: Vec<u32> = spikes.iter().map(|e| e.interval).collect();
     // The planted episode intervals (§IV-B1).
     for expected in [6u32, 7, 8, 53, 54, 55, 99, 127] {
-        assert!(intervals.contains(&expected), "interval {expected} missing: {intervals:?}");
+        assert!(
+            intervals.contains(&expected),
+            "interval {expected} missing: {intervals:?}"
+        );
     }
     // Each episode dominated by a single victim.
     for e in &spikes {
         if [6, 7, 8, 53, 54, 55, 99, 127].contains(&e.interval) {
-            assert!(e.victim_share > 0.6, "interval {} share {}", e.interval, e.victim_share);
+            assert!(
+                e.victim_share > 0.6,
+                "interval {} share {}",
+                e.interval,
+                e.victim_share
+            );
         }
     }
     // Intervals 6-8 and 53-55 share one victim; 99/127 share another.
@@ -301,7 +335,11 @@ fn table_v_scan_services() {
     let rows = scan::protocol_table(&f.analysis);
     // Telnet ≈50.2% of scan packets, ≥4× HTTP (9.4%), then SSH (7.7%).
     assert_eq!(rows[0].service, Some(ScanService::Telnet));
-    assert!((45.0..=56.0).contains(&rows[0].pct), "telnet pct {}", rows[0].pct);
+    assert!(
+        (45.0..=56.0).contains(&rows[0].pct),
+        "telnet pct {}",
+        rows[0].pct
+    );
     assert_eq!(rows[1].service, Some(ScanService::Http));
     assert!(rows[0].packets > 4 * rows[1].packets);
     assert_eq!(rows[2].service, Some(ScanService::Ssh));
@@ -328,7 +366,11 @@ fn scan_summary_shapes() {
     let f = fixture();
     let s = scan::summary(&f.analysis);
     // §IV-C: 12,363 TCP scanners, 55% consumer.
-    assert!((12_000..=12_700).contains(&s.tcp_devices), "{}", s.tcp_devices);
+    assert!(
+        (12_000..=12_700).contains(&s.tcp_devices),
+        "{}",
+        s.tcp_devices
+    );
     assert!((0.52..=0.58).contains(&s.consumer_device_share));
     // Consumer generates more scan packets per hour (382k vs 318k scaled).
     assert!(s.consumer_mean_packets > s.cps_mean_packets);
@@ -350,7 +392,11 @@ fn fig_9_port_diversity_and_interval_119() {
     let spikes = scan::port_spike_intervals(&f.analysis, Realm::Consumer, 8.0);
     assert!(spikes.contains(&119), "spikes {spikes:?}");
     let consumer_ports = &scan::hourly(&f.analysis, Realm::Consumer).dst_ports;
-    assert!(consumer_ports[118] > 9_000, "interval-119 ports {}", consumer_ports[118]);
+    assert!(
+        consumer_ports[118] > 9_000,
+        "interval-119 ports {}",
+        consumer_ports[118]
+    );
     // Outside the sweep, CPS sweeps more ports per hour than consumer.
     let cps_ports = &scan::hourly(&f.analysis, Realm::Cps).dst_ports;
     let mid = |v: &[u64]| {
@@ -387,7 +433,11 @@ fn fig_10_service_time_series() {
     let mut sorted = ssh.clone();
     sorted.sort_unstable();
     let median = sorted[71];
-    assert!(ssh[31] as f64 > 3.0 * median as f64, "ssh[32] {} median {median}", ssh[31]);
+    assert!(
+        ssh[31] as f64 > 3.0 * median as f64,
+        "ssh[32] {} median {median}",
+        ssh[31]
+    );
     assert!(ssh[68] as f64 > 3.0 * median as f64);
     // Telnet leads every sampled interval.
     for i in [10usize, 50, 90, 130] {
@@ -397,30 +447,34 @@ fn fig_10_service_time_series() {
     let http: Vec<u64> = series.iter().map(|r| r[1]).collect();
     let early: u64 = http[20..44].iter().sum();
     let late: u64 = http[115..139].iter().sum();
-    assert!(late as f64 > 1.2 * early as f64, "early {early} late {late}");
+    assert!(
+        late as f64 > 1.2 * early as f64,
+        "early {early} late {late}"
+    );
 }
 
 #[test]
 fn section_v_intel_results() {
     let f = fixture();
     let candidates = malicious::select_candidates(&f.analysis, 4_000);
-    assert!((8_500..=8_900).contains(&candidates.len()), "{}", candidates.len());
-    let intel = IntelBuilder::new(IntelSynthConfig::paper(SEED))
-        .build(&f.built.inventory.db, &candidates);
-    let summary =
-        malicious::threat_summary(&f.analysis, &f.built.inventory.db, &intel.threats, &candidates);
+    assert!(
+        (8_500..=8_900).contains(&candidates.len()),
+        "{}",
+        candidates.len()
+    );
+    let intel =
+        IntelBuilder::new(IntelSynthConfig::paper(SEED)).build(&f.built.inventory.db, &candidates);
+    let summary = malicious::threat_summary(
+        &f.analysis,
+        &f.built.inventory.db,
+        &intel.threats,
+        &candidates,
+    );
     // §V-A: 816 devices (9.2%) flagged.
     let flag_rate = summary.flagged.len() as f64 / summary.explored as f64;
     assert!((0.07..=0.12).contains(&flag_rate), "flag rate {flag_rate}");
     // Table VI ordering.
-    let pct = |cat: ThreatCategory| {
-        summary
-            .rows
-            .iter()
-            .find(|r| r.category == cat)
-            .unwrap()
-            .pct
-    };
+    let pct = |cat: ThreatCategory| summary.rows.iter().find(|r| r.category == cat).unwrap().pct;
     assert!(pct(ThreatCategory::Scanning) > 90.0);
     assert!(pct(ThreatCategory::Miscellaneous) > pct(ThreatCategory::BruteForce));
     assert!(pct(ThreatCategory::BruteForce) > pct(ThreatCategory::Malware));
@@ -429,8 +483,12 @@ fn section_v_intel_results() {
     assert!(summary.cps_malware_devices > summary.consumer_malware_devices);
 
     // Fig 11: flagged devices' packet CDF is a subset with similar shape.
-    let (all, flagged) =
-        malicious::packet_cdfs(&f.analysis, &f.built.inventory.db, &intel.threats, &candidates);
+    let (all, flagged) = malicious::packet_cdfs(
+        &f.analysis,
+        &f.built.inventory.db,
+        &intel.threats,
+        &candidates,
+    );
     assert_eq!(all.len(), candidates.len());
     assert_eq!(flagged.len(), summary.flagged.len());
     assert!(flagged.quantile(0.5).unwrap() > 0.0);
@@ -445,7 +503,11 @@ fn section_v_intel_results() {
     assert_eq!(findings.families.len(), 11);
     assert_eq!(findings.hashes.len(), 24);
     assert!(findings.domains.len() <= 33 && findings.domains.len() > 20);
-    assert!((80..=150).contains(&findings.devices.len()), "{}", findings.devices.len());
+    assert!(
+        (80..=150).contains(&findings.devices.len()),
+        "{}",
+        findings.devices.len()
+    );
 }
 
 #[test]

@@ -18,10 +18,14 @@ proptest! {
         let _ = decode_hour(&bytes);
     }
 
-    /// Same for bytes that start with the real magic (deeper paths).
+    /// Same for bytes that start with a real magic (deeper paths), both
+    /// the legacy v1 and the current v2 format.
     #[test]
-    fn store_decoder_never_panics_with_magic(tail in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let mut bytes = b"IOTFT01".to_vec();
+    fn store_decoder_never_panics_with_magic(
+        tail in proptest::collection::vec(any::<u8>(), 0..256),
+        v2: bool,
+    ) {
+        let mut bytes = if v2 { b"IOTFT02".to_vec() } else { b"IOTFT01".to_vec() };
         bytes.extend(tail);
         let _ = decode_hour(&bytes);
     }
@@ -56,8 +60,16 @@ fn generated_traffic_structural_invariants() {
         assert_eq!(hour.interval, interval);
         for flow in &hour.flows {
             // Every flow lands inside the dark space and carries packets.
-            assert!(telescope.contains(flow.dst_ip), "{} outside telescope", flow.dst_ip);
-            assert!(!telescope.contains(flow.src_ip), "source {} inside telescope", flow.src_ip);
+            assert!(
+                telescope.contains(flow.dst_ip),
+                "{} outside telescope",
+                flow.dst_ip
+            );
+            assert!(
+                !telescope.contains(flow.src_ip),
+                "source {} inside telescope",
+                flow.src_ip
+            );
             assert!(flow.packets >= 1);
             // Every flow classifies into exactly one class (total function).
             let _ = classify(flow);
@@ -78,7 +90,10 @@ fn scenario_budget_is_conserved_within_tolerance() {
     // Bernoulli rounding + guaranteed discovery flows keep the total near
     // the expectation.
     let ratio = actual as f64 / expected;
-    assert!((0.9..=1.15).contains(&ratio), "actual {actual} vs expected {expected}");
+    assert!(
+        (0.9..=1.15).contains(&ratio),
+        "actual {actual} vs expected {expected}"
+    );
 }
 
 #[test]

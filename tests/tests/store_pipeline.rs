@@ -4,14 +4,51 @@
 
 use iotscope_core::pipeline::AnalysisPipeline;
 use iotscope_core::report::Report;
+use iotscope_core::Analysis;
 use iotscope_net::store::{FlowStore, StoreOptions};
-use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use iotscope_net::time::AnalysisWindow;
+use iotscope_telescope::paper::{BuiltScenario, PaperScenario, PaperScenarioConfig};
+use proptest::prelude::*;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("iotscope-it-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// One shared 143-hour scenario written to disk, so the property tests
+/// below don't rebuild it per case. The sequential store analysis is
+/// the reference every parallel configuration must reproduce.
+struct SharedStore {
+    built: BuiltScenario,
+    window: AnalysisWindow,
+    store: FlowStore,
+    traffic: Vec<iotscope_telescope::HourTraffic>,
+    sequential: Analysis,
+}
+
+fn shared_store() -> &'static SharedStore {
+    static SHARED: OnceLock<SharedStore> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(12));
+        let window = built.scenario.telescope().window;
+        let dir = tmpdir("shared-prop");
+        let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+        built.scenario.write_to_store(&store).unwrap();
+        let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
+        let (sequential, dropped) = pipeline.analyze_store(&store, &window).unwrap();
+        assert!(dropped.is_empty());
+        let traffic = built.scenario.generate();
+        SharedStore {
+            built,
+            window,
+            store,
+            traffic,
+            sequential,
+        }
+    })
 }
 
 #[test]
@@ -52,7 +89,13 @@ fn plain_and_delta_encoding_agree() {
     let dir_a = tmpdir("delta");
     let dir_b = tmpdir("plain");
     let store_a = FlowStore::create(&dir_a, StoreOptions { delta_encode: true }).unwrap();
-    let store_b = FlowStore::create(&dir_b, StoreOptions { delta_encode: false }).unwrap();
+    let store_b = FlowStore::create(
+        &dir_b,
+        StoreOptions {
+            delta_encode: false,
+        },
+    )
+    .unwrap();
     built.scenario.write_to_store(&store_a).unwrap();
     built.scenario.write_to_store(&store_b).unwrap();
 
@@ -62,10 +105,13 @@ fn plain_and_delta_encoding_agree() {
     assert_eq!(a.udp_ports, b.udp_ports);
 
     // Delta encoding is the smaller format.
-    let size = |d: &PathBuf| -> u64 {
-        walkdir_size(d)
-    };
-    assert!(size(&dir_a) < size(&dir_b), "{} !< {}", size(&dir_a), size(&dir_b));
+    let size = |d: &PathBuf| -> u64 { walkdir_size(d) };
+    assert!(
+        size(&dir_a) < size(&dir_b),
+        "{} !< {}",
+        size(&dir_a),
+        size(&dir_b)
+    );
 
     std::fs::remove_dir_all(&dir_a).unwrap();
     std::fs::remove_dir_all(&dir_b).unwrap();
@@ -127,6 +173,117 @@ fn sequential_and_parallel_analysis_agree_end_to_end() {
         assert_eq!(seq.scan_services, par.scan_services);
         assert_eq!(seq.backscatter_intervals, par.backscatter_intervals);
     }
+}
+
+#[test]
+fn parallel_store_analysis_matches_sequential_on_full_window() {
+    let shared = shared_store();
+    let pipeline = AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
+    for threads in [2usize, 4, 7] {
+        let result = pipeline
+            .analyze_store_with_stats(&shared.store, &shared.window, threads)
+            .unwrap();
+        assert!(result.dropped_days.is_empty());
+        let par = result.analysis;
+        assert_eq!(
+            shared.sequential.observations, par.observations,
+            "threads={threads}"
+        );
+        assert_eq!(shared.sequential.protocol_packets, par.protocol_packets);
+        assert_eq!(shared.sequential.scan_services, par.scan_services);
+        assert_eq!(shared.sequential.udp_ports, par.udp_ports);
+        assert_eq!(
+            shared.sequential.backscatter_intervals,
+            par.backscatter_intervals
+        );
+        assert_eq!(shared.sequential.top5_series, par.top5_series);
+        assert_eq!(shared.sequential.unmatched_flows, par.unmatched_flows);
+
+        let stats = result.stats;
+        assert_eq!(stats.threads, threads);
+        assert_eq!(stats.hours_ingested, u64::from(shared.window.num_hours()));
+        assert_eq!(stats.hours_missing, 0);
+        assert_eq!(stats.hours_skipped, 0);
+        assert!(stats.bytes_read > 0);
+        assert!(stats.records_decoded > 0);
+        assert!(stats.wall_time > std::time::Duration::ZERO);
+    }
+}
+
+#[test]
+fn store_stats_account_for_every_byte_on_disk() {
+    let shared = shared_store();
+    let pipeline = AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
+    let result = pipeline
+        .analyze_store_with_stats(&shared.store, &shared.window, 4)
+        .unwrap();
+    assert_eq!(result.stats.bytes_read, walkdir_size(shared.store.root()));
+    let records: u64 = shared
+        .window
+        .iter_hours()
+        .map(|h| shared.store.read_hour(h).unwrap().len() as u64)
+        .sum();
+    assert_eq!(result.stats.records_decoded, records);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any thread count — zero, more threads than hours, anything in
+    /// between — must reproduce the sequential result exactly, on both
+    /// the in-memory and the store-backed parallel paths.
+    #[test]
+    fn prop_any_thread_count_matches_sequential(threads in 0usize..200) {
+        let shared = shared_store();
+        let pipeline =
+            AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
+        let (par, dropped) = pipeline
+            .analyze_store_parallel(&shared.store, &shared.window, threads)
+            .unwrap();
+        prop_assert!(dropped.is_empty());
+        prop_assert_eq!(&shared.sequential.observations, &par.observations);
+        prop_assert_eq!(&shared.sequential.scan_services, &par.scan_services);
+        prop_assert_eq!(&shared.sequential.udp_ports, &par.udp_ports);
+        prop_assert_eq!(&shared.sequential.unmatched_flows, &par.unmatched_flows);
+
+        let mem = pipeline.analyze_parallel(&shared.traffic, threads);
+        prop_assert_eq!(&shared.sequential.observations, &mem.observations);
+        prop_assert_eq!(&shared.sequential.backscatter_intervals, &mem.backscatter_intervals);
+    }
+}
+
+#[test]
+fn corrupt_hour_surfaces_codec_error_from_parallel_path() {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(13));
+    let window = built.scenario.telescope().window;
+    let dir = tmpdir("par-corrupt");
+    let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+    built.scenario.write_to_store(&store).unwrap();
+    // Corrupt an hour in the middle of the window so workers are busy
+    // on both sides of it when the failure hits.
+    let victim_interval = window.num_hours() / 2;
+    let victim = window
+        .iter_intervals()
+        .find(|(i, _)| *i == victim_interval)
+        .map(|(_, h)| h)
+        .unwrap();
+    let path = store.hour_path(victim);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path, bytes).unwrap();
+
+    let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
+    for threads in [1usize, 4, 16] {
+        let err = pipeline
+            .analyze_store_parallel(&store, &window, threads)
+            .unwrap_err();
+        assert!(
+            format!("{err}").contains("checksum"),
+            "threads={threads} got: {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

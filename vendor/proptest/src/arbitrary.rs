@@ -1,0 +1,29 @@
+//! `any::<T>()`: the whole-type strategy, backed by rand's standard
+//! distribution.
+
+use crate::strategy::Strategy;
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::StdRng;
+use std::marker::PhantomData;
+
+/// Strategy over the full range of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform values over all of `T` (integers), `[0, 1)` (floats), or a
+/// fair coin (`bool`).
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        Standard.sample(rng)
+    }
+}

@@ -1,0 +1,174 @@
+//! Tiny regex-shaped string generator covering the patterns used in
+//! this workspace: a sequence of units, where a unit is `\PC` (any
+//! printable, non-control char), a `[...]` class (literals and `a-z`
+//! ranges), or a literal char, optionally followed by `{m}`, `{m,n}`,
+//! `?`, `*`, or `+` repetition.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A sprinkling of non-ASCII printable chars so `\PC` exercises
+/// multi-byte UTF-8 paths.
+const NON_ASCII: &[char] = &['é', 'ß', 'λ', '→', '日', '☃', '\u{00a0}'];
+
+enum Class {
+    /// `\PC`: printable (not a Unicode control char).
+    Printable,
+    /// `[...]`: explicit set.
+    Set(Vec<char>),
+    /// A literal char.
+    Lit(char),
+}
+
+impl Class {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            Class::Printable => {
+                // Mostly ASCII printable, occasionally non-ASCII.
+                if rng.gen_range(0u32..8) == 0 {
+                    *NON_ASCII.choose(rng).expect("non-empty")
+                } else {
+                    char::from(rng.gen_range(0x20u8..0x7f))
+                }
+            }
+            Class::Set(chars) => *chars.choose(rng).expect("empty [..] class"),
+            Class::Lit(c) => *c,
+        }
+    }
+}
+
+struct Unit {
+    class: Class,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Unit> {
+    let mut chars = pattern.chars().peekable();
+    let mut units = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // Only `\PC` (complement of the control category) is
+                    // supported.
+                    let got = chars.next();
+                    assert_eq!(got, Some('C'), "unsupported \\P class in {pattern:?}");
+                    Class::Printable
+                }
+                Some(esc) => Class::Lit(esc),
+                None => panic!("dangling backslash in {pattern:?}"),
+            },
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars.next().expect("open range in class");
+                                assert!(hi != ']', "open range in class");
+                                for cp in lo..=hi {
+                                    set.push(cp);
+                                }
+                            } else {
+                                set.push(lo);
+                            }
+                        }
+                        None => panic!("unterminated [..] in {pattern:?}"),
+                    }
+                }
+                Class::Set(set)
+            }
+            lit => Class::Lit(lit),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (m.parse().expect("bad {m,n}"), n.parse().expect("bad {m,n}")),
+                    None => {
+                        let m = spec.parse().expect("bad {m}");
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repetition in {pattern:?}");
+        units.push(Unit { class, min, max });
+    }
+    units
+}
+
+/// Generate one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for unit in parse(pattern) {
+        let n = if unit.min == unit.max {
+            unit.min
+        } else {
+            rng.gen_range(unit.min..=unit.max)
+        };
+        for _ in 0..n {
+            out.push(unit.class.sample(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_pattern_respects_set_and_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z0-9_]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_control_chars() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = sample_pattern("\\PC{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_pattern("ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+    }
+}

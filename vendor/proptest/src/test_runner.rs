@@ -1,0 +1,134 @@
+//! The case loop behind `proptest!`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases (the proptest 1.x constructor).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejection: the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An assumption rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: deterministic, distinct per test.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `cfg.cases` sampled cases of `test` against `strategy`. Panics
+/// on the first failing case with its case number; rejected cases are
+/// redrawn (up to a bounded number of attempts).
+pub fn run<S, F>(cfg: ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let max_rejects = cfg.cases.saturating_mul(10).max(1000);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < cfg.cases {
+        let value = strategy.sample(&mut rng);
+        match test(value) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!("{name}: too many prop_assume! rejections (last: {why})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {case}/{} failed: {msg}", cfg.cases);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mixed `in`/typed params, multiline, trailing comma.
+        #[test]
+        fn macro_handles_param_forms(
+            a in 0u32..10,
+            b: bool,
+            v in crate::collection::vec(any::<u8>(), 0..5),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..4) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form(x: u16) {
+            let wide = u32::from(x);
+            prop_assert!(wide <= u32::from(u16::MAX));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_case_panics() {
+        crate::test_runner::run(
+            ProptestConfig::with_cases(8),
+            "failing_case_panics",
+            (0u32..10,),
+            |(x,)| {
+                prop_assert!(x > 100, "x was {}", x);
+                Ok(())
+            },
+        );
+    }
+}

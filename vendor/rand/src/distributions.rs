@@ -1,0 +1,262 @@
+//! The standard distribution and uniform range sampling, ported from
+//! rand 0.8.5 so seeded draws match: integers use widening-multiply
+//! rejection sampling, `f64` uses the 53-bit multiply (standard) and
+//! 52-bit mantissa (ranges) constructions.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: uniform over all values for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        // 64-bit platforms (the only ones this workspace targets).
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i8 {
+        rng.next_u32() as i8
+    }
+}
+
+impl Distribution<i16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i16 {
+        rng.next_u32() as i16
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand compares the sign bit, not the low bit.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let value = rng.next_u64() >> 11; // 53 significant bits
+        value as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8; // 24 significant bits
+        value as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Sample from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_range_inclusive(low, high, rng)
+    }
+}
+
+/// rand 0.8's `uniform_int_impl!`: `$u_large` sampling with
+/// widening-multiply rejection. Small types (u8/u16) use the exact
+/// modulus zone over `u32`; u32/u64/usize use the leading-zeros
+/// approximation.
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty, $exact_zone:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                Self::sample_range_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The full type range.
+                    return sample_large::<$u_large, R>(rng) as $ty;
+                }
+                let zone = if $exact_zone {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = sample_large::<$u_large, R>(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> (<$u_large>::BITS)) as $u_large;
+                    let lo = m as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Draw one `$u_large` value.
+trait SampleLarge {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleLarge for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleLarge for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleLarge for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+fn sample_large<T: SampleLarge, R: RngCore + ?Sized>(rng: &mut R) -> T {
+    T::draw(rng)
+}
+
+uniform_int_impl! { u8, u8, u32, u64, true }
+uniform_int_impl! { u16, u16, u32, u64, true }
+uniform_int_impl! { u32, u32, u32, u64, false }
+uniform_int_impl! { u64, u64, u64, u128, false }
+uniform_int_impl! { usize, usize, usize, u128, false }
+uniform_int_impl! { i8, u8, u32, u64, true }
+uniform_int_impl! { i16, u16, u32, u64, true }
+uniform_int_impl! { i32, u32, u32, u64, false }
+uniform_int_impl! { i64, u64, u64, u128, false }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bias:expr, $frac_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low.is_finite() && high.is_finite());
+                let scale = high - low;
+                // Value in [1, 2): exponent 0, random mantissa.
+                let fraction = (sample_large::<$uty, R>(rng) >> $bits_to_discard) as $uty;
+                let value1_2 = <$ty>::from_bits((($exp_bias as $uty) << $frac_bits) | fraction);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // Matches rand's behavior closely enough for the closed
+                // ranges this workspace never actually uses with floats.
+                Self::sample_range(low, high, rng)
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f64, u64, 12, 1023u64, 52 }
+uniform_float_impl! { f32, u32, 9, 127u32, 23 }
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn small_int_ranges_unbiased_support() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0u8..6) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn full_range_does_not_loop_forever() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _: u32 = rng.gen_range(0u32..=u32::MAX);
+        let _: u8 = rng.gen_range(0u8..=u8::MAX);
+    }
+
+    #[test]
+    fn float_range_endpoints() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-2.0f64..3.5);
+            assert!((-2.0..3.5).contains(&v), "{v}");
+        }
+    }
+}

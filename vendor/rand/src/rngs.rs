@@ -1,0 +1,40 @@
+//! Named generators. [`StdRng`] matches rand 0.8 (ChaCha, 12 rounds).
+
+use crate::chacha::ChaChaCore;
+use crate::{RngCore, SeedableRng};
+
+/// The standard deterministic generator: ChaCha12, as in rand 0.8.
+#[derive(Clone)]
+pub struct StdRng {
+    core: ChaChaCore<12>,
+}
+
+impl std::fmt::Debug for StdRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StdRng { .. }")
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.core.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.core.fill_bytes(dest);
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng {
+            core: ChaChaCore::from_seed(seed),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Slice sampling helpers (rand 0.8's `SliceRandom` surface that this
+//! workspace uses).
+
+use crate::distributions::SampleUniform;
+use crate::RngCore;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle, identical to rand 0.8 (indices drawn as
+    /// `u32` for slices that fit).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+fn gen_index<R: RngCore>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= (u32::MAX as usize) + 1 {
+        u32::sample_range(0, ubound as u32, rng) as usize
+    } else {
+        usize::sample_range(0, ubound, rng)
+    }
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(gen_index(rng, self.len()))
+        }
+    }
+}
