@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use iotscope_core::botnet::{self, BotnetConfig};
 use iotscope_core::fingerprint::{candidate_iot_devices, FingerprintModel};
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_core::stream::{StreamConfig, StreamingAnalyzer};
 use iotscope_core::{attribution, behavior, malicious};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
@@ -17,7 +17,10 @@ fn bench_extensions(c: &mut Criterion) {
     let flows: u64 = traffic.iter().map(|h| h.flows.len() as u64).sum();
     let vectors = behavior::extract(&traffic, &built.inventory.db, 143);
     let model = FingerprintModel::train(&vectors).expect("matched devices exist");
-    let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
+    let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+        .run(&traffic, &AnalyzeOptions::new())
+        .expect("bench analysis")
+        .analysis;
     let candidates = malicious::select_candidates(&analysis, 400);
     let intel =
         IntelBuilder::new(IntelSynthConfig::paper(10)).build(&built.inventory.db, &candidates);

@@ -2,7 +2,7 @@
 //! analysis ablation and traffic-generation throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 use iotscope_telescope::HourTraffic;
 
@@ -20,13 +20,31 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| built.scenario.generate_hour(25).flows.len())
     });
     group.bench_function("analyze_sequential", |b| {
-        b.iter(|| pipeline.analyze(&traffic).observations.len())
+        let options = AnalyzeOptions::new();
+        b.iter(|| {
+            pipeline
+                .run(&traffic, &options)
+                .expect("bench analysis")
+                .analysis
+                .observations
+                .len()
+        })
     });
     for threads in [2usize, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("analyze_parallel", threads),
             &threads,
-            |b, &t| b.iter(|| pipeline.analyze_parallel(&traffic, t).observations.len()),
+            |b, &t| {
+                let options = AnalyzeOptions::new().threads(t);
+                b.iter(|| {
+                    pipeline
+                        .run(&traffic, &options)
+                        .expect("bench analysis")
+                        .analysis
+                        .observations
+                        .len()
+                })
+            },
         );
     }
     group.finish();

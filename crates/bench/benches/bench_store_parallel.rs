@@ -4,7 +4,7 @@
 //! directly comparable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_net::store::{FlowStore, StoreOptions};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 
@@ -29,9 +29,10 @@ fn bench_store_parallel(c: &mut Criterion) {
             BenchmarkId::new("analyze_store", threads),
             &threads,
             |b, &t| {
+                let options = AnalyzeOptions::new().window(window).threads(t).stats(true);
                 b.iter(|| {
                     pipeline
-                        .analyze_store_with_stats(&store, &window, t)
+                        .run(&store, &options)
                         .expect("bench store analysis")
                 })
             },

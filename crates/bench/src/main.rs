@@ -15,8 +15,8 @@
 //! (default 0.01 ⇒ ≈1.2M packets). `--tiny` uses the small inventory for a
 //! fast smoke run. `--csv DIR` additionally dumps the figure series as CSV.
 
-use iotscope_core::pipeline::AnalysisPipeline;
-use iotscope_core::report::{Report, ReportIntel};
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_core::report::{Report, ReportContext, ReportIntel};
 use iotscope_core::{scan, udp};
 use iotscope_devicedb::Realm;
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
@@ -91,7 +91,10 @@ fn main() {
     eprintln!("[3/4] correlating + characterizing ...");
     let t = Instant::now();
     let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-    let analysis = pipeline.analyze_parallel(&traffic, 8);
+    let analysis = pipeline
+        .run(&traffic, &AnalyzeOptions::new().threads(8))
+        .expect("in-memory analysis")
+        .analysis;
     eprintln!(
         "      {} compromised devices ({:.1}s)",
         analysis.observations.len(),
@@ -102,17 +105,17 @@ fn main() {
     let candidates = iotscope_core::malicious::select_candidates(&analysis, 4000);
     let intel = IntelBuilder::new(IntelSynthConfig::paper(args.seed))
         .build(&built.inventory.db, &candidates);
-    let report = Report::build(
-        &analysis,
-        &built.inventory.db,
-        &built.inventory.isps,
-        Some(ReportIntel {
+    let report = Report::build(&ReportContext {
+        analysis: &analysis,
+        db: &built.inventory.db,
+        isps: &built.inventory.isps,
+        intel: Some(ReportIntel {
             threats: &intel.threats,
             malware: &intel.malware,
             resolver: &intel.resolver,
             top_n_per_realm: 4000,
         }),
-    );
+    });
     println!("{}", report.render());
 
     // Source taxonomy over everything the telescope saw (the paper's

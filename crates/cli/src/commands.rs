@@ -1,32 +1,66 @@
 //! CLI command implementations.
 
-use crate::{parse_opts, CliError};
+use crate::{ArgParser, CliError, ParsedArgs};
 use iotscope_core::botnet::{self, BotnetConfig};
 use iotscope_core::fingerprint::{candidate_iot_devices, FingerprintModel};
-use iotscope_core::pipeline::{AnalysisPipeline, StoreReadStats};
-use iotscope_core::report::{Report, ReportIntel};
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions, StoreReadStats};
+use iotscope_core::report::{Report, ReportContext, ReportIntel};
 use iotscope_core::stream::{Alert, StreamConfig, StreamingAnalyzer};
 use iotscope_core::{attribution, behavior, malicious};
 use iotscope_devicedb::inventory_io::{self, LoadedInventory};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
 use iotscope_net::store::{FlowStore, StoreOptions};
 use iotscope_net::time::AnalysisWindow;
+use iotscope_obs::{Registry, Snapshot};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 use iotscope_telescope::HourTraffic;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-/// `iotscope simulate --out DIR [--seed N] [--scale F] [--tiny]`
+/// The `--metrics[=json|text]` output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
+
+/// Interpret `--metrics[=FMT]` the same way on every command: absent →
+/// `None`, bare or `=text` → text, `=json` → JSON.
+fn metrics_format(opts: &ParsedArgs) -> Result<Option<MetricsFormat>, CliError> {
+    match opts.get("--metrics") {
+        None => Ok(None),
+        Some("" | "text") => Ok(Some(MetricsFormat::Text)),
+        Some("json") => Ok(Some(MetricsFormat::Json)),
+        Some(other) => Err(CliError::Usage(format!(
+            "bad value for --metrics: {other:?} (expected json or text)"
+        ))),
+    }
+}
+
+/// Render the metrics section appended when `--metrics` was given.
+fn render_metrics(snapshot: &Snapshot, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Text => format!("\n== metrics ==\n{}", snapshot.to_text()),
+        MetricsFormat::Json => format!("\n{}\n", snapshot.to_json()),
+    }
+}
+
+/// `iotscope simulate --out DIR [--seed N] [--scale F] [--tiny] [--metrics[=FMT]]`
 pub fn simulate(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["--out", "--seed", "--scale"], &["--tiny"])?;
-    let out: PathBuf = opts
-        .get("--out")
-        .ok_or_else(|| CliError::Usage("simulate requires --out DIR".to_owned()))?
-        .into();
-    let seed: u64 = opt_parse(&opts, "--seed", 42)?;
-    let tiny = opts.contains_key("--tiny");
-    let scale: f64 = opt_parse(&opts, "--scale", if tiny { 0.008 } else { 0.01 })?;
+    let opts = ArgParser::new()
+        .value("--out")
+        .value("--seed")
+        .value("--scale")
+        .boolean("--tiny")
+        .optional_value("--metrics")
+        .parse(args)?;
+    let out: PathBuf = opts.require("--out", "simulate")?.into();
+    let seed: u64 = opts.parse_or("--seed", 42)?;
+    let tiny = opts.has("--tiny");
+    let scale: f64 = opts.parse_or("--scale", if tiny { 0.008 } else { 0.01 })?;
+    let format = metrics_format(&opts)?;
+    let registry = Registry::new();
 
     let config = if tiny {
         let mut c = PaperScenarioConfig::tiny(seed);
@@ -38,7 +72,8 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     let built = PaperScenario::build(config);
 
     std::fs::create_dir_all(&out)?;
-    let store = FlowStore::create(out.join("darknet"), StoreOptions::default())?;
+    let store =
+        FlowStore::create(out.join("darknet"), StoreOptions::default())?.instrumented(&registry);
     let hours = built.scenario.generate();
     let flows: usize = hours.iter().map(|h| h.flows.len()).sum();
     for ht in &hours {
@@ -60,13 +95,18 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     )?;
     built.truth.save(out.join("truth.tsv"))?;
 
-    Ok(format!(
+    let mut text = format!(
         "simulated {} devices, {} designated compromised, {} flows over 143 hours\nwrote {}/{{inventory.tsv, truth.tsv, darknet/}}",
         built.inventory.db.len(),
         built.truth.num_designated(),
         flows,
         out.display()
-    ))
+    );
+    if let Some(format) = format {
+        text.push('\n');
+        text.push_str(&render_metrics(&registry.snapshot(), format));
+    }
+    Ok(text)
 }
 
 /// Load the inventory + hourly traffic from a data directory.
@@ -93,7 +133,7 @@ fn load_data(dir: &Path) -> Result<(LoadedInventory, Vec<HourTraffic>), CliError
     Ok((inventory, traffic))
 }
 
-fn data_dir(opts: &BTreeMap<String, String>) -> Result<PathBuf, CliError> {
+fn data_dir(opts: &ParsedArgs) -> Result<PathBuf, CliError> {
     Ok(opts
         .get("--data")
         .ok_or_else(|| CliError::Usage("command requires --data DIR".to_owned()))?
@@ -107,31 +147,48 @@ fn meta_seed(inv: &LoadedInventory) -> u64 {
         .unwrap_or(42)
 }
 
-/// `iotscope analyze --data DIR [--intel] [--threads N] [--stats]`
+/// `iotscope analyze --data DIR [--intel] [--threads N] [--stats] [--metrics[=FMT]]`
 ///
 /// Runs the store-backed pipeline: hour files are read, decoded, and
 /// aggregated by a pool of `--threads` workers (default 8) directly
 /// from `DIR/darknet`, applying the paper's day-completeness rule.
-/// `--stats` appends per-stage accounting to the report.
+/// `--stats` appends per-stage accounting, `--metrics` the full
+/// observability snapshot. `--store` is accepted as an alias for
+/// `--data`.
 pub fn analyze(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["--data", "--threads"], &["--intel", "--stats"])?;
+    let opts = ArgParser::new()
+        .value("--data")
+        .alias("--store", "--data")
+        .boolean("--intel")
+        .analysis_flags()
+        .parse(args)?;
     let dir = data_dir(&opts)?;
-    let threads: usize = opt_parse(&opts, "--threads", 8)?;
+    let threads: usize = opts.parse_or("--threads", 8)?;
+    let format = metrics_format(&opts)?;
     let inventory = inventory_io::load(dir.join("inventory.tsv"))?;
     let store = FlowStore::open(dir.join("darknet"))?;
     let window = AnalysisWindow::paper();
     let pipeline = AnalysisPipeline::new(&inventory.db, window.num_hours());
-    let result = pipeline.analyze_store_with_stats(&store, &window, threads)?;
-    if result.stats.hours_ingested == 0 {
+    let registry = Registry::new();
+    let mut options = AnalyzeOptions::new()
+        .window(window)
+        .threads(threads)
+        .stats(true);
+    if format.is_some() {
+        options = options.metrics(&registry);
+    }
+    let outcome = pipeline.run(&store, &options)?;
+    let stats = outcome.stats.as_ref().expect("stats were requested");
+    if stats.hours_ingested == 0 {
         return Err(CliError::Run(format!(
             "no hourly flowtuple files under {}/darknet",
             dir.display()
         )));
     }
-    let analysis = result.analysis;
+    let analysis = outcome.analysis;
 
     let intel_out;
-    let intel = if opts.contains_key("--intel") {
+    let intel = if opts.has("--intel") {
         let candidates = malicious::select_candidates(&analysis, 4_000);
         intel_out = IntelBuilder::new(IntelSynthConfig::paper(meta_seed(&inventory)))
             .build(&inventory.db, &candidates);
@@ -144,10 +201,19 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
     } else {
         None
     };
-    let report = Report::build(&analysis, &inventory.db, &inventory.isps, intel);
+    let report = Report::build(&ReportContext {
+        analysis: &analysis,
+        db: &inventory.db,
+        isps: &inventory.isps,
+        intel,
+    });
     let mut text = report.render();
-    if opts.contains_key("--stats") {
-        text.push_str(&render_store_stats(&result.stats, &result.dropped_days));
+    if opts.has("--stats") {
+        text.push_str(&render_store_stats(stats, &outcome.dropped_days));
+    }
+    if let Some(format) = format {
+        let snapshot = outcome.metrics.expect("metrics were requested");
+        text.push_str(&render_metrics(&snapshot, format));
     }
     Ok(text)
 }
@@ -173,15 +239,28 @@ fn render_store_stats(stats: &StoreReadStats, dropped_days: &[u32]) -> String {
     out
 }
 
-/// `iotscope watch --data DIR`
+/// `iotscope watch --data DIR [--metrics[=FMT]]`
 pub fn watch(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["--data"], &[])?;
+    let opts = ArgParser::new()
+        .value("--data")
+        .optional_value("--metrics")
+        .parse(args)?;
+    let format = metrics_format(&opts)?;
+    let registry = Registry::new();
     let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
-    let mut stream = StreamingAnalyzer::new(
-        &inventory.db,
-        AnalysisWindow::paper().num_hours(),
-        StreamConfig::default(),
-    );
+    let mut stream = match format {
+        Some(_) => StreamingAnalyzer::with_metrics(
+            &inventory.db,
+            AnalysisWindow::paper().num_hours(),
+            StreamConfig::default(),
+            &registry,
+        ),
+        None => StreamingAnalyzer::new(
+            &inventory.db,
+            AnalysisWindow::paper().num_hours(),
+            StreamConfig::default(),
+        ),
+    };
     let mut out = String::new();
     let mut discovered = 0usize;
     for hour in &traffic {
@@ -236,12 +315,20 @@ pub fn watch(args: &[String]) -> Result<String, CliError> {
         alerts.len(),
         analysis.observations.len()
     );
+    if let Some(format) = format {
+        out.push_str(&render_metrics(&registry.snapshot(), format));
+    }
     Ok(out)
 }
 
-/// `iotscope investigate --data DIR [--intel]`
+/// `iotscope investigate --data DIR [--intel] [--threads N]`
 pub fn investigate(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["--data"], &["--intel"])?;
+    let opts = ArgParser::new()
+        .value("--data")
+        .boolean("--intel")
+        .value("--threads")
+        .parse(args)?;
+    let threads: usize = opts.parse_or("--threads", 8)?;
     let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
     let hours = AnalysisWindow::paper().num_hours();
     let vectors = behavior::extract(&traffic, &inventory.db, hours);
@@ -291,10 +378,13 @@ pub fn investigate(args: &[String]) -> Result<String, CliError> {
         );
     }
 
-    if opts.contains_key("--intel") {
+    if opts.has("--intel") {
         let _ = writeln!(out, "\n== malware attribution ==");
         let pipeline = AnalysisPipeline::new(&inventory.db, hours);
-        let analysis = pipeline.analyze_parallel(&traffic, 8);
+        let analysis = pipeline
+            .run(&traffic, &AnalyzeOptions::new().threads(threads))
+            .map_err(|e| CliError::Run(format!("analysis error: {e}")))?
+            .analysis;
         let candidates = malicious::select_candidates(&analysis, 4_000);
         let intel = IntelBuilder::new(IntelSynthConfig::paper(meta_seed(&inventory)))
             .build(&inventory.db, &candidates);
@@ -321,19 +411,6 @@ pub fn investigate(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn opt_parse<T: std::str::FromStr>(
-    opts: &BTreeMap<String, String>,
-    key: &str,
-    default: T,
-) -> Result<T, CliError> {
-    match opts.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| CliError::Usage(format!("bad value for {key}: {v:?}"))),
-    }
-}
-
 /// `iotscope export --data DIR --out DIR [--key K]`
 ///
 /// Writes a shareable copy of the darknet traffic with prefix-preserving
@@ -342,13 +419,14 @@ fn opt_parse<T: std::str::FromStr>(
 /// inventory is *not* copied (it is the sensitive part).
 pub fn export(args: &[String]) -> Result<String, CliError> {
     use iotscope_net::anon::Anonymizer;
-    let opts = parse_opts(args, &["--data", "--out", "--key"], &[])?;
+    let opts = ArgParser::new()
+        .value("--data")
+        .value("--out")
+        .value("--key")
+        .parse(args)?;
     let data = data_dir(&opts)?;
-    let out: PathBuf = opts
-        .get("--out")
-        .ok_or_else(|| CliError::Usage("export requires --out DIR".to_owned()))?
-        .into();
-    let key: u64 = opt_parse(&opts, "--key", 0x1077_5C09)?;
+    let out: PathBuf = opts.require("--out", "export")?.into();
+    let key: u64 = opts.parse_or("--key", 0x1077_5C09)?;
 
     let src = FlowStore::open(data.join("darknet"))?;
     let dst = FlowStore::create(out.join("darknet"), StoreOptions::default())?;
@@ -381,18 +459,27 @@ pub fn export(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
-/// `iotscope diff --baseline DIR --data DIR`
+/// `iotscope diff --baseline DIR --data DIR [--threads N]`
 pub fn diff(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_opts(args, &["--baseline", "--data"], &[])?;
-    let baseline: PathBuf = opts
-        .get("--baseline")
-        .ok_or_else(|| CliError::Usage("diff requires --baseline DIR".to_owned()))?
-        .into();
+    let opts = ArgParser::new()
+        .value("--baseline")
+        .value("--data")
+        .value("--threads")
+        .parse(args)?;
+    let baseline: PathBuf = opts.require("--baseline", "diff")?.into();
+    let threads: usize = opts.parse_or("--threads", 8)?;
     let (inv_a, traffic_a) = load_data(&baseline)?;
     let (inv_b, traffic_b) = load_data(&data_dir(&opts)?)?;
     let hours = AnalysisWindow::paper().num_hours();
-    let before = AnalysisPipeline::new(&inv_a.db, hours).analyze_parallel(&traffic_a, 8);
-    let after = AnalysisPipeline::new(&inv_b.db, hours).analyze_parallel(&traffic_b, 8);
+    let options = AnalyzeOptions::new().threads(threads);
+    let before = AnalysisPipeline::new(&inv_a.db, hours)
+        .run(&traffic_a, &options)
+        .map_err(|e| CliError::Run(format!("analysis error: {e}")))?
+        .analysis;
+    let after = AnalysisPipeline::new(&inv_b.db, hours)
+        .run(&traffic_b, &options)
+        .map_err(|e| CliError::Run(format!("analysis error: {e}")))?
+        .analysis;
     let d = iotscope_core::diff::diff(&before, &after);
 
     let mut out = String::new();
@@ -427,7 +514,7 @@ pub fn diff(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `iotscope validate --data DIR`
+/// `iotscope validate --data DIR [--threads N]`
 ///
 /// Compares what the pipeline infers from DIR's traffic against the
 /// ground-truth ledger the simulator wrote (`truth.tsv`): exact recovery
@@ -436,13 +523,19 @@ pub fn diff(args: &[String]) -> Result<String, CliError> {
 /// against a known scenario.
 pub fn validate(args: &[String]) -> Result<String, CliError> {
     use iotscope_telescope::ground_truth::{GroundTruth, Role};
-    let opts = parse_opts(args, &["--data"], &[])?;
+    let opts = ArgParser::new()
+        .value("--data")
+        .value("--threads")
+        .parse(args)?;
+    let threads: usize = opts.parse_or("--threads", 8)?;
     let dir = data_dir(&opts)?;
     let truth = GroundTruth::load(dir.join("truth.tsv"))
         .map_err(|e| CliError::Run(format!("truth ledger: {e}")))?;
     let (inventory, traffic) = load_data(&dir)?;
     let analysis = AnalysisPipeline::new(&inventory.db, AnalysisWindow::paper().num_hours())
-        .analyze_parallel(&traffic, 8);
+        .run(&traffic, &AnalyzeOptions::new().threads(threads))
+        .map_err(|e| CliError::Run(format!("analysis error: {e}")))?
+        .analysis;
 
     let inferred: std::collections::HashSet<_> =
         analysis.compromised_devices().into_iter().collect();
@@ -541,6 +634,20 @@ mod tests {
         assert!(with_stats.contains("== store read stats =="));
         assert!(with_stats.contains("threads:         3"));
         assert!(with_stats.contains("hours ingested:  143"));
+
+        // The acceptance command: `--store` aliases `--data`, and
+        // `--metrics=json` appends a snapshot covering store reads,
+        // per-stage timings, and analysis class counters.
+        let with_metrics =
+            analyze(&args(&["--store", dir_s, "--intel", "--metrics=json"])).unwrap();
+        assert!(
+            with_metrics.starts_with(&report),
+            "metrics must append, not alter, the report"
+        );
+        assert!(with_metrics.contains("\"store.bytes_read\""));
+        assert!(with_metrics.contains("\"pipeline.decode_time\""));
+        assert!(with_metrics.contains("\"pipeline.wall_time\""));
+        assert!(with_metrics.contains("\"analysis.packets.consumer.tcp_scan\""));
 
         let watch_out = watch(&args(&["--data", dir_s])).unwrap();
         assert!(watch_out.contains("devices discovered"));
@@ -653,12 +760,30 @@ mod tests {
     }
 
     #[test]
-    fn opt_parse_defaults_and_errors() {
-        let mut opts = BTreeMap::new();
-        assert_eq!(opt_parse(&opts, "--seed", 7u64).unwrap(), 7);
-        opts.insert("--seed".to_owned(), "13".to_owned());
-        assert_eq!(opt_parse(&opts, "--seed", 7u64).unwrap(), 13);
-        opts.insert("--seed".to_owned(), "xyz".to_owned());
-        assert!(opt_parse(&opts, "--seed", 7u64).is_err());
+    fn metrics_format_parses_the_three_spellings() {
+        let parse = |argv: &[&str]| {
+            let opts = ArgParser::new()
+                .analysis_flags()
+                .parse(&args(argv))
+                .unwrap();
+            metrics_format(&opts)
+        };
+        assert!(parse(&[]).unwrap().is_none());
+        assert!(matches!(
+            parse(&["--metrics"]).unwrap(),
+            Some(MetricsFormat::Text)
+        ));
+        assert!(matches!(
+            parse(&["--metrics=text"]).unwrap(),
+            Some(MetricsFormat::Text)
+        ));
+        assert!(matches!(
+            parse(&["--metrics=json"]).unwrap(),
+            Some(MetricsFormat::Json)
+        ));
+        assert!(matches!(
+            parse(&["--metrics=yaml"]),
+            Err(CliError::Usage(_))
+        ));
     }
 }

@@ -66,13 +66,13 @@ pub const USAGE: &str = "\
 iotscope — darknet-based IoT threat analysis (Torabi et al., DSN 2018)
 
 USAGE:
-    iotscope simulate --out DIR [--seed N] [--scale F] [--tiny]
-    iotscope analyze --data DIR [--intel] [--threads N] [--stats]
-    iotscope watch --data DIR
-    iotscope investigate --data DIR [--intel]
+    iotscope simulate --out DIR [--seed N] [--scale F] [--tiny] [--metrics[=FMT]]
+    iotscope analyze --data DIR [--intel] [--threads N] [--stats] [--metrics[=FMT]]
+    iotscope watch --data DIR [--metrics[=FMT]]
+    iotscope investigate --data DIR [--intel] [--threads N]
     iotscope export --data DIR --out DIR [--key K]
-    iotscope diff --baseline DIR --data DIR
-    iotscope validate --data DIR
+    iotscope diff --baseline DIR --data DIR [--threads N]
+    iotscope validate --data DIR [--threads N]
 
 COMMANDS:
     simulate     build a synthetic inventory + 143 hours of telescope
@@ -80,7 +80,8 @@ COMMANDS:
     analyze      run the full pipeline over DIR and print every table
                  and figure of the paper (--intel adds Section V;
                  --threads N sizes the store reader pool, --stats
-                 appends per-stage read/decode/ingest accounting)
+                 appends per-stage read/decode/ingest accounting;
+                 --store is accepted as an alias for --data)
     watch        replay DIR hour-by-hour through the near-real-time
                  analyzer, printing alerts
     investigate  run the follow-up analyses over DIR: fingerprint
@@ -94,6 +95,9 @@ COMMANDS:
     export       write a shareable copy of DIR's darknet traffic with
                  prefix-preserving address anonymization (Crypto-PAn
                  style), for the paper's §VI data-sharing vision
+
+Flags take `--flag value` or `--flag=value`. `--metrics[=FMT]` appends
+an observability snapshot to the output (FMT: text (default) or json).
 ";
 
 /// Run the CLI on the given arguments (without the program name).
@@ -120,27 +124,131 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// Parse `--flag value` style options; returns (map, bare flags).
-pub(crate) fn parse_opts(
-    args: &[String],
-    value_flags: &[&str],
-    bool_flags: &[&str],
-) -> Result<std::collections::BTreeMap<String, String>, CliError> {
-    let mut out = std::collections::BTreeMap::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if bool_flags.contains(&a.as_str()) {
-            out.insert(a.clone(), "true".to_owned());
-        } else if value_flags.contains(&a.as_str()) {
-            let v = it
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("{a} needs a value")))?;
-            out.insert(a.clone(), v.clone());
-        } else {
-            return Err(CliError::Usage(format!("unknown option {a:?}")));
+/// Declarative flag parser shared by every command.
+///
+/// Supports `--flag value` and `--flag=value` for value flags, bare
+/// `--flag` for booleans, and `--flag[=value]` for optional-value flags
+/// (only the `=` form attaches a value; a bare occurrence maps to `""`).
+/// Aliases rewrite alternative spellings to a canonical flag before
+/// lookup, so commands only ever query the canonical name. Unknown
+/// options are usage errors.
+#[derive(Debug, Default)]
+pub(crate) struct ArgParser {
+    value_flags: Vec<&'static str>,
+    bool_flags: Vec<&'static str>,
+    optional_flags: Vec<&'static str>,
+    aliases: Vec<(&'static str, &'static str)>,
+}
+
+impl ArgParser {
+    pub(crate) fn new() -> Self {
+        ArgParser::default()
+    }
+
+    /// A flag that requires a value (`--out DIR` or `--out=DIR`).
+    pub(crate) fn value(mut self, flag: &'static str) -> Self {
+        self.value_flags.push(flag);
+        self
+    }
+
+    /// A bare boolean flag (`--tiny`).
+    pub(crate) fn boolean(mut self, flag: &'static str) -> Self {
+        self.bool_flags.push(flag);
+        self
+    }
+
+    /// A flag whose value is optional (`--metrics` or `--metrics=json`).
+    pub(crate) fn optional_value(mut self, flag: &'static str) -> Self {
+        self.optional_flags.push(flag);
+        self
+    }
+
+    /// Accept `from` as another spelling of `to` (e.g. `--store` for
+    /// `--data`).
+    pub(crate) fn alias(mut self, from: &'static str, to: &'static str) -> Self {
+        self.aliases.push((from, to));
+        self
+    }
+
+    /// The analysis trio, routed identically wherever an analysis runs:
+    /// `--threads N`, `--stats`, `--metrics[=json|text]`.
+    pub(crate) fn analysis_flags(self) -> Self {
+        self.value("--threads")
+            .boolean("--stats")
+            .optional_value("--metrics")
+    }
+
+    /// Parse `args` against the declared flags.
+    pub(crate) fn parse(&self, args: &[String]) -> Result<ParsedArgs, CliError> {
+        let mut out = std::collections::BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(raw) = it.next() {
+            let (mut flag, inline) = match raw.split_once('=') {
+                Some((f, v)) => (f, Some(v.to_owned())),
+                None => (raw.as_str(), None),
+            };
+            if let Some((_, to)) = self.aliases.iter().find(|(from, _)| *from == flag) {
+                flag = to;
+            }
+            if self.bool_flags.contains(&flag) {
+                if inline.is_some() {
+                    return Err(CliError::Usage(format!("{flag} takes no value")));
+                }
+                out.insert(flag.to_owned(), "true".to_owned());
+            } else if self.optional_flags.contains(&flag) {
+                out.insert(flag.to_owned(), inline.unwrap_or_default());
+            } else if self.value_flags.contains(&flag) {
+                let v = match inline {
+                    Some(v) => v,
+                    None => it
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?,
+                };
+                out.insert(flag.to_owned(), v);
+            } else {
+                return Err(CliError::Usage(format!("unknown option {raw:?}")));
+            }
+        }
+        Ok(ParsedArgs(out))
+    }
+}
+
+/// Parsed flags, queried by canonical flag name.
+#[derive(Debug)]
+pub(crate) struct ParsedArgs(std::collections::BTreeMap<String, String>);
+
+impl ParsedArgs {
+    /// The flag's value, if present (`""` for a bare optional-value
+    /// flag).
+    pub(crate) fn get(&self, flag: &str) -> Option<&str> {
+        self.0.get(flag).map(String::as_str)
+    }
+
+    /// Whether the flag was given at all.
+    pub(crate) fn has(&self, flag: &str) -> bool {
+        self.0.contains_key(flag)
+    }
+
+    /// A required value flag, with a per-command usage message.
+    pub(crate) fn require(&self, flag: &str, command: &str) -> Result<&str, CliError> {
+        self.get(flag)
+            .ok_or_else(|| CliError::Usage(format!("{command} requires {flag}")))
+    }
+
+    /// Parse the flag's value, or return `default` when absent.
+    pub(crate) fn parse_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad value for {flag}: {v:?}"))),
         }
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -157,17 +265,58 @@ mod tests {
         assert!(matches!(run(&[]), Err(CliError::Usage(_))));
     }
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
-    fn parse_opts_value_and_bool() {
-        let args: Vec<String> = ["--out", "dir", "--tiny"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let opts = parse_opts(&args, &["--out"], &["--tiny"]).unwrap();
-        assert_eq!(opts["--out"], "dir");
-        assert_eq!(opts["--tiny"], "true");
-        assert!(parse_opts(&args, &["--out"], &[]).is_err()); // --tiny unknown
-        let dangling: Vec<String> = ["--out".to_owned()].to_vec();
-        assert!(parse_opts(&dangling, &["--out"], &[]).is_err());
+    fn parser_value_and_bool_flags() {
+        let p = ArgParser::new().value("--out").boolean("--tiny");
+        let opts = p.parse(&args(&["--out", "dir", "--tiny"])).unwrap();
+        assert_eq!(opts.get("--out"), Some("dir"));
+        assert!(opts.has("--tiny"));
+        // --tiny unknown when not declared.
+        assert!(ArgParser::new()
+            .value("--out")
+            .parse(&args(&["--out", "dir", "--tiny"]))
+            .is_err());
+        // Dangling value flag.
+        assert!(p.parse(&args(&["--out"])).is_err());
+        // Bool flags reject inline values.
+        assert!(p.parse(&args(&["--tiny=yes"])).is_err());
+    }
+
+    #[test]
+    fn parser_equals_form_and_aliases() {
+        let p = ArgParser::new().value("--data").alias("--store", "--data");
+        let opts = p.parse(&args(&["--data=d1"])).unwrap();
+        assert_eq!(opts.get("--data"), Some("d1"));
+        let opts = p.parse(&args(&["--store", "d2"])).unwrap();
+        assert_eq!(opts.get("--data"), Some("d2"));
+        let opts = p.parse(&args(&["--store=d3"])).unwrap();
+        assert_eq!(opts.get("--data"), Some("d3"));
+    }
+
+    #[test]
+    fn parser_optional_value_flags() {
+        let p = ArgParser::new().analysis_flags();
+        let opts = p.parse(&args(&["--metrics"])).unwrap();
+        assert_eq!(opts.get("--metrics"), Some(""));
+        let opts = p
+            .parse(&args(&["--metrics=json", "--threads", "4"]))
+            .unwrap();
+        assert_eq!(opts.get("--metrics"), Some("json"));
+        assert_eq!(opts.parse_or("--threads", 1usize).unwrap(), 4);
+        assert!(opts.parse_or::<usize>("--threads", 1).is_ok());
+        let bad = p.parse(&args(&["--threads", "many"])).unwrap();
+        assert!(bad.parse_or::<usize>("--threads", 1).is_err());
+    }
+
+    #[test]
+    fn parsed_args_require_names_the_command() {
+        let p = ArgParser::new().value("--out");
+        let opts = p.parse(&[]).unwrap();
+        let err = opts.require("--out", "simulate").unwrap_err();
+        assert!(format!("{err}").contains("simulate requires --out"));
     }
 }

@@ -11,8 +11,45 @@ use crate::classify::{classify, TrafficClass};
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
 use iotscope_net::ports::ScanService;
 use iotscope_net::protocol::TransportProtocol;
+use iotscope_obs::{Counter, Registry};
 use iotscope_telescope::HourTraffic;
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Metric-name suffixes for the five traffic classes, indexed by
+/// [`class_idx`].
+const CLASS_NAMES: [&str; 5] = ["tcp_scan", "icmp_scan", "backscatter", "udp", "other"];
+/// Metric-name suffixes for the two realms, indexed by [`realm_idx`].
+const REALM_NAMES: [&str; 2] = ["consumer", "cps"];
+
+/// Analyzer-layer metric handles (`analysis.` prefix), all
+/// [stable](iotscope_obs::Stability::Stable): packet totals are sums
+/// over ingested hours and commute across workers.
+#[derive(Debug, Clone)]
+struct AnalyzerMetrics {
+    /// `analysis.packets.<realm>.<class>`, indexed `[realm][class]`.
+    packets: [[Counter; 5]; 2],
+    /// `analysis.flows_unmatched`: flows from sources outside the inventory.
+    unmatched_flows: Counter,
+    /// `analysis.packets_unmatched`: packets from unmatched sources.
+    unmatched_packets: Counter,
+}
+
+impl AnalyzerMetrics {
+    fn register(registry: &Registry) -> Self {
+        AnalyzerMetrics {
+            packets: std::array::from_fn(|r| {
+                std::array::from_fn(|c| {
+                    registry.counter(&format!(
+                        "analysis.packets.{}.{}",
+                        REALM_NAMES[r], CLASS_NAMES[c]
+                    ))
+                })
+            }),
+            unmatched_flows: registry.counter("analysis.flows_unmatched"),
+            unmatched_packets: registry.counter("analysis.packets_unmatched"),
+        }
+    }
+}
 
 /// The Fig 10 service set: the five most-scanned protocol groups.
 pub const TOP5_SERVICES: [ScanService; 5] = [
@@ -298,6 +335,7 @@ impl Analysis {
 pub struct Analyzer<'a> {
     db: &'a DeviceDb,
     hours: u32,
+    metrics: Option<AnalyzerMetrics>,
     result: Analysis,
 }
 
@@ -308,6 +346,7 @@ impl<'a> Analyzer<'a> {
         Analyzer {
             db,
             hours,
+            metrics: None,
             result: Analysis {
                 hours,
                 observations: HashMap::new(),
@@ -323,6 +362,18 @@ impl<'a> Analyzer<'a> {
                 unmatched_packets: 0,
             },
         }
+    }
+
+    /// Like [`new`](Self::new), but publishing per-class packet counters
+    /// (`analysis.packets.<realm>.<class>`) and unmatched-traffic counters
+    /// into `registry`. Counters are accumulated locally per hour and
+    /// flushed with one atomic add each at the end of
+    /// [`ingest_hour`](Self::ingest_hour), so the hot per-flow path pays
+    /// nothing for instrumentation.
+    pub fn with_metrics(db: &'a DeviceDb, hours: u32, registry: &Registry) -> Self {
+        let mut a = Self::new(db, hours);
+        a.metrics = Some(AnalyzerMetrics::register(registry));
+        a
     }
 
     /// Ingest one hour of traffic.
@@ -347,11 +398,16 @@ impl<'a> Analyzer<'a> {
         let mut scan_ports_h: [HashSet<u16>; 2] = [HashSet::new(), HashSet::new()];
         let mut scan_devs: [HashSet<DeviceId>; 2] = [HashSet::new(), HashSet::new()];
         let mut backscatter_by_victim: HashMap<DeviceId, u64> = HashMap::new();
+        // Local metric accumulators, flushed once at the end of the hour.
+        let mut hour_packets: [[u64; 5]; 2] = [[0; 5]; 2];
+        let mut hour_unmatched: (u64, u64) = (0, 0);
 
         for flow in &hour.flows {
             let Some(device) = self.db.lookup_ip(flow.src_ip) else {
                 self.result.unmatched_flows += 1;
                 self.result.unmatched_packets += u64::from(flow.packets);
+                hour_unmatched.0 += 1;
+                hour_unmatched.1 += u64::from(flow.packets);
                 continue;
             };
             let class = classify(flow);
@@ -375,6 +431,7 @@ impl<'a> Analyzer<'a> {
             obs.flows += 1;
             obs.packets_by_class[class_idx(class)] += pkts;
             obs.days_active |= 1 << day.min(63);
+            hour_packets[r][class_idx(class)] += pkts;
 
             let proto_i = match flow.protocol {
                 TransportProtocol::Icmp => 0,
@@ -439,6 +496,18 @@ impl<'a> Analyzer<'a> {
             .into_iter()
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
         merge_top_victim(&mut slot.top_victim, top);
+
+        if let Some(m) = &self.metrics {
+            for (r, row) in hour_packets.iter().enumerate() {
+                for (c, &pkts) in row.iter().enumerate() {
+                    if pkts > 0 {
+                        m.packets[r][c].add(pkts);
+                    }
+                }
+            }
+            m.unmatched_flows.add(hour_unmatched.0);
+            m.unmatched_packets.add(hour_unmatched.1);
+        }
     }
 
     /// Merge another analyzer's state (built over *disjoint hours* of the
@@ -804,6 +873,36 @@ mod tests {
         assert_eq!(a.daily_packet_totals(None), vec![5, 10]);
         assert_eq!(a.daily_packet_totals(Some(Realm::Consumer)), vec![5, 3]);
         assert_eq!(a.daily_packet_totals(Some(Realm::Cps)), vec![0, 7]);
+    }
+
+    #[test]
+    fn with_metrics_publishes_class_and_unmatched_counters() {
+        let db = db();
+        let registry = Registry::new();
+        let mut an = Analyzer::with_metrics(&db, 4, &registry);
+        an.ingest_hour(&hour(
+            1,
+            vec![
+                syn([1, 0, 0, 1], 23).with_packets(4),
+                syn([9, 9, 9, 9], 23).with_packets(2), // unmatched noise
+                FlowTuple::udp(
+                    Ipv4Addr::new(2, 0, 0, 1),
+                    Ipv4Addr::new(44, 0, 0, 9),
+                    1,
+                    137,
+                )
+                .with_packets(7),
+            ],
+        ));
+        let a = an.finish();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("analysis.packets.consumer.tcp_scan"), Some(4));
+        assert_eq!(snap.counter("analysis.packets.cps.udp"), Some(7));
+        assert_eq!(snap.counter("analysis.packets.consumer.udp"), Some(0));
+        assert_eq!(snap.counter("analysis.flows_unmatched"), Some(1));
+        assert_eq!(snap.counter("analysis.packets_unmatched"), Some(2));
+        // The registry view agrees with the analysis itself.
+        assert_eq!(a.unmatched_packets, 2);
     }
 
     #[test]

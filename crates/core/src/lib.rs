@@ -21,8 +21,8 @@
 //! # Quickstart
 //!
 //! ```
-//! use iotscope_core::pipeline::AnalysisPipeline;
-//! use iotscope_core::report::Report;
+//! use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+//! use iotscope_core::report::{Report, ReportContext};
 //! use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 //!
 //! // Simulate a darknet (substituting for the UCSD telescope data).
@@ -31,8 +31,13 @@
 //!
 //! // Infer and characterize compromised IoT devices.
 //! let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-//! let analysis = pipeline.analyze(&traffic);
-//! let report = Report::build(&analysis, &built.inventory.db, &built.inventory.isps, None);
+//! let outcome = pipeline.run(&traffic, &AnalyzeOptions::new()).unwrap();
+//! let report = Report::build(&ReportContext {
+//!     analysis: &outcome.analysis,
+//!     db: &built.inventory.db,
+//!     isps: &built.inventory.isps,
+//!     intel: None,
+//! });
 //! assert!(report.compromised.0 + report.compromised.1 > 0);
 //! ```
 
@@ -58,5 +63,8 @@ pub mod udp;
 
 pub use analysis::{Analysis, Analyzer};
 pub use classify::{classify, TrafficClass};
-pub use pipeline::{AnalysisPipeline, StoreAnalysis, StoreReadStats};
-pub use report::{Report, ReportIntel};
+pub use pipeline::{
+    AnalysisOutcome, AnalysisPipeline, AnalysisSource, AnalyzeOptions, StoreAnalysis,
+    StoreReadStats,
+};
+pub use report::{Report, ReportContext, ReportIntel};

@@ -1,17 +1,24 @@
-//! End-to-end analysis orchestration: in-memory, parallel, and
-//! store-backed (with the paper's day-completeness rule).
+//! End-to-end analysis orchestration: one [`run`](AnalysisPipeline::run)
+//! entry point over in-memory or store-backed sources, with optional
+//! per-run accounting and a metrics registry threaded through every
+//! layer (store reads, decode, per-stage timings, per-class packet
+//! counters).
 
 use crate::analysis::{Analysis, Analyzer};
 use iotscope_devicedb::DeviceDb;
 use iotscope_net::store::FlowStore;
 use iotscope_net::time::{AnalysisWindow, UnixHour};
 use iotscope_net::NetError;
+use iotscope_obs::{Counter, Gauge, Registry, Snapshot, Timer};
 use iotscope_telescope::HourTraffic;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Accounting for one store-backed analysis run.
+/// Accounting for one analysis run, materialized as a *view over the
+/// metrics registry*: the pipeline always instruments itself through
+/// [`iotscope_obs`] counters and timers, and this struct is the diff of
+/// two registry snapshots taken around the run.
 ///
 /// Stage times are summed across workers, so with N threads they can
 /// add up to roughly N× the wall time — compare them to each other (is
@@ -42,6 +49,28 @@ pub struct StoreReadStats {
     pub wall_time: Duration,
 }
 
+impl StoreReadStats {
+    /// Build per-run accounting from the change between two registry
+    /// snapshots (the registry is cumulative across runs, so per-run
+    /// numbers are deltas). Metric names are the `pipeline.*` and
+    /// `store.*` families published by [`AnalysisPipeline::run`].
+    pub fn from_snapshots(threads: usize, before: &Snapshot, after: &Snapshot) -> Self {
+        StoreReadStats {
+            threads,
+            hours_ingested: after.counter_since(before, "pipeline.hours_ingested"),
+            hours_missing: after.counter_since(before, "pipeline.hours_missing"),
+            hours_skipped: after.counter_since(before, "pipeline.hours_skipped"),
+            bytes_read: after.counter_since(before, "store.bytes_read"),
+            records_decoded: after.counter_since(before, "store.records_decoded"),
+            read_time: after.duration_since(before, "pipeline.read_time"),
+            decode_time: after.duration_since(before, "pipeline.decode_time"),
+            ingest_time: after.duration_since(before, "pipeline.ingest_time"),
+            merge_time: after.duration_since(before, "pipeline.merge_time"),
+            wall_time: after.duration_since(before, "pipeline.wall_time"),
+        }
+    }
+}
+
 /// Result of a store-backed analysis: the aggregation itself, the days
 /// dropped by the completeness rule, and per-stage accounting.
 #[derive(Debug, Clone)]
@@ -52,6 +81,147 @@ pub struct StoreAnalysis {
     pub dropped_days: Vec<u32>,
     /// Per-stage accounting for this run.
     pub stats: StoreReadStats,
+}
+
+/// What to analyze: hours already in memory, or a [`FlowStore`]
+/// directory (which additionally needs [`AnalyzeOptions::window`]).
+///
+/// Constructed via `From`/`Into`, so call sites pass `&hours` or
+/// `&store` directly to [`AnalysisPipeline::run`].
+#[derive(Debug, Clone, Copy)]
+pub enum AnalysisSource<'s> {
+    /// Hourly traffic already decoded in memory.
+    Memory(&'s [HourTraffic]),
+    /// An on-disk hourly flowtuple store.
+    Store(&'s FlowStore),
+}
+
+impl<'s> From<&'s [HourTraffic]> for AnalysisSource<'s> {
+    fn from(hours: &'s [HourTraffic]) -> Self {
+        AnalysisSource::Memory(hours)
+    }
+}
+
+impl<'s> From<&'s Vec<HourTraffic>> for AnalysisSource<'s> {
+    fn from(hours: &'s Vec<HourTraffic>) -> Self {
+        AnalysisSource::Memory(hours)
+    }
+}
+
+impl<'s> From<&'s FlowStore> for AnalysisSource<'s> {
+    fn from(store: &'s FlowStore) -> Self {
+        AnalysisSource::Store(store)
+    }
+}
+
+/// Options for one [`AnalysisPipeline::run`] call.
+///
+/// A consuming builder with defaults of one thread, no stats, no
+/// metrics, no window:
+///
+/// ```
+/// use iotscope_core::pipeline::AnalyzeOptions;
+///
+/// let options = AnalyzeOptions::new().threads(4).stats(true);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    threads: usize,
+    stats: bool,
+    metrics: Option<Registry>,
+    window: Option<AnalysisWindow>,
+}
+
+impl AnalyzeOptions {
+    /// Defaults: single-threaded, no stats, no metrics, no window.
+    pub fn new() -> Self {
+        AnalyzeOptions::default()
+    }
+
+    /// Worker threads (clamped to `1..=64` and to the amount of work;
+    /// `0` means 1). The analysis result and every
+    /// [stable](iotscope_obs::Stability::Stable) metric are identical
+    /// whatever the thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Request per-run accounting in
+    /// [`AnalysisOutcome::stats`].
+    pub fn stats(mut self, enabled: bool) -> Self {
+        self.stats = enabled;
+        self
+    }
+
+    /// Publish metrics into `registry` and return its snapshot in
+    /// [`AnalysisOutcome::metrics`]. The registry is shared (cheap
+    /// clone), so callers can keep their own handle and accumulate
+    /// across runs.
+    pub fn metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
+    /// The analysis window — required for store-backed sources, ignored
+    /// for in-memory ones (in-memory hours carry their own intervals).
+    pub fn window(mut self, window: AnalysisWindow) -> Self {
+        self.window = Some(window);
+        self
+    }
+}
+
+/// Result of one [`AnalysisPipeline::run`] call.
+#[derive(Debug, Clone)]
+pub struct AnalysisOutcome {
+    /// The aggregation, identical for every thread count.
+    pub analysis: Analysis,
+    /// Day indices dropped by the completeness rule (§III-A2). Always
+    /// empty for in-memory sources.
+    pub dropped_days: Vec<u32>,
+    /// Per-run accounting, present iff [`AnalyzeOptions::stats`] was
+    /// requested.
+    pub stats: Option<StoreReadStats>,
+    /// End-of-run registry snapshot, present iff
+    /// [`AnalyzeOptions::metrics`] was requested.
+    pub metrics: Option<Snapshot>,
+}
+
+/// Pipeline-layer metric handles (`pipeline.` prefix). Work counters
+/// are [stable](iotscope_obs::Stability::Stable); timings, thread
+/// counts and per-worker counts are variant.
+struct PipelineMetrics {
+    hours_ingested: Counter,
+    hours_missing: Counter,
+    hours_skipped: Counter,
+    threads: Gauge,
+    read_time: Timer,
+    decode_time: Timer,
+    ingest_time: Timer,
+    merge_time: Timer,
+    wall_time: Timer,
+}
+
+impl PipelineMetrics {
+    fn register(registry: &Registry) -> Self {
+        PipelineMetrics {
+            hours_ingested: registry.counter("pipeline.hours_ingested"),
+            hours_missing: registry.counter("pipeline.hours_missing"),
+            hours_skipped: registry.counter("pipeline.hours_skipped"),
+            threads: registry.gauge("pipeline.threads"),
+            read_time: registry.timer("pipeline.read_time"),
+            decode_time: registry.timer("pipeline.decode_time"),
+            ingest_time: registry.timer("pipeline.ingest_time"),
+            merge_time: registry.timer("pipeline.merge_time"),
+            wall_time: registry.timer("pipeline.wall_time"),
+        }
+    }
+
+    /// The per-worker hour counter (variant: which worker got which
+    /// hour depends on scheduling).
+    fn worker_hours(registry: &Registry, worker: usize) -> Counter {
+        registry.counter_variant(&format!("pipeline.worker.{worker}.hours"))
+    }
 }
 
 /// One run's window coverage: which days are dropped, which present
@@ -68,14 +238,14 @@ struct Coverage {
 /// # Example
 ///
 /// ```
-/// use iotscope_core::pipeline::AnalysisPipeline;
+/// use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 /// use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 ///
 /// let built = PaperScenario::build(PaperScenarioConfig::tiny(1));
 /// let hours = built.scenario.generate();
 /// let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-/// let analysis = pipeline.analyze(&hours);
-/// assert!(analysis.observations.len() > 100);
+/// let outcome = pipeline.run(&hours, &AnalyzeOptions::new()).unwrap();
+/// assert!(outcome.analysis.observations.len() > 100);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AnalysisPipeline<'a> {
@@ -89,33 +259,121 @@ impl<'a> AnalysisPipeline<'a> {
         AnalysisPipeline { db, hours }
     }
 
-    /// Sequential single-pass analysis.
-    pub fn analyze(&self, traffic: &[HourTraffic]) -> Analysis {
-        let mut an = Analyzer::new(self.db, self.hours);
-        for hour in traffic {
-            an.ingest_hour(hour);
-        }
-        an.finish()
+    /// Analyze `source` under `options` — the single entry point behind
+    /// every analysis mode (sequential/parallel × memory/store, with or
+    /// without stats and metrics).
+    ///
+    /// The aggregation result and every
+    /// [stable](iotscope_obs::Stability::Stable) metric are identical
+    /// for every `threads` setting; only timings, the thread gauge and
+    /// per-worker counts vary.
+    ///
+    /// # Errors
+    ///
+    /// Store-backed runs propagate read failures (corrupt files fail
+    /// loudly; missing hours are handled by the day-completeness rule)
+    /// and require [`AnalyzeOptions::window`]. When several hours are
+    /// corrupt, the error for the earliest interval is reported,
+    /// matching what a sequential read would hit first. In-memory runs
+    /// cannot fail.
+    pub fn run<'s>(
+        &self,
+        source: impl Into<AnalysisSource<'s>>,
+        options: &AnalyzeOptions,
+    ) -> Result<AnalysisOutcome, NetError> {
+        let source = source.into();
+        // Always instrument through a registry: the caller's if metrics
+        // were requested, a private throwaway otherwise. Stats are then
+        // uniformly a snapshot diff.
+        let registry = options.metrics.clone().unwrap_or_default();
+        let pm = PipelineMetrics::register(&registry);
+        let before = registry.snapshot();
+
+        let wall = pm.wall_time.span();
+        let (analysis, dropped_days, threads) = match source {
+            AnalysisSource::Memory(traffic) => {
+                let threads = options.threads.clamp(1, 64).min(traffic.len().max(1));
+                pm.threads.set(threads as i64);
+                let analysis = self.run_memory(traffic, threads, &registry, &pm);
+                (analysis, Vec::new(), threads)
+            }
+            AnalysisSource::Store(store) => {
+                let window = options.window.ok_or_else(|| {
+                    NetError::InvalidInterval(
+                        "store-backed analysis requires AnalyzeOptions::window".into(),
+                    )
+                })?;
+                // Rebind the store's counters to this run's registry;
+                // name-based registration means a store already
+                // instrumented elsewhere shares the same atomics.
+                let store = store.clone().instrumented(&registry);
+                let cov = coverage(&store, &window)?;
+                let threads = options.threads.clamp(1, 64).min(cov.work.len().max(1));
+                pm.threads.set(threads as i64);
+                pm.hours_missing.add(cov.hours_missing);
+                pm.hours_skipped.add(cov.hours_skipped);
+                let analysis = if threads <= 1 {
+                    self.run_store_inline(&store, &cov.work, &registry, &pm)?
+                } else {
+                    self.run_store_pooled(&store, &cov.work, threads, &registry, &pm)?
+                };
+                (analysis, cov.dropped_days, threads)
+            }
+        };
+        drop(wall);
+
+        let after = registry.snapshot();
+        let stats = options
+            .stats
+            .then(|| StoreReadStats::from_snapshots(threads, &before, &after));
+        let metrics = options.metrics.is_some().then_some(after);
+        Ok(AnalysisOutcome {
+            analysis,
+            dropped_days,
+            stats,
+            metrics,
+        })
     }
 
-    /// Parallel analysis: hours are partitioned across `threads` workers,
-    /// partial aggregations are merged. Produces the *same result* as
-    /// [`analyze`](Self::analyze) (see `Analyzer::merge`).
-    pub fn analyze_parallel(&self, traffic: &[HourTraffic], threads: usize) -> Analysis {
-        let threads = threads.clamp(1, 64).min(traffic.len().max(1));
+    /// In-memory path: hours are partitioned across workers, partial
+    /// aggregations merged. Identical result for every thread count
+    /// (see `Analyzer::merge`).
+    fn run_memory(
+        &self,
+        traffic: &[HourTraffic],
+        threads: usize,
+        registry: &Registry,
+        pm: &PipelineMetrics,
+    ) -> Analysis {
         if threads <= 1 {
-            return self.analyze(traffic);
+            let worker = PipelineMetrics::worker_hours(registry, 0);
+            let mut an = Analyzer::with_metrics(self.db, self.hours, registry);
+            let span = pm.ingest_time.span();
+            for hour in traffic {
+                an.ingest_hour(hour);
+                worker.inc();
+            }
+            pm.hours_ingested.add(traffic.len() as u64);
+            drop(span);
+            return an.finish();
         }
         let chunk = traffic.len().div_ceil(threads);
         let partials: Vec<Analyzer<'_>> = crossbeam::scope(|scope| {
             let handles: Vec<_> = traffic
                 .chunks(chunk)
-                .map(|hours| {
+                .enumerate()
+                .map(|(i, hours)| {
+                    let registry = registry.clone();
+                    let ingest_time = pm.ingest_time.clone();
                     scope.spawn(move |_| {
-                        let mut an = Analyzer::new(self.db, self.hours);
+                        let worker = PipelineMetrics::worker_hours(&registry, i);
+                        let mut an = Analyzer::with_metrics(self.db, self.hours, &registry);
+                        let span = ingest_time.span();
                         for h in hours {
                             an.ingest_hour(h);
+                            worker.inc();
                         }
+                        drop(span);
                         an
                     })
                 })
@@ -126,121 +384,62 @@ impl<'a> AnalysisPipeline<'a> {
                 .collect()
         })
         .expect("analysis scope does not panic");
+        pm.hours_ingested.add(traffic.len() as u64);
+        let merge_span = pm.merge_time.span();
         let mut iter = partials.into_iter();
         let mut first = iter.next().expect("at least one partial");
         for p in iter {
             first.merge(p);
         }
+        drop(merge_span);
         first.finish()
     }
 
-    /// Read and analyze a window from a [`FlowStore`], applying the
-    /// paper's data-quality rule: days with fewer than 23 present hours
-    /// are dropped entirely (April 18 had only 15 of 24 hours and was
-    /// removed, §III-A2).
-    ///
-    /// Returns the analysis plus the list of dropped day indices.
-    ///
-    /// # Errors
-    ///
-    /// Propagates store read failures (corrupt files fail loudly; missing
-    /// hours are handled by the completeness rule instead).
-    pub fn analyze_store(
+    /// Store path, sequential: read → decode → ingest inline on the
+    /// caller's thread.
+    fn run_store_inline(
         &self,
         store: &FlowStore,
-        window: &AnalysisWindow,
-    ) -> Result<(Analysis, Vec<u32>), NetError> {
-        let out = self.analyze_store_with_stats(store, window, 1)?;
-        Ok((out.analysis, out.dropped_days))
+        work: &[(u32, UnixHour)],
+        registry: &Registry,
+        pm: &PipelineMetrics,
+    ) -> Result<Analysis, NetError> {
+        let worker = PipelineMetrics::worker_hours(registry, 0);
+        let mut an = Analyzer::with_metrics(self.db, self.hours, registry);
+        for &(interval, hour) in work {
+            let t0 = Instant::now();
+            let bytes = store.read_hour_bytes(hour)?;
+            let t1 = Instant::now();
+            let flows = store.decode_hour_for(hour, &bytes)?;
+            let t2 = Instant::now();
+            an.ingest_hour(&HourTraffic {
+                interval,
+                hour,
+                flows,
+            });
+            let t3 = Instant::now();
+            pm.read_time.record(t1 - t0);
+            pm.decode_time.record(t2 - t1);
+            pm.ingest_time.record(t3 - t2);
+            pm.hours_ingested.inc();
+            worker.inc();
+        }
+        Ok(an.finish())
     }
 
-    /// Parallel [`analyze_store`](Self::analyze_store): hour files are
-    /// read and decoded by a pool of `threads` workers and the partial
-    /// aggregations merged, producing the *same result* as the
-    /// sequential path (see `Analyzer::merge`).
-    ///
-    /// # Errors
-    ///
-    /// As [`analyze_store`](Self::analyze_store); when several hours are
-    /// corrupt the error for the earliest interval is reported, matching
-    /// what the sequential path would hit first.
-    pub fn analyze_store_parallel(
-        &self,
-        store: &FlowStore,
-        window: &AnalysisWindow,
-        threads: usize,
-    ) -> Result<(Analysis, Vec<u32>), NetError> {
-        let out = self.analyze_store_with_stats(store, window, threads)?;
-        Ok((out.analysis, out.dropped_days))
-    }
-
-    /// The full store-backed entry point: analyze `window` from `store`
-    /// with `threads` workers (`<= 1` runs inline on the caller's
-    /// thread) and return per-stage accounting alongside the analysis.
-    ///
-    /// # Errors
-    ///
-    /// As [`analyze_store`](Self::analyze_store).
-    pub fn analyze_store_with_stats(
-        &self,
-        store: &FlowStore,
-        window: &AnalysisWindow,
-        threads: usize,
-    ) -> Result<StoreAnalysis, NetError> {
-        let wall_start = Instant::now();
-        let cov = coverage(store, window)?;
-        let threads = threads.clamp(1, 64).min(cov.work.len().max(1));
-        let mut stats = StoreReadStats {
-            threads,
-            hours_missing: cov.hours_missing,
-            hours_skipped: cov.hours_skipped,
-            ..StoreReadStats::default()
-        };
-        let analysis = if threads <= 1 {
-            let mut an = Analyzer::new(self.db, self.hours);
-            for &(interval, hour) in &cov.work {
-                let t0 = Instant::now();
-                let bytes = store.read_hour_bytes(hour)?;
-                let t1 = Instant::now();
-                let flows = store.decode_hour_for(hour, &bytes)?;
-                let t2 = Instant::now();
-                stats.bytes_read += bytes.len() as u64;
-                stats.records_decoded += flows.len() as u64;
-                an.ingest_hour(&HourTraffic {
-                    interval,
-                    hour,
-                    flows,
-                });
-                let t3 = Instant::now();
-                stats.read_time += t1 - t0;
-                stats.decode_time += t2 - t1;
-                stats.ingest_time += t3 - t2;
-                stats.hours_ingested += 1;
-            }
-            an.finish()
-        } else {
-            self.analyze_store_pooled(store, &cov.work, threads, &mut stats)?
-        };
-        stats.wall_time = wall_start.elapsed();
-        Ok(StoreAnalysis {
-            analysis,
-            dropped_days: cov.dropped_days,
-            stats,
-        })
-    }
-
-    /// The worker pool behind the parallel store path: a producer feeds
-    /// `(interval, hour)` items through a bounded channel to `threads`
-    /// workers, each running read → decode → ingest into its own
-    /// [`Analyzer`]; partials are merged at the end. On the first error
-    /// a stop flag halts the producer and the error with the smallest
-    /// interval wins, so the reported failure is deterministic.
-    fn analyze_store_pooled(
+    /// Store path, pooled: a producer feeds `(interval, hour)` items
+    /// through a bounded channel to `threads` workers, each running
+    /// read → decode → ingest into its own [`Analyzer`]; partials are
+    /// merged at the end. On the first error a stop flag halts the
+    /// producer and the error with the smallest interval wins, so the
+    /// reported failure is deterministic.
+    fn run_store_pooled(
         &self,
         store: &FlowStore,
         work: &[(u32, UnixHour)],
         threads: usize,
-        stats: &mut StoreReadStats,
+        registry: &Registry,
+        pm: &PipelineMetrics,
     ) -> Result<Analysis, NetError> {
         let stop = AtomicBool::new(false);
         let first_err: Mutex<Option<(u32, NetError)>> = Mutex::new(None);
@@ -253,16 +452,18 @@ impl<'a> AnalysisPipeline<'a> {
             stop.store(true, Ordering::Relaxed);
         };
 
-        let partials: Vec<(Analyzer<'_>, StoreReadStats)> = crossbeam::scope(|scope| {
+        let partials: Vec<Analyzer<'_>> = crossbeam::scope(|scope| {
             let (tx, rx) = crossbeam::channel::bounded::<(u32, UnixHour)>(threads * 2);
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|i| {
                     let rx = rx.clone();
                     let fail = &fail;
                     let stop = &stop;
+                    let registry = registry.clone();
+                    let pm = PipelineMetrics::register(&registry);
                     scope.spawn(move |_| {
-                        let mut an = Analyzer::new(self.db, self.hours);
-                        let mut w = StoreReadStats::default();
+                        let worker = PipelineMetrics::worker_hours(&registry, i);
+                        let mut an = Analyzer::with_metrics(self.db, self.hours, &registry);
                         while let Ok((interval, hour)) = rx.recv() {
                             if stop.load(Ordering::Relaxed) {
                                 continue; // drain so the producer never blocks
@@ -284,20 +485,19 @@ impl<'a> AnalysisPipeline<'a> {
                                 }
                             };
                             let t2 = Instant::now();
-                            w.bytes_read += bytes.len() as u64;
-                            w.records_decoded += flows.len() as u64;
                             an.ingest_hour(&HourTraffic {
                                 interval,
                                 hour,
                                 flows,
                             });
                             let t3 = Instant::now();
-                            w.read_time += t1 - t0;
-                            w.decode_time += t2 - t1;
-                            w.ingest_time += t3 - t2;
-                            w.hours_ingested += 1;
+                            pm.read_time.record(t1 - t0);
+                            pm.decode_time.record(t2 - t1);
+                            pm.ingest_time.record(t3 - t2);
+                            pm.hours_ingested.inc();
+                            worker.inc();
                         }
-                        (an, w)
+                        an
                     })
                 })
                 .collect();
@@ -322,27 +522,102 @@ impl<'a> AnalysisPipeline<'a> {
             return Err(err);
         }
 
-        let merge_start = Instant::now();
+        let merge_span = pm.merge_time.span();
         let mut iter = partials.into_iter();
-        let (mut first, w) = iter.next().expect("at least one worker partial");
-        add_worker_stats(stats, &w);
-        for (p, w) in iter {
-            add_worker_stats(stats, &w);
+        let mut first = iter.next().expect("at least one worker partial");
+        for p in iter {
             first.merge(p);
         }
-        stats.merge_time = merge_start.elapsed();
+        drop(merge_span);
         Ok(first.finish())
     }
-}
 
-/// Accumulate one worker's counters into the run totals.
-fn add_worker_stats(stats: &mut StoreReadStats, w: &StoreReadStats) {
-    stats.hours_ingested += w.hours_ingested;
-    stats.bytes_read += w.bytes_read;
-    stats.records_decoded += w.records_decoded;
-    stats.read_time += w.read_time;
-    stats.decode_time += w.decode_time;
-    stats.ingest_time += w.ingest_time;
+    /// Sequential single-pass analysis.
+    #[deprecated(note = "use AnalysisPipeline::run(&traffic, &AnalyzeOptions::new())")]
+    pub fn analyze(&self, traffic: &[HourTraffic]) -> Analysis {
+        self.run(traffic, &AnalyzeOptions::new())
+            .expect("in-memory analysis cannot fail")
+            .analysis
+    }
+
+    /// Parallel analysis: hours are partitioned across `threads`
+    /// workers, partial aggregations are merged. Same result as the
+    /// sequential path.
+    #[deprecated(note = "use AnalysisPipeline::run with AnalyzeOptions::new().threads(n)")]
+    pub fn analyze_parallel(&self, traffic: &[HourTraffic], threads: usize) -> Analysis {
+        self.run(traffic, &AnalyzeOptions::new().threads(threads))
+            .expect("in-memory analysis cannot fail")
+            .analysis
+    }
+
+    /// Read and analyze a window from a [`FlowStore`], applying the
+    /// paper's data-quality rule: days with fewer than 23 present hours
+    /// are dropped entirely (April 18 had only 15 of 24 hours and was
+    /// removed, §III-A2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store read failures (corrupt files fail loudly;
+    /// missing hours are handled by the completeness rule instead).
+    #[deprecated(note = "use AnalysisPipeline::run with AnalyzeOptions::new().window(window)")]
+    pub fn analyze_store(
+        &self,
+        store: &FlowStore,
+        window: &AnalysisWindow,
+    ) -> Result<(Analysis, Vec<u32>), NetError> {
+        let out = self.run(store, &AnalyzeOptions::new().window(*window))?;
+        Ok((out.analysis, out.dropped_days))
+    }
+
+    /// Parallel store-backed analysis; same result as the sequential
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// As `analyze_store`.
+    #[deprecated(
+        note = "use AnalysisPipeline::run with AnalyzeOptions::new().window(window).threads(n)"
+    )]
+    pub fn analyze_store_parallel(
+        &self,
+        store: &FlowStore,
+        window: &AnalysisWindow,
+        threads: usize,
+    ) -> Result<(Analysis, Vec<u32>), NetError> {
+        let out = self.run(
+            store,
+            &AnalyzeOptions::new().window(*window).threads(threads),
+        )?;
+        Ok((out.analysis, out.dropped_days))
+    }
+
+    /// Store-backed analysis with per-stage accounting.
+    ///
+    /// # Errors
+    ///
+    /// As `analyze_store`.
+    #[deprecated(
+        note = "use AnalysisPipeline::run with AnalyzeOptions::new().window(window).threads(n).stats(true)"
+    )]
+    pub fn analyze_store_with_stats(
+        &self,
+        store: &FlowStore,
+        window: &AnalysisWindow,
+        threads: usize,
+    ) -> Result<StoreAnalysis, NetError> {
+        let out = self.run(
+            store,
+            &AnalyzeOptions::new()
+                .window(*window)
+                .threads(threads)
+                .stats(true),
+        )?;
+        Ok(StoreAnalysis {
+            analysis: out.analysis,
+            dropped_days: out.dropped_days,
+            stats: out.stats.expect("stats were requested"),
+        })
+    }
 }
 
 /// Single pass over `window` computing the paper's day-completeness
@@ -411,13 +686,75 @@ mod tests {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(21));
         let traffic: Vec<HourTraffic> = (1..=24).map(|i| built.scenario.generate_hour(i)).collect();
         let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-        let seq = pipeline.analyze(&traffic);
-        let par = pipeline.analyze_parallel(&traffic, 4);
+        let seq = pipeline
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
+        let par = pipeline
+            .run(&traffic, &AnalyzeOptions::new().threads(4))
+            .unwrap()
+            .analysis;
         assert_eq!(seq.observations, par.observations);
         assert_eq!(seq.protocol_packets, par.protocol_packets);
         assert_eq!(seq.scan_services, par.scan_services);
         assert_eq!(seq.udp_ports, par.udp_ports);
         assert_eq!(seq.unmatched_flows, par.unmatched_flows);
+    }
+
+    #[test]
+    fn stable_metrics_identical_across_thread_counts() {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(25));
+        let traffic: Vec<HourTraffic> = (1..=24).map(|i| built.scenario.generate_hour(i)).collect();
+        let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
+        let r1 = Registry::new();
+        let r4 = Registry::new();
+        pipeline
+            .run(&traffic, &AnalyzeOptions::new().metrics(&r1))
+            .unwrap();
+        pipeline
+            .run(&traffic, &AnalyzeOptions::new().threads(4).metrics(&r4))
+            .unwrap();
+        assert_eq!(
+            r1.snapshot().stable_only(),
+            r4.snapshot().stable_only(),
+            "stable counters must not depend on thread count"
+        );
+    }
+
+    #[test]
+    fn outcome_carries_stats_and_metrics_only_when_requested() {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(26));
+        let traffic: Vec<HourTraffic> = (1..=4).map(|i| built.scenario.generate_hour(i)).collect();
+        let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
+        let bare = pipeline.run(&traffic, &AnalyzeOptions::new()).unwrap();
+        assert!(bare.stats.is_none());
+        assert!(bare.metrics.is_none());
+        assert!(bare.dropped_days.is_empty());
+        let registry = Registry::new();
+        let full = pipeline
+            .run(
+                &traffic,
+                &AnalyzeOptions::new().stats(true).metrics(&registry),
+            )
+            .unwrap();
+        let stats = full.stats.unwrap();
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.hours_ingested, 4);
+        let snap = full.metrics.unwrap();
+        assert_eq!(snap.counter("pipeline.hours_ingested"), Some(4));
+        assert!(snap.get("analysis.packets.consumer.tcp_scan").is_some());
+    }
+
+    #[test]
+    fn store_run_without_window_errors() {
+        let dir = tmpdir("no-window");
+        let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+        let db =
+            iotscope_devicedb::DeviceDb::from_devices(Vec::<iotscope_devicedb::IotDevice>::new());
+        let pipeline = AnalysisPipeline::new(&db, 4);
+        let err = pipeline.run(&store, &AnalyzeOptions::new()).unwrap_err();
+        assert!(format!("{err}").contains("window"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -428,11 +765,35 @@ mod tests {
         let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
         built.scenario.write_to_store(&store).unwrap();
         let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
-        let (analysis, dropped) = pipeline.analyze_store(&store, &window).unwrap();
-        assert!(dropped.is_empty(), "dropped {dropped:?}");
-        let in_memory = pipeline.analyze(&built.scenario.generate());
-        assert_eq!(analysis.observations.len(), in_memory.observations.len());
-        assert_eq!(analysis.total_packets(), in_memory.total_packets());
+        let registry = Registry::new();
+        let out = pipeline
+            .run(
+                &store,
+                &AnalyzeOptions::new().window(window).metrics(&registry),
+            )
+            .unwrap();
+        assert!(
+            out.dropped_days.is_empty(),
+            "dropped {:?}",
+            out.dropped_days
+        );
+        let in_memory = pipeline
+            .run(&built.scenario.generate(), &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
+        assert_eq!(
+            out.analysis.observations.len(),
+            in_memory.observations.len()
+        );
+        assert_eq!(out.analysis.total_packets(), in_memory.total_packets());
+        // The store's own metrics flowed into the run registry.
+        let snap = out.metrics.unwrap();
+        assert_eq!(
+            snap.counter("store.hours_read"),
+            Some(u64::from(window.num_hours()))
+        );
+        assert!(snap.counter("store.bytes_read").unwrap() > 0);
+        assert_eq!(snap.counter("store.checksum_failures"), Some(0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -451,19 +812,21 @@ mod tests {
             }
         }
         let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
-        let (analysis, dropped) = pipeline.analyze_store(&store, &window).unwrap();
-        assert_eq!(dropped, vec![2]);
+        let out = pipeline
+            .run(&store, &AnalyzeOptions::new().window(window))
+            .unwrap();
+        assert_eq!(out.dropped_days, vec![2]);
         // No traffic attributed to day-2 intervals (49..=72).
         for i in 48..72usize {
-            assert_eq!(analysis.tcp_scan[0].packets[i], 0, "interval {}", i + 1);
-            assert_eq!(analysis.tcp_scan[1].packets[i], 0);
-            assert_eq!(analysis.udp[0].packets[i], 0);
+            assert_eq!(out.analysis.tcp_scan[0].packets[i], 0, "interval {}", i + 1);
+            assert_eq!(out.analysis.tcp_scan[1].packets[i], 0);
+            assert_eq!(out.analysis.udp[0].packets[i], 0);
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_hour_fails_loudly() {
+    fn corrupt_hour_fails_loudly_and_counts_checksum_failures() {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(24));
         let window = built.scenario.telescope().window;
         let dir = tmpdir("corrupt");
@@ -476,8 +839,35 @@ mod tests {
         bytes[last] ^= 0xff;
         std::fs::write(&victim, bytes).unwrap();
         let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
-        let err = pipeline.analyze_store(&store, &window).unwrap_err();
+        let registry = Registry::new();
+        let err = pipeline
+            .run(
+                &store,
+                &AnalyzeOptions::new().window(window).metrics(&registry),
+            )
+            .unwrap_err();
         assert!(format!("{err}").contains("checksum"));
+        assert_eq!(
+            registry.snapshot().counter("store.checksum_failures"),
+            Some(1)
+        );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_run() {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(27));
+        let traffic: Vec<HourTraffic> = (1..=8).map(|i| built.scenario.generate_hour(i)).collect();
+        let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
+        let via_run = pipeline
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
+        let via_shim = pipeline.analyze(&traffic);
+        assert_eq!(via_run.observations, via_shim.observations);
+        assert_eq!(via_run.protocol_packets, via_shim.protocol_packets);
+        let via_par = pipeline.analyze_parallel(&traffic, 3);
+        assert_eq!(via_run.observations, via_par.observations);
     }
 }

@@ -28,6 +28,21 @@ pub struct ReportIntel<'a> {
     pub top_n_per_realm: usize,
 }
 
+/// Everything [`Report::build`] reads, as one borrowed context — so the
+/// signature stays put as inputs grow, and call sites name what they
+/// pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportContext<'a> {
+    /// The aggregation to report on.
+    pub analysis: &'a Analysis,
+    /// The device inventory it was correlated against.
+    pub db: &'a DeviceDb,
+    /// ISP metadata for Tables I–II.
+    pub isps: &'a IspRegistry,
+    /// Section V intelligence inputs, if available.
+    pub intel: Option<ReportIntel<'a>>,
+}
+
 /// Everything the paper reports, computed.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -90,13 +105,14 @@ pub struct Report {
 }
 
 impl Report {
-    /// Compute the full report.
-    pub fn build(
-        analysis: &Analysis,
-        db: &DeviceDb,
-        isps: &IspRegistry,
-        intel: Option<ReportIntel<'_>>,
-    ) -> Report {
+    /// Compute the full report from one borrowed [`ReportContext`].
+    pub fn build(ctx: &ReportContext<'_>) -> Report {
+        let ReportContext {
+            analysis,
+            db,
+            isps,
+            intel,
+        } = *ctx;
         let registry = ServiceRegistry::standard();
         let (threat_summary, malware_findings) = match intel {
             Some(i) => {
@@ -440,7 +456,7 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::AnalysisPipeline;
+    use crate::pipeline::{AnalysisPipeline, AnalyzeOptions};
     use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
     use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 
@@ -449,21 +465,24 @@ mod tests {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(31));
         let traffic = built.scenario.generate();
         let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-        let analysis = pipeline.analyze(&traffic);
+        let analysis = pipeline
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
         let candidates: Vec<_> = analysis.compromised_devices();
         let intel =
             IntelBuilder::new(IntelSynthConfig::paper(31)).build(&built.inventory.db, &candidates);
-        let report = Report::build(
-            &analysis,
-            &built.inventory.db,
-            &built.inventory.isps,
-            Some(ReportIntel {
+        let report = Report::build(&ReportContext {
+            analysis: &analysis,
+            db: &built.inventory.db,
+            isps: &built.inventory.isps,
+            intel: Some(ReportIntel {
                 threats: &intel.threats,
                 malware: &intel.malware,
                 resolver: &intel.resolver,
                 top_n_per_realm: 400,
             }),
-        );
+        });
         assert!(report.compromised.0 > 0);
         assert!(report.compromised.1 > 0);
         assert!(!report.fig1b.is_empty());
@@ -496,8 +515,16 @@ mod tests {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(33));
         let traffic = built.scenario.generate();
         let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-        let analysis = pipeline.analyze(&traffic);
-        let report = Report::build(&analysis, &built.inventory.db, &built.inventory.isps, None);
+        let analysis = pipeline
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
+        let report = Report::build(&ReportContext {
+            analysis: &analysis,
+            db: &built.inventory.db,
+            isps: &built.inventory.isps,
+            intel: None,
+        });
         // Six days of traffic → positive daily means; consumer + cps means
         // roughly compose the overall mean.
         assert!(report.daily_packets[0].0 > 0.0);
@@ -516,8 +543,16 @@ mod tests {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(32));
         let traffic: Vec<_> = (1..=12).map(|i| built.scenario.generate_hour(i)).collect();
         let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-        let analysis = pipeline.analyze(&traffic);
-        let report = Report::build(&analysis, &built.inventory.db, &built.inventory.isps, None);
+        let analysis = pipeline
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
+        let report = Report::build(&ReportContext {
+            analysis: &analysis,
+            db: &built.inventory.db,
+            isps: &built.inventory.isps,
+            intel: None,
+        });
         assert!(report.threat_summary.is_none());
         assert!(report.malware_findings.is_none());
         let text = report.render();

@@ -21,7 +21,41 @@
 use crate::analysis::{Analysis, Analyzer, TOP5_SERVICES};
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
 use iotscope_net::ports::ScanService;
+use iotscope_obs::{Counter, Registry};
 use iotscope_telescope::HourTraffic;
+
+/// Stream-layer metric handles (`stream.` prefix). Streaming is
+/// single-threaded and causal, so every counter is
+/// [stable](iotscope_obs::Stability::Stable).
+#[derive(Debug, Clone)]
+struct StreamMetrics {
+    hours_pushed: Counter,
+    alerts_new_devices: Counter,
+    alerts_dos_spike: Counter,
+    alerts_scan_surge: Counter,
+    alerts_port_sweep: Counter,
+}
+
+impl StreamMetrics {
+    fn register(registry: &Registry) -> Self {
+        StreamMetrics {
+            hours_pushed: registry.counter("stream.hours_pushed"),
+            alerts_new_devices: registry.counter("stream.alerts.new_devices"),
+            alerts_dos_spike: registry.counter("stream.alerts.dos_spike"),
+            alerts_scan_surge: registry.counter("stream.alerts.scan_surge"),
+            alerts_port_sweep: registry.counter("stream.alerts.port_sweep"),
+        }
+    }
+
+    fn count(&self, alert: &Alert) {
+        match alert {
+            Alert::NewDevices { .. } => self.alerts_new_devices.inc(),
+            Alert::DosSpike { .. } => self.alerts_dos_spike.inc(),
+            Alert::ScanSurge { .. } => self.alerts_scan_surge.inc(),
+            Alert::PortSweep { .. } => self.alerts_port_sweep.inc(),
+        }
+    }
+}
 
 /// Streaming alert kinds.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,6 +193,7 @@ pub struct StreamingAnalyzer<'a> {
     ports: [Trailing; 2],
     alerts: Vec<Alert>,
     last_interval: Option<u32>,
+    metrics: Option<StreamMetrics>,
 }
 
 impl<'a> StreamingAnalyzer<'a> {
@@ -173,7 +208,23 @@ impl<'a> StreamingAnalyzer<'a> {
             ports: [Trailing::new(config.window), Trailing::new(config.window)],
             alerts: Vec::new(),
             last_interval: None,
+            metrics: None,
         }
+    }
+
+    /// Like [`new`](Self::new), but publishing `stream.hours_pushed`
+    /// and per-kind `stream.alerts.*` counters into `registry` (and the
+    /// inner analyzer's `analysis.*` counters with them).
+    pub fn with_metrics(
+        db: &'a DeviceDb,
+        hours: u32,
+        config: StreamConfig,
+        registry: &Registry,
+    ) -> Self {
+        let mut s = Self::new(db, hours, config);
+        s.analyzer = Analyzer::with_metrics(db, hours, registry);
+        s.metrics = Some(StreamMetrics::register(registry));
+        s
     }
 
     /// Ingest the next hour and return the alerts it raised.
@@ -268,6 +319,12 @@ impl<'a> StreamingAnalyzer<'a> {
             self.ports[r].push(ports as f64);
         }
 
+        if let Some(m) = &self.metrics {
+            m.hours_pushed.inc();
+            for a in &new_alerts {
+                m.count(a);
+            }
+        }
         self.alerts.extend(new_alerts.iter().cloned());
         new_alerts
     }
@@ -308,8 +365,10 @@ mod tests {
     fn streaming_matches_batch_analysis() {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(56));
         let traffic = built.scenario.generate();
-        let batch =
-            crate::pipeline::AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
+        let batch = crate::pipeline::AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &crate::pipeline::AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
         let mut stream = StreamingAnalyzer::new(&built.inventory.db, 143, StreamConfig::default());
         for hour in &traffic {
             stream.push_hour(hour);
@@ -429,6 +488,31 @@ mod tests {
         for i in 19..39usize {
             assert_eq!(analysis.tcp_scan[0].packets[i], 0);
         }
+    }
+
+    #[test]
+    fn metrics_count_hours_and_alerts() {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(59));
+        let registry = Registry::new();
+        let mut stream = StreamingAnalyzer::with_metrics(
+            &built.inventory.db,
+            143,
+            StreamConfig::default(),
+            &registry,
+        );
+        for i in 1..=48 {
+            stream.push_hour(&built.scenario.generate_hour(i));
+        }
+        let (_, alerts) = stream.finish();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stream.hours_pushed"), Some(48));
+        let counted = snap.counter("stream.alerts.new_devices").unwrap()
+            + snap.counter("stream.alerts.dos_spike").unwrap()
+            + snap.counter("stream.alerts.scan_surge").unwrap()
+            + snap.counter("stream.alerts.port_sweep").unwrap();
+        assert_eq!(counted, alerts.len() as u64);
+        // The inner analyzer's counters ride along.
+        assert!(snap.counter("analysis.packets.consumer.tcp_scan").unwrap() > 0);
     }
 
     #[test]

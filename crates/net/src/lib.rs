@@ -72,6 +72,15 @@ pub enum NetError {
     InvalidInterval(String),
 }
 
+impl NetError {
+    /// Whether this is the flowtuple store's checksum rejection —
+    /// corruption detected, as opposed to truncation or bad structure.
+    /// The store metrics use this to count `store.checksum_failures`.
+    pub fn is_checksum_mismatch(&self) -> bool {
+        matches!(self, NetError::Codec(msg) if msg.starts_with("checksum mismatch"))
+    }
+}
+
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

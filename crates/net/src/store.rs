@@ -34,6 +34,7 @@ use crate::flowtuple::{get_varint, put_varint, FlowTuple};
 use crate::time::{AnalysisWindow, UnixHour, HOURS_PER_DAY};
 use crate::NetError;
 use bytes::{Buf, BufMut};
+use iotscope_obs::{Counter, Histogram, Registry, BYTE_SIZE_BOUNDS};
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -73,11 +74,70 @@ impl Default for StoreOptions {
     }
 }
 
+/// The store-layer metric handles, all under the `store.` prefix.
+///
+/// Every [`FlowStore`] carries one of these; by default the counters are
+/// detached (they count, but no registry ever snapshots them), and
+/// [`FlowStore::instrumented`] rebinds them to a shared
+/// [`iotscope_obs::Registry`]. All `store.` metrics are
+/// [stable](iotscope_obs::Stability::Stable): a successful run reads and
+/// writes the same hours whichever thread performs the I/O.
+#[derive(Debug, Clone)]
+pub struct StoreMetrics {
+    /// On-disk bytes read (`store.bytes_read`).
+    pub bytes_read: Counter,
+    /// Hour files read (`store.hours_read`).
+    pub hours_read: Counter,
+    /// Flowtuple records decoded (`store.records_decoded`).
+    pub records_decoded: Counter,
+    /// Decodes rejected by the FNV checksum (`store.checksum_failures`).
+    pub checksum_failures: Counter,
+    /// On-disk bytes written (`store.bytes_written`).
+    pub bytes_written: Counter,
+    /// Hour files written (`store.hours_written`).
+    pub hours_written: Counter,
+    /// Flowtuple records written (`store.records_written`).
+    pub records_written: Counter,
+    /// Distribution of hour-file sizes in bytes (`store.hour_bytes`).
+    pub hour_bytes: Histogram,
+}
+
+impl StoreMetrics {
+    /// Handles not attached to any registry (counts are discarded).
+    pub fn detached() -> Self {
+        StoreMetrics {
+            bytes_read: Counter::detached(),
+            hours_read: Counter::detached(),
+            records_decoded: Counter::detached(),
+            checksum_failures: Counter::detached(),
+            bytes_written: Counter::detached(),
+            hours_written: Counter::detached(),
+            records_written: Counter::detached(),
+            hour_bytes: Histogram::detached(&BYTE_SIZE_BOUNDS),
+        }
+    }
+
+    /// Handles registered in (or fetched from) `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        StoreMetrics {
+            bytes_read: registry.counter("store.bytes_read"),
+            hours_read: registry.counter("store.hours_read"),
+            records_decoded: registry.counter("store.records_decoded"),
+            checksum_failures: registry.counter("store.checksum_failures"),
+            bytes_written: registry.counter("store.bytes_written"),
+            hours_written: registry.counter("store.hours_written"),
+            records_written: registry.counter("store.records_written"),
+            hour_bytes: registry.histogram("store.hour_bytes", &BYTE_SIZE_BOUNDS),
+        }
+    }
+}
+
 /// A directory-backed store of hourly flowtuple files.
 #[derive(Debug, Clone)]
 pub struct FlowStore {
     root: PathBuf,
     options: StoreOptions,
+    metrics: StoreMetrics,
 }
 
 impl FlowStore {
@@ -97,6 +157,7 @@ impl FlowStore {
         Ok(FlowStore {
             root,
             options: StoreOptions::default(),
+            metrics: StoreMetrics::detached(),
         })
     }
 
@@ -109,7 +170,25 @@ impl FlowStore {
     pub fn create<P: AsRef<Path>>(root: P, options: StoreOptions) -> Result<Self, NetError> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
-        Ok(FlowStore { root, options })
+        Ok(FlowStore {
+            root,
+            options,
+            metrics: StoreMetrics::detached(),
+        })
+    }
+
+    /// Rebind this store's metric handles to `registry`, so reads and
+    /// writes show up in its snapshots (under the `store.` prefix).
+    /// Consuming builder style: `FlowStore::open(dir)?.instrumented(&r)`.
+    #[must_use]
+    pub fn instrumented(mut self, registry: &Registry) -> Self {
+        self.metrics = StoreMetrics::register(registry);
+        self
+    }
+
+    /// The store's current metric handles.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
     }
 
     /// The store's root directory.
@@ -157,6 +236,10 @@ impl FlowStore {
             let _ = fs::remove_file(&tmp);
             return Err(NetError::Io(e));
         }
+        self.metrics.bytes_written.add(bytes.len() as u64);
+        self.metrics.records_written.add(flows.len() as u64);
+        self.metrics.hours_written.inc();
+        self.metrics.hour_bytes.observe(bytes.len() as u64);
         Ok(())
     }
 
@@ -186,6 +269,8 @@ impl FlowStore {
         let path = self.hour_path(hour);
         let mut bytes = Vec::new();
         fs::File::open(&path)?.read_to_end(&mut bytes)?;
+        self.metrics.bytes_read.add(bytes.len() as u64);
+        self.metrics.hours_read.inc();
         Ok(bytes)
     }
 
@@ -202,13 +287,22 @@ impl FlowStore {
         hour: UnixHour,
         bytes: &[u8],
     ) -> Result<Vec<FlowTuple>, NetError> {
-        let (file_hour, flows) = decode_hour(bytes)?;
+        let (file_hour, flows) = match decode_hour(bytes) {
+            Ok(ok) => ok,
+            Err(e) => {
+                if e.is_checksum_mismatch() {
+                    self.metrics.checksum_failures.inc();
+                }
+                return Err(e);
+            }
+        };
         if file_hour != hour {
             return Err(NetError::Codec(format!(
                 "file {} claims hour {file_hour}, expected {hour}",
                 self.hour_path(hour).display()
             )));
         }
+        self.metrics.records_decoded.add(flows.len() as u64);
         Ok(flows)
     }
 
@@ -624,6 +718,7 @@ mod tests {
         let store = FlowStore {
             root: PathBuf::from("/data"),
             options: StoreOptions::default(),
+            metrics: StoreMetrics::detached(),
         };
         let p = store.hour_path(UnixHour::new(49));
         assert_eq!(p, PathBuf::from("/data/day-2/hour-49.ft"));
@@ -739,6 +834,62 @@ mod tests {
         assert!(!store.has_hour(hours[1]));
         assert_eq!(store.hours_present(&window), vec![hours[0]]);
         assert!(matches!(store.read_hour(hours[1]), Err(NetError::Io(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn instrumented_store_counts_reads_writes_and_corruption() {
+        let registry = iotscope_obs::Registry::new();
+        let dir = tmpdir("metrics");
+        let store = FlowStore::create(&dir, StoreOptions::default())
+            .unwrap()
+            .instrumented(&registry);
+        let hours = [UnixHour::new(40), UnixHour::new(41)];
+        for h in hours {
+            store.write_hour(h, &flows()).unwrap();
+        }
+        for h in hours {
+            store.read_hour(h).unwrap();
+        }
+        let on_disk: u64 = hours
+            .iter()
+            .map(|h| std::fs::metadata(store.hour_path(*h)).unwrap().len())
+            .sum();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store.hours_written"), Some(2));
+        assert_eq!(snap.counter("store.hours_read"), Some(2));
+        assert_eq!(snap.counter("store.bytes_written"), Some(on_disk));
+        assert_eq!(snap.counter("store.bytes_read"), Some(on_disk));
+        assert_eq!(
+            snap.counter("store.records_written"),
+            Some(2 * flows().len() as u64)
+        );
+        assert_eq!(
+            snap.counter("store.records_decoded"),
+            Some(2 * flows().len() as u64)
+        );
+        assert_eq!(snap.counter("store.checksum_failures"), Some(0));
+
+        // Corrupt one file: the failed decode is counted, the partial
+        // read still adds its bytes.
+        let victim = store.hour_path(hours[0]);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&victim, bytes).unwrap();
+        assert!(store.read_hour(hours[0]).is_err());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store.checksum_failures"), Some(1));
+        assert_eq!(snap.counter("store.hours_read"), Some(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detached_store_still_works_without_registry() {
+        let dir = tmpdir("detached");
+        let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+        store.write_hour(UnixHour::new(7), &flows()).unwrap();
+        assert_eq!(store.metrics().hours_written.get(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,254 @@
+//! Metric handles: cheap `Arc`-backed clones updated with single atomic
+//! operations, so instrumented hot paths never take a lock.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Whether a metric's final value is reproducible across runs.
+///
+/// See the crate docs for the full determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stability {
+    /// Identical for a successful run over the same input regardless of
+    /// thread count or scheduling.
+    Stable,
+    /// Timing- or schedule-dependent (timers, per-worker counts).
+    Variant,
+}
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (counts are discarded at
+    /// snapshot time). Useful as a default before instrumentation.
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge holding the latest set value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `d` (may be negative).
+    #[inline]
+    pub fn adjust(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared histogram state: fixed bucket upper bounds plus one overflow
+/// bucket, a total count, and a sum for mean computation.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    pub(crate) bounds: Box<[u64]>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    pub(crate) buckets: Box<[AtomicU64]>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// Bucket bounds are fixed at registration, so observing is one atomic
+/// add into a pre-sized slot — no allocation, no locking, and bucket
+/// counts merge deterministically across threads. (That fixed layout is
+/// *why* the determinism contract can include histograms: a dynamic
+/// scheme like t-digest re-centers on ingestion order.)
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramCore>);
+
+impl Histogram {
+    pub(crate) fn with_bounds(bounds: &[u64]) -> Self {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: sorted.into_boxed_slice(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// A histogram not attached to any registry.
+    pub fn detached(bounds: &[u64]) -> Self {
+        Histogram::with_bounds(bounds)
+    }
+
+    /// Record one observation. Values land in the first bucket whose
+    /// upper bound is `>= v`, or the overflow bucket.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.0.bounds.partition_point(|&b| b < v);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// An accumulating duration timer (total nanoseconds + span count).
+///
+/// Always [`Stability::Variant`]: wall time is never reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct Timer {
+    pub(crate) nanos: Arc<AtomicU64>,
+    pub(crate) spans: Arc<AtomicU64>,
+}
+
+impl Timer {
+    /// A timer not attached to any registry.
+    pub fn detached() -> Self {
+        Timer::default()
+    }
+
+    /// Add one measured duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.nanos.fetch_add(
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.spans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Start a scoped span; the elapsed time is recorded when the
+    /// returned guard drops.
+    pub fn span(&self) -> Span {
+        Span {
+            timer: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Total recorded time.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Number of recorded spans.
+    pub fn span_count(&self) -> u64 {
+        self.spans.load(Ordering::Relaxed)
+    }
+}
+
+/// Scope guard returned by [`Timer::span`]; records elapsed time into
+/// its timer on drop.
+#[derive(Debug)]
+pub struct Span {
+    timer: Timer,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.timer.record(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::detached();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let g = Gauge::detached();
+        g.set(4);
+        g.adjust(-6);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_upper_bound() {
+        let h = Histogram::detached(&[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 101 + 5000);
+        let counts: Vec<u64> =
+            h.0.buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+        // <=10: {0, 10}; <=100: {11, 100}; overflow: {101, 5000}.
+        assert_eq!(counts, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_deduped() {
+        let h = Histogram::detached(&[100, 10, 100]);
+        assert_eq!(&*h.0.bounds, &[10, 100]);
+    }
+
+    #[test]
+    fn timer_spans_accumulate() {
+        let t = Timer::detached();
+        t.record(Duration::from_millis(2));
+        {
+            let _s = t.span();
+        }
+        assert_eq!(t.span_count(), 2);
+        assert!(t.total() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counter::detached();
+        let c2 = c.clone();
+        c2.add(5);
+        assert_eq!(c.get(), 5);
+    }
+}

@@ -1,0 +1,227 @@
+//! The metric registry: name → metric, with idempotent registration.
+
+use crate::metric::{Counter, Gauge, Histogram, Stability, Timer};
+use crate::snapshot::{Snapshot, SnapshotEntry, SnapshotValue};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone)]
+pub(crate) enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    Timer(Timer),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+            Slot::Timer(_) => "timer",
+        }
+    }
+}
+
+/// A shared, cheaply clonable registry of named metrics.
+///
+/// Registration (`counter`, `gauge`, `histogram`, `timer`) is
+/// idempotent: asking twice for the same name returns handles over the
+/// same underlying atomic, which is how separately instrumented layers
+/// (store, pipeline workers, analyzer) converge on one set of totals.
+/// Registration takes a short lock; the returned handles never do.
+///
+/// Snapshots iterate the backing `BTreeMap`, so exporter output order is
+/// the lexicographic metric-name order — stable across runs by
+/// construction.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    slots: Arc<Mutex<BTreeMap<String, (Stability, Slot)>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, stability: Stability, make: impl FnOnce() -> Slot) -> Slot {
+        let mut slots = self.slots.lock().expect("metric registry not poisoned");
+        let (existing_stability, slot) = slots
+            .entry(name.to_owned())
+            .or_insert_with(|| (stability, make()));
+        assert_eq!(
+            *existing_stability, stability,
+            "metric {name:?} re-registered with a different stability"
+        );
+        slot.clone()
+    }
+
+    /// Get or create a [`Stability::Stable`] counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind or
+    /// stability — metric names are a global namespace and a conflict is
+    /// an instrumentation bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, Stability::Stable)
+    }
+
+    /// Get or create a [`Stability::Variant`] counter (e.g. per-worker
+    /// item counts, which depend on scheduling).
+    pub fn counter_variant(&self, name: &str) -> Counter {
+        self.counter_with(name, Stability::Variant)
+    }
+
+    fn counter_with(&self, name: &str, stability: Stability) -> Counter {
+        match self.register(name, stability, || Slot::Counter(Counter::detached())) {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create a [`Stability::Variant`] gauge.
+    ///
+    /// Gauges hold run-shape facts (thread count, queue depth) that are
+    /// legitimately different between configurations, so they are always
+    /// variant.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, Stability::Variant, || Slot::Gauge(Gauge::detached())) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create a [`Stability::Stable`] fixed-bucket histogram.
+    /// `bounds` are inclusive upper bounds; an overflow bucket is added.
+    /// If the name exists, the existing histogram is returned and
+    /// `bounds` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`].
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        match self.register(name, Stability::Stable, || {
+            Slot::Histogram(Histogram::with_bounds(bounds))
+        }) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create a timer (always [`Stability::Variant`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`].
+    pub fn timer(&self, name: &str) -> Timer {
+        match self.register(name, Stability::Variant, || Slot::Timer(Timer::detached())) {
+            Slot::Timer(t) => t,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Freeze every metric into a [`Snapshot`], ordered by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let slots = self.slots.lock().expect("metric registry not poisoned");
+        let entries = slots
+            .iter()
+            .map(|(name, (stability, slot))| SnapshotEntry {
+                name: name.clone(),
+                stability: *stability,
+                value: match slot {
+                    Slot::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Slot::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Slot::Histogram(h) => SnapshotValue::Histogram {
+                        bounds: h.0.bounds.to_vec(),
+                        buckets: h
+                            .0
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                    Slot::Timer(t) => SnapshotValue::Duration {
+                        total_ns: t.nanos.load(Ordering::Relaxed),
+                        spans: t.span_count(),
+                    },
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        r.counter("a.x").add(3);
+        r.counter("a.x").add(4);
+        assert_eq!(r.snapshot().counter("a.x"), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("dup");
+        r.histogram("dup", &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different stability")]
+    fn stability_conflict_panics() {
+        let r = Registry::new();
+        r.counter("s");
+        r.counter_variant("s");
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let r = Registry::new();
+        r.counter("z.last");
+        r.counter("a.first");
+        r.gauge("m.middle");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let r = Registry::new();
+        let c = r.counter("hot");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn registries_share_state_through_clones() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r2.counter("shared").add(5);
+        assert_eq!(r.snapshot().counter("shared"), Some(5));
+    }
+}

@@ -1,0 +1,161 @@
+//! Frozen metric values in deterministic order.
+
+use crate::metric::Stability;
+use std::time::Duration;
+
+/// One frozen metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotValue {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(i64),
+    /// A timer: accumulated nanoseconds and number of spans.
+    Duration {
+        /// Total accumulated nanoseconds.
+        total_ns: u64,
+        /// Number of recorded spans.
+        spans: u64,
+    },
+    /// A fixed-bucket histogram.
+    Histogram {
+        /// Inclusive upper bounds, ascending.
+        bounds: Vec<u64>,
+        /// `bounds.len() + 1` bucket counts (last is overflow).
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+    },
+}
+
+/// One named metric in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The metric name.
+    pub name: String,
+    /// Its determinism class.
+    pub stability: Stability,
+    /// Its frozen value.
+    pub value: SnapshotValue,
+}
+
+/// A point-in-time copy of every metric in a registry, ordered by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    pub(crate) entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// All entries, in lexicographic name order.
+    pub fn entries(&self) -> &[SnapshotEntry] {
+        &self.entries
+    }
+
+    /// Look up one entry by name (binary search — snapshots are sorted).
+    pub fn get(&self, name: &str) -> Option<&SnapshotEntry> {
+        self.entries
+            .binary_search_by(|e| e.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// A counter's value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            SnapshotValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A gauge's value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)?.value {
+            SnapshotValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A timer's accumulated duration, if `name` is a timer.
+    pub fn duration(&self, name: &str) -> Option<Duration> {
+        match self.get(name)?.value {
+            SnapshotValue::Duration { total_ns, .. } => Some(Duration::from_nanos(total_ns)),
+            _ => None,
+        }
+    }
+
+    /// The increase of counter `name` since `earlier` (0 if absent
+    /// there). Registries are cumulative across runs; per-run accounting
+    /// diffs two snapshots.
+    pub fn counter_since(&self, earlier: &Snapshot, name: &str) -> u64 {
+        self.counter(name)
+            .unwrap_or(0)
+            .saturating_sub(earlier.counter(name).unwrap_or(0))
+    }
+
+    /// The increase of timer `name` since `earlier`.
+    pub fn duration_since(&self, earlier: &Snapshot, name: &str) -> Duration {
+        self.duration(name)
+            .unwrap_or(Duration::ZERO)
+            .saturating_sub(earlier.duration(name).unwrap_or(Duration::ZERO))
+    }
+
+    /// Only the [`Stability::Stable`] entries — the subset the
+    /// determinism contract guarantees identical across thread counts.
+    pub fn stable_only(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.stability == Stability::Stable)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Registry {
+        let r = Registry::new();
+        r.counter("c.stable").add(2);
+        r.counter_variant("c.variant").add(9);
+        r.gauge("g").set(-3);
+        r.timer("t").record(Duration::from_micros(5));
+        r.histogram("h", &[1, 2]).observe(2);
+        r
+    }
+
+    #[test]
+    fn lookups_by_kind() {
+        let s = sample().snapshot();
+        assert_eq!(s.counter("c.stable"), Some(2));
+        assert_eq!(s.gauge("g"), Some(-3));
+        assert_eq!(s.duration("t"), Some(Duration::from_micros(5)));
+        assert_eq!(s.counter("g"), None, "kind mismatch yields None");
+        assert_eq!(s.counter("nope"), None);
+    }
+
+    #[test]
+    fn stable_only_drops_variant_and_timers() {
+        let s = sample().snapshot().stable_only();
+        let names: Vec<&str> = s.entries().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["c.stable", "h"]);
+    }
+
+    #[test]
+    fn deltas_between_snapshots() {
+        let r = sample();
+        let before = r.snapshot();
+        r.counter("c.stable").add(10);
+        r.timer("t").record(Duration::from_micros(7));
+        let after = r.snapshot();
+        assert_eq!(after.counter_since(&before, "c.stable"), 10);
+        assert_eq!(after.counter_since(&before, "brand.new"), 0);
+        assert_eq!(after.duration_since(&before, "t"), Duration::from_micros(7));
+    }
+}

@@ -15,7 +15,7 @@
 //! cargo run -p iotscope-examples --release --bin data_sharing
 //! ```
 
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_core::scan;
 use iotscope_net::anon::Anonymizer;
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
@@ -41,8 +41,15 @@ fn main() {
         .collect();
 
     let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-    let original = pipeline.analyze(&traffic);
-    let received = pipeline.analyze(&shared);
+    let options = AnalyzeOptions::new();
+    let original = pipeline
+        .run(&traffic, &options)
+        .expect("in-memory analysis")
+        .analysis;
+    let received = pipeline
+        .run(&shared, &options)
+        .expect("in-memory analysis")
+        .analysis;
 
     println!("== what the receiving researcher still sees ==");
     let orig_rows = scan::protocol_table(&original);

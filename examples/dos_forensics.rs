@@ -10,7 +10,7 @@
 //! cargo run -p iotscope-examples --bin dos_forensics
 //! ```
 
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_core::{dos, stats};
 use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
 use iotscope_devicedb::{ConsumerKind, CpsService, DeviceProfile};
@@ -71,7 +71,11 @@ fn main() {
     }
 
     let scenario = Scenario::new(TelescopeConfig::paper(), 7, actors);
-    let analysis = AnalysisPipeline::new(&inventory.db, 143).analyze(&scenario.generate());
+    let traffic = scenario.generate();
+    let analysis = AnalysisPipeline::new(&inventory.db, 143)
+        .run(&traffic, &AnalyzeOptions::new())
+        .expect("in-memory analysis")
+        .analysis;
 
     println!("== backscatter forensics ==\n");
     let s = dos::summary(&analysis, 10_000);

@@ -11,7 +11,7 @@
 //! cargo run -p iotscope-examples --bin mirai_outbreak
 //! ```
 
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_core::scan;
 use iotscope_devicedb::synth::{InventoryBuilder, SynthConfig};
 use iotscope_devicedb::{ConsumerKind, Realm};
@@ -88,7 +88,10 @@ fn main() {
     let traffic = scenario.generate();
 
     let pipeline = AnalysisPipeline::new(&inventory.db, 143);
-    let analysis = pipeline.analyze(&traffic);
+    let analysis = pipeline
+        .run(&traffic, &AnalyzeOptions::new())
+        .expect("in-memory analysis")
+        .analysis;
 
     println!("== Mirai-style outbreak, as seen from the telescope ==\n");
     println!("day | new bots discovered | telnet pkts/day | telnet share");

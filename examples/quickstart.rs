@@ -5,8 +5,8 @@
 //! cargo run -p iotscope-examples --bin quickstart
 //! ```
 
-use iotscope_core::pipeline::AnalysisPipeline;
-use iotscope_core::report::Report;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_core::report::{Report, ReportContext};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 
 fn main() {
@@ -29,9 +29,16 @@ fn main() {
 
     // 3. Correlate against the inventory and characterize.
     let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-    let analysis = pipeline.analyze_parallel(&traffic, 4);
+    let outcome = pipeline
+        .run(&traffic, &AnalyzeOptions::new().threads(4))
+        .expect("in-memory analysis");
 
     // 4. Print every table and figure the paper reports.
-    let report = Report::build(&analysis, &built.inventory.db, &built.inventory.isps, None);
+    let report = Report::build(&ReportContext {
+        analysis: &outcome.analysis,
+        db: &built.inventory.db,
+        isps: &built.inventory.isps,
+        intel: None,
+    });
     println!("{}", report.render());
 }

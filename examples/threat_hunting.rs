@@ -10,7 +10,7 @@
 //! ```
 
 use iotscope_core::malicious;
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 
@@ -18,7 +18,10 @@ fn main() {
     // Simulate + infer.
     let built = PaperScenario::build(PaperScenarioConfig::tiny(1337));
     let traffic = built.scenario.generate();
-    let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze_parallel(&traffic, 4);
+    let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+        .run(&traffic, &AnalyzeOptions::new().threads(4))
+        .expect("in-memory analysis")
+        .analysis;
     println!(
         "inferred {} compromised devices",
         analysis.observations.len()

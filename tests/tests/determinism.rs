@@ -1,7 +1,7 @@
 //! Determinism and scaling properties of the whole stack.
 
-use iotscope_core::pipeline::AnalysisPipeline;
-use iotscope_core::report::Report;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_core::report::{Report, ReportContext};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 
@@ -10,9 +10,17 @@ fn same_seed_produces_identical_reports() {
     let render = |seed: u64| {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(seed));
         let traffic = built.scenario.generate();
-        let analysis =
-            AnalysisPipeline::new(&built.inventory.db, 143).analyze_parallel(&traffic, 4);
-        Report::build(&analysis, &built.inventory.db, &built.inventory.isps, None).render()
+        let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &AnalyzeOptions::new().threads(4))
+            .unwrap()
+            .analysis;
+        Report::build(&ReportContext {
+            analysis: &analysis,
+            db: &built.inventory.db,
+            isps: &built.inventory.isps,
+            intel: None,
+        })
+        .render()
     };
     assert_eq!(render(123), render(123));
     assert_ne!(render(123), render(124));
@@ -37,7 +45,10 @@ fn packet_budgets_scale_linearly() {
         cfg.scale = scale;
         let built = PaperScenario::build(cfg);
         let traffic = built.scenario.generate();
-        let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
+        let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
         analysis.total_packets() as f64
     };
     let t1 = total(0.01);
@@ -55,7 +66,10 @@ fn device_counts_do_not_scale_with_packet_scale() {
         cfg.scale = scale;
         let built = PaperScenario::build(cfg);
         let traffic = built.scenario.generate();
-        let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
+        let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
         analysis.observations.len()
     };
     // The inferred population is the designated population at any scale —
@@ -70,7 +84,10 @@ fn telnet_dominates_at_every_scale() {
         cfg.scale = scale;
         let built = PaperScenario::build(cfg);
         let traffic = built.scenario.generate();
-        let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
+        let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
         let rows = iotscope_core::scan::protocol_table(&analysis);
         assert_eq!(
             rows[0].service,

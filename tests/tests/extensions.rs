@@ -6,7 +6,7 @@
 use iotscope_core::behavior;
 use iotscope_core::botnet::{self, BotnetConfig};
 use iotscope_core::fingerprint::{candidate_iot_devices, FingerprintModel};
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_core::stream::{Alert, StreamConfig, StreamingAnalyzer};
 use iotscope_core::{attribution, malicious};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
@@ -85,7 +85,10 @@ fn botnet_clustering_recovers_planted_crews() {
 #[test]
 fn attribution_scores_direct_contacts_highest() {
     let (built, traffic) = fixture();
-    let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze(traffic);
+    let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+        .run(traffic, &AnalyzeOptions::new())
+        .unwrap()
+        .analysis;
     let candidates = malicious::select_candidates(&analysis, 400);
     let intel =
         IntelBuilder::new(IntelSynthConfig::paper(404)).build(&built.inventory.db, &candidates);

@@ -2,7 +2,7 @@
 //! the analysis pipeline must recover — and nothing else.
 
 use iotscope_core::classify::TrafficClass;
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_telescope::ground_truth::Role;
 use iotscope_telescope::paper::{BuiltScenario, PaperScenario, PaperScenarioConfig};
 use std::collections::HashSet;
@@ -13,7 +13,10 @@ fn fixture() -> &'static (BuiltScenario, iotscope_core::Analysis) {
     FIXTURE.get_or_init(|| {
         let built = PaperScenario::build(PaperScenarioConfig::tiny(99));
         let traffic = built.scenario.generate();
-        let analysis = AnalysisPipeline::new(&built.inventory.db, 143).analyze(&traffic);
+        let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
         (built, analysis)
     })
 }

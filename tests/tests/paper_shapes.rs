@@ -7,7 +7,7 @@
 
 use iotscope_core::analysis::Analysis;
 use iotscope_core::classify::TrafficClass;
-use iotscope_core::pipeline::AnalysisPipeline;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
 use iotscope_core::{characterize, dos, malicious, scan, udp};
 use iotscope_devicedb::{ConsumerKind, CpsService, Realm};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
@@ -29,8 +29,10 @@ fn fixture() -> &'static Fixture {
     FIXTURE.get_or_init(|| {
         let built = PaperScenario::build(PaperScenarioConfig::paper(SEED, SCALE));
         let traffic = built.scenario.generate();
-        let analysis =
-            AnalysisPipeline::new(&built.inventory.db, 143).analyze_parallel(&traffic, 8);
+        let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &AnalyzeOptions::new().threads(8))
+            .unwrap()
+            .analysis;
         Fixture { built, analysis }
     })
 }

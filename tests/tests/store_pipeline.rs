@@ -2,11 +2,12 @@
 //! the same analysis as the in-memory path, survive the paper's
 //! data-quality rules, and fail loudly on corruption.
 
-use iotscope_core::pipeline::AnalysisPipeline;
-use iotscope_core::report::Report;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_core::report::{Report, ReportContext};
 use iotscope_core::Analysis;
 use iotscope_net::store::{FlowStore, StoreOptions};
 use iotscope_net::time::AnalysisWindow;
+use iotscope_obs::Registry;
 use iotscope_telescope::paper::{BuiltScenario, PaperScenario, PaperScenarioConfig};
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -38,15 +39,17 @@ fn shared_store() -> &'static SharedStore {
         let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
         built.scenario.write_to_store(&store).unwrap();
         let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
-        let (sequential, dropped) = pipeline.analyze_store(&store, &window).unwrap();
-        assert!(dropped.is_empty());
+        let outcome = pipeline
+            .run(&store, &AnalyzeOptions::new().window(window))
+            .unwrap();
+        assert!(outcome.dropped_days.is_empty());
         let traffic = built.scenario.generate();
         SharedStore {
             built,
             window,
             store,
             traffic,
-            sequential,
+            sequential: outcome.analysis,
         }
     })
 }
@@ -57,13 +60,20 @@ fn disk_roundtrip_preserves_the_full_report() {
     let window = built.scenario.telescope().window;
     let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
 
-    let mem = pipeline.analyze(&built.scenario.generate());
+    let traffic = built.scenario.generate();
+    let mem = pipeline
+        .run(&traffic, &AnalyzeOptions::new())
+        .unwrap()
+        .analysis;
 
     let dir = tmpdir("roundtrip");
     let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
     built.scenario.write_to_store(&store).unwrap();
-    let (disk, dropped) = pipeline.analyze_store(&store, &window).unwrap();
-    assert!(dropped.is_empty());
+    let outcome = pipeline
+        .run(&store, &AnalyzeOptions::new().window(window))
+        .unwrap();
+    assert!(outcome.dropped_days.is_empty());
+    let disk = outcome.analysis;
 
     // The two paths agree on every aggregate the report uses.
     assert_eq!(mem.observations, disk.observations);
@@ -73,9 +83,16 @@ fn disk_roundtrip_preserves_the_full_report() {
     assert_eq!(mem.backscatter_intervals, disk.backscatter_intervals);
     assert_eq!(mem.top5_series, disk.top5_series);
 
-    let report_mem = Report::build(&mem, &built.inventory.db, &built.inventory.isps, None);
-    let report_disk = Report::build(&disk, &built.inventory.db, &built.inventory.isps, None);
-    assert_eq!(report_mem.render(), report_disk.render());
+    let report = |analysis: &Analysis| {
+        Report::build(&ReportContext {
+            analysis,
+            db: &built.inventory.db,
+            isps: &built.inventory.isps,
+            intel: None,
+        })
+        .render()
+    };
+    assert_eq!(report(&mem), report(&disk));
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -99,8 +116,9 @@ fn plain_and_delta_encoding_agree() {
     built.scenario.write_to_store(&store_a).unwrap();
     built.scenario.write_to_store(&store_b).unwrap();
 
-    let (a, _) = pipeline.analyze_store(&store_a, &window).unwrap();
-    let (b, _) = pipeline.analyze_store(&store_b, &window).unwrap();
+    let options = AnalyzeOptions::new().window(window);
+    let a = pipeline.run(&store_a, &options).unwrap().analysis;
+    let b = pipeline.run(&store_b, &options).unwrap().analysis;
     assert_eq!(a.observations, b.observations);
     assert_eq!(a.udp_ports, b.udp_ports);
 
@@ -148,8 +166,11 @@ fn missing_day_is_dropped_and_reported() {
         }
     }
     let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
-    let (analysis, dropped) = pipeline.analyze_store(&store, &window).unwrap();
-    assert_eq!(dropped, vec![4]);
+    let outcome = pipeline
+        .run(&store, &AnalyzeOptions::new().window(window))
+        .unwrap();
+    assert_eq!(outcome.dropped_days, vec![4]);
+    let analysis = outcome.analysis;
     // Day-4 intervals (97..=120) contribute nothing.
     for i in 96..120usize {
         assert_eq!(analysis.tcp_scan[0].packets[i], 0);
@@ -166,9 +187,15 @@ fn sequential_and_parallel_analysis_agree_end_to_end() {
     let built = PaperScenario::build(PaperScenarioConfig::tiny(10));
     let traffic = built.scenario.generate();
     let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-    let seq = pipeline.analyze(&traffic);
+    let seq = pipeline
+        .run(&traffic, &AnalyzeOptions::new())
+        .unwrap()
+        .analysis;
     for threads in [2usize, 3, 8, 64] {
-        let par = pipeline.analyze_parallel(&traffic, threads);
+        let par = pipeline
+            .run(&traffic, &AnalyzeOptions::new().threads(threads))
+            .unwrap()
+            .analysis;
         assert_eq!(seq.observations, par.observations, "threads={threads}");
         assert_eq!(seq.scan_services, par.scan_services);
         assert_eq!(seq.backscatter_intervals, par.backscatter_intervals);
@@ -181,7 +208,13 @@ fn parallel_store_analysis_matches_sequential_on_full_window() {
     let pipeline = AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
     for threads in [2usize, 4, 7] {
         let result = pipeline
-            .analyze_store_with_stats(&shared.store, &shared.window, threads)
+            .run(
+                &shared.store,
+                &AnalyzeOptions::new()
+                    .window(shared.window)
+                    .threads(threads)
+                    .stats(true),
+            )
             .unwrap();
         assert!(result.dropped_days.is_empty());
         let par = result.analysis;
@@ -199,7 +232,7 @@ fn parallel_store_analysis_matches_sequential_on_full_window() {
         assert_eq!(shared.sequential.top5_series, par.top5_series);
         assert_eq!(shared.sequential.unmatched_flows, par.unmatched_flows);
 
-        let stats = result.stats;
+        let stats = result.stats.expect("stats were requested");
         assert_eq!(stats.threads, threads);
         assert_eq!(stats.hours_ingested, u64::from(shared.window.num_hours()));
         assert_eq!(stats.hours_missing, 0);
@@ -215,15 +248,22 @@ fn store_stats_account_for_every_byte_on_disk() {
     let shared = shared_store();
     let pipeline = AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
     let result = pipeline
-        .analyze_store_with_stats(&shared.store, &shared.window, 4)
+        .run(
+            &shared.store,
+            &AnalyzeOptions::new()
+                .window(shared.window)
+                .threads(4)
+                .stats(true),
+        )
         .unwrap();
-    assert_eq!(result.stats.bytes_read, walkdir_size(shared.store.root()));
+    let stats = result.stats.expect("stats were requested");
+    assert_eq!(stats.bytes_read, walkdir_size(shared.store.root()));
     let records: u64 = shared
         .window
         .iter_hours()
         .map(|h| shared.store.read_hour(h).unwrap().len() as u64)
         .sum();
-    assert_eq!(result.stats.records_decoded, records);
+    assert_eq!(stats.records_decoded, records);
 }
 
 proptest! {
@@ -231,25 +271,88 @@ proptest! {
 
     /// Any thread count — zero, more threads than hours, anything in
     /// between — must reproduce the sequential result exactly, on both
-    /// the in-memory and the store-backed parallel paths.
+    /// the in-memory and the store-backed parallel paths, and the
+    /// stable (non-timing) metrics must be bit-identical to a
+    /// single-threaded run.
     #[test]
     fn prop_any_thread_count_matches_sequential(threads in 0usize..200) {
         let shared = shared_store();
         let pipeline =
             AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
-        let (par, dropped) = pipeline
-            .analyze_store_parallel(&shared.store, &shared.window, threads)
-            .unwrap();
-        prop_assert!(dropped.is_empty());
-        prop_assert_eq!(&shared.sequential.observations, &par.observations);
-        prop_assert_eq!(&shared.sequential.scan_services, &par.scan_services);
-        prop_assert_eq!(&shared.sequential.udp_ports, &par.udp_ports);
-        prop_assert_eq!(&shared.sequential.unmatched_flows, &par.unmatched_flows);
 
-        let mem = pipeline.analyze_parallel(&shared.traffic, threads);
+        let run_store = |threads: usize| {
+            let registry = Registry::new();
+            let outcome = pipeline
+                .run(
+                    &shared.store,
+                    &AnalyzeOptions::new()
+                        .window(shared.window)
+                        .threads(threads)
+                        .metrics(&registry),
+                )
+                .unwrap();
+            (outcome, registry.snapshot().stable_only())
+        };
+        let (base, base_stable) = run_store(1);
+        let (par, par_stable) = run_store(threads);
+        prop_assert!(par.dropped_days.is_empty());
+        prop_assert_eq!(&shared.sequential.observations, &par.analysis.observations);
+        prop_assert_eq!(&shared.sequential.scan_services, &par.analysis.scan_services);
+        prop_assert_eq!(&shared.sequential.udp_ports, &par.analysis.udp_ports);
+        prop_assert_eq!(&shared.sequential.unmatched_flows, &par.analysis.unmatched_flows);
+        prop_assert_eq!(&base.analysis.observations, &par.analysis.observations);
+
+        // Work counters — store bytes/records, hours ingested, analysis
+        // class totals — are deterministic; only timings/gauges vary.
+        prop_assert_eq!(&base_stable, &par_stable, "stable metrics differ at threads={}", threads);
+
+        let mem = pipeline
+            .run(&shared.traffic, &AnalyzeOptions::new().threads(threads))
+            .unwrap()
+            .analysis;
         prop_assert_eq!(&shared.sequential.observations, &mem.observations);
         prop_assert_eq!(&shared.sequential.backscatter_intervals, &mem.backscatter_intervals);
     }
+}
+
+/// The deprecated entry points are one-line shims over [`AnalysisPipeline::run`];
+/// their output must stay byte-identical to the new API.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_stay_byte_identical_to_run() {
+    let shared = shared_store();
+    let pipeline = AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
+
+    let seq = pipeline.analyze(&shared.traffic);
+    assert_eq!(seq.observations, shared.sequential.observations);
+
+    let par = pipeline.analyze_parallel(&shared.traffic, 3);
+    assert_eq!(par.observations, shared.sequential.observations);
+    assert_eq!(par.udp_ports, shared.sequential.udp_ports);
+
+    let (store_seq, dropped) = pipeline
+        .analyze_store(&shared.store, &shared.window)
+        .unwrap();
+    assert!(dropped.is_empty());
+    assert_eq!(store_seq.observations, shared.sequential.observations);
+
+    let (store_par, _) = pipeline
+        .analyze_store_parallel(&shared.store, &shared.window, 4)
+        .unwrap();
+    assert_eq!(store_par.scan_services, shared.sequential.scan_services);
+
+    let with_stats = pipeline
+        .analyze_store_with_stats(&shared.store, &shared.window, 2)
+        .unwrap();
+    assert_eq!(
+        with_stats.analysis.observations,
+        shared.sequential.observations
+    );
+    assert_eq!(with_stats.stats.threads, 2);
+    assert_eq!(
+        with_stats.stats.hours_ingested,
+        u64::from(shared.window.num_hours())
+    );
 }
 
 #[test]
@@ -276,7 +379,10 @@ fn corrupt_hour_surfaces_codec_error_from_parallel_path() {
     let pipeline = AnalysisPipeline::new(&built.inventory.db, window.num_hours());
     for threads in [1usize, 4, 16] {
         let err = pipeline
-            .analyze_store_parallel(&store, &window, threads)
+            .run(
+                &store,
+                &AnalyzeOptions::new().window(window).threads(threads),
+            )
             .unwrap_err();
         assert!(
             format!("{err}").contains("checksum"),
@@ -292,7 +398,10 @@ fn empty_device_db_correlates_nothing() {
     let traffic = built.scenario.generate();
     let empty = iotscope_devicedb::DeviceDb::new();
     let pipeline = AnalysisPipeline::new(&empty, 143);
-    let analysis = pipeline.analyze(&traffic);
+    let analysis = pipeline
+        .run(&traffic, &AnalyzeOptions::new())
+        .unwrap()
+        .analysis;
     assert!(analysis.observations.is_empty());
     assert!(analysis.unmatched_flows > 0);
     let flows: u64 = traffic.iter().map(|h| h.flows.len() as u64).sum();
