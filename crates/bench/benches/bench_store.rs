@@ -22,7 +22,10 @@ fn bench_store(c: &mut Criterion) {
             encode_hour(
                 UnixHour::new(1),
                 &flows,
-                StoreOptions { delta_encode: true },
+                StoreOptions {
+                    delta_encode: true,
+                    ..StoreOptions::default()
+                },
             )
         })
     });
@@ -33,6 +36,7 @@ fn bench_store(c: &mut Criterion) {
                 &flows,
                 StoreOptions {
                     delta_encode: false,
+                    ..StoreOptions::default()
                 },
             )
         })
@@ -41,13 +45,17 @@ fn bench_store(c: &mut Criterion) {
     let delta_bytes = encode_hour(
         UnixHour::new(1),
         &flows,
-        StoreOptions { delta_encode: true },
+        StoreOptions {
+            delta_encode: true,
+            ..StoreOptions::default()
+        },
     );
     let plain_bytes = encode_hour(
         UnixHour::new(1),
         &flows,
         StoreOptions {
             delta_encode: false,
+            ..StoreOptions::default()
         },
     );
     eprintln!(

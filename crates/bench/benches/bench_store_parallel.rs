@@ -1,11 +1,16 @@
 //! Store-backed pipeline benchmark: read + decode + aggregate a full
 //! simulated window from disk, sequentially and with the parallel
 //! reader/decoder pool, reporting hours/s so the thread scaling is
-//! directly comparable.
+//! directly comparable. A second group compares the v2 and v3 codecs
+//! head to head (encode, decode, parallel block decode) and prints the
+//! bytes-per-record ablation for each format.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
-use iotscope_net::store::{FlowStore, StoreOptions};
+use iotscope_net::store::{
+    decode_hour_with, encode_hour, DecodeOptions, FlowStore, StoreFormat, StoreOptions,
+};
+use iotscope_net::time::UnixHour;
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 
 fn bench_store_parallel(c: &mut Criterion) {
@@ -43,5 +48,67 @@ fn bench_store_parallel(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_store_parallel);
+/// v2 vs v3 codec comparison on one paper-shaped telescope hour:
+/// encode, decode, and v3 parallel block decode, plus a printed
+/// bytes-per-record ablation (the acceptance bar is v3 ≤ 0.8× v2).
+fn bench_store_formats(c: &mut Criterion) {
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(1));
+    let flows = built.scenario.generate_hour(20).flows;
+    let n = flows.len() as u64;
+    let hour = UnixHour::new(1);
+    let options = |format| StoreOptions {
+        format,
+        ..StoreOptions::default()
+    };
+
+    let mut group = c.benchmark_group("store_formats");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(20);
+
+    for (name, format) in [("v2", StoreFormat::V2), ("v3", StoreFormat::V3)] {
+        group.bench_with_input(BenchmarkId::new("encode", name), &format, |b, &f| {
+            b.iter(|| encode_hour(hour, &flows, options(f)))
+        });
+        let bytes = encode_hour(hour, &flows, options(format));
+        eprintln!(
+            "[formats] {name}: hour of {n} flows = {}B ({:.2} bytes/record)",
+            bytes.len(),
+            bytes.len() as f64 / n as f64
+        );
+        group.bench_with_input(BenchmarkId::new("decode", name), &bytes, |b, bytes| {
+            b.iter_batched(
+                || bytes.clone(),
+                |buf| decode_hour_with(&buf, DecodeOptions::default()).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    let v3_bytes = encode_hour(hour, &flows, options(StoreFormat::V3));
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("decode_v3_parallel", threads),
+            &threads,
+            |b, &t| {
+                b.iter_batched(
+                    || v3_bytes.clone(),
+                    |buf| {
+                        decode_hour_with(
+                            &buf,
+                            DecodeOptions {
+                                threads: t,
+                                ..DecodeOptions::default()
+                            },
+                        )
+                        .unwrap()
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_parallel, bench_store_formats);
 criterion_main!(benches);

@@ -9,8 +9,8 @@ use iotscope_core::stream::{Alert, StreamConfig, StreamingAnalyzer};
 use iotscope_core::{attribution, behavior, malicious};
 use iotscope_devicedb::inventory_io::{self, LoadedInventory};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
-use iotscope_net::store::{FlowStore, StoreOptions};
-use iotscope_net::time::AnalysisWindow;
+use iotscope_net::store::{FlowStore, StoreFormat, StoreOptions};
+use iotscope_net::time::{AnalysisWindow, UnixHour};
 use iotscope_obs::{Registry, Snapshot};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 use iotscope_telescope::HourTraffic;
@@ -46,12 +46,13 @@ fn render_metrics(snapshot: &Snapshot, format: MetricsFormat) -> String {
     }
 }
 
-/// `iotscope simulate --out DIR [--seed N] [--scale F] [--tiny] [--metrics[=FMT]]`
+/// `iotscope simulate --out DIR [--seed N] [--scale F] [--tiny] [--format v2|v3] [--metrics[=FMT]]`
 pub fn simulate(args: &[String]) -> Result<String, CliError> {
     let opts = ArgParser::new()
         .value("--out")
         .value("--seed")
         .value("--scale")
+        .value("--format")
         .boolean("--tiny")
         .optional_value("--metrics")
         .parse(args)?;
@@ -59,6 +60,7 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     let seed: u64 = opts.parse_or("--seed", 42)?;
     let tiny = opts.has("--tiny");
     let scale: f64 = opts.parse_or("--scale", if tiny { 0.008 } else { 0.01 })?;
+    let store_format: StoreFormat = opts.parse_or("--format", StoreFormat::default())?;
     let format = metrics_format(&opts)?;
     let registry = Registry::new();
 
@@ -72,8 +74,14 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     let built = PaperScenario::build(config);
 
     std::fs::create_dir_all(&out)?;
-    let store =
-        FlowStore::create(out.join("darknet"), StoreOptions::default())?.instrumented(&registry);
+    let store = FlowStore::create(
+        out.join("darknet"),
+        StoreOptions {
+            format: store_format,
+            ..StoreOptions::default()
+        },
+    )?
+    .instrumented(&registry);
     let hours = built.scenario.generate();
     let flows: usize = hours.iter().map(|h| h.flows.len()).sum();
     for ht in &hours {
@@ -229,7 +237,11 @@ fn render_store_stats(stats: &StoreReadStats, dropped_days: &[u32]) -> String {
         stats.hours_ingested, stats.hours_missing, stats.hours_skipped
     );
     let _ = writeln!(out, "bytes read:      {}", stats.bytes_read);
-    let _ = writeln!(out, "records decoded: {}", stats.records_decoded);
+    let _ = writeln!(
+        out,
+        "records decoded: {} ({} blocks)",
+        stats.records_decoded, stats.blocks_read
+    );
     let _ = writeln!(
         out,
         "stage times:     read {:.1?}, decode {:.1?}, ingest {:.1?}, merge {:.1?} (summed across workers)",
@@ -409,6 +421,82 @@ pub fn investigate(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out, "{} attributions total", findings.len());
     }
     Ok(out)
+}
+
+/// `iotscope migrate --data DIR --format v2|v3`
+///
+/// Rewrite every hour file under `DIR/darknet` in the requested store
+/// format. Reads auto-detect the format from each file's magic, so
+/// migration is only needed to standardize a directory (e.g. recompress
+/// a v2 archive as block-indexed v3, or produce v2 files for an old
+/// consumer). Each hour is rewritten atomically; interrupting midway
+/// leaves a mixed-format but fully readable store.
+pub fn migrate(args: &[String]) -> Result<String, CliError> {
+    let opts = ArgParser::new()
+        .value("--data")
+        .alias("--store", "--data")
+        .value("--format")
+        .parse(args)?;
+    let dir = data_dir(&opts)?;
+    let format: StoreFormat = opts
+        .require("--format", "migrate")?
+        .parse()
+        .map_err(CliError::Usage)?;
+    let root = dir.join("darknet");
+    let src = FlowStore::open(&root)?;
+    let dst = FlowStore::create(
+        &root,
+        StoreOptions {
+            format,
+            ..StoreOptions::default()
+        },
+    )?;
+
+    // Walk day-N/hour-M.ft rather than assuming the paper window, so
+    // partial and non-standard stores migrate completely.
+    let mut hour_ids: Vec<u64> = Vec::new();
+    for day in std::fs::read_dir(&root)? {
+        let day = day?.path();
+        if !day.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&day)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name
+                .strip_prefix("hour-")
+                .and_then(|rest| rest.strip_suffix(".ft"))
+                .and_then(|id| id.parse().ok())
+            {
+                hour_ids.push(id);
+            }
+        }
+    }
+    if hour_ids.is_empty() {
+        return Err(CliError::Run(format!(
+            "no hourly flowtuple files under {}",
+            root.display()
+        )));
+    }
+    hour_ids.sort_unstable();
+
+    let mut records = 0usize;
+    let mut bytes_before = 0u64;
+    let mut bytes_after = 0u64;
+    for &id in &hour_ids {
+        let hour = UnixHour::new(id);
+        let path = src.hour_path(hour);
+        bytes_before += std::fs::metadata(&path)?.len();
+        let flows = src.read_hour(hour)?;
+        records += flows.len();
+        dst.write_hour(hour, &flows)?;
+        bytes_after += std::fs::metadata(&path)?.len();
+    }
+    Ok(format!(
+        "migrated {} hours ({records} records) to {format:?}: {bytes_before} -> {bytes_after} bytes ({:+.1}%)",
+        hour_ids.len(),
+        100.0 * (bytes_after as f64 / bytes_before as f64 - 1.0)
+    ))
 }
 
 /// `iotscope export --data DIR --out DIR [--key K]`
@@ -659,6 +747,68 @@ mod tests {
         assert!(inv.contains("cluster 1:"));
         assert!(inv.contains("attributions total"));
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migrate_roundtrips_between_formats() {
+        let dir = tmpdir("migrate");
+        let root = dir.join("darknet");
+        // A small mixed-size store written in the default (v3) format.
+        let store = FlowStore::create(&root, StoreOptions::default()).unwrap();
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(9));
+        let hours: Vec<_> = (1..=3).map(|i| built.scenario.generate_hour(i)).collect();
+        for h in &hours {
+            store.write_hour(h.hour, &h.flows).unwrap();
+        }
+        let magic = |hour| {
+            let bytes = std::fs::read(store.hour_path(hour)).unwrap();
+            bytes[..7].to_vec()
+        };
+        assert_eq!(magic(hours[0].hour), b"IOTFT03");
+
+        let dir_s = dir.to_str().unwrap();
+        let msg = migrate(&args(&["--data", dir_s, "--format", "v2"])).unwrap();
+        assert!(msg.contains("migrated 3 hours"), "{msg}");
+        assert_eq!(magic(hours[0].hour), b"IOTFT02");
+        // Contents survive the downgrade bit-for-bit (v2 and v3 decode
+        // to the same sorted sequence).
+        let v3_flows: Vec<_> = hours
+            .iter()
+            .flat_map(|h| {
+                let mut f = h.flows.clone();
+                f.sort_by_key(|t| (t.src_ip, t.dst_ip, t.dst_port));
+                f
+            })
+            .collect();
+        let v2_flows: Vec<_> = hours
+            .iter()
+            .flat_map(|h| store.read_hour(h.hour).unwrap())
+            .collect();
+        assert_eq!(v2_flows, v3_flows);
+
+        let msg = migrate(&args(&["--data", dir_s, "--format", "v3"])).unwrap();
+        assert!(msg.contains("migrated 3 hours"), "{msg}");
+        assert_eq!(magic(hours[1].hour), b"IOTFT03");
+        assert!(matches!(
+            migrate(&args(&["--data", dir_s, "--format", "v9"])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn simulate_format_flag_writes_v2() {
+        let dir = tmpdir("fmt-v2");
+        let dir_s = dir.to_str().unwrap();
+        simulate(&args(&[
+            "--out", dir_s, "--tiny", "--seed", "7", "--format", "v2",
+        ]))
+        .unwrap();
+        let store = FlowStore::open(dir.join("darknet")).unwrap();
+        let hour = AnalysisWindow::paper().start();
+        let bytes = std::fs::read(store.hour_path(hour)).unwrap();
+        assert_eq!(&bytes[..7], b"IOTFT02");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

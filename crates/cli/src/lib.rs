@@ -66,10 +66,11 @@ pub const USAGE: &str = "\
 iotscope — darknet-based IoT threat analysis (Torabi et al., DSN 2018)
 
 USAGE:
-    iotscope simulate --out DIR [--seed N] [--scale F] [--tiny] [--metrics[=FMT]]
+    iotscope simulate --out DIR [--seed N] [--scale F] [--tiny] [--format v2|v3] [--metrics[=FMT]]
     iotscope analyze --data DIR [--intel] [--threads N] [--stats] [--metrics[=FMT]]
     iotscope watch --data DIR [--metrics[=FMT]]
     iotscope investigate --data DIR [--intel] [--threads N]
+    iotscope migrate --data DIR --format v2|v3
     iotscope export --data DIR --out DIR [--key K]
     iotscope diff --baseline DIR --data DIR [--threads N]
     iotscope validate --data DIR [--threads N]
@@ -89,6 +90,10 @@ COMMANDS:
                  malware attribution)
     validate     check the pipeline's inference against the simulator's
                  ground-truth ledger (truth.tsv) in DIR
+    migrate      rewrite DIR/darknet's hour files in another store format
+                 (v2 row-encoded, or v3 block-indexed columnar — the
+                 default for new files); reads auto-detect the format, so
+                 this only standardizes a directory
     diff         compare two data directories (e.g. yesterday vs today):
                  appeared/disappeared devices, new victims and scanners,
                  per-class packet drift
@@ -116,6 +121,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "analyze" => commands::analyze(rest),
         "watch" => commands::watch(rest),
         "investigate" => commands::investigate(rest),
+        "migrate" => commands::migrate(rest),
         "export" => commands::export(rest),
         "diff" => commands::diff(rest),
         "validate" => commands::validate(rest),

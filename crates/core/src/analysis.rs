@@ -177,7 +177,7 @@ pub struct BackscatterInterval {
 }
 
 /// The complete aggregation result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
     /// Window length in hours.
     pub hours: u32,

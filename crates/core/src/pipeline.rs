@@ -6,7 +6,7 @@
 
 use crate::analysis::{Analysis, Analyzer};
 use iotscope_devicedb::DeviceDb;
-use iotscope_net::store::FlowStore;
+use iotscope_net::store::{DecodeOptions, FlowStore};
 use iotscope_net::time::{AnalysisWindow, UnixHour};
 use iotscope_net::NetError;
 use iotscope_obs::{Counter, Gauge, Registry, Snapshot, Timer};
@@ -16,9 +16,13 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Accounting for one analysis run, materialized as a *view over the
-/// metrics registry*: the pipeline always instruments itself through
-/// [`iotscope_obs`] counters and timers, and this struct is the diff of
-/// two registry snapshots taken around the run.
+/// run's private metrics registry*: the pipeline instruments every run
+/// through its own throwaway [`iotscope_obs`] registry (absorbed into
+/// the caller's registry at the end), and this struct is the diff of
+/// two snapshots of that private registry. Because no two runs ever
+/// share live handles, stats can never attribute one run's reads to a
+/// concurrent run — even when both were handed the same caller
+/// registry.
 ///
 /// Stage times are summed across workers, so with N threads they can
 /// add up to roughly N× the wall time — compare them to each other (is
@@ -37,6 +41,8 @@ pub struct StoreReadStats {
     pub bytes_read: u64,
     /// Total flowtuple records decoded.
     pub records_decoded: u64,
+    /// v3 blocks decoded (v1/v2 hours count as one block each).
+    pub blocks_read: u64,
     /// Time spent reading files (summed across workers).
     pub read_time: Duration,
     /// Time spent decoding payloads (summed across workers).
@@ -62,6 +68,7 @@ impl StoreReadStats {
             hours_skipped: after.counter_since(before, "pipeline.hours_skipped"),
             bytes_read: after.counter_since(before, "store.bytes_read"),
             records_decoded: after.counter_since(before, "store.records_decoded"),
+            blocks_read: after.counter_since(before, "store.blocks_read"),
             read_time: after.duration_since(before, "pipeline.read_time"),
             decode_time: after.duration_since(before, "pipeline.decode_time"),
             ingest_time: after.duration_since(before, "pipeline.ingest_time"),
@@ -282,20 +289,28 @@ impl<'a> AnalysisPipeline<'a> {
         options: &AnalyzeOptions,
     ) -> Result<AnalysisOutcome, NetError> {
         let source = source.into();
-        // Always instrument through a registry: the caller's if metrics
-        // were requested, a private throwaway otherwise. Stats are then
-        // uniformly a snapshot diff.
-        let registry = options.metrics.clone().unwrap_or_default();
+        // Every run instruments through its own private registry, then
+        // absorbs the totals into the caller's registry (if any) at the
+        // end. Stats are a snapshot diff of the private registry, so
+        // concurrent runs sharing a caller registry can never attribute
+        // each other's reads to themselves.
+        let registry = Registry::new();
         let pm = PipelineMetrics::register(&registry);
         let before = registry.snapshot();
 
+        // Worker-thread budget: pool workers take hours; whatever the
+        // work list cannot use is spent inside each worker on parallel
+        // v3 block decode, so a window of one huge hour still uses the
+        // full budget instead of serializing one worker.
+        let budget = options.threads.clamp(1, 64);
+
         let wall = pm.wall_time.span();
-        let (analysis, dropped_days, threads) = match source {
+        let result: Result<(Analysis, Vec<u32>, usize), NetError> = (|| match source {
             AnalysisSource::Memory(traffic) => {
-                let threads = options.threads.clamp(1, 64).min(traffic.len().max(1));
+                let threads = budget.min(traffic.len().max(1));
                 pm.threads.set(threads as i64);
                 let analysis = self.run_memory(traffic, threads, &registry, &pm);
-                (analysis, Vec::new(), threads)
+                Ok((analysis, Vec::new(), threads))
             }
             AnalysisSource::Store(store) => {
                 let window = options.window.ok_or_else(|| {
@@ -303,30 +318,39 @@ impl<'a> AnalysisPipeline<'a> {
                         "store-backed analysis requires AnalyzeOptions::window".into(),
                     )
                 })?;
-                // Rebind the store's counters to this run's registry;
-                // name-based registration means a store already
-                // instrumented elsewhere shares the same atomics.
+                // Rebind the store's counters to this run's registry so
+                // its reads are accounted here (and only here).
                 let store = store.clone().instrumented(&registry);
                 let cov = coverage(&store, &window)?;
-                let threads = options.threads.clamp(1, 64).min(cov.work.len().max(1));
+                let threads = budget.min(cov.work.len().max(1));
+                let decode = DecodeOptions {
+                    threads: (budget / threads.max(1)).max(1),
+                    quarantine: false,
+                };
                 pm.threads.set(threads as i64);
                 pm.hours_missing.add(cov.hours_missing);
                 pm.hours_skipped.add(cov.hours_skipped);
                 let analysis = if threads <= 1 {
-                    self.run_store_inline(&store, &cov.work, &registry, &pm)?
+                    self.run_store_inline(&store, &cov.work, decode, &registry, &pm)?
                 } else {
-                    self.run_store_pooled(&store, &cov.work, threads, &registry, &pm)?
+                    self.run_store_pooled(&store, &cov.work, threads, decode, &registry, &pm)?
                 };
-                (analysis, cov.dropped_days, threads)
+                Ok((analysis, cov.dropped_days, threads))
             }
-        };
+        })();
         drop(wall);
 
+        // Absorb even on failure, so the caller's registry still sees
+        // what was counted before the error (e.g. checksum failures).
         let after = registry.snapshot();
+        let metrics = options.metrics.as_ref().map(|caller| {
+            caller.absorb(&after);
+            caller.snapshot()
+        });
+        let (analysis, dropped_days, threads) = result?;
         let stats = options
             .stats
             .then(|| StoreReadStats::from_snapshots(threads, &before, &after));
-        let metrics = options.metrics.is_some().then_some(after);
         Ok(AnalysisOutcome {
             analysis,
             dropped_days,
@@ -401,6 +425,7 @@ impl<'a> AnalysisPipeline<'a> {
         &self,
         store: &FlowStore,
         work: &[(u32, UnixHour)],
+        decode: DecodeOptions,
         registry: &Registry,
         pm: &PipelineMetrics,
     ) -> Result<Analysis, NetError> {
@@ -410,7 +435,7 @@ impl<'a> AnalysisPipeline<'a> {
             let t0 = Instant::now();
             let bytes = store.read_hour_bytes(hour)?;
             let t1 = Instant::now();
-            let flows = store.decode_hour_for(hour, &bytes)?;
+            let flows = store.decode_hour_for_with(hour, &bytes, decode)?.flows;
             let t2 = Instant::now();
             an.ingest_hour(&HourTraffic {
                 interval,
@@ -438,6 +463,7 @@ impl<'a> AnalysisPipeline<'a> {
         store: &FlowStore,
         work: &[(u32, UnixHour)],
         threads: usize,
+        decode: DecodeOptions,
         registry: &Registry,
         pm: &PipelineMetrics,
     ) -> Result<Analysis, NetError> {
@@ -477,8 +503,8 @@ impl<'a> AnalysisPipeline<'a> {
                                 }
                             };
                             let t1 = Instant::now();
-                            let flows = match store.decode_hour_for(hour, &bytes) {
-                                Ok(f) => f,
+                            let flows = match store.decode_hour_for_with(hour, &bytes, decode) {
+                                Ok(d) => d.flows,
                                 Err(e) => {
                                     fail(interval, e);
                                     continue;
@@ -852,6 +878,77 @@ mod tests {
             Some(1)
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_runs_sharing_a_registry_keep_stats_separate() {
+        // Regression: stats used to be a diff of the *shared* registry,
+        // so two overlapping runs would count each other's reads. Each
+        // run now accounts privately and absorbs into the caller's
+        // registry at the end.
+        let small = PaperScenario::build(PaperScenarioConfig::tiny(31));
+        let big = PaperScenario::build(PaperScenarioConfig::tiny(32));
+        let small_window = small.scenario.telescope().window;
+        let big_window = big.scenario.telescope().window;
+        let small_dir = tmpdir("concurrent-small");
+        let big_dir = tmpdir("concurrent-big");
+        let small_store = FlowStore::create(&small_dir, StoreOptions::default()).unwrap();
+        let big_store = FlowStore::create(&big_dir, StoreOptions::default()).unwrap();
+        small.scenario.write_to_store(&small_store).unwrap();
+        big.scenario.write_to_store(&big_store).unwrap();
+        // Thin out the small store to 1 complete day so the two runs
+        // ingest different hour counts.
+        for (interval, hour) in small_window.iter_intervals() {
+            if small_window.day_of_interval(interval).unwrap() != 0 {
+                std::fs::remove_file(small_store.hour_path(hour)).unwrap();
+            }
+        }
+        let shared = Registry::new();
+        let (small_stats, big_stats) = std::thread::scope(|s| {
+            let h_small = s.spawn(|| {
+                let pipeline = AnalysisPipeline::new(&small.inventory.db, small_window.num_hours());
+                pipeline
+                    .run(
+                        &small_store,
+                        &AnalyzeOptions::new()
+                            .window(small_window)
+                            .stats(true)
+                            .metrics(&shared),
+                    )
+                    .unwrap()
+                    .stats
+                    .unwrap()
+            });
+            let h_big = s.spawn(|| {
+                let pipeline = AnalysisPipeline::new(&big.inventory.db, big_window.num_hours());
+                pipeline
+                    .run(
+                        &big_store,
+                        &AnalyzeOptions::new()
+                            .window(big_window)
+                            .threads(2)
+                            .stats(true)
+                            .metrics(&shared),
+                    )
+                    .unwrap()
+                    .stats
+                    .unwrap()
+            });
+            (h_small.join().unwrap(), h_big.join().unwrap())
+        });
+        assert_eq!(small_stats.hours_ingested, 24);
+        assert_eq!(
+            big_stats.hours_ingested,
+            u64::from(big_window.num_hours()),
+            "each run's stats must count only its own reads"
+        );
+        // The shared registry still holds the cumulative totals.
+        assert_eq!(
+            shared.snapshot().counter("pipeline.hours_ingested"),
+            Some(small_stats.hours_ingested + big_stats.hours_ingested)
+        );
+        std::fs::remove_dir_all(&small_dir).unwrap();
+        std::fs::remove_dir_all(&big_dir).unwrap();
     }
 
     #[test]

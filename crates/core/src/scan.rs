@@ -114,7 +114,15 @@ pub fn port_spike_intervals(analysis: &Analysis, realm: Realm, factor: f64) -> V
     let ports = &analysis.tcp_scan[realm_idx(realm)].dst_ports;
     let mut sorted: Vec<u64> = ports.to_vec();
     sorted.sort_unstable();
-    let median = sorted[sorted.len() / 2] as f64;
+    // Standard median: mean of the two middle elements for even-length
+    // series. The window has 144 intervals, so `sorted[len / 2]` alone
+    // would systematically pick the upper-middle value and bias the
+    // spike threshold high.
+    let median = match sorted.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => sorted[n / 2] as f64,
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) as f64 / 2.0,
+    };
     ports
         .iter()
         .enumerate()
@@ -360,6 +368,34 @@ mod tests {
         let a = an.finish();
         let spikes = port_spike_intervals(&a, Realm::Consumer, 5.0);
         assert_eq!(spikes, vec![5]);
+    }
+
+    #[test]
+    fn port_spike_median_is_standard_for_even_length_series() {
+        // Regression: with an even number of intervals (the paper window
+        // has 144) the detector used the upper-middle element as the
+        // median, inflating the threshold and hiding spikes like the
+        // Fig 9b interval-119 sweep. Eight hours whose port counts sort
+        // to [1,1,1,1,3,3,3,30]: true median 2, upper-middle 3.
+        let dbv = db();
+        let mut an = Analyzer::new(&dbv, 8);
+        for i in 1..=8u32 {
+            let ports: u16 = match i {
+                1..=4 => 1,
+                5..=7 => 3,
+                _ => 30,
+            };
+            let flows: Vec<FlowTuple> =
+                (0..ports).map(|p| syn([1, 0, 0, 1], 1000 + p, 1)).collect();
+            an.ingest_hour(&HourTraffic {
+                interval: i,
+                hour: UnixHour::new(u64::from(i)),
+                flows,
+            });
+        }
+        let a = an.finish();
+        // 30 > 12 * 2 but not > 12 * 3: the biased median missed this.
+        assert_eq!(port_spike_intervals(&a, Realm::Consumer, 12.0), vec![8]);
     }
 
     #[test]

@@ -374,9 +374,12 @@ mod tests {
             stream.push_hour(hour);
         }
         let (live, _) = stream.finish();
-        assert_eq!(live.observations, batch.observations);
-        assert_eq!(live.scan_services, batch.scan_services);
-        assert_eq!(live.backscatter_intervals, batch.backscatter_intervals);
+        // Full structural equality: every aggregate (observations,
+        // protocol/udp/tcp series, backscatter, Table IV/V stats,
+        // top5_series, unmatched counts) must match the batch path, so
+        // streaming drift in any field fails here instead of hiding
+        // behind a spot-check.
+        assert_eq!(live, batch);
     }
 
     #[test]

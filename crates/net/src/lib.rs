@@ -77,7 +77,9 @@ impl NetError {
     /// corruption detected, as opposed to truncation or bad structure.
     /// The store metrics use this to count `store.checksum_failures`.
     pub fn is_checksum_mismatch(&self) -> bool {
-        matches!(self, NetError::Codec(msg) if msg.starts_with("checksum mismatch"))
+        // `contains` rather than `starts_with`: v3 block failures are
+        // reported as "block N: checksum mismatch ...".
+        matches!(self, NetError::Codec(msg) if msg.contains("checksum mismatch"))
     }
 }
 

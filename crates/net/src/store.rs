@@ -42,23 +42,73 @@ use std::path::{Path, PathBuf};
 /// Legacy format: the checksum covers only the payload, so header
 /// corruption (flags, hour, count) went undetected. Read-only.
 const MAGIC_V1: &[u8; 7] = b"IOTFT01";
-/// Current format: the checksum covers the header prefix (magic, flags,
-/// hour, count) *and* the payload. All new files are written as v2.
+/// Row format: the checksum covers the header prefix (magic, flags,
+/// hour, count) *and* the payload. Still writable via
+/// [`StoreFormat::V2`]; new files default to v3.
 const MAGIC_V2: &[u8; 7] = b"IOTFT02";
+/// Block format: the hour is split into fixed-size record blocks, each
+/// independently checksummed and fully delta+varint encoded (every
+/// field, column-wise), behind a block index the header checksum covers.
+const MAGIC_V3: &[u8; 7] = b"IOTFT03";
 const FLAG_DELTA: u8 = 0b0000_0001;
 
 /// Header layout: magic (7) + flags (1) + hour (8) + count (4) +
 /// checksum (8). The checksum field itself is never hashed; in v2 the
-/// hash covers everything before it plus the payload after it.
+/// hash covers everything before it plus the payload, in v3 everything
+/// before it plus the block index (block payloads carry their own
+/// checksums in the index).
 const HEADER: usize = 7 + 1 + 8 + 4 + 8;
-/// Bytes of header covered by the v2 checksum (everything before it).
+/// Bytes of header covered by the v2/v3 checksum (everything before it).
 const HEADER_HASHED: usize = HEADER - 8;
 
-/// The smallest possible encoded record: a delta record is a 1-byte
-/// source varint + 13 fixed bytes + a 1-byte packets varint (plain
-/// records are larger). Used to bound the record-count preallocation so
-/// a forged count can never allocate more than the file could hold.
+/// The smallest possible encoded v1/v2 record: a delta record is a
+/// 1-byte source varint + 13 fixed bytes + a 1-byte packets varint
+/// (plain records are larger). Used to bound the record-count
+/// preallocation so a forged count can never allocate more than the
+/// file could hold.
 const MIN_RECORD_BYTES: usize = 15;
+
+/// Records per v3 block. Blocks are the unit of parallel decode and of
+/// corruption quarantine; each resets the delta predictors, so a bigger
+/// block compresses marginally better but recovers less on corruption.
+pub const BLOCK_RECORDS: usize = 4096;
+/// v3 block-index entry: record count (4) + payload length (4) +
+/// FNV-1a checksum (8). Byte offsets are the prefix sums of the
+/// lengths, so they are implicit.
+const INDEX_ENTRY: usize = 4 + 4 + 8;
+/// Number of per-record columns in a v3 block (src, dst, src_port,
+/// dst_port, protocol, ttl, tcp_flags, ip_len, packets).
+const COLUMNS: usize = 9;
+/// The v3 analogue of [`MIN_RECORD_BYTES`]: every column of a non-empty
+/// block emits at least one byte, so a block payload shorter than this
+/// cannot hold any records. Zero-run RLE means a *full* block can
+/// legally be as small as `COLUMNS * 3` bytes; the preallocation clamp
+/// for v3 is therefore structural — per-block counts are capped at
+/// [`BLOCK_RECORDS`] and decoded incrementally — rather than a
+/// bytes-per-record ratio.
+const MIN_BLOCK_BYTES: usize = COLUMNS;
+
+/// On-disk format version to write. Reads auto-detect from the magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreFormat {
+    /// `IOTFT02`: row-encoded payload, whole-file checksum.
+    V2,
+    /// `IOTFT03`: block-indexed columnar payload, per-block checksums.
+    #[default]
+    V3,
+}
+
+impl std::str::FromStr for StoreFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "v2" | "V2" | "2" => Ok(StoreFormat::V2),
+            "v3" | "V3" | "3" => Ok(StoreFormat::V3),
+            other => Err(format!("unknown store format {other:?} (want v2 or v3)")),
+        }
+    }
+}
 
 /// Options controlling on-disk encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,11 +116,17 @@ pub struct StoreOptions {
     /// Sort records by source address and delta-encode the addresses.
     /// Smaller files; record order inside an hour is not preserved.
     pub delta_encode: bool,
+    /// Which format [`FlowStore::write_hour`] emits. Defaults to
+    /// [`StoreFormat::V3`]; v1/v2 files remain readable either way.
+    pub format: StoreFormat,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        StoreOptions { delta_encode: true }
+        StoreOptions {
+            delta_encode: true,
+            format: StoreFormat::V3,
+        }
     }
 }
 
@@ -100,6 +156,17 @@ pub struct StoreMetrics {
     pub records_written: Counter,
     /// Distribution of hour-file sizes in bytes (`store.hour_bytes`).
     pub hour_bytes: Histogram,
+    /// v3 blocks decoded successfully (`store.blocks_read`). v1/v2
+    /// files count as one block.
+    pub blocks_read: Counter,
+    /// v3 blocks rejected by their per-block checksum
+    /// (`store.block_checksum_failures`) — quarantined in tolerant
+    /// decodes, fatal in strict ones.
+    pub block_checksum_failures: Counter,
+    /// Distribution of per-hour *decoded* (in-memory) sizes in bytes
+    /// (`store.hour_decoded_bytes`); read next to `store.hour_bytes`
+    /// (compressed on-disk sizes) it shows the compression ratio.
+    pub hour_decoded_bytes: Histogram,
 }
 
 impl StoreMetrics {
@@ -114,6 +181,9 @@ impl StoreMetrics {
             hours_written: Counter::detached(),
             records_written: Counter::detached(),
             hour_bytes: Histogram::detached(&BYTE_SIZE_BOUNDS),
+            blocks_read: Counter::detached(),
+            block_checksum_failures: Counter::detached(),
+            hour_decoded_bytes: Histogram::detached(&BYTE_SIZE_BOUNDS),
         }
     }
 
@@ -128,6 +198,9 @@ impl StoreMetrics {
             hours_written: registry.counter("store.hours_written"),
             records_written: registry.counter("store.records_written"),
             hour_bytes: registry.histogram("store.hour_bytes", &BYTE_SIZE_BOUNDS),
+            blocks_read: registry.counter("store.blocks_read"),
+            block_checksum_failures: registry.counter("store.block_checksum_failures"),
+            hour_decoded_bytes: registry.histogram("store.hour_decoded_bytes", &BYTE_SIZE_BOUNDS),
         }
     }
 }
@@ -287,8 +360,29 @@ impl FlowStore {
         hour: UnixHour,
         bytes: &[u8],
     ) -> Result<Vec<FlowTuple>, NetError> {
-        let (file_hour, flows) = match decode_hour(bytes) {
-            Ok(ok) => ok,
+        self.decode_hour_for_with(hour, bytes, DecodeOptions::default())
+            .map(|d| d.flows)
+    }
+
+    /// As [`FlowStore::decode_hour_for`], with explicit decode options:
+    /// `opts.threads > 1` decodes v3 blocks in parallel, and
+    /// `opts.quarantine` salvages an hour with corrupt v3 blocks instead
+    /// of failing it (quarantined blocks are reported in the result and
+    /// counted in `store.block_checksum_failures`).
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowStore::decode_hour_for`]; with `opts.quarantine`, v3
+    /// block corruption is downgraded from an error to a quarantine
+    /// entry (header/index corruption still fails the hour).
+    pub fn decode_hour_for_with(
+        &self,
+        hour: UnixHour,
+        bytes: &[u8],
+        opts: DecodeOptions,
+    ) -> Result<DecodedHour, NetError> {
+        let decoded = match decode_hour_with(bytes, opts) {
+            Ok(d) => d,
             Err(e) => {
                 if e.is_checksum_mismatch() {
                     self.metrics.checksum_failures.inc();
@@ -296,14 +390,50 @@ impl FlowStore {
                 return Err(e);
             }
         };
-        if file_hour != hour {
+        if decoded.hour != hour {
             return Err(NetError::Codec(format!(
-                "file {} claims hour {file_hour}, expected {hour}",
-                self.hour_path(hour).display()
+                "file {} claims hour {}, expected {hour}",
+                self.hour_path(hour).display(),
+                decoded.hour
             )));
         }
-        self.metrics.records_decoded.add(flows.len() as u64);
-        Ok(flows)
+        self.metrics
+            .blocks_read
+            .add((decoded.blocks - decoded.quarantined.len()) as u64);
+        self.metrics
+            .block_checksum_failures
+            .add(decoded.quarantined.len() as u64);
+        self.metrics.records_decoded.add(decoded.flows.len() as u64);
+        self.metrics
+            .hour_decoded_bytes
+            .observe((decoded.flows.len() * std::mem::size_of::<FlowTuple>()) as u64);
+        Ok(decoded)
+    }
+
+    /// Read the flows for `hour`, quarantining corrupt v3 blocks
+    /// instead of failing the whole hour. `threads` sizes the parallel
+    /// block decode (1 = sequential).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the file is missing and
+    /// [`NetError::Codec`] for corruption that quarantine cannot
+    /// contain (bad magic, header/index corruption, or any corruption
+    /// in a block-less v1/v2 file).
+    pub fn read_hour_tolerant(
+        &self,
+        hour: UnixHour,
+        threads: usize,
+    ) -> Result<DecodedHour, NetError> {
+        let bytes = self.read_hour_bytes(hour)?;
+        self.decode_hour_for_with(
+            hour,
+            &bytes,
+            DecodeOptions {
+                threads,
+                quarantine: true,
+            },
+        )
     }
 
     /// Whether a file exists for `hour`.
@@ -323,9 +453,18 @@ impl FlowStore {
     }
 }
 
-/// Encode one hour's flows into the current (v2) on-disk byte format,
-/// whose checksum covers the header as well as the payload.
+/// Encode one hour's flows into the on-disk format selected by
+/// `options.format` (v3 by default).
 pub fn encode_hour(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions) -> Vec<u8> {
+    match options.format {
+        StoreFormat::V2 => encode_hour_v2(hour, flows, options),
+        StoreFormat::V3 => encode_hour_v3(hour, flows, options),
+    }
+}
+
+/// Encode one hour's flows into the v2 row format, whose checksum
+/// covers the header as well as the payload.
+pub fn encode_hour_v2(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions) -> Vec<u8> {
     let payload = encode_payload(flows, options);
     let mut out = Vec::with_capacity(payload.len() + HEADER);
     out.extend_from_slice(MAGIC_V2);
@@ -337,6 +476,47 @@ pub fn encode_hour(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions) -
     hasher.update(&payload);
     out.put_u64(hasher.finish());
     out.extend_from_slice(&payload);
+    out
+}
+
+/// Encode one hour's flows into the v3 block format: records are split
+/// into [`BLOCK_RECORDS`]-sized blocks, each block stores every field
+/// as a delta+varint column (zero runs collapsed), and the header is
+/// followed by a block index of `(record count, payload length,
+/// checksum)` entries that the header checksum covers.
+pub fn encode_hour_v3(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions) -> Vec<u8> {
+    let mut ordered: Vec<&FlowTuple> = flows.iter().collect();
+    if options.delta_encode {
+        // Same ordering as v2 delta files, so both formats decode an
+        // hour to the identical record sequence.
+        ordered.sort_by_key(|f| (u32::from(f.src_ip), u32::from(f.dst_ip), f.dst_port));
+    }
+    let blocks: Vec<(u32, Vec<u8>)> = ordered
+        .chunks(BLOCK_RECORDS)
+        .map(|chunk| (chunk.len() as u32, encode_block(chunk)))
+        .collect();
+    let index_len = 4 + blocks.len() * INDEX_ENTRY;
+    let payload_len: usize = blocks.iter().map(|(_, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(HEADER + index_len + payload_len);
+    out.extend_from_slice(MAGIC_V3);
+    out.put_u8(if options.delta_encode { FLAG_DELTA } else { 0 });
+    out.put_u64(hour.get());
+    out.put_u32(flows.len() as u32);
+    let mut index = Vec::with_capacity(index_len);
+    index.put_u32(blocks.len() as u32);
+    for (count, payload) in &blocks {
+        index.put_u32(*count);
+        index.put_u32(payload.len() as u32);
+        index.put_u64(fnv1a(payload));
+    }
+    let mut hasher = Fnv1a::new();
+    hasher.update(&out[..HEADER_HASHED]);
+    hasher.update(&index);
+    out.put_u64(hasher.finish());
+    out.extend_from_slice(&index);
+    for (_, payload) in &blocks {
+        out.extend_from_slice(payload);
+    }
     out
 }
 
@@ -375,6 +555,52 @@ fn encode_payload(flows: &[FlowTuple], options: StoreOptions) -> Vec<u8> {
     payload
 }
 
+/// How [`decode_hour_with`] should treat a decodable file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeOptions {
+    /// Threads for parallel v3 block decode (1 = sequential; v1/v2
+    /// payloads are always sequential).
+    pub threads: usize,
+    /// Quarantine corrupt v3 blocks (keep the hour, report the blocks)
+    /// instead of failing the whole hour. Header or index corruption —
+    /// and any corruption in block-less v1/v2 files — still fails.
+    pub quarantine: bool,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        DecodeOptions {
+            threads: 1,
+            quarantine: false,
+        }
+    }
+}
+
+/// A v3 block rejected during a quarantining decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedBlock {
+    /// Zero-based block position within the hour.
+    pub index: usize,
+    /// Records the index claimed for the block (lost with it).
+    pub records: u32,
+    /// Why the block was rejected.
+    pub reason: String,
+}
+
+/// The outcome of decoding one hour file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedHour {
+    /// The hour the file header claims.
+    pub hour: UnixHour,
+    /// Successfully decoded records, in on-disk order.
+    pub flows: Vec<FlowTuple>,
+    /// Total blocks in the file (1 for v1/v2).
+    pub blocks: usize,
+    /// Blocks dropped by a quarantining decode (empty on strict
+    /// decodes, which fail instead).
+    pub quarantined: Vec<QuarantinedBlock>,
+}
+
 /// Decode an on-disk hour file back into `(hour, flows)`.
 ///
 /// # Errors
@@ -382,18 +608,32 @@ fn encode_payload(flows: &[FlowTuple], options: StoreOptions) -> Vec<u8> {
 /// Returns [`NetError::Codec`] for bad magic, checksum mismatch,
 /// truncation, or trailing garbage.
 pub fn decode_hour(bytes: &[u8]) -> Result<(UnixHour, Vec<FlowTuple>), NetError> {
+    decode_hour_with(bytes, DecodeOptions::default()).map(|d| (d.hour, d.flows))
+}
+
+/// Decode an hour file with explicit [`DecodeOptions`] (parallel v3
+/// block decode and/or per-block corruption quarantine).
+///
+/// # Errors
+///
+/// As [`decode_hour`]; with `opts.quarantine`, corrupt v3 blocks are
+/// reported in [`DecodedHour::quarantined`] instead of erroring.
+pub fn decode_hour_with(bytes: &[u8], opts: DecodeOptions) -> Result<DecodedHour, NetError> {
     if bytes.len() < HEADER {
         return Err(NetError::Codec("file shorter than header".to_owned()));
     }
-    let v2 = match &bytes[..7] {
-        m if m == MAGIC_V2 => true,
-        m if m == MAGIC_V1 => false,
-        _ => {
-            return Err(NetError::Codec(
-                "bad magic (not a flowtuple file)".to_owned(),
-            ))
-        }
-    };
+    match &bytes[..7] {
+        m if m == MAGIC_V3 => decode_hour_v3(bytes, opts),
+        m if m == MAGIC_V2 => decode_hour_v12(bytes, true),
+        m if m == MAGIC_V1 => decode_hour_v12(bytes, false),
+        _ => Err(NetError::Codec(
+            "bad magic (not a flowtuple file)".to_owned(),
+        )),
+    }
+}
+
+/// The shared v1/v2 row-format decoder.
+fn decode_hour_v12(bytes: &[u8], v2: bool) -> Result<DecodedHour, NetError> {
     let mut hdr = &bytes[7..HEADER];
     let flags = hdr.get_u8();
     let hour = UnixHour::new(hdr.get_u64());
@@ -444,7 +684,154 @@ pub fn decode_hour(bytes: &[u8]) -> Result<(UnixHour, Vec<FlowTuple>), NetError>
             buf.remaining()
         )));
     }
-    Ok((hour, flows))
+    Ok(DecodedHour {
+        hour,
+        flows,
+        blocks: 1,
+        quarantined: Vec::new(),
+    })
+}
+
+/// One parsed v3 block-index entry plus its payload slice.
+struct V3Block<'a> {
+    count: u32,
+    checksum: u64,
+    payload: &'a [u8],
+}
+
+/// The v3 block-format decoder: verify the header checksum (which
+/// covers the index), then decode each block against its own checksum —
+/// sequentially, in parallel, and/or with quarantine per `opts`.
+fn decode_hour_v3(bytes: &[u8], opts: DecodeOptions) -> Result<DecodedHour, NetError> {
+    let mut hdr = &bytes[7..HEADER];
+    let _flags = hdr.get_u8();
+    let hour = UnixHour::new(hdr.get_u64());
+    let count = hdr.get_u32() as usize;
+    let checksum = hdr.get_u64();
+    if bytes.len() < HEADER + 4 {
+        return Err(NetError::Codec(
+            "v3 file shorter than block index".to_owned(),
+        ));
+    }
+    let num_blocks = (&bytes[HEADER..HEADER + 4]).get_u32() as usize;
+    let index_end = num_blocks
+        .checked_mul(INDEX_ENTRY)
+        .and_then(|n| n.checked_add(HEADER + 4))
+        .filter(|end| *end <= bytes.len())
+        .ok_or_else(|| {
+            NetError::Codec(format!(
+                "implausible block count {num_blocks} for {}-byte file",
+                bytes.len()
+            ))
+        })?;
+    let mut hasher = Fnv1a::new();
+    hasher.update(&bytes[..HEADER_HASHED]);
+    hasher.update(&bytes[HEADER..index_end]);
+    if hasher.finish() != checksum {
+        return Err(NetError::Codec(
+            "checksum mismatch (corrupt v3 header or block index)".to_owned(),
+        ));
+    }
+    // Walk the (now trusted) index, slicing each block's payload.
+    let mut blocks = Vec::with_capacity(num_blocks);
+    let mut idx = &bytes[HEADER + 4..index_end];
+    let mut offset = index_end;
+    let mut total_records = 0usize;
+    for b in 0..num_blocks {
+        let block_count = idx.get_u32();
+        let len = idx.get_u32() as usize;
+        let block_checksum = idx.get_u64();
+        if block_count == 0 || block_count as usize > BLOCK_RECORDS {
+            return Err(NetError::Codec(format!(
+                "block {b}: implausible record count {block_count}"
+            )));
+        }
+        if len < MIN_BLOCK_BYTES || offset + len > bytes.len() {
+            return Err(NetError::Codec(format!(
+                "block {b}: implausible payload length {len}"
+            )));
+        }
+        total_records += block_count as usize;
+        blocks.push(V3Block {
+            count: block_count,
+            checksum: block_checksum,
+            payload: &bytes[offset..offset + len],
+        });
+        offset += len;
+    }
+    if offset != bytes.len() {
+        return Err(NetError::Codec(format!(
+            "{} trailing bytes after {num_blocks} blocks",
+            bytes.len() - offset
+        )));
+    }
+    if total_records != count {
+        return Err(NetError::Codec(format!(
+            "header claims {count} records but blocks hold {total_records}"
+        )));
+    }
+
+    let results: Vec<Result<Vec<FlowTuple>, NetError>> = if opts.threads > 1 && blocks.len() > 1 {
+        decode_blocks_parallel(&blocks, opts.threads)
+    } else {
+        blocks.iter().map(decode_block_checked).collect()
+    };
+
+    let mut flows = Vec::new();
+    let mut quarantined = Vec::new();
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(mut decoded) => flows.append(&mut decoded),
+            Err(e) if opts.quarantine => quarantined.push(QuarantinedBlock {
+                index: i,
+                records: blocks[i].count,
+                reason: format!("{e}"),
+            }),
+            Err(e) => {
+                return Err(NetError::Codec(format!("block {i}: {e}")));
+            }
+        }
+    }
+    Ok(DecodedHour {
+        hour,
+        flows,
+        blocks: blocks.len(),
+        quarantined,
+    })
+}
+
+/// Decode the index slices in parallel with scoped threads, preserving
+/// block order in the result. Corrupt blocks yield per-block errors, so
+/// quarantine semantics are identical to the sequential path.
+fn decode_blocks_parallel(
+    blocks: &[V3Block<'_>],
+    threads: usize,
+) -> Vec<Result<Vec<FlowTuple>, NetError>> {
+    let threads = threads.min(blocks.len());
+    let chunk = blocks.len().div_ceil(threads);
+    let mut results: Vec<Result<Vec<FlowTuple>, NetError>> = Vec::with_capacity(blocks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || part.iter().map(decode_block_checked).collect::<Vec<_>>())
+            })
+            .collect();
+        for handle in handles {
+            results.extend(handle.join().expect("block decode worker panicked"));
+        }
+    });
+    results
+}
+
+/// Verify one block's checksum and decode its columns.
+fn decode_block_checked(block: &V3Block<'_>) -> Result<Vec<FlowTuple>, NetError> {
+    if fnv1a(block.payload) != block.checksum {
+        return Err(NetError::Codec(
+            "checksum mismatch (corrupt block)".to_owned(),
+        ));
+    }
+    decode_block(block.payload, block.count as usize)
 }
 
 /// Encode every field of `f` except `src_ip` (already delta-encoded).
@@ -486,6 +873,165 @@ fn decode_rest<B: Buf>(buf: &mut B) -> Result<FlowTuple, NetError> {
         ip_len,
         packets,
     })
+}
+
+/// ZigZag-map a signed delta into an unsigned varint-friendly value.
+fn zigzag(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u32) -> i32 {
+    ((v >> 1) as i32) ^ -((v & 1) as i32)
+}
+
+/// Append one column of per-record values as varints, collapsing runs
+/// of zeros: a zero value is followed by a varint count of *additional*
+/// zeros it stands for. Near-constant columns (ports, protocol, flags,
+/// packet counts — zero deltas) collapse to a few bytes per run.
+fn put_rle_column(out: &mut Vec<u8>, vals: &[u32]) {
+    let mut i = 0;
+    while i < vals.len() {
+        let v = vals[i];
+        put_varint(out, v);
+        i += 1;
+        if v == 0 {
+            let start = i;
+            while i < vals.len() && vals[i] == 0 {
+                i += 1;
+            }
+            put_varint(out, (i - start) as u32);
+        }
+    }
+}
+
+/// Read back `n` column values written by [`put_rle_column`].
+fn get_rle_column(buf: &mut &[u8], n: usize) -> Result<Vec<u32>, NetError> {
+    let mut vals = Vec::with_capacity(n);
+    while vals.len() < n {
+        let v = get_varint(buf)?;
+        vals.push(v);
+        if v == 0 {
+            let run = get_varint(buf)? as usize;
+            if run > n - vals.len() {
+                return Err(NetError::Codec(format!(
+                    "zero run of {run} overflows {n}-record column"
+                )));
+            }
+            vals.resize(vals.len() + run, 0);
+        }
+    }
+    Ok(vals)
+}
+
+/// Encode one v3 block: each field becomes a delta column (predictors
+/// start at zero, so blocks decode independently). Source addresses are
+/// ascending in delta files, so they use plain wrapping deltas; every
+/// other field uses zigzag deltas so small oscillations stay small.
+fn encode_block(records: &[&FlowTuple]) -> Vec<u8> {
+    let n = records.len();
+    let mut out = Vec::with_capacity(n * 8);
+    let mut col = Vec::with_capacity(n);
+    let fill = |vals: &mut Vec<u32>, f: &mut dyn FnMut(&FlowTuple) -> u32| {
+        vals.clear();
+        vals.extend(records.iter().map(|r| f(r)));
+    };
+    let mut prev = 0u32;
+    fill(&mut col, &mut |r| {
+        let ip = u32::from(r.src_ip);
+        let d = ip.wrapping_sub(prev);
+        prev = ip;
+        d
+    });
+    put_rle_column(&mut out, &col);
+    let mut prev = 0u32;
+    fill(&mut col, &mut |r| {
+        let ip = u32::from(r.dst_ip);
+        let d = zigzag(ip.wrapping_sub(prev) as i32);
+        prev = ip;
+        d
+    });
+    put_rle_column(&mut out, &col);
+    for field in [
+        (&|r: &FlowTuple| i32::from(r.src_port)) as &dyn Fn(&FlowTuple) -> i32,
+        &|r| i32::from(r.dst_port),
+        &|r| i32::from(r.protocol.number()),
+        &|r| i32::from(r.ttl),
+        &|r| i32::from(r.tcp_flags.bits()),
+        &|r| i32::from(r.ip_len),
+    ] {
+        let mut prev = 0i32;
+        fill(&mut col, &mut |r| {
+            let v = field(r);
+            let d = zigzag(v - prev);
+            prev = v;
+            d
+        });
+        put_rle_column(&mut out, &col);
+    }
+    let mut prev = 0u32;
+    fill(&mut col, &mut |r| {
+        let d = zigzag(r.packets.wrapping_sub(prev) as i32);
+        prev = r.packets;
+        d
+    });
+    put_rle_column(&mut out, &col);
+    out
+}
+
+/// Decode one v3 block of `count` records (inverse of [`encode_block`]).
+fn decode_block(payload: &[u8], count: usize) -> Result<Vec<FlowTuple>, NetError> {
+    use crate::protocol::{TcpFlags, TransportProtocol};
+    let mut buf = payload;
+    let src = get_rle_column(&mut buf, count)?;
+    let dst = get_rle_column(&mut buf, count)?;
+    let src_port = get_rle_column(&mut buf, count)?;
+    let dst_port = get_rle_column(&mut buf, count)?;
+    let proto = get_rle_column(&mut buf, count)?;
+    let ttl = get_rle_column(&mut buf, count)?;
+    let flags = get_rle_column(&mut buf, count)?;
+    let ip_len = get_rle_column(&mut buf, count)?;
+    let packets = get_rle_column(&mut buf, count)?;
+    if !buf.is_empty() {
+        return Err(NetError::Codec(format!(
+            "{} trailing bytes after {count}-record block",
+            buf.len()
+        )));
+    }
+    // Checked accumulators: bounded fields must land back in range, or
+    // the block is structurally corrupt.
+    fn bounded(prev: &mut i32, delta: u32, max: i32, field: &str) -> Result<i32, NetError> {
+        let v = prev
+            .checked_add(unzigzag(delta))
+            .filter(|v| (0..=max).contains(v))
+            .ok_or_else(|| NetError::Codec(format!("{field} delta out of range")))?;
+        *prev = v;
+        Ok(v)
+    }
+    let mut flows = Vec::with_capacity(count);
+    let (mut p_src, mut p_dst, mut p_pk) = (0u32, 0u32, 0u32);
+    let (mut p_sp, mut p_dp, mut p_proto, mut p_ttl, mut p_fl, mut p_len) =
+        (0i32, 0i32, 0i32, 0i32, 0i32, 0i32);
+    for i in 0..count {
+        p_src = p_src.wrapping_add(src[i]);
+        p_dst = p_dst.wrapping_add(unzigzag(dst[i]) as u32);
+        p_pk = p_pk.wrapping_add(unzigzag(packets[i]) as u32);
+        let proto_num = bounded(&mut p_proto, proto[i], 255, "protocol")? as u8;
+        let protocol = TransportProtocol::from_number(proto_num)
+            .ok_or_else(|| NetError::Codec(format!("unknown protocol number {proto_num}")))?;
+        flows.push(FlowTuple {
+            src_ip: std::net::Ipv4Addr::from(p_src),
+            dst_ip: std::net::Ipv4Addr::from(p_dst),
+            src_port: bounded(&mut p_sp, src_port[i], 65_535, "src_port")? as u16,
+            dst_port: bounded(&mut p_dp, dst_port[i], 65_535, "dst_port")? as u16,
+            protocol,
+            ttl: bounded(&mut p_ttl, ttl[i], 255, "ttl")? as u8,
+            tcp_flags: TcpFlags::from_bits(bounded(&mut p_fl, flags[i], 255, "tcp_flags")? as u8),
+            ip_len: bounded(&mut p_len, ip_len[i], 65_535, "ip_len")? as u16,
+            packets: p_pk,
+        });
+    }
+    Ok(flows)
 }
 
 /// Streaming 64-bit FNV-1a, so the checksum can cover discontiguous
@@ -561,26 +1107,32 @@ mod tests {
 
     #[test]
     fn roundtrip_delta_and_plain() {
-        for delta in [true, false] {
-            let opts = StoreOptions {
-                delta_encode: delta,
-            };
-            let hour = UnixHour::new(414_432);
-            let bytes = encode_hour(hour, &flows(), opts);
-            let (h, back) = decode_hour(&bytes).unwrap();
-            assert_eq!(h, hour);
-            assert_eq!(sorted(back), sorted(flows()), "delta={delta}");
+        for format in [StoreFormat::V2, StoreFormat::V3] {
+            for delta in [true, false] {
+                let opts = StoreOptions {
+                    delta_encode: delta,
+                    format,
+                };
+                let hour = UnixHour::new(414_432);
+                let bytes = encode_hour(hour, &flows(), opts);
+                let (h, back) = decode_hour(&bytes).unwrap();
+                assert_eq!(h, hour);
+                assert_eq!(sorted(back), sorted(flows()), "{format:?} delta={delta}");
+            }
         }
     }
 
     #[test]
     fn plain_mode_preserves_order() {
-        let opts = StoreOptions {
-            delta_encode: false,
-        };
-        let bytes = encode_hour(UnixHour::new(1), &flows(), opts);
-        let (_, back) = decode_hour(&bytes).unwrap();
-        assert_eq!(back, flows());
+        for format in [StoreFormat::V2, StoreFormat::V3] {
+            let opts = StoreOptions {
+                delta_encode: false,
+                format,
+            };
+            let bytes = encode_hour(UnixHour::new(1), &flows(), opts);
+            let (_, back) = decode_hour(&bytes).unwrap();
+            assert_eq!(back, flows(), "{format:?}");
+        }
     }
 
     #[test]
@@ -597,12 +1149,20 @@ mod tests {
                 )
             })
             .collect();
-        let d = encode_hour(UnixHour::new(1), &many, StoreOptions { delta_encode: true });
+        let d = encode_hour(
+            UnixHour::new(1),
+            &many,
+            StoreOptions {
+                delta_encode: true,
+                format: StoreFormat::V2,
+            },
+        );
         let p = encode_hour(
             UnixHour::new(1),
             &many,
             StoreOptions {
                 delta_encode: false,
+                format: StoreFormat::V2,
             },
         );
         assert!(d.len() < p.len(), "delta {} vs plain {}", d.len(), p.len());
@@ -647,6 +1207,7 @@ mod tests {
             &flows(),
             StoreOptions {
                 delta_encode: false,
+                ..StoreOptions::default()
             },
         );
         // Appending bytes breaks the checksum; to test the trailing-byte
@@ -729,6 +1290,7 @@ mod tests {
         for delta in [true, false] {
             let opts = StoreOptions {
                 delta_encode: delta,
+                ..StoreOptions::default()
             };
             let hour = UnixHour::new(414_432);
             let bytes = encode_hour_v1(hour, &flows(), opts);
@@ -740,25 +1302,68 @@ mod tests {
     }
 
     #[test]
-    fn new_files_are_v2() {
+    fn new_files_are_v3() {
         let bytes = encode_hour(UnixHour::new(1), &flows(), StoreOptions::default());
-        assert_eq!(&bytes[..7], MAGIC_V2);
+        assert_eq!(&bytes[..7], MAGIC_V3);
     }
 
     #[test]
-    fn v2_header_corruption_detected() {
+    fn v2_format_option_still_writes_v2() {
+        let bytes = encode_hour(
+            UnixHour::new(1),
+            &flows(),
+            StoreOptions {
+                format: StoreFormat::V2,
+                ..StoreOptions::default()
+            },
+        );
+        assert_eq!(&bytes[..7], MAGIC_V2);
+        let (_, back) = decode_hour(&bytes).unwrap();
+        assert_eq!(sorted(back), sorted(flows()));
+    }
+
+    #[test]
+    fn header_corruption_detected_in_v2_and_v3() {
         // Any header byte flip — flags, hour, or count — must fail the
-        // checksum (v1's payload-only hash missed all of these).
-        let clean = encode_hour(UnixHour::new(414_432), &flows(), StoreOptions::default());
-        for idx in 7..HEADER_HASHED {
-            let mut bytes = clean.clone();
-            bytes[idx] ^= 0x01;
-            let err = decode_hour(&bytes).unwrap_err();
-            assert!(
-                format!("{err}").contains("checksum"),
-                "byte {idx} flip gave: {err}"
+        // checksum (v1's payload-only hash missed all of these). In v3
+        // the header hash additionally covers the block index.
+        for format in [StoreFormat::V2, StoreFormat::V3] {
+            let clean = encode_hour(
+                UnixHour::new(414_432),
+                &flows(),
+                StoreOptions {
+                    format,
+                    ..StoreOptions::default()
+                },
             );
+            for idx in 7..HEADER_HASHED {
+                let mut bytes = clean.clone();
+                bytes[idx] ^= 0x01;
+                let err = decode_hour(&bytes).unwrap_err();
+                assert!(
+                    format!("{err}").contains("checksum")
+                        || format!("{err}").contains("implausible"),
+                    "{format:?} byte {idx} flip gave: {err}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn v3_index_corruption_fails_even_with_quarantine() {
+        let clean = encode_hour(UnixHour::new(9), &flows(), StoreOptions::default());
+        // Flip a byte inside the block index (just past the header).
+        let mut bytes = clean.clone();
+        bytes[HEADER + 2] ^= 0x40;
+        let opts = DecodeOptions {
+            threads: 1,
+            quarantine: true,
+        };
+        let err = decode_hour_with(&bytes, opts).unwrap_err();
+        assert!(
+            format!("{err}").contains("checksum") || format!("{err}").contains("implausible"),
+            "got: {err}"
+        );
     }
 
     #[test]
@@ -796,7 +1401,14 @@ mod tests {
                 ..f
             })
             .collect();
-        let bytes = encode_hour(UnixHour::new(1), &tiny, StoreOptions { delta_encode: true });
+        let bytes = encode_hour(
+            UnixHour::new(1),
+            &tiny,
+            StoreOptions {
+                delta_encode: true,
+                format: StoreFormat::V2,
+            },
+        );
         let payload_len = bytes.len() - HEADER;
         assert_eq!(
             payload_len,
@@ -893,6 +1505,172 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Paper-shaped traffic: scanners in a handful of prefixes, each
+    /// sweeping dark space on one service port with ephemeral source
+    /// ports — the workload the v3 columns are designed around.
+    fn scan_like_flows(n: u32) -> Vec<FlowTuple> {
+        (0..n)
+            .map(|i| {
+                let src = 0x0A00_0000 + (i % 97) * 1021;
+                let dst = 0x2C00_0000 + i.wrapping_mul(2_654_435_761) % (1 << 24);
+                FlowTuple::tcp(
+                    Ipv4Addr::from(src),
+                    Ipv4Addr::from(dst),
+                    1025 + ((i.wrapping_mul(48_271)) % 64_000) as u16,
+                    if i % 7 == 0 { 2323 } else { 23 },
+                    TcpFlags::SYN,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn v3_multi_block_roundtrip() {
+        let many = scan_like_flows(BLOCK_RECORDS as u32 * 2 + 500);
+        let hour = UnixHour::new(77);
+        let bytes = encode_hour(hour, &many, StoreOptions::default());
+        let decoded = decode_hour_with(&bytes, DecodeOptions::default()).unwrap();
+        assert_eq!(decoded.hour, hour);
+        assert_eq!(decoded.blocks, 3);
+        assert!(decoded.quarantined.is_empty());
+        assert_eq!(sorted(decoded.flows), sorted(many));
+    }
+
+    #[test]
+    fn v3_parallel_decode_matches_sequential() {
+        let many = scan_like_flows(BLOCK_RECORDS as u32 * 3 + 17);
+        let bytes = encode_hour(UnixHour::new(5), &many, StoreOptions::default());
+        let seq = decode_hour_with(&bytes, DecodeOptions::default()).unwrap();
+        for threads in [2, 4, 16] {
+            let par = decode_hour_with(
+                &bytes,
+                DecodeOptions {
+                    threads,
+                    quarantine: false,
+                },
+            )
+            .unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn v3_decodes_identically_to_v2() {
+        // Both formats sort delta files the same way, so the decoded
+        // record sequence must match exactly, not just as multisets.
+        let many = scan_like_flows(6000);
+        let hour = UnixHour::new(12);
+        let v2 = encode_hour(
+            hour,
+            &many,
+            StoreOptions {
+                format: StoreFormat::V2,
+                ..StoreOptions::default()
+            },
+        );
+        let v3 = encode_hour(hour, &many, StoreOptions::default());
+        assert_eq!(decode_hour(&v2).unwrap().1, decode_hour(&v3).unwrap().1);
+    }
+
+    #[test]
+    fn v3_is_much_smaller_than_v2_on_scan_traffic() {
+        let many = scan_like_flows(20_000);
+        let v2 = encode_hour(
+            UnixHour::new(1),
+            &many,
+            StoreOptions {
+                format: StoreFormat::V2,
+                ..StoreOptions::default()
+            },
+        );
+        let v3 = encode_hour(UnixHour::new(1), &many, StoreOptions::default());
+        let (v2_bpr, v3_bpr) = (
+            v2.len() as f64 / many.len() as f64,
+            v3.len() as f64 / many.len() as f64,
+        );
+        assert!(
+            v3_bpr <= 0.8 * v2_bpr,
+            "v3 {v3_bpr:.2} B/record vs v2 {v2_bpr:.2} B/record"
+        );
+    }
+
+    #[test]
+    fn corrupt_block_quarantined_keeps_hour_and_counts_metric() {
+        let registry = iotscope_obs::Registry::new();
+        let dir = tmpdir("quarantine");
+        let store = FlowStore::create(&dir, StoreOptions::default())
+            .unwrap()
+            .instrumented(&registry);
+        let many = scan_like_flows(BLOCK_RECORDS as u32 * 2 + 100);
+        let hour = UnixHour::new(50);
+        store.write_hour(hour, &many).unwrap();
+
+        // Flip one byte inside the *second* block's payload.
+        let path = store.hour_path(hour);
+        let mut bytes = fs::read(&path).unwrap();
+        let index_end = HEADER + 4 + 3 * INDEX_ENTRY;
+        let first_len =
+            u32::from_be_bytes(bytes[HEADER + 8..HEADER + 12].try_into().unwrap()) as usize;
+        let target = index_end + first_len + 10;
+        bytes[target] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        // Strict read fails the whole hour.
+        assert!(store.read_hour(hour).is_err());
+        // Tolerant read keeps the other two blocks.
+        let decoded = store.read_hour_tolerant(hour, 2).unwrap();
+        assert_eq!(decoded.blocks, 3);
+        assert_eq!(decoded.quarantined.len(), 1);
+        assert_eq!(decoded.quarantined[0].index, 1);
+        assert_eq!(decoded.quarantined[0].records, BLOCK_RECORDS as u32);
+        assert!(decoded.quarantined[0].reason.contains("checksum"));
+        assert_eq!(
+            decoded.flows.len(),
+            many.len() - BLOCK_RECORDS,
+            "hour survives minus the quarantined block"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store.block_checksum_failures"), Some(1));
+        assert_eq!(snap.counter("store.blocks_read"), Some(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v3_forged_block_count_rejected() {
+        let bytes = encode_hour(UnixHour::new(1), &flows(), StoreOptions::default());
+        // Forge num_blocks to a huge value; the index can't fit.
+        let mut forged = bytes.clone();
+        forged[HEADER..HEADER + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = decode_hour(&forged).unwrap_err();
+        assert!(
+            format!("{err}").contains("implausible block count"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn rle_column_roundtrips_and_rejects_overflow() {
+        let vals = [5u32, 0, 0, 0, 7, 0, 1, 0, 0];
+        let mut buf = Vec::new();
+        put_rle_column(&mut buf, &vals);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_rle_column(&mut slice, vals.len()).unwrap(), vals);
+        assert!(slice.is_empty());
+        // A zero run claiming more records than the column holds.
+        let mut bad = Vec::new();
+        put_varint(&mut bad, 0);
+        put_varint(&mut bad, 100);
+        let err = get_rle_column(&mut bad.as_slice(), 3).unwrap_err();
+        assert!(format!("{err}").contains("zero run"));
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 65_535, -65_535] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
@@ -919,10 +1697,13 @@ mod tests {
                     packets: pk,
                 })
                 .collect();
-            let bytes = encode_hour(UnixHour::new(hour), &flows, StoreOptions { delta_encode: delta });
-            let (h, back) = decode_hour(&bytes).unwrap();
-            prop_assert_eq!(h, UnixHour::new(hour));
-            prop_assert_eq!(sorted(back), sorted(flows));
+            for format in [StoreFormat::V2, StoreFormat::V3] {
+                let opts = StoreOptions { delta_encode: delta, format };
+                let bytes = encode_hour(UnixHour::new(hour), &flows, opts);
+                let (h, back) = decode_hour(&bytes).unwrap();
+                prop_assert_eq!(h, UnixHour::new(hour));
+                prop_assert_eq!(sorted(back), sorted(flows.clone()));
+            }
         }
     }
 }

@@ -128,6 +128,61 @@ impl Registry {
         }
     }
 
+    /// Merge a snapshot's values into this registry: counters and
+    /// timers accumulate, histograms add bucket-wise, gauges take the
+    /// snapshot's value. Metrics absent here are created with the
+    /// snapshot's stability (and bounds, for histograms).
+    ///
+    /// This is how per-run registries publish into a long-lived caller
+    /// registry without ever sharing live handles — two concurrent runs
+    /// each account privately and absorb their totals on completion, so
+    /// neither can attribute the other's work to itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a snapshot entry's name is already registered here as
+    /// a different kind or stability (an instrumentation bug, as with
+    /// direct registration).
+    pub fn absorb(&self, snapshot: &Snapshot) {
+        use crate::metric::Stability;
+        for entry in snapshot.entries() {
+            match &entry.value {
+                SnapshotValue::Counter(v) => {
+                    let c = match entry.stability {
+                        Stability::Stable => self.counter(&entry.name),
+                        Stability::Variant => self.counter_variant(&entry.name),
+                    };
+                    c.add(*v);
+                }
+                SnapshotValue::Gauge(v) => self.gauge(&entry.name).set(*v),
+                SnapshotValue::Duration { total_ns, spans } => {
+                    let t = self.timer(&entry.name);
+                    t.nanos.fetch_add(*total_ns, Ordering::Relaxed);
+                    t.spans.fetch_add(*spans, Ordering::Relaxed);
+                }
+                SnapshotValue::Histogram {
+                    bounds,
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    let h = self.histogram(&entry.name, bounds);
+                    assert_eq!(
+                        &*h.0.bounds,
+                        &bounds[..],
+                        "histogram {:?} absorbed with different bounds",
+                        entry.name
+                    );
+                    for (slot, add) in h.0.buckets.iter().zip(buckets) {
+                        slot.fetch_add(*add, Ordering::Relaxed);
+                    }
+                    h.0.count.fetch_add(*count, Ordering::Relaxed);
+                    h.0.sum.fetch_add(*sum, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// Freeze every metric into a [`Snapshot`], ordered by name.
     pub fn snapshot(&self) -> Snapshot {
         let slots = self.slots.lock().expect("metric registry not poisoned");
@@ -223,5 +278,55 @@ mod tests {
         let r2 = r.clone();
         r2.counter("shared").add(5);
         assert_eq!(r.snapshot().counter("shared"), Some(5));
+    }
+
+    #[test]
+    fn absorb_accumulates_every_metric_kind() {
+        let private = Registry::new();
+        private.counter("c").add(3);
+        private.counter_variant("cv").add(2);
+        private.gauge("g").set(7);
+        private
+            .timer("t")
+            .record(std::time::Duration::from_micros(9));
+        private.histogram("h", &[10, 100]).observe(5);
+        private.histogram("h", &[10, 100]).observe(5000);
+
+        let target = Registry::new();
+        target.counter("c").add(10);
+        target.absorb(&private.snapshot());
+        target.absorb(&private.snapshot());
+
+        let snap = target.snapshot();
+        assert_eq!(snap.counter("c"), Some(16));
+        assert_eq!(snap.counter("cv"), Some(4));
+        assert_eq!(snap.gauge("g"), Some(7));
+        assert_eq!(
+            snap.duration("t"),
+            Some(std::time::Duration::from_micros(18))
+        );
+        match &snap.get("h").unwrap().value {
+            SnapshotValue::Histogram {
+                buckets,
+                count,
+                sum,
+                ..
+            } => {
+                assert_eq!(buckets, &vec![2, 0, 2]);
+                assert_eq!(*count, 4);
+                assert_eq!(*sum, 2 * 5005);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a")]
+    fn absorb_kind_conflict_panics() {
+        let a = Registry::new();
+        a.counter("dup");
+        let b = Registry::new();
+        b.histogram("dup", &[1]);
+        a.absorb(&b.snapshot());
     }
 }

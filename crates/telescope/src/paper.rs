@@ -651,6 +651,19 @@ impl PaperScenario {
                 concentrate(&mut shares, k, 0.45);
                 k
             }
+            ScanService::Http => {
+                // Fig 10: HTTP's gradual growth after interval 92. The
+                // ramp must be carried by scanners that survive to the
+                // end of the window — churning actors retire before the
+                // knee pays off and rate-based budgets flatten whatever
+                // remains, which is why a ramp spread over the long tail
+                // produces no aggregate growth. Plant a persistent
+                // cohort (~40% of devices, 45% of the service's packets)
+                // that holds the ramp.
+                let k = (ids.len() * 2 / 5).max(1).min(ids.len());
+                concentrate(&mut shares, k, 0.45);
+                k
+            }
             _ => 0,
         };
 
@@ -692,21 +705,19 @@ impl PaperScenario {
                         end: 142,
                     }
                 }
-                ScanService::Http => {
-                    if rng.gen::<f64>() < 0.3 {
-                        // The gradual post-92 growth of Fig 10.
-                        ActivityPattern::Ramp {
-                            knee: 92,
-                            factor: 2.5,
-                        }
-                    } else {
-                        ActivityPattern::Duty {
-                            period: rng.gen_range(4..9),
-                            on_hours: rng.gen_range(1..3),
-                            phase: rng.gen_range(0..9),
-                        }
+                ScanService::Http if heavy => {
+                    // The gradual post-92 growth of Fig 10, held by the
+                    // persistent cohort so it survives to the window end.
+                    ActivityPattern::Ramp {
+                        knee: 92,
+                        factor: 4.0,
                     }
                 }
+                ScanService::Http => ActivityPattern::Duty {
+                    period: rng.gen_range(4..9),
+                    on_hours: rng.gen_range(1..3),
+                    phase: rng.gen_range(0..9),
+                },
                 ScanService::Cwmp => ActivityPattern::Steady,
                 _ => {
                     if rng.gen::<f64>() < 0.5 {

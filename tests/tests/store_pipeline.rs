@@ -105,11 +105,19 @@ fn plain_and_delta_encoding_agree() {
 
     let dir_a = tmpdir("delta");
     let dir_b = tmpdir("plain");
-    let store_a = FlowStore::create(&dir_a, StoreOptions { delta_encode: true }).unwrap();
+    let store_a = FlowStore::create(
+        &dir_a,
+        StoreOptions {
+            delta_encode: true,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
     let store_b = FlowStore::create(
         &dir_b,
         StoreOptions {
             delta_encode: false,
+            ..StoreOptions::default()
         },
     )
     .unwrap();
