@@ -24,7 +24,7 @@ fn bench_correlation(c: &mut Criterion) {
         b.iter(|| {
             let mut an = Analyzer::new(db, 143);
             an.ingest_hour(&hour);
-            an.finish().observations.len()
+            an.finish().device_count()
         })
     });
 

@@ -26,8 +26,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 .run(&traffic, &options)
                 .expect("bench analysis")
                 .analysis
-                .observations
-                .len()
+                .device_count()
         })
     });
     for threads in [2usize, 4, 8] {
@@ -41,8 +40,7 @@ fn bench_pipeline(c: &mut Criterion) {
                         .run(&traffic, &options)
                         .expect("bench analysis")
                         .analysis
-                        .observations
-                        .len()
+                        .device_count()
                 })
             },
         );

@@ -97,7 +97,7 @@ fn main() {
         .analysis;
     eprintln!(
         "      {} compromised devices ({:.1}s)",
-        analysis.observations.len(),
+        analysis.device_count(),
         t.elapsed().as_secs_f64()
     );
 

@@ -325,7 +325,7 @@ pub fn watch(args: &[String]) -> Result<String, CliError> {
         traffic.len(),
         discovered,
         alerts.len(),
-        analysis.observations.len()
+        analysis.device_count()
     );
     if let Some(format) = format {
         out.push_str(&render_metrics(&registry.snapshot(), format));

@@ -6,8 +6,16 @@
 //! Hours may be ingested in any order, and two analyzers over disjoint
 //! hour sets [`merge`](Analyzer::merge) into the same result — which is
 //! what makes parallel analysis exact rather than approximate.
+//!
+//! Per-device state lives in a columnar [`DeviceTable`] (one row per
+//! correlated device) and per-service/per-port device sets are
+//! [`DeviceSet`] bitmaps, so `merge` is columnar addition plus word-wise
+//! ORs. Derived queries (sorted device lists, cohorts, totals) are
+//! served memoized through [`Analysis::view`].
 
 use crate::classify::{classify, TrafficClass};
+pub use crate::table::{DeviceObservation, DeviceSet, DeviceTable};
+use crate::view::{AnalysisView, ViewCache};
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
 use iotscope_net::ports::ScanService;
 use iotscope_net::protocol::TransportProtocol;
@@ -81,40 +89,6 @@ pub fn class_idx(class: TrafficClass) -> usize {
     }
 }
 
-/// Everything observed about one correlated device.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DeviceObservation {
-    /// The device.
-    pub device: DeviceId,
-    /// Its realm (denormalized for hot paths).
-    pub realm: Realm,
-    /// First interval (1-based) the device was seen at the telescope.
-    pub first_interval: u32,
-    /// Flow records observed.
-    pub flows: u64,
-    /// Packets per traffic class (indexed by [`class_idx`]).
-    pub packets_by_class: [u64; 5],
-    /// Bitmask of active days (bit d = day d).
-    pub days_active: u64,
-}
-
-impl DeviceObservation {
-    /// Total packets across classes.
-    pub fn total_packets(&self) -> u64 {
-        self.packets_by_class.iter().sum()
-    }
-
-    /// Packets of one class.
-    pub fn packets(&self, class: TrafficClass) -> u64 {
-        self.packets_by_class[class_idx(class)]
-    }
-
-    /// Combined scanning packets (TCP SYN + ICMP echo).
-    pub fn scan_packets(&self) -> u64 {
-        self.packets(TrafficClass::TcpScan) + self.packets(TrafficClass::IcmpScan)
-    }
-}
-
 /// Hourly `(packets, distinct dst IPs, distinct dst ports, active devices)`
 /// series for one realm and one traffic class.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,7 +129,7 @@ pub struct ServiceStat {
     /// Packets per realm (`[consumer, cps]`).
     pub packets: [u64; 2],
     /// Scanning devices per realm.
-    pub devices: [HashSet<DeviceId>; 2],
+    pub devices: [DeviceSet; 2],
 }
 
 /// Per-UDP-port statistics (Table IV).
@@ -164,7 +138,7 @@ pub struct PortStat {
     /// UDP packets to the port.
     pub packets: u64,
     /// Devices that sent them.
-    pub devices: HashSet<DeviceId>,
+    pub devices: DeviceSet,
 }
 
 /// Per-interval backscatter attribution (who dominated a DoS episode).
@@ -177,12 +151,17 @@ pub struct BackscatterInterval {
 }
 
 /// The complete aggregation result.
+///
+/// Equality is structural on the aggregates and insensitive to row order
+/// in [`devices`](Self::devices) and to which [view](Self::view) queries
+/// have been memoized — the sequential-vs-parallel determinism contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
     /// Window length in hours.
     pub hours: u32,
-    /// Per-device observations, keyed by device.
-    pub observations: HashMap<DeviceId, DeviceObservation>,
+    /// Columnar per-device observations (one row per correlated device;
+    /// sorted by id once [`Analyzer::finish`] has run).
+    pub devices: DeviceTable,
     /// Packets per `[realm][transport]` with transports ordered
     /// `[ICMP, TCP, UDP]` (Fig 4).
     pub protocol_packets: [[u64; 3]; 2],
@@ -205,65 +184,81 @@ pub struct Analysis {
     pub unmatched_flows: u64,
     /// Packets from unmatched sources.
     pub unmatched_packets: u64,
+    /// Memoized derived-query results (see [`view`](Self::view)); never
+    /// part of equality, cloned cold.
+    pub(crate) cache: ViewCache,
 }
 
 impl Analysis {
+    /// The memoizing derived-query interface: sorted device lists,
+    /// per-realm partitions, per-class cohorts and totals, each computed
+    /// once and cached.
+    pub fn view(&self) -> AnalysisView<'_> {
+        AnalysisView::new(self)
+    }
+
+    /// Drop every memoized view result. Only needed if you mutate the
+    /// public aggregate fields directly after having used
+    /// [`view`](Self::view); [`Analyzer`] invalidates automatically.
+    pub fn invalidate_views(&mut self) {
+        self.cache.reset();
+    }
+
+    /// Number of correlated (compromised) devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Per-device observations materialized into a hash map — the
+    /// pre-columnar shape of [`devices`](Self::devices).
+    #[deprecated(
+        note = "iterate `devices.rows()` / `devices.get(id)` or use `view()` instead of \
+                materializing a hash map"
+    )]
+    pub fn observations(&self) -> HashMap<DeviceId, DeviceObservation> {
+        self.devices.rows().map(|o| (o.device, o)).collect()
+    }
+
     /// All correlated (compromised) devices, sorted by id.
+    ///
+    /// Thin shim over [`view().compromised()`](AnalysisView::compromised);
+    /// prefer the view to avoid the copy.
     pub fn compromised_devices(&self) -> Vec<DeviceId> {
-        let mut v: Vec<DeviceId> = self.observations.keys().copied().collect();
-        v.sort();
-        v
+        self.view().compromised().to_vec()
     }
 
     /// Count of correlated devices per realm `(consumer, cps)`.
     pub fn compromised_counts(&self) -> (usize, usize) {
-        let consumer = self
-            .observations
-            .values()
-            .filter(|o| o.realm == Realm::Consumer)
-            .count();
-        (consumer, self.observations.len() - consumer)
+        self.view().realm_counts()
     }
 
     /// Total packets attributed to correlated devices.
     pub fn total_packets(&self) -> u64 {
-        self.observations.values().map(|o| o.total_packets()).sum()
+        self.view().total_packets()
     }
 
     /// Devices that emitted any backscatter — the inferred DoS victims.
+    ///
+    /// Thin shim over [`view().dos_victims()`](AnalysisView::dos_victims);
+    /// prefer the view to avoid the copy.
     pub fn dos_victims(&self) -> Vec<DeviceId> {
-        let mut v: Vec<DeviceId> = self
-            .observations
-            .values()
-            .filter(|o| o.packets(TrafficClass::Backscatter) > 0)
-            .map(|o| o.device)
-            .collect();
-        v.sort();
-        v
+        self.view().dos_victims().to_vec()
     }
 
     /// Devices that emitted TCP scanning traffic.
+    ///
+    /// Thin shim over [`view().tcp_scanners()`](AnalysisView::tcp_scanners);
+    /// prefer the view to avoid the copy.
     pub fn tcp_scanners(&self) -> Vec<DeviceId> {
-        let mut v: Vec<DeviceId> = self
-            .observations
-            .values()
-            .filter(|o| o.packets(TrafficClass::TcpScan) > 0)
-            .map(|o| o.device)
-            .collect();
-        v.sort();
-        v
+        self.view().tcp_scanners().to_vec()
     }
 
     /// Devices that emitted UDP traffic.
+    ///
+    /// Thin shim over [`view().udp_devices()`](AnalysisView::udp_devices);
+    /// prefer the view to avoid the copy.
     pub fn udp_devices(&self) -> Vec<DeviceId> {
-        let mut v: Vec<DeviceId> = self
-            .observations
-            .values()
-            .filter(|o| o.packets(TrafficClass::Udp) > 0)
-            .map(|o| o.device)
-            .collect();
-        v.sort();
-        v
+        self.view().udp_devices().to_vec()
     }
 
     /// Cumulative number of devices discovered by the end of each day
@@ -271,7 +266,7 @@ impl Analysis {
     pub fn discovery_curve(&self) -> Vec<(usize, usize, usize)> {
         let num_days = self.hours.div_ceil(24) as usize;
         let mut per_day = vec![(0usize, 0usize, 0usize); num_days];
-        for o in self.observations.values() {
+        for o in self.devices.rows() {
             let day = ((o.first_interval - 1) / 24) as usize;
             let slot = &mut per_day[day.min(num_days - 1)];
             slot.0 += 1;
@@ -316,7 +311,7 @@ impl Analysis {
         let num_days = self.hours.div_ceil(24).max(1);
         let mut all = 0u64;
         let mut consumer = 0u64;
-        for o in self.observations.values() {
+        for o in self.devices.rows() {
             let days = o.days_active.count_ones() as u64;
             all += days;
             if o.realm == Realm::Consumer {
@@ -330,12 +325,106 @@ impl Analysis {
     }
 }
 
+/// A reusable bitmap over the 2^16 port space with a member count —
+/// per-hour distinct-port accounting without per-hour allocation.
+#[derive(Debug, Clone)]
+struct PortScratch {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PortScratch {
+    fn new() -> Self {
+        PortScratch {
+            words: vec![0; (u16::MAX as usize + 1) / 64],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, port: u16) {
+        let (word, bit) = (port as usize / 64, port % 64);
+        let mask = 1u64 << bit;
+        if self.words[word] & mask == 0 {
+            self.words[word] |= mask;
+            self.len += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        if self.len > 0 {
+            self.words.fill(0);
+            self.len = 0;
+        }
+    }
+}
+
+/// Per-hour transient distinct-set state, allocated once per analyzer
+/// and cleared between hours.
+#[derive(Debug)]
+struct HourScratch {
+    /// Distinct UDP destination addresses per realm.
+    udp_ips: [HashSet<u32>; 2],
+    /// Distinct TCP-scan destination addresses per realm.
+    scan_ips: [HashSet<u32>; 2],
+    /// Distinct UDP destination ports per realm.
+    udp_ports: [PortScratch; 2],
+    /// Distinct TCP-scan destination ports per realm.
+    scan_ports: [PortScratch; 2],
+    /// Distinct UDP-emitting devices per realm.
+    udp_devs: [DeviceSet; 2],
+    /// Distinct scanning devices per realm.
+    scan_devs: [DeviceSet; 2],
+    /// Backscatter packets per device index this hour (dense, zeroed
+    /// between hours via `bs_touched`).
+    bs_counts: Vec<u64>,
+    /// Device indexes with nonzero `bs_counts` entries.
+    bs_touched: Vec<u32>,
+}
+
+impl HourScratch {
+    fn new(num_devices: usize) -> Self {
+        HourScratch {
+            udp_ips: [HashSet::new(), HashSet::new()],
+            scan_ips: [HashSet::new(), HashSet::new()],
+            udp_ports: [PortScratch::new(), PortScratch::new()],
+            scan_ports: [PortScratch::new(), PortScratch::new()],
+            udp_devs: [
+                DeviceSet::with_capacity(num_devices),
+                DeviceSet::with_capacity(num_devices),
+            ],
+            scan_devs: [
+                DeviceSet::with_capacity(num_devices),
+                DeviceSet::with_capacity(num_devices),
+            ],
+            bs_counts: vec![0; num_devices],
+            bs_touched: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for r in 0..2 {
+            self.udp_ips[r].clear();
+            self.scan_ips[r].clear();
+            self.udp_ports[r].clear();
+            self.scan_ports[r].clear();
+            self.udp_devs[r].clear();
+            self.scan_devs[r].clear();
+        }
+        for &di in &self.bs_touched {
+            self.bs_counts[di as usize] = 0;
+        }
+        self.bs_touched.clear();
+    }
+}
+
 /// Single-pass aggregator. Feed it hours, then [`finish`](Self::finish).
 #[derive(Debug)]
 pub struct Analyzer<'a> {
     db: &'a DeviceDb,
     hours: u32,
     metrics: Option<AnalyzerMetrics>,
+    scratch: HourScratch,
     result: Analysis,
 }
 
@@ -347,9 +436,10 @@ impl<'a> Analyzer<'a> {
             db,
             hours,
             metrics: None,
+            scratch: HourScratch::new(db.len()),
             result: Analysis {
                 hours,
-                observations: HashMap::new(),
+                devices: DeviceTable::new(),
                 protocol_packets: [[0; 3]; 2],
                 udp: [RealmSeries::new(h), RealmSeries::new(h)],
                 tcp_scan: [RealmSeries::new(h), RealmSeries::new(h)],
@@ -360,6 +450,7 @@ impl<'a> Analyzer<'a> {
                 udp_ports: HashMap::new(),
                 unmatched_flows: 0,
                 unmatched_packets: 0,
+                cache: ViewCache::default(),
             },
         }
     }
@@ -376,6 +467,19 @@ impl<'a> Analyzer<'a> {
         a
     }
 
+    /// Rehydrate an analyzer from a previously finished [`Analysis`] so
+    /// more hours can be ingested or merged into it (incremental
+    /// re-aggregation, checkpoint/resume).
+    pub fn resume(db: &'a DeviceDb, analysis: Analysis) -> Self {
+        Analyzer {
+            db,
+            hours: analysis.hours,
+            metrics: None,
+            scratch: HourScratch::new(db.len()),
+            result: analysis,
+        }
+    }
+
     /// Ingest one hour of traffic.
     ///
     /// # Panics
@@ -388,16 +492,11 @@ impl<'a> Analyzer<'a> {
             hour.interval,
             self.hours
         );
+        self.result.cache.reset();
         let idx = (hour.interval - 1) as usize;
         let day = (hour.interval - 1) / 24;
-        // Transient per-hour distinct sets.
-        let mut udp_ips: [HashSet<u32>; 2] = [HashSet::new(), HashSet::new()];
-        let mut udp_ports_h: [HashSet<u16>; 2] = [HashSet::new(), HashSet::new()];
-        let mut udp_devs: [HashSet<DeviceId>; 2] = [HashSet::new(), HashSet::new()];
-        let mut scan_ips: [HashSet<u32>; 2] = [HashSet::new(), HashSet::new()];
-        let mut scan_ports_h: [HashSet<u16>; 2] = [HashSet::new(), HashSet::new()];
-        let mut scan_devs: [HashSet<DeviceId>; 2] = [HashSet::new(), HashSet::new()];
-        let mut backscatter_by_victim: HashMap<DeviceId, u64> = HashMap::new();
+        let scratch = &mut self.scratch;
+        scratch.clear();
         // Local metric accumulators, flushed once at the end of the hour.
         let mut hour_packets: [[u64; 5]; 2] = [[0; 5]; 2];
         let mut hour_unmatched: (u64, u64) = (0, 0);
@@ -411,27 +510,15 @@ impl<'a> Analyzer<'a> {
                 continue;
             };
             let class = classify(flow);
+            let ci = class_idx(class);
             let pkts = u64::from(flow.packets);
             let realm = device.realm();
             let r = realm_idx(realm);
 
-            let obs = self
-                .result
-                .observations
-                .entry(device.id)
-                .or_insert_with(|| DeviceObservation {
-                    device: device.id,
-                    realm,
-                    first_interval: hour.interval,
-                    flows: 0,
-                    packets_by_class: [0; 5],
-                    days_active: 0,
-                });
-            obs.first_interval = obs.first_interval.min(hour.interval);
-            obs.flows += 1;
-            obs.packets_by_class[class_idx(class)] += pkts;
-            obs.days_active |= 1 << day.min(63);
-            hour_packets[r][class_idx(class)] += pkts;
+            self.result
+                .devices
+                .observe(device.id, realm, ci, pkts, hour.interval, day);
+            hour_packets[r][ci] += pkts;
 
             let proto_i = match flow.protocol {
                 TransportProtocol::Icmp => 0,
@@ -442,22 +529,19 @@ impl<'a> Analyzer<'a> {
 
             match class {
                 TrafficClass::Udp => {
-                    let s = &mut self.result.udp[r];
-                    s.packets[idx] += pkts;
-                    udp_ips[r].insert(u32::from(flow.dst_ip));
-                    udp_ports_h[r].insert(flow.dst_port);
-                    udp_devs[r].insert(device.id);
+                    self.result.udp[r].packets[idx] += pkts;
+                    scratch.udp_ips[r].insert(u32::from(flow.dst_ip));
+                    scratch.udp_ports[r].insert(flow.dst_port);
+                    scratch.udp_devs[r].insert(device.id);
                     let port = self.result.udp_ports.entry(flow.dst_port).or_default();
                     port.packets += pkts;
                     port.devices.insert(device.id);
-                    let _ = s;
                 }
                 TrafficClass::TcpScan => {
-                    let s = &mut self.result.tcp_scan[r];
-                    s.packets[idx] += pkts;
-                    scan_ips[r].insert(u32::from(flow.dst_ip));
-                    scan_ports_h[r].insert(flow.dst_port);
-                    scan_devs[r].insert(device.id);
+                    self.result.tcp_scan[r].packets[idx] += pkts;
+                    scratch.scan_ips[r].insert(u32::from(flow.dst_ip));
+                    scratch.scan_ports[r].insert(flow.dst_port);
+                    scratch.scan_devs[r].insert(device.id);
                     let key = match ScanService::from_port(flow.dst_port) {
                         Some(svc) => ServiceKey::Named(svc),
                         None => ServiceKey::Other,
@@ -470,31 +554,42 @@ impl<'a> Analyzer<'a> {
                             self.result.top5_series[idx][pos] += pkts;
                         }
                     }
-                    let _ = s;
                 }
                 TrafficClass::Backscatter => {
                     self.result.backscatter_hourly[r][idx] += pkts;
-                    *backscatter_by_victim.entry(device.id).or_insert(0) += pkts;
+                    let di = self.db.index_of(device.id);
+                    if scratch.bs_counts[di] == 0 {
+                        scratch.bs_touched.push(di as u32);
+                    }
+                    scratch.bs_counts[di] += pkts;
                 }
                 TrafficClass::IcmpScan | TrafficClass::Other => {}
             }
         }
 
         for r in 0..2 {
-            self.result.udp[r].dst_ips[idx] += udp_ips[r].len() as u64;
-            self.result.udp[r].dst_ports[idx] += udp_ports_h[r].len() as u64;
-            self.result.udp[r].devices[idx] += udp_devs[r].len() as u64;
-            self.result.tcp_scan[r].dst_ips[idx] += scan_ips[r].len() as u64;
-            self.result.tcp_scan[r].dst_ports[idx] += scan_ports_h[r].len() as u64;
-            self.result.tcp_scan[r].devices[idx] += scan_devs[r].len() as u64;
+            self.result.udp[r].dst_ips[idx] += scratch.udp_ips[r].len() as u64;
+            self.result.udp[r].dst_ports[idx] += scratch.udp_ports[r].len as u64;
+            self.result.udp[r].devices[idx] += scratch.udp_devs[r].len() as u64;
+            self.result.tcp_scan[r].dst_ips[idx] += scratch.scan_ips[r].len() as u64;
+            self.result.tcp_scan[r].dst_ports[idx] += scratch.scan_ports[r].len as u64;
+            self.result.tcp_scan[r].devices[idx] += scratch.scan_devs[r].len() as u64;
         }
+        // Attribute the hour's backscatter to its dominant victim. Ties
+        // break toward the smaller device id so the result does not
+        // depend on accumulation order.
         let slot = &mut self.result.backscatter_intervals[idx];
-        slot.total += backscatter_by_victim.values().sum::<u64>();
-        // Ties break toward the smaller device id so the result does not
-        // depend on hash-map iteration order.
-        let top = backscatter_by_victim
-            .into_iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        let mut top: Option<(DeviceId, u64)> = None;
+        let mut total = 0u64;
+        for &di in &scratch.bs_touched {
+            let cnt = scratch.bs_counts[di as usize];
+            let id = DeviceId(di);
+            total += cnt;
+            if top.is_none_or(|(bd, bc)| cnt > bc || (cnt == bc && id < bd)) {
+                top = Some((id, cnt));
+            }
+        }
+        slot.total += total;
         merge_top_victim(&mut slot.top_victim, top);
 
         if let Some(m) = &self.metrics {
@@ -513,28 +608,18 @@ impl<'a> Analyzer<'a> {
     /// Merge another analyzer's state (built over *disjoint hours* of the
     /// same window and database) into this one.
     ///
+    /// Per-device state merges as columnar addition
+    /// ([`DeviceTable::merge_from`]) and per-service/port device sets as
+    /// word-wise ORs — no per-key rehashing of the device axis.
+    ///
     /// # Panics
     ///
     /// Panics if the window lengths differ.
     pub fn merge(&mut self, other: Analyzer<'_>) {
         assert_eq!(self.hours, other.hours, "mismatched windows");
+        self.result.cache.reset();
         let o = other.result;
-        for (id, obs) in o.observations {
-            match self.result.observations.entry(id) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(obs);
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    let cur = e.get_mut();
-                    cur.first_interval = cur.first_interval.min(obs.first_interval);
-                    cur.flows += obs.flows;
-                    for i in 0..5 {
-                        cur.packets_by_class[i] += obs.packets_by_class[i];
-                    }
-                    cur.days_active |= obs.days_active;
-                }
-            }
-        }
+        self.result.devices.merge_from(o.devices);
         for r in 0..2 {
             for p in 0..3 {
                 self.result.protocol_packets[r][p] += o.protocol_packets[r][p];
@@ -560,7 +645,7 @@ impl<'a> Analyzer<'a> {
             let cur = self.result.scan_services.entry(key).or_default();
             for r in 0..2 {
                 cur.packets[r] += stat.packets[r];
-                cur.devices[r].extend(stat.devices[r].iter().copied());
+                cur.devices[r].union_with(&stat.devices[r]);
             }
         }
         for (i, row) in o.top5_series.into_iter().enumerate() {
@@ -571,20 +656,26 @@ impl<'a> Analyzer<'a> {
         for (port, stat) in o.udp_ports {
             let cur = self.result.udp_ports.entry(port).or_default();
             cur.packets += stat.packets;
-            cur.devices.extend(stat.devices.iter().copied());
+            cur.devices.union_with(&stat.devices);
         }
         self.result.unmatched_flows += o.unmatched_flows;
         self.result.unmatched_packets += o.unmatched_packets;
     }
 
     /// Inspect the aggregation state accumulated so far (used by the
-    /// streaming analyzer to evaluate alerts after each hour).
+    /// streaming analyzer to evaluate alerts after each hour). Device
+    /// rows are in first-seen order until [`finish`](Self::finish)
+    /// normalizes them.
     pub fn peek(&self) -> &Analysis {
         &self.result
     }
 
-    /// Finish and return the aggregation result.
-    pub fn finish(self) -> Analysis {
+    /// Finish and return the aggregation result, with device rows
+    /// normalized to id order — so finished results are reproducible
+    /// regardless of ingest/merge order.
+    pub fn finish(mut self) -> Analysis {
+        self.result.devices.normalize();
+        self.result.cache.reset();
         self.result
     }
 }
@@ -660,7 +751,7 @@ mod tests {
             ],
         ));
         let a = an.finish();
-        assert_eq!(a.observations.len(), 1);
+        assert_eq!(a.device_count(), 1);
         assert_eq!(a.unmatched_flows, 1);
         assert_eq!(a.unmatched_packets, 1);
         assert_eq!(a.compromised_devices(), vec![DeviceId(0)]);
@@ -692,13 +783,13 @@ mod tests {
         );
         an.ingest_hour(&hour(2, vec![syn([1, 0, 0, 1], 23), synack, udp, ping]));
         let a = an.finish();
-        let consumer = &a.observations[&DeviceId(0)];
+        let consumer = a.devices.get(DeviceId(0)).unwrap();
         assert_eq!(consumer.packets(TrafficClass::TcpScan), 1);
         assert_eq!(consumer.packets(TrafficClass::Udp), 3);
         assert_eq!(consumer.packets(TrafficClass::IcmpScan), 1);
         assert_eq!(consumer.scan_packets(), 2);
         assert_eq!(consumer.total_packets(), 5);
-        let cps = &a.observations[&DeviceId(1)];
+        let cps = a.devices.get(DeviceId(1)).unwrap();
         assert_eq!(cps.packets(TrafficClass::Backscatter), 5);
         assert_eq!(a.dos_victims(), vec![DeviceId(1)]);
         assert_eq!(a.tcp_scanners(), vec![DeviceId(0)]);
@@ -798,7 +889,7 @@ mod tests {
         an.ingest_hour(&hour(30, vec![syn([1, 0, 0, 1], 23)]));
         an.ingest_hour(&hour(2, vec![syn([1, 0, 0, 1], 23)]));
         let a = an.finish();
-        assert_eq!(a.observations[&DeviceId(0)].first_interval, 2);
+        assert_eq!(a.devices.get(DeviceId(0)).unwrap().first_interval, 2);
         let (avg_all, avg_consumer) = a.daily_active_devices();
         assert!((avg_all - 1.0).abs() < 1e-9);
         assert!((avg_consumer - 1.0).abs() < 1e-9);
@@ -833,7 +924,9 @@ mod tests {
         a.merge(b);
         let par = a.finish();
 
-        assert_eq!(par.observations, seq.observations);
+        assert_eq!(par.devices, seq.devices);
+        // Normalized tables agree row-for-row, not just as sets.
+        assert_eq!(par.devices.ids(), seq.devices.ids());
         assert_eq!(par.protocol_packets, seq.protocol_packets);
         assert_eq!(par.udp[0].packets, seq.udp[0].packets);
         assert_eq!(par.udp[1].packets, seq.udp[1].packets);
@@ -841,6 +934,45 @@ mod tests {
         assert_eq!(par.udp_ports, seq.udp_ports);
         assert_eq!(par.backscatter_intervals, seq.backscatter_intervals);
         assert_eq!(par.unmatched_flows, seq.unmatched_flows);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn resume_continues_aggregation() {
+        let db = db();
+        let h1 = hour(1, vec![syn([1, 0, 0, 1], 23)]);
+        let h2 = hour(2, vec![syn([1, 0, 0, 1], 80), syn([2, 0, 0, 1], 22)]);
+        let mut an = Analyzer::new(&db, 4);
+        an.ingest_hour(&h1);
+        let checkpoint = an.finish();
+        let mut resumed = Analyzer::resume(&db, checkpoint);
+        resumed.ingest_hour(&h2);
+        let a = resumed.finish();
+
+        let mut seq = Analyzer::new(&db, 4);
+        seq.ingest_hour(&h1);
+        seq.ingest_hour(&h2);
+        assert_eq!(a, seq.finish());
+    }
+
+    #[test]
+    fn views_are_invalidated_by_ingest() {
+        let db = db();
+        let mut an = Analyzer::new(&db, 4);
+        an.ingest_hour(&hour(1, vec![syn([1, 0, 0, 1], 23)]));
+        // Populate the memoized views from a peek snapshot…
+        assert_eq!(an.peek().view().compromised(), &[DeviceId(0)]);
+        assert_eq!(an.peek().view().realm_counts(), (1, 0));
+        // …then ingest more; the views must reflect the new state.
+        an.ingest_hour(&hour(2, vec![syn([2, 0, 0, 1], 22)]));
+        assert_eq!(an.peek().view().compromised(), &[DeviceId(0), DeviceId(1)]);
+        assert_eq!(an.peek().view().realm_counts(), (1, 1));
+        let a = an.finish();
+        assert_eq!(a.view().tcp_scanners(), &[DeviceId(0), DeviceId(1)]);
+        // Clones start with a cold cache but equal analyses stay equal.
+        let cloned = a.clone();
+        assert_eq!(cloned, a);
+        assert_eq!(cloned.view().compromised(), a.view().compromised());
     }
 
     #[test]

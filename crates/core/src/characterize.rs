@@ -58,7 +58,7 @@ pub fn country_deployment(db: &DeviceDb) -> Vec<CountryRow> {
 pub fn compromised_by_country(analysis: &Analysis, db: &DeviceDb) -> Vec<CountryRow> {
     let deployed = db.count_by_country(None);
     let mut map: HashMap<CountryCode, (usize, usize)> = HashMap::new();
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         let d = db.device(obs.device);
         let e = map.entry(d.country).or_default();
         match obs.realm {
@@ -89,8 +89,8 @@ pub fn compromised_by_country(analysis: &Analysis, db: &DeviceDb) -> Vec<Country
 /// Number of countries hosting at least one compromised device.
 pub fn compromised_country_count(analysis: &Analysis, db: &DeviceDb) -> usize {
     analysis
-        .observations
-        .values()
+        .devices
+        .rows()
         .map(|o| db.device(o.device).country)
         .collect::<std::collections::HashSet<_>>()
         .len()
@@ -104,7 +104,7 @@ pub fn consumer_kind_breakdown(
 ) -> Vec<(ConsumerKind, usize, f64)> {
     let mut counts: HashMap<ConsumerKind, usize> = HashMap::new();
     let mut total = 0usize;
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         if obs.realm != Realm::Consumer {
             continue;
         }
@@ -129,7 +129,7 @@ pub fn consumer_kind_breakdown(
 pub fn cps_service_breakdown(analysis: &Analysis, db: &DeviceDb) -> Vec<(CpsService, usize, f64)> {
     let mut counts: HashMap<CpsService, usize> = HashMap::new();
     let mut cps_total = 0usize;
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         if obs.realm != Realm::Cps {
             continue;
         }
@@ -173,7 +173,7 @@ pub fn top_isps(
 ) -> Vec<IspRow> {
     let mut counts: HashMap<IspId, usize> = HashMap::new();
     let mut total = 0usize;
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         if obs.realm != realm {
             continue;
         }
@@ -201,8 +201,8 @@ pub fn top_isps(
 /// Number of distinct ISPs hosting compromised devices of `realm`.
 pub fn isp_count(analysis: &Analysis, db: &DeviceDb, realm: Realm) -> usize {
     analysis
-        .observations
-        .values()
+        .devices
+        .rows()
         .filter(|o| o.realm == realm)
         .map(|o| db.device(o.device).isp)
         .collect::<std::collections::HashSet<_>>()
@@ -231,14 +231,14 @@ pub fn protocol_mix(analysis: &Analysis) -> [[f64; 3]; 2] {
 /// per-victim backscatter packets (over DoS victims).
 pub fn packet_cdfs(analysis: &Analysis) -> (Ecdf, Ecdf) {
     let scans: Vec<f64> = analysis
-        .observations
-        .values()
+        .devices
+        .rows()
         .filter(|o| o.scan_packets() > 0)
         .map(|o| o.scan_packets() as f64)
         .collect();
     let backscatter: Vec<f64> = analysis
-        .observations
-        .values()
+        .devices
+        .rows()
         .filter(|o| o.packets(TrafficClass::Backscatter) > 0)
         .map(|o| o.packets(TrafficClass::Backscatter) as f64)
         .collect();
@@ -249,7 +249,7 @@ pub fn packet_cdfs(analysis: &Analysis) -> (Ecdf, Ecdf) {
 /// CPS sample vs consumer sample.
 pub fn realm_packet_test(analysis: &Analysis) -> Option<crate::stats::MannWhitney> {
     let mut samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         samples[realm_idx(obs.realm)].push(obs.total_packets() as f64);
     }
     let [consumer, cps] = samples;

@@ -72,15 +72,16 @@ pub fn diff(before: &Analysis, after: &Analysis) -> AnalysisDiff {
     let mut new_victims = Vec::new();
     let mut new_scanners = Vec::new();
 
-    for (id, obs) in &after.observations {
-        match before.observations.get(id) {
+    for obs in after.devices.rows() {
+        let id = obs.device;
+        match before.devices.get(id) {
             None => {
-                appeared.push(*id);
+                appeared.push(id);
                 if obs.packets(TrafficClass::Backscatter) > 0 {
-                    new_victims.push(*id);
+                    new_victims.push(id);
                 }
                 if obs.scan_packets() > 0 {
-                    new_scanners.push(*id);
+                    new_scanners.push(id);
                 }
             }
             Some(prev) => {
@@ -88,16 +89,16 @@ pub fn diff(before: &Analysis, after: &Analysis) -> AnalysisDiff {
                 if obs.packets(TrafficClass::Backscatter) > 0
                     && prev.packets(TrafficClass::Backscatter) == 0
                 {
-                    new_victims.push(*id);
+                    new_victims.push(id);
                 }
                 if obs.scan_packets() > 0 && prev.scan_packets() == 0 {
-                    new_scanners.push(*id);
+                    new_scanners.push(id);
                 }
             }
         }
     }
-    for id in before.observations.keys() {
-        if !after.observations.contains_key(id) {
+    for id in before.devices.ids() {
+        if !after.devices.contains(*id) {
             disappeared.push(*id);
         }
     }
@@ -107,7 +108,7 @@ pub fn diff(before: &Analysis, after: &Analysis) -> AnalysisDiff {
     new_scanners.sort();
 
     let class_total = |a: &Analysis, class: TrafficClass| -> u64 {
-        a.observations.values().map(|o| o.packets(class)).sum()
+        a.devices.rows().map(|o| o.packets(class)).sum()
     };
     let class_deltas = TrafficClass::ALL
         .into_iter()

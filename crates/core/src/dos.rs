@@ -91,7 +91,7 @@ impl VictimCountryRow {
 /// `victims()` for Fig 8a or by `packets` for Fig 8b.
 pub fn victim_countries(analysis: &Analysis, db: &DeviceDb) -> Vec<VictimCountryRow> {
     let mut map: HashMap<CountryCode, VictimCountryRow> = HashMap::new();
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         let bs = obs.packets(TrafficClass::Backscatter);
         if bs == 0 {
             continue;
@@ -146,7 +146,7 @@ pub fn summary(analysis: &Analysis, heavy_threshold: u64) -> DosSummary {
     let mut packets = 0u64;
     let mut cps_packets = 0u64;
     let mut heavy = 0usize;
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         let bs = obs.packets(TrafficClass::Backscatter);
         if bs == 0 {
             continue;

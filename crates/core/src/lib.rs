@@ -58,8 +58,10 @@ pub mod report;
 pub mod scan;
 pub mod stats;
 pub mod stream;
+pub mod table;
 pub mod taxonomy;
 pub mod udp;
+pub mod view;
 
 pub use analysis::{Analysis, Analyzer};
 pub use classify::{classify, TrafficClass};
@@ -68,3 +70,5 @@ pub use pipeline::{
     StoreReadStats,
 };
 pub use report::{Report, ReportContext, ReportIntel};
+pub use table::{DeviceObservation, DeviceSet, DeviceTable};
+pub use view::AnalysisView;

@@ -14,11 +14,11 @@ use std::collections::BTreeSet;
 /// realm by generated scanning+UDP packets (the paper used n = 4,000 on
 /// top of the 839 victims, totaling 8,839).
 pub fn select_candidates(analysis: &Analysis, top_n_per_realm: usize) -> Vec<DeviceId> {
-    let mut set: BTreeSet<DeviceId> = analysis.dos_victims().into_iter().collect();
+    let mut set: BTreeSet<DeviceId> = analysis.view().dos_victims().iter().copied().collect();
     for realm in [Realm::Consumer, Realm::Cps] {
         let mut devices: Vec<(u64, DeviceId)> = analysis
-            .observations
-            .values()
+            .devices
+            .rows()
             .filter(|o| o.realm == realm)
             .map(|o| (o.scan_packets() + o.packets(TrafficClass::Udp), o.device))
             .filter(|(pkts, _)| *pkts > 0)
@@ -82,8 +82,8 @@ pub fn threat_summary(
         }
         if cats.contains(&ThreatCategory::Malware) {
             match analysis
-                .observations
-                .get(id)
+                .devices
+                .get(*id)
                 .map(|o| o.realm)
                 .unwrap_or(Realm::Consumer)
             {
@@ -126,7 +126,7 @@ pub fn packet_cdfs(
     let mut all = Vec::with_capacity(candidates.len());
     let mut flagged = Vec::new();
     for id in candidates {
-        let Some(obs) = analysis.observations.get(id) else {
+        let Some(obs) = analysis.devices.get(*id) else {
             continue;
         };
         let pkts = obs.total_packets() as f64;

@@ -252,7 +252,7 @@ struct Coverage {
 /// let hours = built.scenario.generate();
 /// let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
 /// let outcome = pipeline.run(&hours, &AnalyzeOptions::new()).unwrap();
-/// assert!(outcome.analysis.observations.len() > 100);
+/// assert!(outcome.analysis.device_count() > 100);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AnalysisPipeline<'a> {
@@ -720,7 +720,7 @@ mod tests {
             .run(&traffic, &AnalyzeOptions::new().threads(4))
             .unwrap()
             .analysis;
-        assert_eq!(seq.observations, par.observations);
+        assert_eq!(seq.devices, par.devices);
         assert_eq!(seq.protocol_packets, par.protocol_packets);
         assert_eq!(seq.scan_services, par.scan_services);
         assert_eq!(seq.udp_ports, par.udp_ports);
@@ -807,10 +807,7 @@ mod tests {
             .run(&built.scenario.generate(), &AnalyzeOptions::new())
             .unwrap()
             .analysis;
-        assert_eq!(
-            out.analysis.observations.len(),
-            in_memory.observations.len()
-        );
+        assert_eq!(out.analysis.device_count(), in_memory.device_count());
         assert_eq!(out.analysis.total_packets(), in_memory.total_packets());
         // The store's own metrics flowed into the run registry.
         let snap = out.metrics.unwrap();
@@ -962,9 +959,9 @@ mod tests {
             .unwrap()
             .analysis;
         let via_shim = pipeline.analyze(&traffic);
-        assert_eq!(via_run.observations, via_shim.observations);
+        assert_eq!(via_run.devices, via_shim.devices);
         assert_eq!(via_run.protocol_packets, via_shim.protocol_packets);
         let via_par = pipeline.analyze_parallel(&traffic, 3);
-        assert_eq!(via_run.observations, via_par.observations);
+        assert_eq!(via_run.devices, via_par.devices);
     }
 }

@@ -175,7 +175,7 @@ pub fn summary(analysis: &Analysis) -> ScanSummary {
     let mut icmp_devices = 0usize;
     let mut icmp_packets = 0u64;
     let mut icmp_consumer = 0u64;
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         if obs.packets(TrafficClass::TcpScan) > 0 {
             tcp_devices += 1;
             if obs.realm == Realm::Consumer {

@@ -187,7 +187,7 @@ impl Trailing {
 pub struct StreamingAnalyzer<'a> {
     analyzer: Analyzer<'a>,
     config: StreamConfig,
-    seen_devices: std::collections::HashSet<DeviceId>,
+    seen_devices: crate::table::DeviceSet,
     backscatter: Trailing,
     services: [Trailing; 5],
     ports: [Trailing; 2],
@@ -202,7 +202,7 @@ impl<'a> StreamingAnalyzer<'a> {
         StreamingAnalyzer {
             analyzer: Analyzer::new(db, hours),
             config,
-            seen_devices: std::collections::HashSet::new(),
+            seen_devices: crate::table::DeviceSet::with_capacity(db.len()),
             backscatter: Trailing::new(config.window),
             services: std::array::from_fn(|_| Trailing::new(config.window)),
             ports: [Trailing::new(config.window), Trailing::new(config.window)],
@@ -248,7 +248,7 @@ impl<'a> StreamingAnalyzer<'a> {
 
         // --- new-device discovery -----------------------------------------
         let mut discovered = 0usize;
-        for obs in snapshot.observations.values() {
+        for obs in snapshot.devices.rows() {
             if obs.first_interval == hour.interval && self.seen_devices.insert(obs.device) {
                 discovered += 1;
             }
@@ -392,7 +392,7 @@ mod tests {
                 _ => None,
             })
             .sum();
-        assert_eq!(total, analysis.observations.len());
+        assert_eq!(total, analysis.device_count());
     }
 
     #[test]
@@ -482,7 +482,7 @@ mod tests {
             stream.push_hour(&built.scenario.generate_hour(i));
         }
         let (analysis, alerts) = stream.finish();
-        assert!(analysis.observations.len() > 500);
+        assert!(analysis.device_count() > 500);
         // The interval-119 port sweep still alerts after the gap.
         assert!(alerts
             .iter()

@@ -94,7 +94,7 @@ pub fn summary(analysis: &Analysis) -> UdpSummary {
     let total = c_pkts + x_pkts;
     let mut c_devs = 0usize;
     let mut devices = 0usize;
-    for obs in analysis.observations.values() {
+    for obs in analysis.devices.rows() {
         if obs.packets(crate::classify::TrafficClass::Udp) > 0 {
             devices += 1;
             if obs.realm == Realm::Consumer {

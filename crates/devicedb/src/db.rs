@@ -80,6 +80,35 @@ impl DeviceDb {
         &self.devices[id.0 as usize]
     }
 
+    /// The dense intern index of `id`.
+    ///
+    /// Ids issued by [`push`](Self::push) are dense: the n-th accepted
+    /// device gets `DeviceId(n)`, so ids double as array indices. The
+    /// columnar analysis structures (`DeviceTable`, `DeviceSet`) rely on
+    /// this contract; `index_of`/[`id_at`](Self::id_at) make it explicit
+    /// at call sites instead of scattering `id.0 as usize` casts.
+    #[inline]
+    pub fn index_of(&self, id: DeviceId) -> usize {
+        debug_assert!(
+            (id.0 as usize) < self.devices.len(),
+            "id {} not issued by this database",
+            id.0
+        );
+        id.0 as usize
+    }
+
+    /// The id at dense intern index `index` — the inverse of
+    /// [`index_of`](Self::index_of).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn id_at(&self, index: usize) -> DeviceId {
+        assert!(index < self.devices.len(), "index {index} out of range");
+        DeviceId(index as u32)
+    }
+
     /// The device at `ip`, if any — the correlation primitive.
     pub fn lookup_ip(&self, ip: Ipv4Addr) -> Option<&IotDevice> {
         self.by_ip.get(&ip).map(|id| self.device(*id))
@@ -285,6 +314,25 @@ mod tests {
         assert_eq!(a, DeviceId(0));
         assert_eq!(b, DeviceId(1));
         assert_eq!(db.device(b).country.code(), "RU");
+    }
+
+    #[test]
+    fn intern_index_round_trips() {
+        let db = DeviceDb::from_devices([
+            dev([1, 1, 1, 1], "US", Realm::Consumer),
+            dev([1, 1, 1, 2], "RU", Realm::Cps),
+        ]);
+        for (i, d) in db.iter().enumerate() {
+            assert_eq!(db.index_of(d.id), i);
+            assert_eq!(db.id_at(i), d.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_at_out_of_range_panics() {
+        let db = DeviceDb::from_devices([dev([1, 1, 1, 1], "US", Realm::Consumer)]);
+        let _ = db.id_at(1);
     }
 
     #[test]

@@ -84,15 +84,15 @@ fn main() {
     println!("\n== what anonymization removed ==");
     println!(
         "original correlation: {} devices matched, {} noise packets",
-        original.observations.len(),
+        original.device_count(),
         original.unmatched_packets
     );
     println!(
         "shared   correlation: {} devices matched, {} unmatched packets",
-        received.observations.len(),
+        received.device_count(),
         recv_scan
     );
-    assert!(received.observations.len() < original.observations.len() / 100);
+    assert!(received.device_count() < original.device_count() / 100);
 
     println!("\n== subnet structure is preserved ==");
     let x = std::net::Ipv4Addr::new(100, 20, 30, 40);

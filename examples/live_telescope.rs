@@ -79,7 +79,7 @@ fn main() {
     println!(
         "  … {printed} operational alerts shown, {} total (incl. discovery); {} devices indexed\n",
         alerts.len(),
-        analysis.observations.len()
+        analysis.device_count()
     );
 
     // ---- phase 2: fingerprint unindexed IoT ------------------------------

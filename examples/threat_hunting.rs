@@ -22,10 +22,7 @@ fn main() {
         .run(&traffic, &AnalyzeOptions::new().threads(4))
         .expect("in-memory analysis")
         .analysis;
-    println!(
-        "inferred {} compromised devices",
-        analysis.observations.len()
-    );
+    println!("inferred {} compromised devices", analysis.device_count());
 
     // Stand up the intel substrates (Cymon-like repo + malware DB).
     let candidates = malicious::select_candidates(&analysis, 400);
@@ -77,13 +74,16 @@ fn main() {
     let Some(worst) = findings
         .devices
         .iter()
-        .max_by_key(|id| analysis.observations[id].total_packets())
+        .max_by_key(|id| analysis.devices.get(**id).map_or(0, |o| o.total_packets()))
     else {
         println!("\nno malware-linked device found at this scale");
         return;
     };
     let dev = built.inventory.db.device(*worst);
-    let obs = &analysis.observations[worst];
+    let obs = analysis
+        .devices
+        .get(*worst)
+        .expect("malware-linked device was correlated");
     println!("\n== drill-down: {} ==", dev.ip);
     println!("  profile:  {:?}", dev.profile);
     println!(

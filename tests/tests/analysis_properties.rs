@@ -1,0 +1,186 @@
+//! Property tests for the columnar analysis model: the merge operation
+//! must form a commutative monoid over disjoint hour partitions, and
+//! every memoized [`AnalysisView`] query must equal a brute-force
+//! recomputation from the raw per-device rows.
+
+use iotscope_core::analysis::{Analysis, Analyzer};
+use iotscope_core::TrafficClass;
+use iotscope_devicedb::{DeviceId, Realm};
+use iotscope_telescope::paper::{BuiltScenario, PaperScenario, PaperScenarioConfig};
+use iotscope_telescope::HourTraffic;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared 143-hour scenario (generated once; the property tests
+/// below only re-partition its hours, never regenerate traffic).
+fn shared() -> &'static (BuiltScenario, Vec<HourTraffic>) {
+    static SHARED: OnceLock<(BuiltScenario, Vec<HourTraffic>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(21));
+        let traffic = built.scenario.generate();
+        (built, traffic)
+    })
+}
+
+fn num_hours() -> u32 {
+    let (built, _) = shared();
+    built.scenario.telescope().window.num_hours()
+}
+
+/// Analyze one disjoint slice of hours into a partial `Analysis`.
+fn partial(hour_indices: &[usize]) -> Analysis {
+    let (built, traffic) = shared();
+    let mut an = Analyzer::new(&built.inventory.db, num_hours());
+    for &i in hour_indices {
+        an.ingest_hour(&traffic[i]);
+    }
+    // Partials are merged further, so keep them un-normalized the way
+    // the parallel pipeline does: peek-equivalent state via resume.
+    an.finish()
+}
+
+fn merged(parts: Vec<Analysis>) -> Analysis {
+    let (built, _) = shared();
+    let mut iter = parts.into_iter();
+    let first = iter.next().expect("at least one partial");
+    let mut acc = Analyzer::resume(&built.inventory.db, first);
+    for p in iter {
+        acc.merge(Analyzer::resume(&built.inventory.db, p));
+    }
+    acc.finish()
+}
+
+/// Strategy: a random partition of `0..n` hours into `k` disjoint
+/// groups (some possibly empty), as the group index of each hour.
+fn partition_strategy(n: usize, k: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(0..k, n).prop_map(move |assignment| {
+        let mut groups = vec![Vec::new(); k];
+        for (hour, &g) in assignment.iter().enumerate() {
+            groups[g].push(hour);
+        }
+        groups
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Merging disjoint hour partitions is commutative: any order of the
+    /// same partials produces the same finished analysis.
+    #[test]
+    fn prop_merge_is_commutative(
+        groups in partition_strategy(143, 3),
+        perm in Just([1usize, 2, 0]),
+    ) {
+        let parts: Vec<Analysis> = groups.iter().map(|g| partial(g)).collect();
+        let forward = merged(parts.clone());
+        let permuted: Vec<Analysis> = perm.iter().map(|&i| parts[i].clone()).collect();
+        let backward = merged(permuted);
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Merging is associative: ((a∪b)∪c) == (a∪(b∪c)), and both equal
+    /// the sequential single-analyzer pass over all hours.
+    #[test]
+    fn prop_merge_is_associative_and_matches_sequential(
+        groups in partition_strategy(143, 3),
+    ) {
+        let a = partial(&groups[0]);
+        let b = partial(&groups[1]);
+        let c = partial(&groups[2]);
+
+        let left = merged(vec![merged(vec![a.clone(), b.clone()]), c.clone()]);
+        let right = merged(vec![a, merged(vec![b, c])]);
+        prop_assert_eq!(&left, &right);
+
+        let all: Vec<usize> = (0..143).collect();
+        let sequential = partial(&all);
+        prop_assert_eq!(&left, &sequential);
+        prop_assert_eq!(left.devices.ids(), sequential.devices.ids());
+    }
+
+    /// Every memoized view query equals a brute-force recomputation
+    /// from the raw device rows, on an arbitrary subset of hours.
+    #[test]
+    fn prop_views_equal_brute_force(groups in partition_strategy(143, 2)) {
+        let analysis = partial(&groups[0]);
+        let view = analysis.view();
+
+        // compromised == all row ids, sorted.
+        let mut ids: Vec<DeviceId> =
+            analysis.devices.rows().map(|o| o.device).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(view.compromised(), &ids[..]);
+
+        // Per-class cohorts.
+        for class in TrafficClass::ALL {
+            let mut brute: Vec<DeviceId> = analysis
+                .devices
+                .rows()
+                .filter(|o| o.packets(class) > 0)
+                .map(|o| o.device)
+                .collect();
+            brute.sort_unstable();
+            prop_assert_eq!(view.cohort(class), &brute[..], "class={:?}", class);
+        }
+        prop_assert_eq!(view.dos_victims(), view.cohort(TrafficClass::Backscatter));
+        prop_assert_eq!(view.tcp_scanners(), view.cohort(TrafficClass::TcpScan));
+        prop_assert_eq!(view.udp_devices(), view.cohort(TrafficClass::Udp));
+
+        // Scanners: TCP SYN or ICMP echo.
+        let mut scanners: Vec<DeviceId> = analysis
+            .devices
+            .rows()
+            .filter(|o| o.scan_packets() > 0)
+            .map(|o| o.device)
+            .collect();
+        scanners.sort_unstable();
+        prop_assert_eq!(view.scanners(), &scanners[..]);
+
+        // Realm partitions + counts.
+        for realm in [Realm::Consumer, Realm::Cps] {
+            let mut brute: Vec<DeviceId> = analysis
+                .devices
+                .rows()
+                .filter(|o| o.realm == realm)
+                .map(|o| o.device)
+                .collect();
+            brute.sort_unstable();
+            prop_assert_eq!(view.realm_devices(realm), &brute[..], "realm={:?}", realm);
+        }
+        let consumer = analysis
+            .devices
+            .rows()
+            .filter(|o| o.realm == Realm::Consumer)
+            .count();
+        prop_assert_eq!(
+            view.realm_counts(),
+            (consumer, analysis.device_count() - consumer)
+        );
+
+        // Total packets.
+        let total: u64 = analysis.devices.rows().map(|o| o.total_packets()).sum();
+        prop_assert_eq!(view.total_packets(), total);
+
+        // The legacy accessor shims route through the same cache.
+        prop_assert_eq!(&analysis.compromised_devices()[..], view.compromised());
+        prop_assert_eq!(&analysis.dos_victims()[..], view.dos_victims());
+        prop_assert_eq!(&analysis.tcp_scanners()[..], view.tcp_scanners());
+        prop_assert_eq!(&analysis.udp_devices()[..], view.udp_devices());
+        prop_assert_eq!(analysis.compromised_counts(), view.realm_counts());
+        prop_assert_eq!(analysis.total_packets(), view.total_packets());
+    }
+}
+
+/// A cloned analysis starts with a cold cache but answers identically.
+#[test]
+fn cloned_analysis_recomputes_identical_views() {
+    let all: Vec<usize> = (0..143).collect();
+    let analysis = partial(&all);
+    // Warm the original's cache first.
+    let warm = analysis.view().compromised().to_vec();
+    let clone = analysis.clone();
+    assert_eq!(clone.view().compromised(), &warm[..]);
+    assert_eq!(clone.view().realm_counts(), analysis.view().realm_counts());
+    assert_eq!(clone, analysis);
+}

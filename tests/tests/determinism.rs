@@ -70,7 +70,7 @@ fn device_counts_do_not_scale_with_packet_scale() {
             .run(&traffic, &AnalyzeOptions::new())
             .unwrap()
             .analysis;
-        analysis.observations.len()
+        analysis.device_count()
     };
     // The inferred population is the designated population at any scale —
     // guaranteed discovery flows make low scales lossless.

@@ -153,7 +153,7 @@ fn streaming_alerts_reconstruct_the_event_timeline() {
             _ => None,
         })
         .sum();
-    assert_eq!(discovered, analysis.observations.len());
+    assert_eq!(discovered, analysis.device_count());
 
     // The big planted DoS episodes raise spike alerts outside warmup.
     let spikes: Vec<u32> = logged

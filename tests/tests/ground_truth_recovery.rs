@@ -48,7 +48,7 @@ fn no_benign_device_is_inferred() {
         .chain(built.inventory.designated_cps.iter())
         .copied()
         .collect();
-    for id in analysis.observations.keys() {
+    for id in analysis.devices.ids() {
         assert!(
             designated.contains(id),
             "benign device {id} falsely inferred"
@@ -66,7 +66,7 @@ fn noise_sources_are_filtered_not_correlated() {
     // Noise sources live outside the inventory; every observation maps to
     // a real device (guaranteed by construction of lookup, asserted via
     // the device-id space).
-    for id in analysis.observations.keys() {
+    for id in analysis.devices.ids() {
         assert!((id.0 as usize) < built.inventory.db.len());
     }
 }
@@ -136,7 +136,8 @@ fn planted_udp_actors_emit_udp() {
 #[test]
 fn discovery_respects_truth_onsets() {
     let (built, analysis) = fixture();
-    for (id, obs) in &analysis.observations {
+    for obs in analysis.devices.rows() {
+        let id = &obs.device;
         if let Some(onset) = built.truth.onset.get(id) {
             assert!(
                 obs.first_interval >= *onset,
@@ -169,7 +170,7 @@ fn dos_spike_intervals_carry_planted_spikes() {
 fn victims_emit_only_backscatter_like_traffic() {
     let (built, analysis) = fixture();
     for v in built.truth.devices_with_role(Role::DosVictim) {
-        let obs = &analysis.observations[&v];
+        let obs = analysis.devices.get(v).expect("planted victim correlated");
         assert!(obs.packets(TrafficClass::Backscatter) > 0);
         assert_eq!(obs.packets(TrafficClass::TcpScan), 0, "victim {v} scanned");
         assert_eq!(obs.packets(TrafficClass::Udp), 0, "victim {v} sent UDP");
@@ -180,7 +181,10 @@ fn victims_emit_only_backscatter_like_traffic() {
 fn icmp_scanners_recovered() {
     let (built, analysis) = fixture();
     for id in built.truth.devices_with_role(Role::IcmpScanner) {
-        let obs = &analysis.observations[&id];
+        let obs = analysis
+            .devices
+            .get(id)
+            .expect("planted scanner correlated");
         assert!(
             obs.packets(TrafficClass::IcmpScan) > 0,
             "planted ICMP scanner {id} emitted none"

@@ -518,8 +518,8 @@ fn traffic_class_totals_are_consistent() {
     // Per-class sums over devices match the series sums.
     let scan_from_obs: u64 = f
         .analysis
-        .observations
-        .values()
+        .devices
+        .rows()
         .map(|o| o.packets(TrafficClass::TcpScan))
         .sum();
     let scan_from_series: u64 = f.analysis.tcp_scan[0].packets.iter().sum::<u64>()
@@ -527,8 +527,8 @@ fn traffic_class_totals_are_consistent() {
     assert_eq!(scan_from_obs, scan_from_series);
     let bs_from_obs: u64 = f
         .analysis
-        .observations
-        .values()
+        .devices
+        .rows()
         .map(|o| o.packets(TrafficClass::Backscatter))
         .sum();
     let bs_from_series: u64 = f.analysis.backscatter_hourly[0].iter().sum::<u64>()

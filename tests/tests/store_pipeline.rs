@@ -76,7 +76,7 @@ fn disk_roundtrip_preserves_the_full_report() {
     let disk = outcome.analysis;
 
     // The two paths agree on every aggregate the report uses.
-    assert_eq!(mem.observations, disk.observations);
+    assert_eq!(mem.devices, disk.devices);
     assert_eq!(mem.protocol_packets, disk.protocol_packets);
     assert_eq!(mem.scan_services, disk.scan_services);
     assert_eq!(mem.udp_ports, disk.udp_ports);
@@ -127,7 +127,7 @@ fn plain_and_delta_encoding_agree() {
     let options = AnalyzeOptions::new().window(window);
     let a = pipeline.run(&store_a, &options).unwrap().analysis;
     let b = pipeline.run(&store_b, &options).unwrap().analysis;
-    assert_eq!(a.observations, b.observations);
+    assert_eq!(a.devices, b.devices);
     assert_eq!(a.udp_ports, b.udp_ports);
 
     // Delta encoding is the smaller format.
@@ -204,7 +204,7 @@ fn sequential_and_parallel_analysis_agree_end_to_end() {
             .run(&traffic, &AnalyzeOptions::new().threads(threads))
             .unwrap()
             .analysis;
-        assert_eq!(seq.observations, par.observations, "threads={threads}");
+        assert_eq!(seq.devices, par.devices, "threads={threads}");
         assert_eq!(seq.scan_services, par.scan_services);
         assert_eq!(seq.backscatter_intervals, par.backscatter_intervals);
     }
@@ -226,10 +226,7 @@ fn parallel_store_analysis_matches_sequential_on_full_window() {
             .unwrap();
         assert!(result.dropped_days.is_empty());
         let par = result.analysis;
-        assert_eq!(
-            shared.sequential.observations, par.observations,
-            "threads={threads}"
-        );
+        assert_eq!(shared.sequential.devices, par.devices, "threads={threads}");
         assert_eq!(shared.sequential.protocol_packets, par.protocol_packets);
         assert_eq!(shared.sequential.scan_services, par.scan_services);
         assert_eq!(shared.sequential.udp_ports, par.udp_ports);
@@ -304,11 +301,11 @@ proptest! {
         let (base, base_stable) = run_store(1);
         let (par, par_stable) = run_store(threads);
         prop_assert!(par.dropped_days.is_empty());
-        prop_assert_eq!(&shared.sequential.observations, &par.analysis.observations);
+        prop_assert_eq!(&shared.sequential.devices, &par.analysis.devices);
         prop_assert_eq!(&shared.sequential.scan_services, &par.analysis.scan_services);
         prop_assert_eq!(&shared.sequential.udp_ports, &par.analysis.udp_ports);
         prop_assert_eq!(&shared.sequential.unmatched_flows, &par.analysis.unmatched_flows);
-        prop_assert_eq!(&base.analysis.observations, &par.analysis.observations);
+        prop_assert_eq!(&base.analysis.devices, &par.analysis.devices);
 
         // Work counters — store bytes/records, hours ingested, analysis
         // class totals — are deterministic; only timings/gauges vary.
@@ -318,7 +315,7 @@ proptest! {
             .run(&shared.traffic, &AnalyzeOptions::new().threads(threads))
             .unwrap()
             .analysis;
-        prop_assert_eq!(&shared.sequential.observations, &mem.observations);
+        prop_assert_eq!(&shared.sequential.devices, &mem.devices);
         prop_assert_eq!(&shared.sequential.backscatter_intervals, &mem.backscatter_intervals);
     }
 }
@@ -332,17 +329,17 @@ fn deprecated_shims_stay_byte_identical_to_run() {
     let pipeline = AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
 
     let seq = pipeline.analyze(&shared.traffic);
-    assert_eq!(seq.observations, shared.sequential.observations);
+    assert_eq!(seq.devices, shared.sequential.devices);
 
     let par = pipeline.analyze_parallel(&shared.traffic, 3);
-    assert_eq!(par.observations, shared.sequential.observations);
+    assert_eq!(par.devices, shared.sequential.devices);
     assert_eq!(par.udp_ports, shared.sequential.udp_ports);
 
     let (store_seq, dropped) = pipeline
         .analyze_store(&shared.store, &shared.window)
         .unwrap();
     assert!(dropped.is_empty());
-    assert_eq!(store_seq.observations, shared.sequential.observations);
+    assert_eq!(store_seq.devices, shared.sequential.devices);
 
     let (store_par, _) = pipeline
         .analyze_store_parallel(&shared.store, &shared.window, 4)
@@ -352,10 +349,7 @@ fn deprecated_shims_stay_byte_identical_to_run() {
     let with_stats = pipeline
         .analyze_store_with_stats(&shared.store, &shared.window, 2)
         .unwrap();
-    assert_eq!(
-        with_stats.analysis.observations,
-        shared.sequential.observations
-    );
+    assert_eq!(with_stats.analysis.devices, shared.sequential.devices);
     assert_eq!(with_stats.stats.threads, 2);
     assert_eq!(
         with_stats.stats.hours_ingested,
@@ -410,7 +404,7 @@ fn empty_device_db_correlates_nothing() {
         .run(&traffic, &AnalyzeOptions::new())
         .unwrap()
         .analysis;
-    assert!(analysis.observations.is_empty());
+    assert!(analysis.devices.is_empty());
     assert!(analysis.unmatched_flows > 0);
     let flows: u64 = traffic.iter().map(|h| h.flows.len() as u64).sum();
     assert_eq!(analysis.unmatched_flows, flows);
