@@ -1,6 +1,6 @@
 //! Correlation benchmarks (Figs 1b/2/3, Tables I–III): joining darknet
-//! sources against the inventory, plus the hash-map vs prefix-trie device
-//! lookup ablation from DESIGN.md.
+//! sources against the inventory, plus the bucketed-index vs hash-map vs
+//! prefix-trie device lookup ablation from DESIGN.md §3d.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use iotscope_core::analysis::Analyzer;
@@ -9,6 +9,8 @@ use iotscope_devicedb::Realm;
 use iotscope_net::addr::Ipv4Cidr;
 use iotscope_net::trie::PrefixTrie;
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
 
 fn bench_correlation(c: &mut Criterion) {
     let built = PaperScenario::build(PaperScenarioConfig::tiny(2));
@@ -28,17 +30,38 @@ fn bench_correlation(c: &mut Criterion) {
         })
     });
 
-    // Ablation: exact-IP lookup via the analyzer's hash map vs a /32
-    // prefix trie.
+    // Ablation: what ingest needs per flow is `(device, realm)`. The
+    // /16-bucketed index resolves both in one probe; the pre-index
+    // implementation (rebuilt explicitly here) was a hash-map probe
+    // plus an `&IotDevice` dereference for the realm; the /32 prefix
+    // trie resolves the id only.
     let trie: PrefixTrie<u32> = db
         .iter()
         .map(|d| (Ipv4Cidr::new(d.ip, 32).unwrap(), d.id.0))
         .collect();
+    let map: HashMap<Ipv4Addr, u32> = db.iter().map(|d| (d.ip, d.id.0)).collect();
+    let devices = db.as_slice();
+    let index = db.correlation_index();
+    group.bench_function("lookup_index", |b| {
+        b.iter(|| {
+            hour.flows
+                .iter()
+                .filter(|f| {
+                    index
+                        .correlate(f.src_ip)
+                        .is_some_and(|(_, realm)| realm == Realm::Consumer)
+                })
+                .count()
+        })
+    });
     group.bench_function("lookup_hashmap", |b| {
         b.iter(|| {
             hour.flows
                 .iter()
-                .filter(|f| db.lookup_ip(f.src_ip).is_some())
+                .filter(|f| {
+                    map.get(&f.src_ip)
+                        .is_some_and(|&id| devices[id as usize].realm() == Realm::Consumer)
+                })
                 .count()
         })
     });

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_net::store::{FlowStore, StoreOptions};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 use iotscope_telescope::HourTraffic;
 
@@ -45,7 +46,43 @@ fn bench_pipeline(c: &mut Criterion) {
             },
         );
     }
+
+    // Store-backed analysis over the full window on disk: read plus the
+    // fused decode→ingest path (v3 blocks stream into the analyzer).
+    let dir = std::env::temp_dir().join(format!("iotscope-bench-pipeline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FlowStore::create(&dir, StoreOptions::default()).expect("create bench store");
+    built
+        .scenario
+        .write_to_store(&store)
+        .expect("write bench store");
+    let window = built.scenario.telescope().window;
+    let store_flows: u64 = (1..=window.num_hours())
+        .map(|i| built.scenario.generate_hour(i).flows.len() as u64)
+        .sum();
+    group.throughput(Throughput::Elements(store_flows));
+    group.bench_function("analyze_store_sequential", |b| {
+        let options = AnalyzeOptions::new().window(window);
+        b.iter(|| {
+            pipeline
+                .run(&store, &options)
+                .expect("bench store analysis")
+                .analysis
+                .device_count()
+        })
+    });
+    group.bench_function("analyze_store_parallel4", |b| {
+        let options = AnalyzeOptions::new().window(window).threads(4);
+        b.iter(|| {
+            pipeline
+                .run(&store, &options)
+                .expect("bench store analysis")
+                .analysis
+                .device_count()
+        })
+    });
     group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 criterion_group!(benches, bench_pipeline);

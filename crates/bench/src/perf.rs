@@ -1,0 +1,382 @@
+//! `perf` — machine-readable performance snapshot.
+//!
+//! Runs the workspace's headline hot paths (hour ingest, report build,
+//! correlation lookups, store encode/decode/visit, store-backed
+//! analysis) with a simple median-of-N timer and writes the results as
+//! JSON next to a human-readable table. CI runs `--quick` and checks
+//! the JSON parses with the expected keys; full runs feed
+//! EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--quick] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--quick` uses the small inventory and few iterations (CI smoke);
+//! the default is the `paper(seed, 0.01)` scenario used by
+//! `bench_analysis`. `--out` defaults to `BENCH_PR5.json`.
+//!
+//! JSON schema (documented in DESIGN.md §3d): a single object mapping
+//! bench name to `{"median_ns": u64, "bytes": u64, "peak_rss": u64}`,
+//! where `bytes` is the input bytes one iteration processes (0 when not
+//! applicable) and `peak_rss` is the process-wide `VmHWM` high-water
+//! mark in bytes sampled when the bench finished (0 where
+//! `/proc/self/status` is unavailable).
+
+use iotscope_core::analysis::Analyzer;
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_core::report::{Report, ReportContext};
+use iotscope_net::addr::Ipv4Cidr;
+use iotscope_net::flowtuple::FlowTuple;
+use iotscope_net::store::{
+    decode_hour_visit, decode_hour_with, encode_hour, DecodeOptions, FlowSink, FlowStore,
+    StoreOptions,
+};
+use iotscope_net::trie::PrefixTrie;
+use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+use iotscope_telescope::HourTraffic;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        seed: 7,
+        out: "BENCH_PR5.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(7),
+            "--out" => args.out = it.next().unwrap_or_else(|| "BENCH_PR5.json".to_owned()),
+            "--help" | "-h" => {
+                println!("usage: perf [--quick] [--seed N] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One recorded bench row (insertion order is the JSON order).
+struct Entry {
+    name: &'static str,
+    median_ns: u128,
+    bytes: u64,
+    peak_rss: u64,
+}
+
+/// Median-of-`iters` wall time after `warmup` discarded iterations.
+fn measure<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> u128 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Process peak resident set (`VmHWM`) in bytes; 0 off Linux.
+fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+fn flows_bytes(flows: &[FlowTuple]) -> u64 {
+    std::mem::size_of_val(flows) as u64
+}
+
+/// A [`FlowSink`] that only counts, to time the streaming decode
+/// without an ingest on the other end.
+#[derive(Default)]
+struct CountSink(usize);
+
+impl FlowSink for CountSink {
+    fn on_flows(&mut self, flows: &[FlowTuple]) {
+        self.0 += flows.len();
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = Instant::now();
+    let (warm, iters) = if args.quick { (1, 3) } else { (2, 7) };
+    let (warm_micro, iters_micro) = if args.quick { (3, 9) } else { (5, 15) };
+
+    let config = if args.quick {
+        PaperScenarioConfig::tiny(args.seed)
+    } else {
+        PaperScenarioConfig::paper(args.seed, 0.01)
+    };
+    eprintln!(
+        "building scenario ({} devices, quick={}) ...",
+        config.synth.total_devices(),
+        args.quick
+    );
+    let built = PaperScenario::build(config);
+    let db = &built.inventory.db;
+    let window = built.scenario.telescope().window;
+    let num_hours = window.num_hours();
+    let hours: Vec<HourTraffic> = (1..=num_hours)
+        .map(|i| built.scenario.generate_hour(i))
+        .collect();
+    let busy = hours
+        .iter()
+        .max_by_key(|h| h.flows.len())
+        .expect("non-empty window");
+    eprintln!(
+        "{} hours, busiest {} flows ({:.1}s)",
+        hours.len(),
+        busy.flows.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut results: Vec<Entry> = Vec::new();
+    let mut record = |name: &'static str, bytes: u64, median_ns: u128| {
+        let peak_rss = peak_rss_bytes();
+        eprintln!("  {name}: {} ({} bytes/iter)", fmt_ns(median_ns), bytes);
+        results.push(Entry {
+            name,
+            median_ns,
+            bytes,
+            peak_rss,
+        });
+    };
+
+    // -- analysis ---------------------------------------------------
+    record(
+        "analysis/ingest_hour",
+        flows_bytes(&busy.flows),
+        measure(warm, iters, || {
+            let mut an = Analyzer::new(db, num_hours);
+            an.ingest_hour(busy);
+            an.finish().device_count()
+        }),
+    );
+
+    let analysis = {
+        let mut an = Analyzer::new(db, num_hours);
+        for h in &hours {
+            an.ingest_hour(h);
+        }
+        an.finish()
+    };
+    record(
+        "analysis/report_build",
+        0,
+        measure(warm, iters, || {
+            Report::build(&ReportContext {
+                analysis: &analysis,
+                db,
+                isps: &built.inventory.isps,
+                intel: None,
+            })
+            .compromised
+        }),
+    );
+
+    // -- correlation lookups ---------------------------------------
+    let index = db.correlation_index();
+    record(
+        "correlation/lookup_index",
+        flows_bytes(&busy.flows),
+        measure(warm_micro, iters_micro, || {
+            busy.flows
+                .iter()
+                .filter(|f| {
+                    index
+                        .correlate(f.src_ip)
+                        .is_some_and(|(_, realm)| realm == iotscope_devicedb::Realm::Consumer)
+                })
+                .count()
+        }),
+    );
+    // The pre-index path: hash-map probe plus the `&IotDevice`
+    // dereference ingest needed for the realm.
+    let map: HashMap<Ipv4Addr, u32> = db.iter().map(|d| (d.ip, d.id.0)).collect();
+    let devices = db.as_slice();
+    record(
+        "correlation/lookup_hashmap",
+        flows_bytes(&busy.flows),
+        measure(warm_micro, iters_micro, || {
+            busy.flows
+                .iter()
+                .filter(|f| {
+                    map.get(&f.src_ip).is_some_and(|&id| {
+                        devices[id as usize].realm() == iotscope_devicedb::Realm::Consumer
+                    })
+                })
+                .count()
+        }),
+    );
+    let trie: PrefixTrie<u32> = db
+        .iter()
+        .map(|d| (Ipv4Cidr::new(d.ip, 32).unwrap(), d.id.0))
+        .collect();
+    record(
+        "correlation/lookup_trie",
+        flows_bytes(&busy.flows),
+        measure(warm_micro, iters_micro, || {
+            busy.flows
+                .iter()
+                .filter(|f| trie.longest_match(f.src_ip).is_some())
+                .count()
+        }),
+    );
+
+    // -- store codec ------------------------------------------------
+    let encoded = encode_hour(busy.hour, &busy.flows, StoreOptions::default());
+    record(
+        "store/encode_hour",
+        flows_bytes(&busy.flows),
+        measure(warm_micro, iters_micro, || {
+            encode_hour(busy.hour, &busy.flows, StoreOptions::default()).len()
+        }),
+    );
+    record(
+        "store/decode_hour",
+        encoded.len() as u64,
+        measure(warm_micro, iters_micro, || {
+            decode_hour_with(&encoded, DecodeOptions::default())
+                .expect("bench decode")
+                .flows
+                .len()
+        }),
+    );
+    record(
+        "store/visit_hour",
+        encoded.len() as u64,
+        measure(warm_micro, iters_micro, || {
+            let mut sink = CountSink::default();
+            decode_hour_visit(&encoded, DecodeOptions::default(), &mut sink).expect("bench visit");
+            sink.0
+        }),
+    );
+
+    // -- store-backed pipeline (fused decode→ingest) ----------------
+    let dir = std::env::temp_dir().join(format!("iotscope-perf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FlowStore::create(&dir, StoreOptions::default()).expect("create perf store");
+    built
+        .scenario
+        .write_to_store(&store)
+        .expect("write perf store");
+    let store_bytes: u64 = store
+        .hours_present(&window)
+        .iter()
+        .map(|&h| {
+            store
+                .read_hour_bytes(h)
+                .map(|b| b.len() as u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    let pipeline = AnalysisPipeline::new(db, num_hours);
+    record(
+        "pipeline/analyze_store_sequential",
+        store_bytes,
+        measure(warm, iters, || {
+            pipeline
+                .run(&store, &AnalyzeOptions::new().window(window))
+                .expect("perf store analysis")
+                .analysis
+                .device_count()
+        }),
+    );
+    record(
+        "pipeline/analyze_store_parallel4",
+        store_bytes,
+        measure(warm, iters, || {
+            pipeline
+                .run(&store, &AnalyzeOptions::new().window(window).threads(4))
+                .expect("perf store analysis")
+                .analysis
+                .device_count()
+        }),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- outputs ----------------------------------------------------
+    println!();
+    println!(
+        "{:<36} {:>12} {:>12} {:>10}",
+        "bench", "median", "MB/s", "rss MB"
+    );
+    for e in &results {
+        let mbps = if e.bytes > 0 && e.median_ns > 0 {
+            format!("{:.1}", e.bytes as f64 / (e.median_ns as f64 / 1e9) / 1e6)
+        } else {
+            "-".to_owned()
+        };
+        println!(
+            "{:<36} {:>12} {:>12} {:>10.1}",
+            e.name,
+            fmt_ns(e.median_ns),
+            mbps,
+            e.peak_rss as f64 / (1024.0 * 1024.0)
+        );
+    }
+
+    write_json(&args.out, &results).expect("write bench json");
+    eprintln!(
+        "\nwrote {} ({:.1}s total)",
+        args.out,
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Hand-rolled JSON (no serde in the workspace): one object, bench name
+/// → `{median_ns, bytes, peak_rss}`, insertion order preserved.
+fn write_json(path: &str, results: &[Entry]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    for (i, e) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        writeln!(
+            f,
+            "  \"{}\": {{\"median_ns\": {}, \"bytes\": {}, \"peak_rss\": {}}}{comma}",
+            e.name, e.median_ns, e.bytes, e.peak_rss
+        )?;
+    }
+    writeln!(f, "}}")?;
+    Ok(())
+}

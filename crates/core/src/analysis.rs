@@ -17,6 +17,7 @@ use crate::classify::{classify, TrafficClass};
 pub use crate::table::{DeviceObservation, DeviceSet, DeviceTable};
 use crate::view::{AnalysisView, ViewCache};
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
+use iotscope_net::flowtuple::FlowTuple;
 use iotscope_net::ports::ScanService;
 use iotscope_net::protocol::TransportProtocol;
 use iotscope_obs::{Counter, Registry};
@@ -482,126 +483,49 @@ impl<'a> Analyzer<'a> {
 
     /// Ingest one hour of traffic.
     ///
+    /// Thin wrapper over the block-streaming path: one
+    /// [`begin_hour`](Self::begin_hour), one slice, one finish — so the
+    /// materialized and streaming ingests share every line of per-flow
+    /// code and are bit-identical by construction.
+    ///
     /// # Panics
     ///
     /// Panics if the hour's interval is outside the window.
     pub fn ingest_hour(&mut self, hour: &HourTraffic) {
+        let mut ingest = self.begin_hour(hour.interval);
+        ingest.ingest(&hour.flows);
+        ingest.finish();
+    }
+
+    /// Start ingesting the hour at `interval`, flow slice by flow slice —
+    /// the receiving end of the fused decode→ingest path. The returned
+    /// [`HourIngest`] implements
+    /// [`FlowSink`](iotscope_net::store::FlowSink), so it plugs straight
+    /// into [`decode_hour_visit`](iotscope_net::store::decode_hour_visit);
+    /// call [`HourIngest::finish`] to fold the hour's per-hour scratch
+    /// (distinct counts, top backscatter victim, metric flush) into the
+    /// result. Dropping it without finishing discards the hour's
+    /// contribution to those per-hour aggregates — which is what a caller
+    /// wants after a mid-hour decode error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is outside the window.
+    pub fn begin_hour(&mut self, interval: u32) -> HourIngest<'_, 'a> {
         assert!(
-            hour.interval >= 1 && hour.interval <= self.hours,
-            "interval {} outside 1..={}",
-            hour.interval,
+            interval >= 1 && interval <= self.hours,
+            "interval {interval} outside 1..={}",
             self.hours
         );
         self.result.cache.reset();
-        let idx = (hour.interval - 1) as usize;
-        let day = (hour.interval - 1) / 24;
-        let scratch = &mut self.scratch;
-        scratch.clear();
-        // Local metric accumulators, flushed once at the end of the hour.
-        let mut hour_packets: [[u64; 5]; 2] = [[0; 5]; 2];
-        let mut hour_unmatched: (u64, u64) = (0, 0);
-
-        for flow in &hour.flows {
-            let Some(device) = self.db.lookup_ip(flow.src_ip) else {
-                self.result.unmatched_flows += 1;
-                self.result.unmatched_packets += u64::from(flow.packets);
-                hour_unmatched.0 += 1;
-                hour_unmatched.1 += u64::from(flow.packets);
-                continue;
-            };
-            let class = classify(flow);
-            let ci = class_idx(class);
-            let pkts = u64::from(flow.packets);
-            let realm = device.realm();
-            let r = realm_idx(realm);
-
-            self.result
-                .devices
-                .observe(device.id, realm, ci, pkts, hour.interval, day);
-            hour_packets[r][ci] += pkts;
-
-            let proto_i = match flow.protocol {
-                TransportProtocol::Icmp => 0,
-                TransportProtocol::Tcp => 1,
-                TransportProtocol::Udp => 2,
-            };
-            self.result.protocol_packets[r][proto_i] += pkts;
-
-            match class {
-                TrafficClass::Udp => {
-                    self.result.udp[r].packets[idx] += pkts;
-                    scratch.udp_ips[r].insert(u32::from(flow.dst_ip));
-                    scratch.udp_ports[r].insert(flow.dst_port);
-                    scratch.udp_devs[r].insert(device.id);
-                    let port = self.result.udp_ports.entry(flow.dst_port).or_default();
-                    port.packets += pkts;
-                    port.devices.insert(device.id);
-                }
-                TrafficClass::TcpScan => {
-                    self.result.tcp_scan[r].packets[idx] += pkts;
-                    scratch.scan_ips[r].insert(u32::from(flow.dst_ip));
-                    scratch.scan_ports[r].insert(flow.dst_port);
-                    scratch.scan_devs[r].insert(device.id);
-                    let key = match ScanService::from_port(flow.dst_port) {
-                        Some(svc) => ServiceKey::Named(svc),
-                        None => ServiceKey::Other,
-                    };
-                    let stat = self.result.scan_services.entry(key).or_default();
-                    stat.packets[r] += pkts;
-                    stat.devices[r].insert(device.id);
-                    if let ServiceKey::Named(svc) = key {
-                        if let Some(pos) = TOP5_SERVICES.iter().position(|s| *s == svc) {
-                            self.result.top5_series[idx][pos] += pkts;
-                        }
-                    }
-                }
-                TrafficClass::Backscatter => {
-                    self.result.backscatter_hourly[r][idx] += pkts;
-                    let di = self.db.index_of(device.id);
-                    if scratch.bs_counts[di] == 0 {
-                        scratch.bs_touched.push(di as u32);
-                    }
-                    scratch.bs_counts[di] += pkts;
-                }
-                TrafficClass::IcmpScan | TrafficClass::Other => {}
-            }
-        }
-
-        for r in 0..2 {
-            self.result.udp[r].dst_ips[idx] += scratch.udp_ips[r].len() as u64;
-            self.result.udp[r].dst_ports[idx] += scratch.udp_ports[r].len as u64;
-            self.result.udp[r].devices[idx] += scratch.udp_devs[r].len() as u64;
-            self.result.tcp_scan[r].dst_ips[idx] += scratch.scan_ips[r].len() as u64;
-            self.result.tcp_scan[r].dst_ports[idx] += scratch.scan_ports[r].len as u64;
-            self.result.tcp_scan[r].devices[idx] += scratch.scan_devs[r].len() as u64;
-        }
-        // Attribute the hour's backscatter to its dominant victim. Ties
-        // break toward the smaller device id so the result does not
-        // depend on accumulation order.
-        let slot = &mut self.result.backscatter_intervals[idx];
-        let mut top: Option<(DeviceId, u64)> = None;
-        let mut total = 0u64;
-        for &di in &scratch.bs_touched {
-            let cnt = scratch.bs_counts[di as usize];
-            let id = DeviceId(di);
-            total += cnt;
-            if top.is_none_or(|(bd, bc)| cnt > bc || (cnt == bc && id < bd)) {
-                top = Some((id, cnt));
-            }
-        }
-        slot.total += total;
-        merge_top_victim(&mut slot.top_victim, top);
-
-        if let Some(m) = &self.metrics {
-            for (r, row) in hour_packets.iter().enumerate() {
-                for (c, &pkts) in row.iter().enumerate() {
-                    if pkts > 0 {
-                        m.packets[r][c].add(pkts);
-                    }
-                }
-            }
-            m.unmatched_flows.add(hour_unmatched.0);
-            m.unmatched_packets.add(hour_unmatched.1);
+        self.scratch.clear();
+        HourIngest {
+            interval,
+            idx: (interval - 1) as usize,
+            day: (interval - 1) / 24,
+            hour_packets: [[0; 5]; 2],
+            hour_unmatched: (0, 0),
+            an: self,
         }
     }
 
@@ -680,6 +604,153 @@ impl<'a> Analyzer<'a> {
     }
 }
 
+/// One hour's streaming ingest, produced by [`Analyzer::begin_hour`].
+///
+/// Feed it in-order flow slices (any slicing — per v3 block, per
+/// whole hour, per record — folds identically) and then
+/// [`finish`](Self::finish) to commit the hour's per-hour aggregates.
+#[derive(Debug)]
+pub struct HourIngest<'h, 'a> {
+    an: &'h mut Analyzer<'a>,
+    interval: u32,
+    idx: usize,
+    day: u32,
+    /// Local metric accumulators, flushed once at finish so the hot
+    /// per-flow path pays nothing for instrumentation.
+    hour_packets: [[u64; 5]; 2],
+    hour_unmatched: (u64, u64),
+}
+
+impl HourIngest<'_, '_> {
+    /// Fold one slice of the hour's flows.
+    pub fn ingest(&mut self, flows: &[FlowTuple]) {
+        let idx = self.idx;
+        let an = &mut *self.an;
+        let index = an.db.correlation_index();
+        let scratch = &mut an.scratch;
+        let result = &mut an.result;
+
+        for flow in flows {
+            let Some((di, realm)) = index.correlate(flow.src_ip) else {
+                result.unmatched_flows += 1;
+                result.unmatched_packets += u64::from(flow.packets);
+                self.hour_unmatched.0 += 1;
+                self.hour_unmatched.1 += u64::from(flow.packets);
+                continue;
+            };
+            // Dense-id contract: the intern index *is* the device id.
+            let id = DeviceId(di);
+            let class = classify(flow);
+            let ci = class_idx(class);
+            let pkts = u64::from(flow.packets);
+            let r = realm_idx(realm);
+
+            result
+                .devices
+                .observe(id, realm, ci, pkts, self.interval, self.day);
+            self.hour_packets[r][ci] += pkts;
+
+            let proto_i = match flow.protocol {
+                TransportProtocol::Icmp => 0,
+                TransportProtocol::Tcp => 1,
+                TransportProtocol::Udp => 2,
+            };
+            result.protocol_packets[r][proto_i] += pkts;
+
+            match class {
+                TrafficClass::Udp => {
+                    result.udp[r].packets[idx] += pkts;
+                    scratch.udp_ips[r].insert(u32::from(flow.dst_ip));
+                    scratch.udp_ports[r].insert(flow.dst_port);
+                    scratch.udp_devs[r].insert(id);
+                    let port = result.udp_ports.entry(flow.dst_port).or_default();
+                    port.packets += pkts;
+                    port.devices.insert(id);
+                }
+                TrafficClass::TcpScan => {
+                    result.tcp_scan[r].packets[idx] += pkts;
+                    scratch.scan_ips[r].insert(u32::from(flow.dst_ip));
+                    scratch.scan_ports[r].insert(flow.dst_port);
+                    scratch.scan_devs[r].insert(id);
+                    let key = match ScanService::from_port(flow.dst_port) {
+                        Some(svc) => ServiceKey::Named(svc),
+                        None => ServiceKey::Other,
+                    };
+                    let stat = result.scan_services.entry(key).or_default();
+                    stat.packets[r] += pkts;
+                    stat.devices[r].insert(id);
+                    if let ServiceKey::Named(svc) = key {
+                        if let Some(pos) = TOP5_SERVICES.iter().position(|s| *s == svc) {
+                            result.top5_series[idx][pos] += pkts;
+                        }
+                    }
+                }
+                TrafficClass::Backscatter => {
+                    result.backscatter_hourly[r][idx] += pkts;
+                    let di = di as usize;
+                    if scratch.bs_counts[di] == 0 {
+                        scratch.bs_touched.push(di as u32);
+                    }
+                    scratch.bs_counts[di] += pkts;
+                }
+                TrafficClass::IcmpScan | TrafficClass::Other => {}
+            }
+        }
+    }
+
+    /// Commit the hour: fold the per-hour scratch (distinct dst-IP /
+    /// port / device counts, dominant backscatter victim) into the
+    /// result and flush the hour's metric accumulators.
+    pub fn finish(self) {
+        let idx = self.idx;
+        let an = self.an;
+        let scratch = &mut an.scratch;
+        let result = &mut an.result;
+        for r in 0..2 {
+            result.udp[r].dst_ips[idx] += scratch.udp_ips[r].len() as u64;
+            result.udp[r].dst_ports[idx] += scratch.udp_ports[r].len as u64;
+            result.udp[r].devices[idx] += scratch.udp_devs[r].len() as u64;
+            result.tcp_scan[r].dst_ips[idx] += scratch.scan_ips[r].len() as u64;
+            result.tcp_scan[r].dst_ports[idx] += scratch.scan_ports[r].len as u64;
+            result.tcp_scan[r].devices[idx] += scratch.scan_devs[r].len() as u64;
+        }
+        // Attribute the hour's backscatter to its dominant victim. Ties
+        // break toward the smaller device id so the result does not
+        // depend on accumulation order.
+        let slot = &mut result.backscatter_intervals[idx];
+        let mut top: Option<(DeviceId, u64)> = None;
+        let mut total = 0u64;
+        for &di in &scratch.bs_touched {
+            let cnt = scratch.bs_counts[di as usize];
+            let id = DeviceId(di);
+            total += cnt;
+            if top.is_none_or(|(bd, bc)| cnt > bc || (cnt == bc && id < bd)) {
+                top = Some((id, cnt));
+            }
+        }
+        slot.total += total;
+        merge_top_victim(&mut slot.top_victim, top);
+
+        if let Some(m) = &an.metrics {
+            for (r, row) in self.hour_packets.iter().enumerate() {
+                for (c, &pkts) in row.iter().enumerate() {
+                    if pkts > 0 {
+                        m.packets[r][c].add(pkts);
+                    }
+                }
+            }
+            m.unmatched_flows.add(self.hour_unmatched.0);
+            m.unmatched_packets.add(self.hour_unmatched.1);
+        }
+    }
+}
+
+impl iotscope_net::store::FlowSink for HourIngest<'_, '_> {
+    fn on_flows(&mut self, flows: &[FlowTuple]) {
+        self.ingest(flows);
+    }
+}
+
 /// Keep the dominant `(victim, packets)` pair; ties break toward the
 /// smaller device id (determinism across merge orders).
 fn merge_top_victim(current: &mut Option<(DeviceId, u64)>, candidate: Option<(DeviceId, u64)>) {
@@ -755,6 +826,61 @@ mod tests {
         assert_eq!(a.unmatched_flows, 1);
         assert_eq!(a.unmatched_packets, 1);
         assert_eq!(a.compromised_devices(), vec![DeviceId(0)]);
+    }
+
+    #[test]
+    fn sliced_ingest_matches_whole_hour_ingest() {
+        // begin_hour + arbitrary slicing must equal ingest_hour exactly —
+        // the contract the fused block-streaming path rides on.
+        let db = db();
+        let mixed = vec![
+            syn([1, 0, 0, 1], 23),
+            syn([9, 9, 9, 9], 23), // unmatched
+            FlowTuple::udp(
+                Ipv4Addr::new(1, 0, 0, 1),
+                Ipv4Addr::new(44, 1, 1, 2),
+                5000,
+                37547,
+            )
+            .with_packets(3),
+            FlowTuple::tcp(
+                Ipv4Addr::new(2, 0, 0, 1),
+                Ipv4Addr::new(44, 1, 1, 1),
+                44818,
+                50000,
+                TcpFlags::SYN | TcpFlags::ACK,
+            )
+            .with_packets(5),
+            syn([2, 0, 0, 1], 2323),
+        ];
+        let mut whole = Analyzer::new(&db, 4);
+        whole.ingest_hour(&hour(2, mixed.clone()));
+        let whole = whole.finish();
+        for chunk in [1, 2, mixed.len()] {
+            let mut sliced = Analyzer::new(&db, 4);
+            let mut ingest = sliced.begin_hour(2);
+            for part in mixed.chunks(chunk) {
+                ingest.ingest(part);
+            }
+            ingest.finish();
+            assert_eq!(sliced.finish(), whole, "chunk={chunk}");
+        }
+        // An unfinished hour contributes flows but no per-hour distinct
+        // counts; dropping the ingest must not poison a later hour.
+        let mut dropped = Analyzer::new(&db, 4);
+        {
+            let mut ingest = dropped.begin_hour(1);
+            ingest.ingest(&mixed);
+        }
+        let mut redo = dropped.begin_hour(2);
+        redo.ingest(&mixed);
+        redo.finish();
+        let redone = dropped.finish();
+        assert_eq!(
+            redone.udp[0].devices[0], 0,
+            "dropped hour left no distincts"
+        );
+        assert_eq!(redone.udp[0].devices[1], 1);
     }
 
     #[test]

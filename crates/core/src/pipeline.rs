@@ -45,9 +45,13 @@ pub struct StoreReadStats {
     pub blocks_read: u64,
     /// Time spent reading files (summed across workers).
     pub read_time: Duration,
-    /// Time spent decoding payloads (summed across workers).
+    /// Time spent decoding payloads (summed across workers). Store
+    /// workers run the *fused* decode→ingest path (blocks stream
+    /// straight into the analyzer), so their decode time is part of
+    /// [`ingest_time`](Self::ingest_time) and this stays ~0 for them.
     pub decode_time: Duration,
-    /// Time spent aggregating decoded hours (summed across workers).
+    /// Time spent aggregating hours (summed across workers). For store
+    /// workers this is the fused decode+ingest stage.
     pub ingest_time: Duration,
     /// Time spent merging worker partials (single-threaded).
     pub merge_time: Duration,
@@ -203,7 +207,6 @@ struct PipelineMetrics {
     hours_skipped: Counter,
     threads: Gauge,
     read_time: Timer,
-    decode_time: Timer,
     ingest_time: Timer,
     merge_time: Timer,
     wall_time: Timer,
@@ -211,13 +214,18 @@ struct PipelineMetrics {
 
 impl PipelineMetrics {
     fn register(registry: &Registry) -> Self {
+        // The fused store path folds decoding into the ingest stage, so
+        // nothing records `pipeline.decode_time` any more. Register it
+        // anyway: the name stays visible in snapshots (at ~0) and
+        // `StoreReadStats::decode_time` keeps its meaning for readers
+        // of older runs.
+        registry.timer("pipeline.decode_time");
         PipelineMetrics {
             hours_ingested: registry.counter("pipeline.hours_ingested"),
             hours_missing: registry.counter("pipeline.hours_missing"),
             hours_skipped: registry.counter("pipeline.hours_skipped"),
             threads: registry.gauge("pipeline.threads"),
             read_time: registry.timer("pipeline.read_time"),
-            decode_time: registry.timer("pipeline.decode_time"),
             ingest_time: registry.timer("pipeline.ingest_time"),
             merge_time: registry.timer("pipeline.merge_time"),
             wall_time: registry.timer("pipeline.wall_time"),
@@ -419,8 +427,11 @@ impl<'a> AnalysisPipeline<'a> {
         first.finish()
     }
 
-    /// Store path, sequential: read → decode → ingest inline on the
-    /// caller's thread.
+    /// Store path, sequential: read, then the fused decode→ingest on
+    /// the caller's thread — v3 blocks stream straight into the
+    /// analyzer via [`FlowStore::visit_hour_for`], so an hour is never
+    /// materialized as a `Vec<FlowTuple>` (v1/v2 files materialize
+    /// inside the visit and arrive as a single slice).
     fn run_store_inline(
         &self,
         store: &FlowStore,
@@ -435,17 +446,12 @@ impl<'a> AnalysisPipeline<'a> {
             let t0 = Instant::now();
             let bytes = store.read_hour_bytes(hour)?;
             let t1 = Instant::now();
-            let flows = store.decode_hour_for_with(hour, &bytes, decode)?.flows;
+            let mut ingest = an.begin_hour(interval);
+            store.visit_hour_for(hour, &bytes, decode, &mut ingest)?;
+            ingest.finish();
             let t2 = Instant::now();
-            an.ingest_hour(&HourTraffic {
-                interval,
-                hour,
-                flows,
-            });
-            let t3 = Instant::now();
             pm.read_time.record(t1 - t0);
-            pm.decode_time.record(t2 - t1);
-            pm.ingest_time.record(t3 - t2);
+            pm.ingest_time.record(t2 - t1);
             pm.hours_ingested.inc();
             worker.inc();
         }
@@ -503,23 +509,22 @@ impl<'a> AnalysisPipeline<'a> {
                                 }
                             };
                             let t1 = Instant::now();
-                            let flows = match store.decode_hour_for_with(hour, &bytes, decode) {
-                                Ok(d) => d.flows,
+                            // Fused decode→ingest: blocks stream into the
+                            // analyzer as they are decoded. On error the
+                            // unfinished `HourIngest` is dropped — its
+                            // partial prefix dies with the worker partial
+                            // when the run as a whole fails.
+                            let mut ingest = an.begin_hour(interval);
+                            match store.visit_hour_for(hour, &bytes, decode, &mut ingest) {
+                                Ok(_) => ingest.finish(),
                                 Err(e) => {
                                     fail(interval, e);
                                     continue;
                                 }
-                            };
+                            }
                             let t2 = Instant::now();
-                            an.ingest_hour(&HourTraffic {
-                                interval,
-                                hour,
-                                flows,
-                            });
-                            let t3 = Instant::now();
                             pm.read_time.record(t1 - t0);
-                            pm.decode_time.record(t2 - t1);
-                            pm.ingest_time.record(t3 - t2);
+                            pm.ingest_time.record(t2 - t1);
                             pm.hours_ingested.inc();
                             worker.inc();
                         }

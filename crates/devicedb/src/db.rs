@@ -4,12 +4,54 @@
 //! inventory, so the primary query is exact-IP lookup. Aggregation queries
 //! (by realm, country, ISP, kind) back the characterization tables.
 
+use crate::correlate::CorrelationIndex;
 use crate::device::{DeviceId, IotDevice};
 use crate::geo::CountryCode;
 use crate::isp::IspId;
 use crate::taxonomy::Realm;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// Lazily-built derived structures over the inventory: the correlation
+/// index and the per-report aggregate counts. All are pure functions of
+/// the device list, built on first use and dropped whenever the list
+/// changes ([`DeviceDb::push`] resets the whole cache), so they never
+/// affect observable `DeviceDb` semantics. Cloning a `DeviceDb` starts
+/// with a cold cache.
+#[derive(Default)]
+struct DbCache {
+    index: OnceLock<CorrelationIndex>,
+    realm_counts: OnceLock<(usize, usize)>,
+    /// Indexed by realm filter slot: 0 = all, 1 = consumer, 2 = CPS.
+    by_country: OnceLock<[HashMap<CountryCode, usize>; 3]>,
+    by_isp: OnceLock<[HashMap<IspId, usize>; 3]>,
+}
+
+impl Clone for DbCache {
+    fn clone(&self) -> Self {
+        DbCache::default()
+    }
+}
+
+impl std::fmt::Debug for DbCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbCache")
+            .field("index", &self.index.get().is_some())
+            .field("aggregates", &self.realm_counts.get().is_some())
+            .finish()
+    }
+}
+
+/// Slot in the cached aggregate arrays for a realm filter.
+#[inline]
+fn realm_slot(realm: Option<Realm>) -> usize {
+    match realm {
+        None => 0,
+        Some(Realm::Consumer) => 1,
+        Some(Realm::Cps) => 2,
+    }
+}
 
 /// An immutable inventory of IoT devices with an exact-IP index.
 ///
@@ -26,7 +68,11 @@ use std::net::Ipv4Addr;
 #[derive(Debug, Clone, Default)]
 pub struct DeviceDb {
     devices: Vec<IotDevice>,
+    /// Push-time duplicate detection only; correlation goes through the
+    /// cached [`CorrelationIndex`] (a lazy index can't absorb per-push
+    /// inserts without rebuilding, and push order must stay first-wins).
     by_ip: HashMap<Ipv4Addr, DeviceId>,
+    cache: DbCache,
 }
 
 impl DeviceDb {
@@ -58,7 +104,13 @@ impl DeviceDb {
         device.id = id;
         self.by_ip.insert(device.ip, id);
         self.devices.push(device);
+        self.cache = DbCache::default();
         Some(id)
+    }
+
+    /// All devices in dense id order.
+    pub fn as_slice(&self) -> &[IotDevice] {
+        &self.devices
     }
 
     /// Number of devices.
@@ -109,9 +161,27 @@ impl DeviceDb {
         DeviceId(index as u32)
     }
 
-    /// The device at `ip`, if any — the correlation primitive.
+    /// The two-level correlation index over this inventory, built on
+    /// first use and reused until the next [`push`](Self::push).
+    pub fn correlation_index(&self) -> &CorrelationIndex {
+        self.cache
+            .index
+            .get_or_init(|| CorrelationIndex::build(&self.devices))
+    }
+
+    /// Resolve `ip` to `(dense intern index, realm)` — the correlation
+    /// hot path. See [`CorrelationIndex::correlate`].
+    #[inline]
+    pub fn correlate(&self, ip: Ipv4Addr) -> Option<(u32, Realm)> {
+        self.correlation_index().correlate(ip)
+    }
+
+    /// The device at `ip`, if any.
+    ///
+    /// Compatibility shim over [`correlate`](Self::correlate) — prefer
+    /// that in per-flow paths, which need only the dense index and realm.
     pub fn lookup_ip(&self, ip: Ipv4Addr) -> Option<&IotDevice> {
-        self.by_ip.get(&ip).map(|id| self.device(*id))
+        self.correlate(ip).map(|(di, _)| &self.devices[di as usize])
     }
 
     /// Iterate over all devices in id order.
@@ -119,36 +189,50 @@ impl DeviceDb {
         self.devices.iter()
     }
 
-    /// Count devices per realm as `(consumer, cps)`.
+    /// Count devices per realm as `(consumer, cps)`; cached after the
+    /// first call.
     pub fn realm_counts(&self) -> (usize, usize) {
-        let consumer = self
-            .devices
-            .iter()
-            .filter(|d| d.realm() == Realm::Consumer)
-            .count();
-        (consumer, self.devices.len() - consumer)
+        *self.cache.realm_counts.get_or_init(|| {
+            let consumer = self
+                .devices
+                .iter()
+                .filter(|d| d.realm() == Realm::Consumer)
+                .count();
+            (consumer, self.devices.len() - consumer)
+        })
     }
 
     /// Count devices per country, optionally restricted to one realm.
-    pub fn count_by_country(&self, realm: Option<Realm>) -> HashMap<CountryCode, usize> {
-        let mut out = HashMap::new();
-        for d in &self.devices {
-            if realm.is_none_or(|r| d.realm() == r) {
-                *out.entry(d.country).or_insert(0) += 1;
+    ///
+    /// All three filter variants are materialized in one inventory pass
+    /// on first use and served as cached views afterwards — these back
+    /// the characterization tables and used to re-scan per report.
+    pub fn count_by_country(&self, realm: Option<Realm>) -> &HashMap<CountryCode, usize> {
+        let maps = self.cache.by_country.get_or_init(|| {
+            let mut maps: [HashMap<CountryCode, usize>; 3] = Default::default();
+            for d in &self.devices {
+                *maps[0].entry(d.country).or_insert(0) += 1;
+                *maps[realm_slot(Some(d.realm()))]
+                    .entry(d.country)
+                    .or_insert(0) += 1;
             }
-        }
-        out
+            maps
+        });
+        &maps[realm_slot(realm)]
     }
 
-    /// Count devices per ISP, optionally restricted to one realm.
-    pub fn count_by_isp(&self, realm: Option<Realm>) -> HashMap<IspId, usize> {
-        let mut out = HashMap::new();
-        for d in &self.devices {
-            if realm.is_none_or(|r| d.realm() == r) {
-                *out.entry(d.isp).or_insert(0) += 1;
+    /// Count devices per ISP, optionally restricted to one realm; cached
+    /// like [`count_by_country`](Self::count_by_country).
+    pub fn count_by_isp(&self, realm: Option<Realm>) -> &HashMap<IspId, usize> {
+        let maps = self.cache.by_isp.get_or_init(|| {
+            let mut maps: [HashMap<IspId, usize>; 3] = Default::default();
+            for d in &self.devices {
+                *maps[0].entry(d.isp).or_insert(0) += 1;
+                *maps[realm_slot(Some(d.realm()))].entry(d.isp).or_insert(0) += 1;
             }
-        }
-        out
+            maps
+        });
+        &maps[realm_slot(realm)]
     }
 }
 
@@ -431,5 +515,41 @@ mod tests {
         assert_eq!(db.realm_counts(), (0, 0));
         assert!(db.count_by_country(None).is_empty());
         assert!(db.count_by_isp(None).is_empty());
+        assert!(db.correlate(Ipv4Addr::new(1, 2, 3, 4)).is_none());
+    }
+
+    #[test]
+    fn push_invalidates_cached_views() {
+        let mut db = DeviceDb::new();
+        db.push(dev([1, 0, 0, 1], "US", Realm::Consumer)).unwrap();
+        // Warm every cache, then mutate.
+        assert_eq!(db.realm_counts(), (1, 0));
+        assert_eq!(db.count_by_country(None).len(), 1);
+        assert_eq!(db.count_by_isp(Some(Realm::Cps)).len(), 0);
+        assert!(db.correlate(Ipv4Addr::new(1, 0, 0, 1)).is_some());
+        db.push(dev([1, 0, 0, 2], "RU", Realm::Cps)).unwrap();
+        assert_eq!(db.realm_counts(), (1, 1));
+        assert_eq!(db.count_by_country(None).len(), 2);
+        assert_eq!(db.count_by_isp(Some(Realm::Cps)).len(), 1);
+        assert_eq!(
+            db.correlate(Ipv4Addr::new(1, 0, 0, 2)),
+            Some((1, Realm::Cps))
+        );
+    }
+
+    #[test]
+    fn clone_starts_cold_but_answers_identically() {
+        let db = DeviceDb::from_devices([
+            dev([1, 0, 0, 1], "US", Realm::Consumer),
+            dev([1, 0, 0, 2], "RU", Realm::Cps),
+        ]);
+        db.realm_counts(); // warm the original
+        let cloned = db.clone();
+        assert_eq!(cloned.realm_counts(), db.realm_counts());
+        assert_eq!(cloned.count_by_country(None), db.count_by_country(None));
+        assert_eq!(
+            cloned.correlate(Ipv4Addr::new(1, 0, 0, 2)),
+            db.correlate(Ipv4Addr::new(1, 0, 0, 2))
+        );
     }
 }

@@ -30,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod correlate;
 pub mod db;
 pub mod device;
 pub mod geo;
@@ -38,6 +39,7 @@ pub mod isp;
 pub mod synth;
 pub mod taxonomy;
 
+pub use correlate::CorrelationIndex;
 pub use db::DeviceDb;
 pub use device::{DeviceId, DeviceProfile, IotDevice};
 pub use geo::CountryCode;

@@ -410,6 +410,58 @@ impl FlowStore {
         Ok(decoded)
     }
 
+    /// Stream the flows for `hour` out of previously read bytes into
+    /// `sink`, block by block, without materializing the hour — the
+    /// fused decode→ingest path. See [`decode_hour_visit`] for the
+    /// streaming contract; on success this records the same `store.*`
+    /// metrics as [`FlowStore::decode_hour_for_with`].
+    ///
+    /// The claimed-hour check runs *before* anything reaches the sink:
+    /// the materialized path can verify the hour after decoding because
+    /// nothing has been consumed yet, but a sink may already have folded
+    /// flows into long-lived state.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowStore::decode_hour_for_with`]. On error the sink may
+    /// have received a prefix of the hour; callers must discard
+    /// whatever it accumulated.
+    pub fn visit_hour_for(
+        &self,
+        hour: UnixHour,
+        bytes: &[u8],
+        opts: DecodeOptions,
+        sink: &mut dyn FlowSink,
+    ) -> Result<VisitedHour, NetError> {
+        let claimed = claimed_hour(bytes)?;
+        if claimed != hour {
+            return Err(NetError::Codec(format!(
+                "file {} claims hour {claimed}, expected {hour}",
+                self.hour_path(hour).display()
+            )));
+        }
+        let visited = match decode_hour_visit(bytes, opts, sink) {
+            Ok(v) => v,
+            Err(e) => {
+                if e.is_checksum_mismatch() {
+                    self.metrics.checksum_failures.inc();
+                }
+                return Err(e);
+            }
+        };
+        self.metrics
+            .blocks_read
+            .add((visited.blocks - visited.quarantined.len()) as u64);
+        self.metrics
+            .block_checksum_failures
+            .add(visited.quarantined.len() as u64);
+        self.metrics.records_decoded.add(visited.records as u64);
+        self.metrics
+            .hour_decoded_bytes
+            .observe((visited.records * std::mem::size_of::<FlowTuple>()) as u64);
+        Ok(visited)
+    }
+
     /// Read the flows for `hour`, quarantining corrupt v3 blocks
     /// instead of failing the whole hour. `threads` sizes the parallel
     /// block decode (1 = sequential).
@@ -601,6 +653,82 @@ pub struct DecodedHour {
     pub quarantined: Vec<QuarantinedBlock>,
 }
 
+/// A consumer of decoded flow slices — the receiving end of the fused
+/// decode→ingest streaming path ([`decode_hour_visit`]).
+///
+/// # Contract
+///
+/// * Slices arrive in on-disk order (v3 block order; one slice for a
+///   whole v1/v2 hour), so feeding a sink is observably identical to
+///   feeding it the materialized `Vec<FlowTuple>` in one call — the
+///   slice boundaries carry no information.
+/// * Slices borrow a reusable scratch buffer: they are only valid for
+///   the duration of the call and must be folded, not stashed.
+/// * A quarantined block is silently skipped (it is reported in
+///   [`VisitedHour::quarantined`], exactly as the materialized path
+///   drops it from [`DecodedHour::flows`]).
+/// * On a decode **error** the sink may already have received a prefix
+///   of the hour; callers must throw away whatever state it built.
+pub trait FlowSink {
+    /// Fold one in-order slice of decoded records.
+    fn on_flows(&mut self, flows: &[FlowTuple]);
+}
+
+/// A [`FlowSink`] that materializes the stream — the adapter that lets
+/// the materialized decode share the streaming code path (which is what
+/// makes the two paths bit-identical by construction).
+#[derive(Debug, Default)]
+pub struct CollectSink(Vec<FlowTuple>);
+
+impl CollectSink {
+    /// The collected records, in on-disk order.
+    pub fn into_flows(self) -> Vec<FlowTuple> {
+        self.0
+    }
+}
+
+impl FlowSink for CollectSink {
+    fn on_flows(&mut self, flows: &[FlowTuple]) {
+        self.0.extend_from_slice(flows);
+    }
+}
+
+/// The outcome of streaming one hour file through a [`FlowSink`]:
+/// [`DecodedHour`] minus the materialized records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisitedHour {
+    /// The hour the file header claims.
+    pub hour: UnixHour,
+    /// Records handed to the sink.
+    pub records: usize,
+    /// Total blocks in the file (1 for v1/v2).
+    pub blocks: usize,
+    /// Blocks dropped by a quarantining decode (empty on strict
+    /// decodes, which fail instead).
+    pub quarantined: Vec<QuarantinedBlock>,
+}
+
+/// Peek at the hour an on-disk file claims to cover, without decoding
+/// any payload. Lets streaming callers reject a misnamed file *before*
+/// feeding its records to a sink.
+///
+/// # Errors
+///
+/// Returns [`NetError::Codec`] for a short header or bad magic.
+pub fn claimed_hour(bytes: &[u8]) -> Result<UnixHour, NetError> {
+    if bytes.len() < HEADER {
+        return Err(NetError::Codec("file shorter than header".to_owned()));
+    }
+    match &bytes[..7] {
+        m if m == MAGIC_V1 || m == MAGIC_V2 || m == MAGIC_V3 => {
+            Ok(UnixHour::new((&bytes[8..16]).get_u64()))
+        }
+        _ => Err(NetError::Codec(
+            "bad magic (not a flowtuple file)".to_owned(),
+        )),
+    }
+}
+
 /// Decode an on-disk hour file back into `(hour, flows)`.
 ///
 /// # Errors
@@ -609,6 +737,46 @@ pub struct DecodedHour {
 /// truncation, or trailing garbage.
 pub fn decode_hour(bytes: &[u8]) -> Result<(UnixHour, Vec<FlowTuple>), NetError> {
     decode_hour_with(bytes, DecodeOptions::default()).map(|d| (d.hour, d.flows))
+}
+
+/// Stream an on-disk hour file through `sink` without materializing it:
+/// v3 blocks are decoded one at a time into a reusable scratch buffer
+/// and handed to the sink as `&[FlowTuple]` slices; block-less v1/v2
+/// files decode whole and arrive as a single slice. With
+/// `opts.threads > 1`, bounded batches of blocks decode in parallel and
+/// are fed to the sink in order, so sink-observable behavior never
+/// depends on the thread count.
+///
+/// # Errors
+///
+/// As [`decode_hour_with`]. On error the sink may hold a prefix of the
+/// hour (see the [`FlowSink`] contract).
+pub fn decode_hour_visit(
+    bytes: &[u8],
+    opts: DecodeOptions,
+    sink: &mut dyn FlowSink,
+) -> Result<VisitedHour, NetError> {
+    if bytes.len() < HEADER {
+        return Err(NetError::Codec("file shorter than header".to_owned()));
+    }
+    match &bytes[..7] {
+        m if m == MAGIC_V3 => visit_hour_v3(bytes, opts, sink),
+        m if m == MAGIC_V2 || m == MAGIC_V1 => {
+            // Row formats have no block structure to stream over; decode
+            // whole and deliver as one slice.
+            let decoded = decode_hour_v12(bytes, m == MAGIC_V2)?;
+            sink.on_flows(&decoded.flows);
+            Ok(VisitedHour {
+                hour: decoded.hour,
+                records: decoded.flows.len(),
+                blocks: decoded.blocks,
+                quarantined: decoded.quarantined,
+            })
+        }
+        _ => Err(NetError::Codec(
+            "bad magic (not a flowtuple file)".to_owned(),
+        )),
+    }
 }
 
 /// Decode an hour file with explicit [`DecodeOptions`] (parallel v3
@@ -699,10 +867,23 @@ struct V3Block<'a> {
     payload: &'a [u8],
 }
 
-/// The v3 block-format decoder: verify the header checksum (which
-/// covers the index), then decode each block against its own checksum —
-/// sequentially, in parallel, and/or with quarantine per `opts`.
+/// The v3 block-format decoder: the materialized façade over the
+/// streaming path ([`visit_hour_v3`] + [`CollectSink`]), so both decode
+/// an hour through the identical code and can never drift apart.
 fn decode_hour_v3(bytes: &[u8], opts: DecodeOptions) -> Result<DecodedHour, NetError> {
+    let mut sink = CollectSink::default();
+    let visited = visit_hour_v3(bytes, opts, &mut sink)?;
+    Ok(DecodedHour {
+        hour: visited.hour,
+        flows: sink.into_flows(),
+        blocks: visited.blocks,
+        quarantined: visited.quarantined,
+    })
+}
+
+/// Validate a v3 header + block index and slice out the block payloads.
+/// Everything past this point can trust counts and bounds.
+fn parse_v3(bytes: &[u8]) -> Result<(UnixHour, Vec<V3Block<'_>>), NetError> {
     let mut hdr = &bytes[7..HEADER];
     let _flags = hdr.get_u8();
     let hour = UnixHour::new(hdr.get_u64());
@@ -770,31 +951,76 @@ fn decode_hour_v3(bytes: &[u8], opts: DecodeOptions) -> Result<DecodedHour, NetE
             "header claims {count} records but blocks hold {total_records}"
         )));
     }
+    Ok((hour, blocks))
+}
 
-    let results: Vec<Result<Vec<FlowTuple>, NetError>> = if opts.threads > 1 && blocks.len() > 1 {
-        decode_blocks_parallel(&blocks, opts.threads)
-    } else {
-        blocks.iter().map(decode_block_checked).collect()
-    };
-
-    let mut flows = Vec::new();
+/// The streaming v3 decode: feed `sink` one block at a time. Sequential
+/// decodes reuse one [`BlockScratch`] across blocks (zero per-block
+/// allocation); parallel decodes run bounded batches of blocks through
+/// [`decode_blocks_parallel`] and deliver results in block order, so at
+/// most one batch of decoded blocks is ever resident.
+fn visit_hour_v3(
+    bytes: &[u8],
+    opts: DecodeOptions,
+    sink: &mut dyn FlowSink,
+) -> Result<VisitedHour, NetError> {
+    let (hour, blocks) = parse_v3(bytes)?;
+    let mut records = 0usize;
     let mut quarantined = Vec::new();
-    for (i, result) in results.into_iter().enumerate() {
-        match result {
-            Ok(mut decoded) => flows.append(&mut decoded),
-            Err(e) if opts.quarantine => quarantined.push(QuarantinedBlock {
+    // Per-block failure handling, shared by both decode strategies so
+    // quarantine semantics cannot drift between them.
+    fn reject(
+        i: usize,
+        e: NetError,
+        block: &V3Block<'_>,
+        quarantine: bool,
+        quarantined: &mut Vec<QuarantinedBlock>,
+    ) -> Result<(), NetError> {
+        if quarantine {
+            quarantined.push(QuarantinedBlock {
                 index: i,
-                records: blocks[i].count,
+                records: block.count,
                 reason: format!("{e}"),
-            }),
-            Err(e) => {
-                return Err(NetError::Codec(format!("block {i}: {e}")));
+            });
+            Ok(())
+        } else {
+            Err(NetError::Codec(format!("block {i}: {e}")))
+        }
+    }
+    if opts.threads > 1 && blocks.len() > 1 {
+        // Batch size bounds resident decoded blocks while keeping every
+        // worker busy for a few blocks per scope.
+        let batch = opts.threads * 4;
+        for (b, part) in blocks.chunks(batch).enumerate() {
+            for (j, result) in decode_blocks_parallel(part, opts.threads)
+                .into_iter()
+                .enumerate()
+            {
+                let i = b * batch + j;
+                match result {
+                    Ok(flows) => {
+                        records += flows.len();
+                        sink.on_flows(&flows);
+                    }
+                    Err(e) => reject(i, e, &blocks[i], opts.quarantine, &mut quarantined)?,
+                }
+            }
+        }
+    } else {
+        let mut scratch = BlockScratch::default();
+        for (i, block) in blocks.iter().enumerate() {
+            match decode_block_checked_into(block, &mut scratch) {
+                Ok(()) => {
+                    records += scratch.flows.len();
+                    sink.on_flows(&scratch.flows);
+                }
+                Err(e) => reject(i, e, block, opts.quarantine, &mut quarantined)?,
             }
         }
     }
-    Ok(DecodedHour {
+    Ok(VisitedHour {
         hour,
-        flows,
+        records,
         blocks: blocks.len(),
         quarantined,
     })
@@ -824,14 +1050,35 @@ fn decode_blocks_parallel(
     results
 }
 
-/// Verify one block's checksum and decode its columns.
-fn decode_block_checked(block: &V3Block<'_>) -> Result<Vec<FlowTuple>, NetError> {
+/// Reusable per-block decode buffers: one `Vec<u32>` per column plus
+/// the decoded records. A sequential streaming decode carries one of
+/// these across every block of an hour (and across hours, if the
+/// caller keeps it), so the steady state allocates nothing.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    cols: [Vec<u32>; COLUMNS],
+    flows: Vec<FlowTuple>,
+}
+
+/// Verify one block's checksum and decode its columns into `scratch`
+/// (records land in `scratch.flows`, replacing previous contents).
+fn decode_block_checked_into(
+    block: &V3Block<'_>,
+    scratch: &mut BlockScratch,
+) -> Result<(), NetError> {
     if fnv1a(block.payload) != block.checksum {
         return Err(NetError::Codec(
             "checksum mismatch (corrupt block)".to_owned(),
         ));
     }
-    decode_block(block.payload, block.count as usize)
+    decode_block_into(block.payload, block.count as usize, scratch)
+}
+
+/// Verify one block's checksum and decode its columns.
+fn decode_block_checked(block: &V3Block<'_>) -> Result<Vec<FlowTuple>, NetError> {
+    let mut scratch = BlockScratch::default();
+    decode_block_checked_into(block, &mut scratch)?;
+    Ok(scratch.flows)
 }
 
 /// Encode every field of `f` except `src_ip` (already delta-encoded).
@@ -905,9 +1152,11 @@ fn put_rle_column(out: &mut Vec<u8>, vals: &[u32]) {
     }
 }
 
-/// Read back `n` column values written by [`put_rle_column`].
-fn get_rle_column(buf: &mut &[u8], n: usize) -> Result<Vec<u32>, NetError> {
-    let mut vals = Vec::with_capacity(n);
+/// Read back `n` column values written by [`put_rle_column`] into a
+/// reusable buffer (previous contents are replaced).
+fn get_rle_column_into(buf: &mut &[u8], n: usize, vals: &mut Vec<u32>) -> Result<(), NetError> {
+    vals.clear();
+    vals.reserve(n);
     while vals.len() < n {
         let v = get_varint(buf)?;
         vals.push(v);
@@ -921,7 +1170,7 @@ fn get_rle_column(buf: &mut &[u8], n: usize) -> Result<Vec<u32>, NetError> {
             vals.resize(vals.len() + run, 0);
         }
     }
-    Ok(vals)
+    Ok(())
 }
 
 /// Encode one v3 block: each field becomes a delta column (predictors
@@ -979,25 +1228,25 @@ fn encode_block(records: &[&FlowTuple]) -> Vec<u8> {
     out
 }
 
-/// Decode one v3 block of `count` records (inverse of [`encode_block`]).
-fn decode_block(payload: &[u8], count: usize) -> Result<Vec<FlowTuple>, NetError> {
+/// Decode one v3 block of `count` records (inverse of [`encode_block`])
+/// into `scratch.flows`, reusing `scratch.cols` as column buffers.
+fn decode_block_into(
+    payload: &[u8],
+    count: usize,
+    scratch: &mut BlockScratch,
+) -> Result<(), NetError> {
     use crate::protocol::{TcpFlags, TransportProtocol};
     let mut buf = payload;
-    let src = get_rle_column(&mut buf, count)?;
-    let dst = get_rle_column(&mut buf, count)?;
-    let src_port = get_rle_column(&mut buf, count)?;
-    let dst_port = get_rle_column(&mut buf, count)?;
-    let proto = get_rle_column(&mut buf, count)?;
-    let ttl = get_rle_column(&mut buf, count)?;
-    let flags = get_rle_column(&mut buf, count)?;
-    let ip_len = get_rle_column(&mut buf, count)?;
-    let packets = get_rle_column(&mut buf, count)?;
+    for col in scratch.cols.iter_mut() {
+        get_rle_column_into(&mut buf, count, col)?;
+    }
     if !buf.is_empty() {
         return Err(NetError::Codec(format!(
             "{} trailing bytes after {count}-record block",
             buf.len()
         )));
     }
+    let [src, dst, src_port, dst_port, proto, ttl, flags, ip_len, packets] = &scratch.cols;
     // Checked accumulators: bounded fields must land back in range, or
     // the block is structurally corrupt.
     fn bounded(prev: &mut i32, delta: u32, max: i32, field: &str) -> Result<i32, NetError> {
@@ -1008,7 +1257,9 @@ fn decode_block(payload: &[u8], count: usize) -> Result<Vec<FlowTuple>, NetError
         *prev = v;
         Ok(v)
     }
-    let mut flows = Vec::with_capacity(count);
+    let flows = &mut scratch.flows;
+    flows.clear();
+    flows.reserve(count);
     let (mut p_src, mut p_dst, mut p_pk) = (0u32, 0u32, 0u32);
     let (mut p_sp, mut p_dp, mut p_proto, mut p_ttl, mut p_fl, mut p_len) =
         (0i32, 0i32, 0i32, 0i32, 0i32, 0i32);
@@ -1031,7 +1282,7 @@ fn decode_block(payload: &[u8], count: usize) -> Result<Vec<FlowTuple>, NetError
             packets: p_pk,
         });
     }
-    Ok(flows)
+    Ok(())
 }
 
 /// Streaming 64-bit FNV-1a, so the checksum can cover discontiguous
@@ -1654,14 +1905,157 @@ mod tests {
         let mut buf = Vec::new();
         put_rle_column(&mut buf, &vals);
         let mut slice = buf.as_slice();
-        assert_eq!(get_rle_column(&mut slice, vals.len()).unwrap(), vals);
+        // Pre-populate the reuse buffer to prove it is fully replaced.
+        let mut out = vec![99u32; 4];
+        get_rle_column_into(&mut slice, vals.len(), &mut out).unwrap();
+        assert_eq!(out, vals);
         assert!(slice.is_empty());
         // A zero run claiming more records than the column holds.
         let mut bad = Vec::new();
         put_varint(&mut bad, 0);
         put_varint(&mut bad, 100);
-        let err = get_rle_column(&mut bad.as_slice(), 3).unwrap_err();
+        let err = get_rle_column_into(&mut bad.as_slice(), 3, &mut out).unwrap_err();
         assert!(format!("{err}").contains("zero run"));
+    }
+
+    /// A sink that also records slice boundaries, to prove streaming
+    /// really delivers per-block (and that order is preserved).
+    #[derive(Default)]
+    struct ChunkSink {
+        flows: Vec<FlowTuple>,
+        chunks: Vec<usize>,
+    }
+
+    impl FlowSink for ChunkSink {
+        fn on_flows(&mut self, flows: &[FlowTuple]) {
+            self.flows.extend_from_slice(flows);
+            self.chunks.push(flows.len());
+        }
+    }
+
+    #[test]
+    fn visit_matches_materialized_across_formats_and_threads() {
+        let many = scan_like_flows(BLOCK_RECORDS as u32 * 2 + 500);
+        let hour = UnixHour::new(33);
+        for (format, encode_v1) in [
+            (StoreFormat::V3, false),
+            (StoreFormat::V2, false),
+            (StoreFormat::V2, true),
+        ] {
+            let opts = StoreOptions {
+                format,
+                ..StoreOptions::default()
+            };
+            let bytes = if encode_v1 {
+                encode_hour_v1(hour, &many, opts)
+            } else {
+                encode_hour(hour, &many, opts)
+            };
+            assert_eq!(claimed_hour(&bytes).unwrap(), hour);
+            for threads in [1, 3] {
+                let opts = DecodeOptions {
+                    threads,
+                    quarantine: false,
+                };
+                let materialized = decode_hour_with(&bytes, opts).unwrap();
+                let mut sink = ChunkSink::default();
+                let visited = decode_hour_visit(&bytes, opts, &mut sink).unwrap();
+                assert_eq!(visited.hour, materialized.hour);
+                assert_eq!(visited.blocks, materialized.blocks);
+                assert_eq!(visited.records, materialized.flows.len());
+                assert_eq!(
+                    sink.flows, materialized.flows,
+                    "{format:?} threads={threads}"
+                );
+                if format == StoreFormat::V3 {
+                    // One slice per block, in order.
+                    assert_eq!(sink.chunks.len(), materialized.blocks);
+                    assert_eq!(sink.chunks[0], BLOCK_RECORDS);
+                } else {
+                    assert_eq!(sink.chunks, vec![many.len()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visit_quarantines_like_materialized_decode() {
+        let many = scan_like_flows(BLOCK_RECORDS as u32 * 2 + 100);
+        let hour = UnixHour::new(60);
+        let mut bytes = encode_hour(hour, &many, StoreOptions::default());
+        // Flip one byte inside the second block's payload.
+        let index_end = HEADER + 4 + 3 * INDEX_ENTRY;
+        let first_len =
+            u32::from_be_bytes(bytes[HEADER + 8..HEADER + 12].try_into().unwrap()) as usize;
+        bytes[index_end + first_len + 10] ^= 0xff;
+
+        // Strict streaming decode fails like the materialized one.
+        let strict = DecodeOptions {
+            threads: 1,
+            quarantine: false,
+        };
+        let mut sink = ChunkSink::default();
+        assert!(decode_hour_visit(&bytes, strict, &mut sink).is_err());
+
+        for threads in [1, 2] {
+            let opts = DecodeOptions {
+                threads,
+                quarantine: true,
+            };
+            let materialized = decode_hour_with(&bytes, opts).unwrap();
+            let mut sink = ChunkSink::default();
+            let visited = decode_hour_visit(&bytes, opts, &mut sink).unwrap();
+            assert_eq!(sink.flows, materialized.flows, "threads={threads}");
+            assert_eq!(visited.quarantined, materialized.quarantined);
+            assert_eq!(visited.quarantined.len(), 1);
+            assert_eq!(visited.quarantined[0].index, 1);
+            // The corrupt block never reached the sink.
+            assert_eq!(sink.chunks.len(), 2);
+        }
+    }
+
+    #[test]
+    fn visit_hour_for_checks_hour_before_feeding_sink() {
+        let dir = tmpdir("visit-renamed");
+        let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+        let h1 = UnixHour::new(100);
+        let h2 = UnixHour::new(101);
+        store.write_hour(h1, &flows()).unwrap();
+        fs::create_dir_all(store.hour_path(h2).parent().unwrap()).unwrap();
+        fs::rename(store.hour_path(h1), store.hour_path(h2)).unwrap();
+        let bytes = store.read_hour_bytes(h2).unwrap();
+        let mut sink = ChunkSink::default();
+        let err = store
+            .visit_hour_for(h2, &bytes, DecodeOptions::default(), &mut sink)
+            .unwrap_err();
+        assert!(format!("{err}").contains("claims hour"));
+        assert!(
+            sink.flows.is_empty(),
+            "misnamed hour must not reach the sink"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn visit_hour_for_counts_metrics_like_decode_hour_for() {
+        let registry_a = iotscope_obs::Registry::new();
+        let registry_b = iotscope_obs::Registry::new();
+        let dir = tmpdir("visit-metrics");
+        let store = FlowStore::create(&dir, StoreOptions::default()).unwrap();
+        let many = scan_like_flows(BLOCK_RECORDS as u32 + 50);
+        let hour = UnixHour::new(70);
+        store.write_hour(hour, &many).unwrap();
+        let bytes = fs::read(store.hour_path(hour)).unwrap();
+
+        let a = store.clone().instrumented(&registry_a);
+        a.decode_hour_for_with(hour, &bytes, DecodeOptions::default())
+            .unwrap();
+        let b = store.clone().instrumented(&registry_b);
+        let mut sink = ChunkSink::default();
+        b.visit_hour_for(hour, &bytes, DecodeOptions::default(), &mut sink)
+            .unwrap();
+        assert_eq!(registry_a.snapshot(), registry_b.snapshot());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
