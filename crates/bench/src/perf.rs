@@ -10,12 +10,17 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--quick] [--seed N] [--out PATH]
+//! perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled]
 //! ```
 //!
 //! `--quick` uses the small inventory and few iterations (CI smoke);
 //! the default is the `paper(seed, 0.01)` scenario used by
-//! `bench_analysis`. `--out` defaults to `BENCH_PR5.json`.
+//! `bench_analysis`. `--out` defaults to the PR-agnostic `BENCH.json`
+//! (CI and full runs pass an explicit `--out BENCH_PRn.json`).
+//! `--mode` picks the parallel strategy for the `pipeline/*` entries:
+//! the default `sharded` mode times thread counts 2/4/8 of the
+//! device-sharded path, `pooled` times the hour-pooled path at 4
+//! threads.
 //!
 //! JSON schema (documented in DESIGN.md §3d): a single object mapping
 //! bench name to `{"median_ns": u64, "bytes": u64, "peak_rss": u64}`,
@@ -25,7 +30,7 @@
 //! `/proc/self/status` is unavailable).
 
 use iotscope_core::analysis::Analyzer;
-use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions, ParallelMode};
 use iotscope_core::report::{Report, ReportContext};
 use iotscope_net::addr::Ipv4Cidr;
 use iotscope_net::flowtuple::FlowTuple;
@@ -42,26 +47,63 @@ use std::io::Write as _;
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
+const USAGE: &str = "usage: perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled]";
+
 struct Args {
     quick: bool,
     seed: u64,
     out: String,
+    mode: ParallelMode,
+}
+
+/// Print an argument error plus usage and exit non-zero. Bad input must
+/// never silently fall back to a default: a typo'd `--seed` would
+/// otherwise produce a perfectly plausible-looking benchmark of the
+/// wrong scenario.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         seed: 7,
-        out: "BENCH_PR5.json".to_owned(),
+        out: "BENCH.json".to_owned(),
+        mode: ParallelMode::Sharded,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
-            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(7),
-            "--out" => args.out = it.next().unwrap_or_else(|| "BENCH_PR5.json".to_owned()),
+            "--seed" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--seed requires a value"));
+                args.seed = v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!(
+                        "invalid --seed '{v}' (expected an unsigned integer)"
+                    ))
+                });
+            }
+            "--out" => {
+                args.out = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--out requires a path"));
+            }
+            "--mode" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--mode requires 'sharded' or 'pooled'"));
+                args.mode = match v.as_str() {
+                    "sharded" => ParallelMode::Sharded,
+                    "pooled" => ParallelMode::Pooled,
+                    _ => usage_error(&format!("invalid --mode '{v}' (expected sharded|pooled)")),
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: perf [--quick] [--seed N] [--out PATH]");
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => {
@@ -310,17 +352,36 @@ fn main() {
                 .device_count()
         }),
     );
-    record(
-        "pipeline/analyze_store_parallel4",
-        store_bytes,
-        measure(warm, iters, || {
-            pipeline
-                .run(&store, &AnalyzeOptions::new().window(window).threads(4))
-                .expect("perf store analysis")
-                .analysis
-                .device_count()
-        }),
-    );
+    // Sharded mode scales over the device space, so sweep thread
+    // counts; the pooled mode keeps its single historical 4-thread
+    // entry for comparison against older BENCH_PRn.json files.
+    let parallel_entries: &[(usize, &'static str)] = match args.mode {
+        ParallelMode::Sharded => &[
+            (2, "pipeline/analyze_store_parallel2"),
+            (4, "pipeline/analyze_store_parallel4"),
+            (8, "pipeline/analyze_store_parallel8"),
+        ],
+        ParallelMode::Pooled => &[(4, "pipeline/analyze_store_parallel4")],
+    };
+    for &(threads, name) in parallel_entries {
+        record(
+            name,
+            store_bytes,
+            measure(warm, iters, || {
+                pipeline
+                    .run(
+                        &store,
+                        &AnalyzeOptions::new()
+                            .window(window)
+                            .threads(threads)
+                            .mode(args.mode),
+                    )
+                    .expect("perf store analysis")
+                    .analysis
+                    .device_count()
+            }),
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 
     // -- outputs ----------------------------------------------------

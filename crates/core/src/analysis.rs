@@ -105,7 +105,7 @@ pub struct RealmSeries {
 }
 
 impl RealmSeries {
-    fn new(hours: usize) -> Self {
+    pub(crate) fn new(hours: usize) -> Self {
         RealmSeries {
             packets: vec![0; hours],
             dst_ips: vec![0; hours],
@@ -307,6 +307,36 @@ impl Analysis {
         days
     }
 
+    /// Publish the analyzer-layer stable counters
+    /// (`analysis.packets.<realm>.<class>`, `analysis.flows_unmatched`,
+    /// `analysis.packets_unmatched`) for a finished analysis into
+    /// `registry`.
+    ///
+    /// The per-`[realm][class]` packet totals are recovered from the
+    /// device table columns, which accumulate exactly what the per-hour
+    /// metric flush of [`HourIngest::finish`] adds up — so the sharded
+    /// pipeline, which has no per-worker `Analyzer`, publishes values
+    /// bit-identical to the sequential and pooled paths.
+    pub(crate) fn publish_packet_counters(&self, registry: &Registry) {
+        let m = AnalyzerMetrics::register(registry);
+        let mut totals = [[0u64; 5]; 2];
+        for o in self.devices.rows() {
+            let r = realm_idx(o.realm);
+            for (c, &pkts) in o.packets_by_class.iter().enumerate() {
+                totals[r][c] += pkts;
+            }
+        }
+        for (r, row) in totals.iter().enumerate() {
+            for (c, &pkts) in row.iter().enumerate() {
+                if pkts > 0 {
+                    m.packets[r][c].add(pkts);
+                }
+            }
+        }
+        m.unmatched_flows.add(self.unmatched_flows);
+        m.unmatched_packets.add(self.unmatched_packets);
+    }
+
     /// Average number of distinct devices active per day `(all, consumer)`.
     pub fn daily_active_devices(&self) -> (f64, f64) {
         let num_days = self.hours.div_ceil(24).max(1);
@@ -328,14 +358,16 @@ impl Analysis {
 
 /// A reusable bitmap over the 2^16 port space with a member count —
 /// per-hour distinct-port accounting without per-hour allocation.
+/// Shared with the sharded router ([`crate::shard`]), which runs the
+/// same per-hour destination-distinct accounting on the decode side.
 #[derive(Debug, Clone)]
-struct PortScratch {
+pub(crate) struct PortScratch {
     words: Vec<u64>,
-    len: usize,
+    pub(crate) len: usize,
 }
 
 impl PortScratch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         PortScratch {
             words: vec![0; (u16::MAX as usize + 1) / 64],
             len: 0,
@@ -343,7 +375,7 @@ impl PortScratch {
     }
 
     #[inline]
-    fn insert(&mut self, port: u16) {
+    pub(crate) fn insert(&mut self, port: u16) {
         let (word, bit) = (port as usize / 64, port % 64);
         let mask = 1u64 << bit;
         if self.words[word] & mask == 0 {
@@ -352,7 +384,7 @@ impl PortScratch {
         }
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         if self.len > 0 {
             self.words.fill(0);
             self.len = 0;
@@ -753,7 +785,10 @@ impl iotscope_net::store::FlowSink for HourIngest<'_, '_> {
 
 /// Keep the dominant `(victim, packets)` pair; ties break toward the
 /// smaller device id (determinism across merge orders).
-fn merge_top_victim(current: &mut Option<(DeviceId, u64)>, candidate: Option<(DeviceId, u64)>) {
+pub(crate) fn merge_top_victim(
+    current: &mut Option<(DeviceId, u64)>,
+    candidate: Option<(DeviceId, u64)>,
+) {
     match (*current, candidate) {
         (None, t) => *current = t,
         (Some((cd, cp)), Some((d, p))) if p > cp || (p == cp && d < cd) => {

@@ -56,6 +56,7 @@ pub mod malicious;
 pub mod pipeline;
 pub mod report;
 pub mod scan;
+pub mod shard;
 pub mod stats;
 pub mod stream;
 pub mod table;
@@ -66,7 +67,7 @@ pub mod view;
 pub use analysis::{Analysis, Analyzer};
 pub use classify::{classify, TrafficClass};
 pub use pipeline::{
-    AnalysisOutcome, AnalysisPipeline, AnalysisSource, AnalyzeOptions, StoreAnalysis,
+    AnalysisOutcome, AnalysisPipeline, AnalysisSource, AnalyzeOptions, ParallelMode, StoreAnalysis,
     StoreReadStats,
 };
 pub use report::{Report, ReportContext, ReportIntel};

@@ -5,13 +5,14 @@
 //! counters).
 
 use crate::analysis::{Analysis, Analyzer};
-use iotscope_devicedb::DeviceDb;
+use crate::shard::{self, RoutedFlow, RouterPartial, ShardAccumulator, ShardPartial, ShardRouter};
+use iotscope_devicedb::{DeviceDb, ShardMap};
 use iotscope_net::store::{DecodeOptions, FlowStore};
 use iotscope_net::time::{AnalysisWindow, UnixHour};
 use iotscope_net::NetError;
 use iotscope_obs::{Counter, Gauge, Registry, Snapshot, Timer};
 use iotscope_telescope::HourTraffic;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -53,7 +54,10 @@ pub struct StoreReadStats {
     /// Time spent aggregating hours (summed across workers). For store
     /// workers this is the fused decode+ingest stage.
     pub ingest_time: Duration,
-    /// Time spent merging worker partials (single-threaded).
+    /// Time spent merging worker partials (single-threaded). In the
+    /// default [sharded](ParallelMode::Sharded) mode the merge is a
+    /// concatenation of disjoint device ranges, so this stays ~0; the
+    /// hour-pooled mode merges full-width partials here.
     pub merge_time: Duration,
     /// End-to-end elapsed time for the whole run.
     pub wall_time: Duration,
@@ -125,10 +129,32 @@ impl<'s> From<&'s FlowStore> for AnalysisSource<'s> {
     }
 }
 
+/// How a multi-threaded run splits the work (single-threaded runs
+/// ignore the mode).
+///
+/// Both modes produce bit-identical analyses; they differ in what each
+/// worker holds and what the final merge costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// Partition the *device space*: every worker routes hours and owns
+    /// one contiguous dense-index shard of per-device state, so the
+    /// final merge is a concatenation of disjoint ranges plus a scalar
+    /// reduction (see [`crate::shard`]). The default: at paper scale
+    /// the hour-pooled merge of N full-width partials dominates and
+    /// loses to sequential, while sharding keeps the merge ~free.
+    #[default]
+    Sharded,
+    /// Partition the *hours*: every worker runs a full-width
+    /// [`Analyzer`] over its share of hours; partials merge
+    /// single-threaded at the end. Cheapest when the device population
+    /// is small relative to the hour count.
+    Pooled,
+}
+
 /// Options for one [`AnalysisPipeline::run`] call.
 ///
-/// A consuming builder with defaults of one thread, no stats, no
-/// metrics, no window:
+/// A consuming builder with defaults of one thread, sharded parallel
+/// mode, no stats, no metrics, no window:
 ///
 /// ```
 /// use iotscope_core::pipeline::AnalyzeOptions;
@@ -138,6 +164,7 @@ impl<'s> From<&'s FlowStore> for AnalysisSource<'s> {
 #[derive(Debug, Clone, Default)]
 pub struct AnalyzeOptions {
     threads: usize,
+    mode: ParallelMode,
     stats: bool,
     metrics: Option<Registry>,
     window: Option<AnalysisWindow>,
@@ -155,6 +182,14 @@ impl AnalyzeOptions {
     /// whatever the thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// How multi-threaded runs split the work; defaults to
+    /// [`ParallelMode::Sharded`]. Has no effect when the run ends up
+    /// single-threaded.
+    pub fn mode(mut self, mode: ParallelMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -237,6 +272,22 @@ impl PipelineMetrics {
     fn worker_hours(registry: &Registry, worker: usize) -> Counter {
         registry.counter_variant(&format!("pipeline.worker.{worker}.hours"))
     }
+
+    /// The per-shard device-count gauge for sharded runs (variant: the
+    /// shard layout depends on the thread count).
+    fn shard_devices(registry: &Registry, shard: usize) -> Gauge {
+        registry.gauge(&format!("pipeline.shard.{shard}.devices"))
+    }
+}
+
+/// Inter-worker message of the sharded drivers: one whole hour's routed
+/// flows for one shard, or a router's end-of-work marker.
+enum ShardMsg {
+    Batch {
+        interval: u32,
+        flows: Vec<RoutedFlow>,
+    },
+    Done,
 }
 
 /// One run's window coverage: which days are dropped, which present
@@ -315,9 +366,24 @@ impl<'a> AnalysisPipeline<'a> {
         let wall = pm.wall_time.span();
         let result: Result<(Analysis, Vec<u32>, usize), NetError> = (|| match source {
             AnalysisSource::Memory(traffic) => {
-                let threads = budget.min(traffic.len().max(1));
+                // Sharded parallelism is over the device space, so it
+                // is worth its fan-out even for a single huge hour; the
+                // hour-pooled mode degenerates to the inline path when
+                // every worker would get at most one hour (the partial
+                // merges would do all the work the pool saved).
+                let threads = match options.mode {
+                    ParallelMode::Sharded if !traffic.is_empty() => budget,
+                    _ if budget < traffic.len() => budget,
+                    _ => 1,
+                };
                 pm.threads.set(threads as i64);
-                let analysis = self.run_memory(traffic, threads, &registry, &pm);
+                let analysis = if threads <= 1 {
+                    self.run_memory_inline(traffic, &registry, &pm)
+                } else if options.mode == ParallelMode::Sharded {
+                    self.run_memory_sharded(traffic, threads, &registry, &pm)
+                } else {
+                    self.run_memory_pooled(traffic, threads, &registry, &pm)
+                };
                 Ok((analysis, Vec::new(), threads))
             }
             AnalysisSource::Store(store) => {
@@ -330,7 +396,14 @@ impl<'a> AnalysisPipeline<'a> {
                 // its reads are accounted here (and only here).
                 let store = store.clone().instrumented(&registry);
                 let cov = coverage(&store, &window)?;
-                let threads = budget.min(cov.work.len().max(1));
+                let threads = match options.mode {
+                    ParallelMode::Sharded if !cov.work.is_empty() => budget,
+                    _ if budget < cov.work.len() => budget,
+                    _ => 1, // degenerate pool: fewer hours than workers
+                };
+                // Hour-level workers leave the rest of the budget to
+                // per-worker parallel v3 block decode; the inline path
+                // gets the whole budget for it.
                 let decode = DecodeOptions {
                     threads: (budget / threads.max(1)).max(1),
                     quarantine: false,
@@ -340,6 +413,8 @@ impl<'a> AnalysisPipeline<'a> {
                 pm.hours_skipped.add(cov.hours_skipped);
                 let analysis = if threads <= 1 {
                     self.run_store_inline(&store, &cov.work, decode, &registry, &pm)?
+                } else if options.mode == ParallelMode::Sharded {
+                    self.run_store_sharded(&store, &cov.work, threads, decode, &registry, &pm)?
                 } else {
                     self.run_store_pooled(&store, &cov.work, threads, decode, &registry, &pm)?
                 };
@@ -367,28 +442,36 @@ impl<'a> AnalysisPipeline<'a> {
         })
     }
 
-    /// In-memory path: hours are partitioned across workers, partial
-    /// aggregations merged. Identical result for every thread count
-    /// (see `Analyzer::merge`).
-    fn run_memory(
+    /// In-memory path, sequential: one analyzer over every hour on the
+    /// caller's thread; no partials, no merge.
+    fn run_memory_inline(
+        &self,
+        traffic: &[HourTraffic],
+        registry: &Registry,
+        pm: &PipelineMetrics,
+    ) -> Analysis {
+        let worker = PipelineMetrics::worker_hours(registry, 0);
+        let mut an = Analyzer::with_metrics(self.db, self.hours, registry);
+        let span = pm.ingest_time.span();
+        for hour in traffic {
+            an.ingest_hour(hour);
+            worker.inc();
+        }
+        pm.hours_ingested.add(traffic.len() as u64);
+        drop(span);
+        an.finish()
+    }
+
+    /// In-memory path, hour-pooled: hours are partitioned across
+    /// workers, partial aggregations merged. Identical result for every
+    /// thread count (see `Analyzer::merge`).
+    fn run_memory_pooled(
         &self,
         traffic: &[HourTraffic],
         threads: usize,
         registry: &Registry,
         pm: &PipelineMetrics,
     ) -> Analysis {
-        if threads <= 1 {
-            let worker = PipelineMetrics::worker_hours(registry, 0);
-            let mut an = Analyzer::with_metrics(self.db, self.hours, registry);
-            let span = pm.ingest_time.span();
-            for hour in traffic {
-                an.ingest_hour(hour);
-                worker.inc();
-            }
-            pm.hours_ingested.add(traffic.len() as u64);
-            drop(span);
-            return an.finish();
-        }
         let chunk = traffic.len().div_ceil(threads);
         let partials: Vec<Analyzer<'_>> = crossbeam::scope(|scope| {
             let handles: Vec<_> = traffic
@@ -425,6 +508,144 @@ impl<'a> AnalysisPipeline<'a> {
         }
         drop(merge_span);
         first.finish()
+    }
+
+    /// In-memory path, device-sharded: every worker routes hours off a
+    /// shared work-stealing cursor *and* owns one dense-index shard of
+    /// per-device state, fed through per-worker inboxes (see
+    /// [`crate::shard`]). The end-of-run merge is a concatenation of
+    /// disjoint ranges, so `pipeline.merge_time` stays ~0 at any scale.
+    fn run_memory_sharded(
+        &self,
+        traffic: &[HourTraffic],
+        threads: usize,
+        registry: &Registry,
+        pm: &PipelineMetrics,
+    ) -> Analysis {
+        let map = ShardMap::new(self.db.len(), threads);
+        let next = AtomicUsize::new(0);
+        let partials: Vec<(RouterPartial, ShardPartial)> = crossbeam::scope(|scope| {
+            let channels: Vec<_> = (0..threads)
+                .map(|_| crossbeam::channel::unbounded::<ShardMsg>())
+                .collect();
+            let senders: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let rx = channels[i].1.clone();
+                    let senders = senders.clone();
+                    let next = &next;
+                    let registry = registry.clone();
+                    let ingest_time = pm.ingest_time.clone();
+                    let hours_ingested = pm.hours_ingested.clone();
+                    scope.spawn(move |_| {
+                        let worker = PipelineMetrics::worker_hours(&registry, i);
+                        let mut router = ShardRouter::new(self.db, self.hours, map);
+                        let mut acc = ShardAccumulator::new(self.hours, map.range(i));
+                        let mut busy = Duration::ZERO;
+                        let mut dones = 0usize;
+                        loop {
+                            // Apply whatever other routers have sent so
+                            // far, so inboxes stay short.
+                            while let Ok(msg) = rx.try_recv() {
+                                let t = Instant::now();
+                                match msg {
+                                    ShardMsg::Batch { interval, flows } => {
+                                        acc.apply_hour(interval, &flows);
+                                    }
+                                    ShardMsg::Done => dones += 1,
+                                }
+                                busy += t.elapsed();
+                            }
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= traffic.len() {
+                                break;
+                            }
+                            let hour = &traffic[k];
+                            let t = Instant::now();
+                            router.begin_hour(hour.interval);
+                            router.route(&hour.flows);
+                            for (s, flows) in router.finish_hour().into_iter().enumerate() {
+                                if flows.is_empty() {
+                                    continue;
+                                }
+                                if s == i {
+                                    acc.apply_hour(hour.interval, &flows);
+                                } else {
+                                    let batch = ShardMsg::Batch {
+                                        interval: hour.interval,
+                                        flows,
+                                    };
+                                    senders[s]
+                                        .send(batch)
+                                        .expect("shard inbox outlives workers");
+                                }
+                            }
+                            busy += t.elapsed();
+                            hours_ingested.inc();
+                            worker.inc();
+                        }
+                        // No more hours to route: tell every shard owner
+                        // this router is done, then apply stragglers
+                        // until every router has said so (per-sender
+                        // FIFO puts all batches before the Done).
+                        for tx in &senders {
+                            tx.send(ShardMsg::Done)
+                                .expect("shard inbox outlives workers");
+                        }
+                        drop(senders);
+                        while dones < threads {
+                            match rx.recv() {
+                                Ok(ShardMsg::Batch { interval, flows }) => {
+                                    let t = Instant::now();
+                                    acc.apply_hour(interval, &flows);
+                                    busy += t.elapsed();
+                                }
+                                Ok(ShardMsg::Done) => dones += 1,
+                                Err(_) => break,
+                            }
+                        }
+                        let t = Instant::now();
+                        let finished = acc.finish();
+                        busy += t.elapsed();
+                        ingest_time.record(busy);
+                        (router.into_partial(), finished)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sharded worker does not panic"))
+                .collect()
+        })
+        .expect("sharded analysis scope does not panic");
+
+        self.assemble_sharded(partials, registry, pm)
+    }
+
+    /// Fold worker partials (in worker == ascending shard order) into
+    /// the final analysis, publish per-shard gauges and the stable
+    /// `analysis.*` counters, and time the (now trivial) merge.
+    fn assemble_sharded(
+        &self,
+        partials: Vec<(RouterPartial, ShardPartial)>,
+        registry: &Registry,
+        pm: &PipelineMetrics,
+    ) -> Analysis {
+        let mut routers = Vec::with_capacity(partials.len());
+        let mut shards = Vec::with_capacity(partials.len());
+        for (i, (rp, sp)) in partials.into_iter().enumerate() {
+            PipelineMetrics::shard_devices(registry, i).set(sp.devices.len() as i64);
+            routers.push(rp);
+            shards.push(sp);
+        }
+        let merge_span = pm.merge_time.span();
+        let analysis = shard::assemble(self.hours, routers, shards);
+        drop(merge_span);
+        // The sharded path has no live per-hour analyzer metrics;
+        // recover the stable `analysis.*` totals from the result (they
+        // are exact column sums, identical to the sequential flushes).
+        analysis.publish_packet_counters(registry);
+        analysis
     }
 
     /// Store path, sequential: read, then the fused decode→ingest on
@@ -561,6 +782,149 @@ impl<'a> AnalysisPipeline<'a> {
         }
         drop(merge_span);
         Ok(first.finish())
+    }
+
+    /// Store path, device-sharded: like
+    /// [`run_memory_sharded`](Self::run_memory_sharded), but each
+    /// routed hour is read and fused-decoded straight into the router
+    /// (no `Vec<FlowTuple>` materialization). On the first error a stop
+    /// flag halts further routing; the in-flight hour protocol still
+    /// runs to completion (stopped workers keep draining their inboxes
+    /// without applying), and the error with the smallest interval
+    /// wins, as in the pooled path.
+    fn run_store_sharded(
+        &self,
+        store: &FlowStore,
+        work: &[(u32, UnixHour)],
+        threads: usize,
+        decode: DecodeOptions,
+        registry: &Registry,
+        pm: &PipelineMetrics,
+    ) -> Result<Analysis, NetError> {
+        let stop = AtomicBool::new(false);
+        let first_err: Mutex<Option<(u32, NetError)>> = Mutex::new(None);
+        let fail = |interval: u32, err: NetError| {
+            let mut slot = first_err.lock().expect("error slot not poisoned");
+            match &*slot {
+                Some((seen, _)) if *seen <= interval => {}
+                _ => *slot = Some((interval, err)),
+            }
+            stop.store(true, Ordering::Relaxed);
+        };
+
+        let map = ShardMap::new(self.db.len(), threads);
+        let next = AtomicUsize::new(0);
+        let partials: Vec<(RouterPartial, ShardPartial)> = crossbeam::scope(|scope| {
+            let channels: Vec<_> = (0..threads)
+                .map(|_| crossbeam::channel::unbounded::<ShardMsg>())
+                .collect();
+            let senders: Vec<_> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let rx = channels[i].1.clone();
+                    let senders = senders.clone();
+                    let next = &next;
+                    let stop = &stop;
+                    let fail = &fail;
+                    let registry = registry.clone();
+                    let wpm = PipelineMetrics::register(&registry);
+                    scope.spawn(move |_| {
+                        let worker = PipelineMetrics::worker_hours(&registry, i);
+                        let mut router = ShardRouter::new(self.db, self.hours, map);
+                        let mut acc = ShardAccumulator::new(self.hours, map.range(i));
+                        let mut dones = 0usize;
+                        loop {
+                            while let Ok(msg) = rx.try_recv() {
+                                match msg {
+                                    ShardMsg::Batch { interval, flows } => {
+                                        if !stop.load(Ordering::Relaxed) {
+                                            let t = Instant::now();
+                                            acc.apply_hour(interval, &flows);
+                                            wpm.ingest_time.record(t.elapsed());
+                                        }
+                                    }
+                                    ShardMsg::Done => dones += 1,
+                                }
+                            }
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= work.len() {
+                                break;
+                            }
+                            let (interval, hour) = work[k];
+                            let t0 = Instant::now();
+                            let bytes = match store.read_hour_bytes(hour) {
+                                Ok(b) => b,
+                                Err(e) => {
+                                    fail(interval, e);
+                                    continue;
+                                }
+                            };
+                            let t1 = Instant::now();
+                            // Fused decode→route. On error the hour is
+                            // abandoned unfinished: nothing was
+                            // committed or sent, and the next
+                            // begin_hour clears the buffers.
+                            router.begin_hour(interval);
+                            match store.visit_hour_for(hour, &bytes, decode, &mut router) {
+                                Ok(_) => {}
+                                Err(e) => {
+                                    fail(interval, e);
+                                    continue;
+                                }
+                            }
+                            for (s, flows) in router.finish_hour().into_iter().enumerate() {
+                                if flows.is_empty() {
+                                    continue;
+                                }
+                                if s == i {
+                                    acc.apply_hour(interval, &flows);
+                                } else {
+                                    let batch = ShardMsg::Batch { interval, flows };
+                                    senders[s]
+                                        .send(batch)
+                                        .expect("shard inbox outlives workers");
+                                }
+                            }
+                            let t2 = Instant::now();
+                            wpm.read_time.record(t1 - t0);
+                            wpm.ingest_time.record(t2 - t1);
+                            wpm.hours_ingested.inc();
+                            worker.inc();
+                        }
+                        for tx in &senders {
+                            tx.send(ShardMsg::Done)
+                                .expect("shard inbox outlives workers");
+                        }
+                        drop(senders);
+                        while dones < threads {
+                            match rx.recv() {
+                                Ok(ShardMsg::Batch { interval, flows }) => {
+                                    if !stop.load(Ordering::Relaxed) {
+                                        acc.apply_hour(interval, &flows);
+                                    }
+                                }
+                                Ok(ShardMsg::Done) => dones += 1,
+                                Err(_) => break,
+                            }
+                        }
+                        (router.into_partial(), acc.finish())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sharded store worker does not panic"))
+                .collect()
+        })
+        .expect("sharded store scope does not panic");
+
+        if let Some((_, err)) = first_err.into_inner().expect("error slot not poisoned") {
+            return Err(err);
+        }
+        Ok(self.assemble_sharded(partials, registry, pm))
     }
 
     /// Sequential single-pass analysis.

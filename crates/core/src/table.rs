@@ -463,6 +463,54 @@ impl DeviceTable {
         }
     }
 
+    /// Append another table's rows wholesale — the merge path for
+    /// *shard-disjoint* partials, where each table covers its own range
+    /// of the dense device index and no id can appear in both.
+    ///
+    /// Unlike [`merge_from`](Self::merge_from), which upserts row by
+    /// row and adds columns field-wise, this is a straight
+    /// `extend_from_slice` per column plus a sparse-index fix-up:
+    /// O(rows) with no per-row branch on existing state. When partials
+    /// arrive in ascending shard order and each is already
+    /// [`normalize`](Self::normalize)d, the concatenated table is
+    /// globally sorted, so the final `normalize()` is a no-op and the
+    /// result is bit-identical to a sequential build.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that no id of `other` is already present.
+    pub fn concat_from(&mut self, other: DeviceTable) {
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        if other.is_empty() {
+            return;
+        }
+        self.sorted =
+            self.sorted && other.sorted && self.ids.last().unwrap() < other.ids.first().unwrap();
+        let base = self.ids.len() as u32;
+        if other.row_of.len() > self.row_of.len() {
+            self.row_of.resize(other.row_of.len(), 0);
+        }
+        for (orow, id) in other.ids.iter().enumerate() {
+            let idx = id.0 as usize;
+            if idx >= self.row_of.len() {
+                self.row_of.resize(idx + 1, 0);
+            }
+            debug_assert_eq!(self.row_of[idx], 0, "concat_from rows must be disjoint");
+            self.row_of[idx] = base + orow as u32 + 1;
+        }
+        self.ids.extend_from_slice(&other.ids);
+        self.realms.extend_from_slice(&other.realms);
+        self.first_interval.extend_from_slice(&other.first_interval);
+        self.flows.extend_from_slice(&other.flows);
+        for (col, ocol) in self.packets.iter_mut().zip(&other.packets) {
+            col.extend_from_slice(ocol);
+        }
+        self.days_active.extend_from_slice(&other.days_active);
+    }
+
     /// Sort rows by device id and rebuild the sparse index, making row
     /// order (and therefore serialization and iteration) independent of
     /// ingest/merge order. O(n log n); no-op when already sorted.
@@ -657,6 +705,46 @@ mod tests {
         assert_eq!(one.packets_by_class[0], 14);
         assert_eq!(one.days_active, 0b11);
         assert_eq!(a.get(DeviceId(8)).unwrap().packets_by_class[2], 9);
+    }
+
+    #[test]
+    fn concat_preserves_sort_for_ascending_shards() {
+        // Two sorted shard partials over disjoint dense ranges.
+        let mut lo = DeviceTable::new();
+        lo.observe(DeviceId(1), Realm::Consumer, 0, 3, 2, 0);
+        lo.observe(DeviceId(4), Realm::Cps, 2, 5, 1, 1);
+        let mut hi = DeviceTable::new();
+        hi.observe(DeviceId(9), Realm::Consumer, 3, 7, 4, 2);
+        hi.observe(DeviceId(12), Realm::Cps, 1, 1, 6, 0);
+
+        // Reference: the same rows via the columnar-add merge.
+        let mut reference = lo.clone();
+        reference.merge_from(hi.clone());
+
+        let mut cat = lo.clone();
+        cat.concat_from(hi.clone());
+        assert!(cat.sorted, "ascending concat must keep the sorted flag");
+        assert_eq!(cat, reference);
+        assert_eq!(
+            cat.ids(),
+            &[DeviceId(1), DeviceId(4), DeviceId(9), DeviceId(12)]
+        );
+        // Lookups work through the rebuilt sparse index.
+        assert_eq!(cat.get(DeviceId(9)).unwrap().packets_by_class[3], 7);
+        assert_eq!(cat.get(DeviceId(4)).unwrap().first_interval, 1);
+
+        // Concatenating onto an empty table moves rows wholesale.
+        let mut empty = DeviceTable::new();
+        empty.concat_from(cat.clone());
+        assert_eq!(empty, cat);
+
+        // Out-of-order concat drops the flag; normalize restores order.
+        let mut rev = hi;
+        rev.concat_from(lo);
+        assert!(!rev.sorted);
+        rev.normalize();
+        assert_eq!(rev.ids(), cat.ids());
+        assert_eq!(rev, cat);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! the same analysis as the in-memory path, survive the paper's
 //! data-quality rules, and fail loudly on corruption.
 
-use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions, ParallelMode};
 use iotscope_core::report::{Report, ReportContext};
 use iotscope_core::Analysis;
 use iotscope_net::store::{FlowStore, StoreOptions};
@@ -317,6 +317,54 @@ proptest! {
             .analysis;
         prop_assert_eq!(&shared.sequential.devices, &mem.devices);
         prop_assert_eq!(&shared.sequential.backscatter_intervals, &mem.backscatter_intervals);
+
+        // The hour-pooled mode must match too, now that sharded is the
+        // default — same aggregates, same stable metrics.
+        let pooled_registry = Registry::new();
+        let pooled = pipeline
+            .run(
+                &shared.store,
+                &AnalyzeOptions::new()
+                    .window(shared.window)
+                    .threads(threads)
+                    .mode(ParallelMode::Pooled)
+                    .metrics(&pooled_registry),
+            )
+            .unwrap();
+        prop_assert_eq!(&shared.sequential.devices, &pooled.analysis.devices);
+        prop_assert_eq!(&shared.sequential.scan_services, &pooled.analysis.scan_services);
+        prop_assert_eq!(
+            &base_stable,
+            &pooled_registry.snapshot().stable_only(),
+            "pooled stable metrics differ at threads={}",
+            threads
+        );
+
+        // Degenerate pool: with at least as many workers as hours, the
+        // pooled mode routes to the inline path — no per-worker
+        // analyzers are built, so there is nothing to merge.
+        let slice = &shared.traffic[..3];
+        let seq_slice = pipeline.run(slice, &AnalyzeOptions::new()).unwrap().analysis;
+        let degen = pipeline
+            .run(
+                slice,
+                &AnalyzeOptions::new()
+                    .threads(threads)
+                    .mode(ParallelMode::Pooled)
+                    .stats(true),
+            )
+            .unwrap();
+        prop_assert_eq!(&seq_slice.devices, &degen.analysis.devices);
+        prop_assert_eq!(&seq_slice.udp_ports, &degen.analysis.udp_ports);
+        if threads.clamp(1, 64) >= slice.len() {
+            let stats = degen.stats.expect("stats were requested");
+            prop_assert_eq!(
+                stats.merge_time,
+                std::time::Duration::ZERO,
+                "degenerate pool must not merge (threads={})",
+                threads
+            );
+        }
     }
 }
 
