@@ -10,7 +10,7 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled]
+//! perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve]
 //! ```
 //!
 //! `--quick` uses the small inventory and few iterations (CI smoke);
@@ -20,18 +20,25 @@
 //! `--mode` picks the parallel strategy for the `pipeline/*` entries:
 //! the default `sharded` mode times thread counts 2/4/8 of the
 //! device-sharded path, `pooled` times the hour-pooled path at 4
-//! threads.
+//! threads. `--serve` additionally boots the resident daemon on an
+//! ephemeral port and drives every endpoint with concurrent keep-alive
+//! clients while ingest runs at full rate.
 //!
 //! JSON schema (documented in DESIGN.md §3d): a single object mapping
 //! bench name to `{"median_ns": u64, "bytes": u64, "peak_rss": u64}`,
 //! where `bytes` is the input bytes one iteration processes (0 when not
 //! applicable) and `peak_rss` is the process-wide `VmHWM` high-water
 //! mark in bytes sampled when the bench finished (0 where
-//! `/proc/self/status` is unavailable).
+//! `/proc/self/status` is unavailable). With `--serve`, the object
+//! additionally maps `serve.<endpoint>` to
+//! `{"requests": u64, "p50_ns": u64, "p99_ns": u64, "mean_ns": u64}`
+//! measured under load, plus a bare `serve.ingest_hours_per_s` number
+//! for ingest throughput with readers attached.
 
 use iotscope_core::analysis::Analyzer;
 use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions, ParallelMode};
 use iotscope_core::report::{Report, ReportContext};
+use iotscope_core::stream::StreamConfig;
 use iotscope_net::addr::Ipv4Cidr;
 use iotscope_net::flowtuple::FlowTuple;
 use iotscope_net::store::{
@@ -39,21 +46,28 @@ use iotscope_net::store::{
     StoreOptions,
 };
 use iotscope_net::trie::PrefixTrie;
+use iotscope_serve::http::HttpServer;
+use iotscope_serve::load::{self, EndpointLoad, LoadOptions};
+use iotscope_serve::{TelescopeService, ENDPOINTS};
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 use iotscope_telescope::HourTraffic;
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::io::Write as _;
 use std::net::Ipv4Addr;
-use std::time::Instant;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled]";
+const USAGE: &str =
+    "usage: perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve]";
 
 struct Args {
     quick: bool,
     seed: u64,
     out: String,
     mode: ParallelMode,
+    serve: bool,
 }
 
 /// Print an argument error plus usage and exit non-zero. Bad input must
@@ -72,11 +86,13 @@ fn parse_args() -> Args {
         seed: 7,
         out: "BENCH.json".to_owned(),
         mode: ParallelMode::Sharded,
+        serve: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--serve" => args.serve = true,
             "--seed" => {
                 let v = it
                     .next()
@@ -163,6 +179,71 @@ struct CountSink(usize);
 impl FlowSink for CountSink {
     fn on_flows(&mut self, flows: &[FlowTuple]) {
         self.0 += flows.len();
+    }
+}
+
+/// Results of the `--serve` section: per-endpoint latency under load
+/// plus ingest throughput with readers attached.
+struct ServeSection {
+    /// `serve.<endpoint>` rows, in [`ENDPOINTS`] order.
+    endpoints: Vec<(String, EndpointLoad)>,
+    /// Hours pushed per second while the load ran.
+    ingest_hours_per_s: f64,
+}
+
+/// Boot the daemon on an ephemeral port and replay every hour at full
+/// rate while four concurrent keep-alive clients round-robin every
+/// endpoint. The `/device/{id}` target is a device observed in hour 1,
+/// so it resolves from the first published epoch onward (requests
+/// racing the very first publish may 404 and count as errors).
+fn bench_serve(
+    db: iotscope_devicedb::DeviceDb,
+    isps: iotscope_devicedb::isp::IspRegistry,
+    num_hours: u32,
+    hours: &[HourTraffic],
+    quick: bool,
+) -> ServeSection {
+    let dev = {
+        let mut an = Analyzer::new(&db, num_hours);
+        an.ingest_hour(&hours[0]);
+        an.finish()
+            .compromised_devices()
+            .first()
+            .copied()
+            .expect("hour 1 observes at least one device")
+    };
+    let service = Arc::new(TelescopeService::new(db, isps, num_hours));
+    let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind serve bench");
+    let paths: Vec<String> = ENDPOINTS
+        .iter()
+        .map(|e| match *e {
+            "device" => format!("/device/{}", dev.0),
+            other => format!("/{other}"),
+        })
+        .collect();
+    let opts = LoadOptions {
+        workers: 4,
+        paths,
+        duration: Duration::from_secs(if quick { 2 } else { 6 }),
+    };
+    let stop = AtomicBool::new(false);
+    let (ingest_wall, results) = std::thread::scope(|scope| {
+        let svc = Arc::clone(&service);
+        let ingest = scope.spawn(move || {
+            let t = Instant::now();
+            svc.ingest(hours, StreamConfig::default(), &mut |_| {});
+            t.elapsed()
+        });
+        let results = load::run(server.local_addr(), &opts, &stop);
+        (ingest.join().expect("ingest thread"), results)
+    });
+    ServeSection {
+        endpoints: ENDPOINTS
+            .iter()
+            .map(|e| format!("serve.{e}"))
+            .zip(results)
+            .collect(),
+        ingest_hours_per_s: hours.len() as f64 / ingest_wall.as_secs_f64().max(1e-9),
     }
 }
 
@@ -384,6 +465,33 @@ fn main() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 
+    // -- resident daemon under load ---------------------------------
+    let serve = args.serve.then(|| {
+        eprintln!(
+            "serving: daemon + {} endpoints under load ...",
+            ENDPOINTS.len()
+        );
+        bench_serve(
+            db.clone(),
+            built.inventory.isps.clone(),
+            num_hours,
+            &hours,
+            args.quick,
+        )
+    });
+    if let Some(s) = &serve {
+        for (name, row) in &s.endpoints {
+            eprintln!(
+                "  {name}: p50 {} p99 {} ({} reqs, {} errors)",
+                fmt_ns(row.p50_ns as u128),
+                fmt_ns(row.p99_ns as u128),
+                row.requests,
+                row.errors
+            );
+        }
+        eprintln!("  serve.ingest_hours_per_s: {:.1}", s.ingest_hours_per_s);
+    }
+
     // -- outputs ----------------------------------------------------
     println!();
     println!(
@@ -405,7 +513,7 @@ fn main() {
         );
     }
 
-    write_json(&args.out, &results).expect("write bench json");
+    write_json(&args.out, &results, serve.as_ref()).expect("write bench json");
     eprintln!(
         "\nwrote {} ({:.1}s total)",
         args.out,
@@ -426,16 +534,36 @@ fn fmt_ns(ns: u128) -> String {
 }
 
 /// Hand-rolled JSON (no serde in the workspace): one object, bench name
-/// → `{median_ns, bytes, peak_rss}`, insertion order preserved.
-fn write_json(path: &str, results: &[Entry]) -> std::io::Result<()> {
+/// → `{median_ns, bytes, peak_rss}`, insertion order preserved. With a
+/// serve section, `serve.<endpoint>` rows and the bare
+/// `serve.ingest_hours_per_s` number follow the bench rows.
+fn write_json(path: &str, results: &[Entry], serve: Option<&ServeSection>) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     writeln!(f, "{{")?;
     for (i, e) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
+        let comma = if i + 1 == results.len() && serve.is_none() {
+            ""
+        } else {
+            ","
+        };
         writeln!(
             f,
             "  \"{}\": {{\"median_ns\": {}, \"bytes\": {}, \"peak_rss\": {}}}{comma}",
             e.name, e.median_ns, e.bytes, e.peak_rss
+        )?;
+    }
+    if let Some(s) = serve {
+        for (name, row) in &s.endpoints {
+            writeln!(
+                f,
+                "  \"{name}\": {{\"requests\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}}},",
+                row.requests, row.p50_ns, row.p99_ns, row.mean_ns
+            )?;
+        }
+        writeln!(
+            f,
+            "  \"serve.ingest_hours_per_s\": {:.3}",
+            s.ingest_hours_per_s
         )?;
     }
     writeln!(f, "}}")?;

@@ -4,19 +4,24 @@ use crate::{ArgParser, CliError, ParsedArgs};
 use iotscope_core::botnet::{self, BotnetConfig};
 use iotscope_core::fingerprint::{candidate_iot_devices, FingerprintModel};
 use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions, StoreReadStats};
+use iotscope_core::query::{QueryApi, QueryContext};
 use iotscope_core::report::{Report, ReportContext, ReportIntel};
-use iotscope_core::stream::{Alert, StreamConfig, StreamingAnalyzer};
-use iotscope_core::{attribution, behavior, malicious};
+use iotscope_core::stream::{Alert, StreamConfig};
+use iotscope_core::{attribution, behavior};
 use iotscope_devicedb::inventory_io::{self, LoadedInventory};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
 use iotscope_net::store::{FlowStore, StoreFormat, StoreOptions};
 use iotscope_net::time::{AnalysisWindow, UnixHour};
 use iotscope_obs::{Registry, Snapshot};
+use iotscope_serve::http::HttpServer;
+use iotscope_serve::TelescopeService;
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 use iotscope_telescope::HourTraffic;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The `--metrics[=json|text]` output format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,7 +202,8 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
 
     let intel_out;
     let intel = if opts.has("--intel") {
-        let candidates = malicious::select_candidates(&analysis, 4_000);
+        let api = QueryContext::batch(&analysis, &inventory.db, &inventory.isps);
+        let candidates = api.candidates(4_000);
         intel_out = IntelBuilder::new(IntelSynthConfig::paper(meta_seed(&inventory)))
             .build(&inventory.db, &candidates);
         Some(ReportIntel {
@@ -251,86 +257,123 @@ fn render_store_stats(stats: &StoreReadStats, dropped_days: &[u32]) -> String {
     out
 }
 
-/// `iotscope watch --data DIR [--metrics[=FMT]]`
-pub fn watch(args: &[String]) -> Result<String, CliError> {
+/// `iotscope watch --data DIR [--metrics[=FMT]]`, streaming: alert
+/// lines reach `out` as each hour's ingest raises them, not in one
+/// buffered block at exit — the same live loop the serve daemon runs.
+pub fn watch_to(args: &[String], out: &mut dyn io::Write) -> Result<(), CliError> {
     let opts = ArgParser::new()
         .value("--data")
         .optional_value("--metrics")
         .parse(args)?;
     let format = metrics_format(&opts)?;
-    let registry = Registry::new();
     let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
-    let mut stream = match format {
-        Some(_) => StreamingAnalyzer::with_metrics(
-            &inventory.db,
-            AnalysisWindow::paper().num_hours(),
-            StreamConfig::default(),
-            &registry,
-        ),
-        None => StreamingAnalyzer::new(
-            &inventory.db,
-            AnalysisWindow::paper().num_hours(),
-            StreamConfig::default(),
-        ),
-    };
-    let mut out = String::new();
+    let service = TelescopeService::new(
+        inventory.db,
+        inventory.isps,
+        AnalysisWindow::paper().num_hours(),
+    );
     let mut discovered = 0usize;
-    for hour in &traffic {
-        for alert in stream.push_hour(hour) {
-            match alert {
-                Alert::NewDevices { count, .. } => discovered += count,
-                Alert::DosSpike {
-                    interval,
-                    packets,
-                    factor,
-                    victim,
-                } => {
-                    let who = victim
-                        .map(|(d, s)| format!("dev#{} ({:.0}%)", d.0, 100.0 * s))
-                        .unwrap_or_default();
-                    let _ = writeln!(
-                        out,
-                        "[h{interval:>3}] DOS   {packets:>8} pkts  {factor:>6.1}x  {who}"
-                    );
-                }
-                Alert::ScanSurge {
-                    interval,
-                    service,
-                    packets,
-                    factor,
-                } => {
-                    let _ = writeln!(
-                        out,
-                        "[h{interval:>3}] SURGE {packets:>8} pkts  {factor:>6.1}x  {service}"
-                    );
-                }
-                Alert::PortSweep {
-                    interval,
-                    realm,
-                    ports,
-                    factor,
-                } => {
-                    let _ = writeln!(
-                        out,
-                        "[h{interval:>3}] SWEEP {ports:>8} ports {factor:>6.1}x  {realm}"
-                    );
-                }
-            }
+    let mut write_err: Option<std::io::Error> = None;
+    let (analysis, alerts) = service.ingest(&traffic, StreamConfig::default(), &mut |alert| {
+        if let Alert::NewDevices { count, .. } = alert {
+            discovered += count;
+            return;
         }
+        if write_err.is_none() {
+            write_err = writeln!(out, "{alert}").and_then(|()| out.flush()).err();
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e.into());
     }
-    let (analysis, alerts) = stream.finish();
-    let _ = writeln!(
+    writeln!(
         out,
         "---\n{} hours replayed, {} devices discovered, {} alerts total, {} compromised devices indexed",
         traffic.len(),
         discovered,
         alerts.len(),
         analysis.device_count()
-    );
+    )?;
     if let Some(format) = format {
-        out.push_str(&render_metrics(&registry.snapshot(), format));
+        write!(
+            out,
+            "{}",
+            render_metrics(&service.registry().snapshot(), format)
+        )?;
     }
-    Ok(out)
+    out.flush()?;
+    Ok(())
+}
+
+/// Buffered [`watch_to`] (tests and the non-streaming `run` entry).
+pub fn watch(args: &[String]) -> Result<String, CliError> {
+    let mut buf = Vec::new();
+    watch_to(args, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("watch output is utf-8"))
+}
+
+/// `iotscope serve --data DIR [--port N] [--once] [--metrics[=FMT]]`
+///
+/// The resident daemon: binds the HTTP endpoint first (readers see the
+/// empty epoch-0 snapshot immediately), then ingests DIR's hours
+/// through the shared streaming loop, publishing a snapshot per hour
+/// and streaming non-discovery alerts to `out` as they fire. With
+/// `--once` the process exits after ingest (the mode CI and tests
+/// drive); otherwise it keeps serving until killed.
+pub fn serve(args: &[String], out: &mut dyn io::Write) -> Result<(), CliError> {
+    let opts = ArgParser::new()
+        .value("--data")
+        .value("--port")
+        .boolean("--once")
+        .optional_value("--metrics")
+        .parse(args)?;
+    let format = metrics_format(&opts)?;
+    let port: u16 = opts.parse_or("--port", 0)?;
+    let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
+    let service = Arc::new(TelescopeService::new(
+        inventory.db,
+        inventory.isps,
+        AnalysisWindow::paper().num_hours(),
+    ));
+    let server = HttpServer::bind(&format!("127.0.0.1:{port}"), Arc::clone(&service))
+        .map_err(|e| CliError::Run(format!("bind failed: {e}")))?;
+    writeln!(out, "serving on http://{}", server.local_addr())?;
+    out.flush()?;
+    let mut write_err: Option<std::io::Error> = None;
+    let (analysis, alerts) = service.ingest(&traffic, StreamConfig::default(), &mut |alert| {
+        if matches!(alert, Alert::NewDevices { .. }) {
+            return;
+        }
+        if write_err.is_none() {
+            write_err = writeln!(out, "{alert}").and_then(|()| out.flush()).err();
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e.into());
+    }
+    writeln!(
+        out,
+        "ingest complete: {} hours, {} compromised devices indexed, {} alerts",
+        traffic.len(),
+        analysis.device_count(),
+        alerts.len()
+    )?;
+    if let Some(format) = format {
+        write!(
+            out,
+            "{}",
+            render_metrics(&service.registry().snapshot(), format)
+        )?;
+    }
+    out.flush()?;
+    if opts.has("--once") {
+        return Ok(());
+    }
+    writeln!(out, "serving until killed (ctrl-c to stop)")?;
+    out.flush()?;
+    loop {
+        std::thread::park();
+    }
 }
 
 /// `iotscope investigate --data DIR [--intel] [--threads N]`
@@ -397,7 +440,8 @@ pub fn investigate(args: &[String]) -> Result<String, CliError> {
             .run(&traffic, &AnalyzeOptions::new().threads(threads))
             .map_err(|e| CliError::Run(format!("analysis error: {e}")))?
             .analysis;
-        let candidates = malicious::select_candidates(&analysis, 4_000);
+        let api = QueryContext::batch(&analysis, &inventory.db, &inventory.isps);
+        let candidates = api.candidates(4_000);
         let intel = IntelBuilder::new(IntelSynthConfig::paper(meta_seed(&inventory)))
             .build(&inventory.db, &candidates);
         let findings = attribution::attribute(
@@ -571,6 +615,16 @@ pub fn diff(args: &[String]) -> Result<String, CliError> {
     let d = iotscope_core::diff::diff(&before, &after);
 
     let mut out = String::new();
+    // Head the diff with each side's headline aggregates, read through
+    // the same QueryApi surface the daemon serves.
+    for (label, analysis, inv) in [("baseline", &before, &inv_a), ("current ", &after, &inv_b)] {
+        let s = QueryContext::batch(analysis, &inv.db, &inv.isps).summary();
+        let _ = writeln!(
+            out,
+            "{label}: {} compromised ({} consumer, {} CPS) across {} countries, {} pkts",
+            s.devices, s.consumer, s.cps, s.countries, s.total_packets
+        );
+    }
     let _ = writeln!(
         out,
         "devices: {} persisted, {} appeared, {} disappeared (churn {:.1}%)",

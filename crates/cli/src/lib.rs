@@ -69,6 +69,7 @@ USAGE:
     iotscope simulate --out DIR [--seed N] [--scale F] [--tiny] [--format v2|v3] [--metrics[=FMT]]
     iotscope analyze --data DIR [--intel] [--threads N] [--stats] [--metrics[=FMT]]
     iotscope watch --data DIR [--metrics[=FMT]]
+    iotscope serve --data DIR [--port N] [--once] [--metrics[=FMT]]
     iotscope investigate --data DIR [--intel] [--threads N]
     iotscope migrate --data DIR --format v2|v3
     iotscope export --data DIR --out DIR [--key K]
@@ -84,7 +85,12 @@ COMMANDS:
                  appends per-stage read/decode/ingest accounting;
                  --store is accepted as an alias for --data)
     watch        replay DIR hour-by-hour through the near-real-time
-                 analyzer, printing alerts
+                 analyzer, streaming alerts as they fire
+    serve        run the resident daemon: ingest DIR's hours while
+                 serving concurrent queries over HTTP/JSON (summary,
+                 device/{id}, realms, countries, isps, alerts, metrics,
+                 healthz); --port 0 picks an ephemeral port, --once
+                 exits after ingest instead of serving forever
     investigate  run the follow-up analyses over DIR: fingerprint
                  unindexed IoT devices and cluster botnets (--intel adds
                  malware attribution)
@@ -108,6 +114,9 @@ an observability snapshot to the output (FMT: text (default) or json).
 /// Run the CLI on the given arguments (without the program name).
 /// Returns the text to print on success.
 ///
+/// Long-running commands (`watch`, `serve`) buffer here; the binary
+/// uses [`run_to`] so their output streams live.
+///
 /// # Errors
 ///
 /// [`CliError::Usage`] for bad invocations, [`CliError::Run`] otherwise.
@@ -120,6 +129,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => commands::simulate(rest),
         "analyze" => commands::analyze(rest),
         "watch" => commands::watch(rest),
+        "serve" => {
+            let mut buf = Vec::new();
+            commands::serve(rest, &mut buf)?;
+            Ok(String::from_utf8(buf).expect("serve output is utf-8"))
+        }
         "investigate" => commands::investigate(rest),
         "migrate" => commands::migrate(rest),
         "export" => commands::export(rest),
@@ -127,6 +141,30 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "validate" => commands::validate(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Run the CLI writing output to `out` as it is produced. `watch` and
+/// `serve` stream line by line (a daemon's alert log must be live, not
+/// one buffered block at exit); every other command computes its full
+/// output and writes it once, identical to [`run`].
+///
+/// # Errors
+///
+/// As [`run`]; additionally surfaces write failures on `out`.
+pub fn run_to(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("missing command".to_owned()));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "watch" => commands::watch_to(rest, out),
+        "serve" => commands::serve(rest, out),
+        _ => {
+            let output = run(args)?;
+            writeln!(out, "{output}")?;
+            Ok(())
+        }
     }
 }
 

@@ -210,16 +210,6 @@ impl Analysis {
         self.devices.len()
     }
 
-    /// Per-device observations materialized into a hash map — the
-    /// pre-columnar shape of [`devices`](Self::devices).
-    #[deprecated(
-        note = "iterate `devices.rows()` / `devices.get(id)` or use `view()` instead of \
-                materializing a hash map"
-    )]
-    pub fn observations(&self) -> HashMap<DeviceId, DeviceObservation> {
-        self.devices.rows().map(|o| (o.device, o)).collect()
-    }
-
     /// All correlated (compromised) devices, sorted by id.
     ///
     /// Thin shim over [`view().compromised()`](AnalysisView::compromised);

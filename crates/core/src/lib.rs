@@ -54,6 +54,7 @@ pub mod dos;
 pub mod fingerprint;
 pub mod malicious;
 pub mod pipeline;
+pub mod query;
 pub mod report;
 pub mod scan;
 pub mod shard;
@@ -67,9 +68,9 @@ pub mod view;
 pub use analysis::{Analysis, Analyzer};
 pub use classify::{classify, TrafficClass};
 pub use pipeline::{
-    AnalysisOutcome, AnalysisPipeline, AnalysisSource, AnalyzeOptions, ParallelMode, StoreAnalysis,
-    StoreReadStats,
+    AnalysisOutcome, AnalysisPipeline, AnalysisSource, AnalyzeOptions, ParallelMode, StoreReadStats,
 };
+pub use query::{DeviceDetail, QueryApi, QueryContext, RealmStats, Summary};
 pub use report::{Report, ReportContext, ReportIntel};
 pub use table::{DeviceObservation, DeviceSet, DeviceTable};
 pub use view::AnalysisView;

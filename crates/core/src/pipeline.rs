@@ -86,18 +86,6 @@ impl StoreReadStats {
     }
 }
 
-/// Result of a store-backed analysis: the aggregation itself, the days
-/// dropped by the completeness rule, and per-stage accounting.
-#[derive(Debug, Clone)]
-pub struct StoreAnalysis {
-    /// The aggregation, identical to what the sequential path produces.
-    pub analysis: Analysis,
-    /// Day indices dropped by the paper's completeness rule (§III-A2).
-    pub dropped_days: Vec<u32>,
-    /// Per-stage accounting for this run.
-    pub stats: StoreReadStats,
-}
-
 /// What to analyze: hours already in memory, or a [`FlowStore`]
 /// directory (which additionally needs [`AnalyzeOptions::window`]).
 ///
@@ -926,93 +914,6 @@ impl<'a> AnalysisPipeline<'a> {
         }
         Ok(self.assemble_sharded(partials, registry, pm))
     }
-
-    /// Sequential single-pass analysis.
-    #[deprecated(note = "use AnalysisPipeline::run(&traffic, &AnalyzeOptions::new())")]
-    pub fn analyze(&self, traffic: &[HourTraffic]) -> Analysis {
-        self.run(traffic, &AnalyzeOptions::new())
-            .expect("in-memory analysis cannot fail")
-            .analysis
-    }
-
-    /// Parallel analysis: hours are partitioned across `threads`
-    /// workers, partial aggregations are merged. Same result as the
-    /// sequential path.
-    #[deprecated(note = "use AnalysisPipeline::run with AnalyzeOptions::new().threads(n)")]
-    pub fn analyze_parallel(&self, traffic: &[HourTraffic], threads: usize) -> Analysis {
-        self.run(traffic, &AnalyzeOptions::new().threads(threads))
-            .expect("in-memory analysis cannot fail")
-            .analysis
-    }
-
-    /// Read and analyze a window from a [`FlowStore`], applying the
-    /// paper's data-quality rule: days with fewer than 23 present hours
-    /// are dropped entirely (April 18 had only 15 of 24 hours and was
-    /// removed, §III-A2).
-    ///
-    /// # Errors
-    ///
-    /// Propagates store read failures (corrupt files fail loudly;
-    /// missing hours are handled by the completeness rule instead).
-    #[deprecated(note = "use AnalysisPipeline::run with AnalyzeOptions::new().window(window)")]
-    pub fn analyze_store(
-        &self,
-        store: &FlowStore,
-        window: &AnalysisWindow,
-    ) -> Result<(Analysis, Vec<u32>), NetError> {
-        let out = self.run(store, &AnalyzeOptions::new().window(*window))?;
-        Ok((out.analysis, out.dropped_days))
-    }
-
-    /// Parallel store-backed analysis; same result as the sequential
-    /// path.
-    ///
-    /// # Errors
-    ///
-    /// As `analyze_store`.
-    #[deprecated(
-        note = "use AnalysisPipeline::run with AnalyzeOptions::new().window(window).threads(n)"
-    )]
-    pub fn analyze_store_parallel(
-        &self,
-        store: &FlowStore,
-        window: &AnalysisWindow,
-        threads: usize,
-    ) -> Result<(Analysis, Vec<u32>), NetError> {
-        let out = self.run(
-            store,
-            &AnalyzeOptions::new().window(*window).threads(threads),
-        )?;
-        Ok((out.analysis, out.dropped_days))
-    }
-
-    /// Store-backed analysis with per-stage accounting.
-    ///
-    /// # Errors
-    ///
-    /// As `analyze_store`.
-    #[deprecated(
-        note = "use AnalysisPipeline::run with AnalyzeOptions::new().window(window).threads(n).stats(true)"
-    )]
-    pub fn analyze_store_with_stats(
-        &self,
-        store: &FlowStore,
-        window: &AnalysisWindow,
-        threads: usize,
-    ) -> Result<StoreAnalysis, NetError> {
-        let out = self.run(
-            store,
-            &AnalyzeOptions::new()
-                .window(*window)
-                .threads(threads)
-                .stats(true),
-        )?;
-        Ok(StoreAnalysis {
-            analysis: out.analysis,
-            dropped_days: out.dropped_days,
-            stats: out.stats.expect("stats were requested"),
-        })
-    }
 }
 
 /// Single pass over `window` computing the paper's day-completeness
@@ -1315,22 +1216,5 @@ mod tests {
         );
         std::fs::remove_dir_all(&small_dir).unwrap();
         std::fs::remove_dir_all(&big_dir).unwrap();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_run() {
-        let built = PaperScenario::build(PaperScenarioConfig::tiny(27));
-        let traffic: Vec<HourTraffic> = (1..=8).map(|i| built.scenario.generate_hour(i)).collect();
-        let pipeline = AnalysisPipeline::new(&built.inventory.db, 143);
-        let via_run = pipeline
-            .run(&traffic, &AnalyzeOptions::new())
-            .unwrap()
-            .analysis;
-        let via_shim = pipeline.analyze(&traffic);
-        assert_eq!(via_run.devices, via_shim.devices);
-        assert_eq!(via_run.protocol_packets, via_shim.protocol_packets);
-        let via_par = pipeline.analyze_parallel(&traffic, 3);
-        assert_eq!(via_run.devices, via_par.devices);
     }
 }

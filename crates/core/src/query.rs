@@ -1,0 +1,406 @@
+//! The unified query surface over an analysis: one [`QueryApi`] trait
+//! implemented once against a published snapshot and consumed by every
+//! front end — the HTTP daemon's endpoint handlers, `Report::build`,
+//! and the CLI `investigate`/`diff`/`watch` commands.
+//!
+//! Before this layer, each consumer re-derived its aggregates ad hoc
+//! from `ReportContext` (one scanned the device table for country
+//! counts, another for ISP rankings, a third re-sorted candidates), so
+//! the same question had several slightly different answers scattered
+//! across the tree. [`QueryContext`] is the single implementation:
+//! realm counts come from the memoized [`AnalysisView`], deployment
+//! counts from the [`DeviceDb`]'s own memos (`DbCache` is an
+//! implementation detail behind this trait), and rankings from one scan
+//! each.
+//!
+//! The trait is object-safe, so the HTTP layer can hold a
+//! `&dyn QueryApi` without knowing whether it queries a live epoch
+//! snapshot or a finished batch run.
+//!
+//! [`AnalysisView`]: crate::view::AnalysisView
+
+use crate::analysis::{realm_idx, Analysis};
+use crate::characterize::{self, CountryRow, IspRow};
+use crate::malicious;
+use crate::stream::Alert;
+use iotscope_devicedb::isp::IspRegistry;
+use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Top-line aggregates for one epoch — the `/summary` endpoint and the
+/// header of every report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Publication epoch (0 = nothing ingested; batch runs report the
+    /// ingested hour count).
+    pub epoch: u64,
+    /// Window length in hours.
+    pub hours_window: u32,
+    /// Hours ingested so far.
+    pub hours_ingested: u32,
+    /// Correlated (compromised) devices.
+    pub devices: usize,
+    /// Compromised consumer devices.
+    pub consumer: usize,
+    /// Compromised CPS devices.
+    pub cps: usize,
+    /// Countries hosting at least one compromised device.
+    pub countries: usize,
+    /// Total packets attributed to compromised devices.
+    pub total_packets: u64,
+    /// Flows from sources outside the inventory.
+    pub unmatched_flows: u64,
+    /// Packets from unmatched sources.
+    pub unmatched_packets: u64,
+    /// Alerts raised so far.
+    pub alerts: usize,
+}
+
+/// Everything known about one device: inventory identity joined with
+/// its observed telescope activity — the `/device/{id}` endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceDetail {
+    /// The device.
+    pub id: DeviceId,
+    /// Its public address.
+    pub ip: Ipv4Addr,
+    /// Its realm.
+    pub realm: Realm,
+    /// Hosting country name.
+    pub country: String,
+    /// Hosting ISP name.
+    pub isp: String,
+    /// First interval (1-based) seen at the telescope.
+    pub first_interval: u32,
+    /// Days with at least one observed flow.
+    pub days_active: u32,
+    /// Flow records observed.
+    pub flows: u64,
+    /// Packets per traffic class (indexed by
+    /// [`class_idx`](crate::analysis::class_idx)).
+    pub packets_by_class: [u64; 5],
+}
+
+impl DeviceDetail {
+    /// Total packets across classes.
+    pub fn total_packets(&self) -> u64 {
+        self.packets_by_class.iter().sum()
+    }
+}
+
+/// Deployment vs compromise for one realm — the `/realms` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealmStats {
+    /// The realm.
+    pub realm: Realm,
+    /// Devices in the inventory.
+    pub deployed: usize,
+    /// Devices observed at the telescope.
+    pub compromised: usize,
+    /// Packets attributed to the realm (all transports).
+    pub packets: u64,
+}
+
+/// The query surface every consumer reads through.
+///
+/// Implemented by [`QueryContext`] over `(analysis, inventory, alerts)`;
+/// the serve daemon wraps each published snapshot in one, and
+/// [`Report::build`](crate::report::Report::build) constructs one
+/// internally for batch runs.
+pub trait QueryApi {
+    /// The snapshot's publication epoch.
+    fn epoch(&self) -> u64;
+
+    /// Top-line aggregates (O(devices): realm counts and packet totals
+    /// are memoized, countries cost one scan).
+    fn summary(&self) -> Summary;
+
+    /// Inventory identity joined with observed activity, `None` if the
+    /// device was never observed (or is not in the inventory).
+    fn device(&self, id: DeviceId) -> Option<DeviceDetail>;
+
+    /// Deployment vs compromise per realm, `[consumer, cps]`.
+    fn realms(&self) -> [RealmStats; 2];
+
+    /// Countries ranked by compromised devices, descending, with the
+    /// percent-compromised-of-deployed line (all rows; take what you
+    /// need — the count of rows is the compromised-country count).
+    fn countries(&self) -> Vec<CountryRow>;
+
+    /// The top-`n` ISPs hosting compromised devices of `realm`.
+    fn isps(&self, realm: Realm, n: usize) -> Vec<IspRow>;
+
+    /// Alerts raised so far (empty for batch runs).
+    fn alerts(&self) -> &[Alert];
+
+    /// §V-A's exploration set: every DoS victim plus the top-`n`
+    /// devices per realm by scanning+UDP packets.
+    fn candidates(&self, top_n_per_realm: usize) -> Vec<DeviceId>;
+}
+
+/// The one [`QueryApi`] implementation: borrowed views over an
+/// analysis, the inventory it was correlated against, and the alert log.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryContext<'a> {
+    analysis: &'a Analysis,
+    db: &'a DeviceDb,
+    isps: &'a IspRegistry,
+    alerts: &'a [Alert],
+    epoch: u64,
+    hours_ingested: u32,
+}
+
+impl<'a> QueryContext<'a> {
+    /// A context over a live snapshot: `epoch` publications,
+    /// `hours_ingested` hours so far, `alerts` raised so far.
+    pub fn new(
+        analysis: &'a Analysis,
+        db: &'a DeviceDb,
+        isps: &'a IspRegistry,
+        alerts: &'a [Alert],
+        epoch: u64,
+        hours_ingested: u32,
+    ) -> Self {
+        QueryContext {
+            analysis,
+            db,
+            isps,
+            alerts,
+            epoch,
+            hours_ingested,
+        }
+    }
+
+    /// A context over a finished batch run: no alerts, epoch = window
+    /// hours (everything ingested).
+    pub fn batch(analysis: &'a Analysis, db: &'a DeviceDb, isps: &'a IspRegistry) -> Self {
+        QueryContext {
+            analysis,
+            db,
+            isps,
+            alerts: &[],
+            epoch: u64::from(analysis.hours),
+            hours_ingested: analysis.hours,
+        }
+    }
+
+    /// The underlying analysis (for consumers that need aggregates the
+    /// trait does not abstract, e.g. the full report's figure series).
+    pub fn analysis(&self) -> &'a Analysis {
+        self.analysis
+    }
+}
+
+impl QueryApi for QueryContext<'_> {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn summary(&self) -> Summary {
+        let view = self.analysis.view();
+        let (consumer, cps) = view.realm_counts();
+        let countries = self
+            .analysis
+            .devices
+            .rows()
+            .map(|o| self.db.device(o.device).country)
+            .collect::<HashSet<_>>()
+            .len();
+        Summary {
+            epoch: self.epoch,
+            hours_window: self.analysis.hours,
+            hours_ingested: self.hours_ingested,
+            devices: self.analysis.device_count(),
+            consumer,
+            cps,
+            countries,
+            total_packets: view.total_packets(),
+            unmatched_flows: self.analysis.unmatched_flows,
+            unmatched_packets: self.analysis.unmatched_packets,
+            alerts: self.alerts.len(),
+        }
+    }
+
+    fn device(&self, id: DeviceId) -> Option<DeviceDetail> {
+        if id.0 as usize >= self.db.len() {
+            return None;
+        }
+        let obs = self.analysis.devices.get(id)?;
+        let dev = self.db.device(id);
+        Some(DeviceDetail {
+            id,
+            ip: dev.ip,
+            realm: obs.realm,
+            country: dev.country.name().to_owned(),
+            isp: self.isps.isp(dev.isp).name().to_owned(),
+            first_interval: obs.first_interval,
+            days_active: obs.days_active.count_ones(),
+            flows: obs.flows,
+            packets_by_class: obs.packets_by_class,
+        })
+    }
+
+    fn realms(&self) -> [RealmStats; 2] {
+        let (dep_consumer, dep_cps) = self.db.realm_counts();
+        let (consumer, cps) = self.analysis.view().realm_counts();
+        let packets = |r: usize| -> u64 { self.analysis.protocol_packets[r].iter().sum() };
+        [
+            RealmStats {
+                realm: Realm::Consumer,
+                deployed: dep_consumer,
+                compromised: consumer,
+                packets: packets(realm_idx(Realm::Consumer)),
+            },
+            RealmStats {
+                realm: Realm::Cps,
+                deployed: dep_cps,
+                compromised: cps,
+                packets: packets(realm_idx(Realm::Cps)),
+            },
+        ]
+    }
+
+    fn countries(&self) -> Vec<CountryRow> {
+        characterize::compromised_by_country(self.analysis, self.db)
+    }
+
+    fn isps(&self, realm: Realm, n: usize) -> Vec<IspRow> {
+        characterize::top_isps(self.analysis, self.db, self.isps, realm, n)
+    }
+
+    fn alerts(&self) -> &[Alert] {
+        self.alerts
+    }
+
+    fn candidates(&self, top_n_per_realm: usize) -> Vec<DeviceId> {
+        malicious::select_candidates(self.analysis, top_n_per_realm)
+    }
+}
+
+/// Ensure the trait stays object-safe (the HTTP layer holds `&dyn`).
+fn _assert_object_safe(api: &dyn QueryApi) -> u64 {
+    api.epoch()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::class_idx;
+    use crate::classify::TrafficClass;
+    use crate::pipeline::{AnalysisPipeline, AnalyzeOptions};
+    use crate::report::{Report, ReportContext};
+    use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+    fn built_and_analysis() -> (iotscope_telescope::paper::BuiltScenario, Analysis) {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(61));
+        let traffic = built.scenario.generate();
+        let analysis = AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
+        (built, analysis)
+    }
+
+    #[test]
+    fn summary_matches_view_and_db() {
+        let (built, analysis) = built_and_analysis();
+        let api = QueryContext::batch(&analysis, &built.inventory.db, &built.inventory.isps);
+        let s = api.summary();
+        assert_eq!(s.devices, analysis.device_count());
+        assert_eq!((s.consumer, s.cps), analysis.view().realm_counts());
+        assert_eq!(s.consumer + s.cps, s.devices);
+        assert_eq!(s.total_packets, analysis.view().total_packets());
+        assert_eq!(
+            s.countries,
+            characterize::compromised_country_count(&analysis, &built.inventory.db)
+        );
+        assert_eq!(s.epoch, 143);
+        assert_eq!(s.hours_ingested, 143);
+        assert_eq!(s.alerts, 0);
+    }
+
+    #[test]
+    fn device_detail_joins_inventory_and_observation() {
+        let (built, analysis) = built_and_analysis();
+        let api = QueryContext::batch(&analysis, &built.inventory.db, &built.inventory.isps);
+        let id = analysis.view().compromised()[0];
+        let d = api.device(id).expect("observed device has detail");
+        let dev = built.inventory.db.device(id);
+        assert_eq!(d.ip, dev.ip);
+        assert_eq!(d.realm, dev.realm());
+        assert_eq!(d.country, dev.country.name());
+        assert!(d.total_packets() > 0);
+        assert!(d.first_interval >= 1);
+        // Out-of-inventory ids resolve to None instead of panicking.
+        assert!(api.device(DeviceId(u32::MAX)).is_none());
+    }
+
+    #[test]
+    fn realms_and_countries_agree_with_characterize() {
+        let (built, analysis) = built_and_analysis();
+        let api = QueryContext::batch(&analysis, &built.inventory.db, &built.inventory.isps);
+        let realms = api.realms();
+        assert_eq!(
+            (realms[0].deployed, realms[1].deployed),
+            built.inventory.db.realm_counts()
+        );
+        assert_eq!(
+            (realms[0].compromised, realms[1].compromised),
+            analysis.view().realm_counts()
+        );
+        assert!(realms[0].packets > 0);
+        let rows = api.countries();
+        assert_eq!(
+            rows,
+            characterize::compromised_by_country(&analysis, &built.inventory.db)
+        );
+        assert_eq!(rows.len(), api.summary().countries);
+        assert_eq!(
+            api.isps(Realm::Consumer, 5),
+            characterize::top_isps(
+                &analysis,
+                &built.inventory.db,
+                &built.inventory.isps,
+                Realm::Consumer,
+                5
+            )
+        );
+        assert_eq!(
+            api.candidates(100),
+            malicious::select_candidates(&analysis, 100)
+        );
+    }
+
+    #[test]
+    fn report_built_on_the_api_is_unchanged() {
+        // Report::build routes through QueryContext internally; its
+        // fields must equal the direct characterize computations.
+        let (built, analysis) = built_and_analysis();
+        let report = Report::build(&ReportContext {
+            analysis: &analysis,
+            db: &built.inventory.db,
+            isps: &built.inventory.isps,
+            intel: None,
+        });
+        assert_eq!(report.compromised, analysis.view().realm_counts());
+        assert_eq!(
+            report.countries,
+            characterize::compromised_country_count(&analysis, &built.inventory.db)
+        );
+        let fig1b: Vec<_> = characterize::compromised_by_country(&analysis, &built.inventory.db)
+            .into_iter()
+            .take(15)
+            .collect();
+        assert_eq!(report.fig1b, fig1b);
+    }
+
+    #[test]
+    fn detail_packets_use_class_indexing() {
+        let (built, analysis) = built_and_analysis();
+        let api = QueryContext::batch(&analysis, &built.inventory.db, &built.inventory.isps);
+        let scanner = analysis.view().tcp_scanners()[0];
+        let d = api.device(scanner).unwrap();
+        assert!(d.packets_by_class[class_idx(TrafficClass::TcpScan)] > 0);
+    }
+}

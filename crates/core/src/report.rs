@@ -5,6 +5,7 @@ use crate::analysis::Analysis;
 use crate::characterize::{self, CountryRow, IspRow};
 use crate::dos::{self, DosSummary, SpikeEvent, VictimCountryRow};
 use crate::malicious::{self, MalwareFindings, ThreatSummary};
+use crate::query::{QueryApi, QueryContext};
 use crate::scan::{self, ScanSummary, ServiceRow};
 use crate::stats::{Correlation, MannWhitney};
 use crate::udp::{self, UdpPortRow, UdpSummary};
@@ -114,9 +115,13 @@ impl Report {
             intel,
         } = *ctx;
         let registry = ServiceRegistry::standard();
+        // Every aggregate the query surface serves is read through it, so
+        // the daemon's endpoints and this report can never disagree.
+        let api = QueryContext::batch(analysis, db, isps);
+        let summary = api.summary();
         let (threat_summary, malware_findings) = match intel {
             Some(i) => {
-                let candidates = malicious::select_candidates(analysis, i.top_n_per_realm);
+                let candidates = api.candidates(i.top_n_per_realm);
                 (
                     Some(malicious::threat_summary(
                         analysis,
@@ -140,27 +145,24 @@ impl Report {
             (crate::stats::mean(&days), crate::stats::std_dev(&days))
         };
         Report {
-            compromised: analysis.compromised_counts(),
+            compromised: (summary.consumer, summary.cps),
             daily_packets: [
                 daily(None),
                 daily(Some(Realm::Consumer)),
                 daily(Some(Realm::Cps)),
             ],
-            unmatched: (analysis.unmatched_flows, analysis.unmatched_packets),
-            total_packets: analysis.total_packets(),
-            countries: characterize::compromised_country_count(analysis, db),
+            unmatched: (summary.unmatched_flows, summary.unmatched_packets),
+            total_packets: summary.total_packets,
+            countries: summary.countries,
             fig1a: characterize::country_deployment(db)
                 .into_iter()
                 .take(15)
                 .collect(),
-            fig1b: characterize::compromised_by_country(analysis, db)
-                .into_iter()
-                .take(15)
-                .collect(),
+            fig1b: api.countries().into_iter().take(15).collect(),
             fig2: analysis.discovery_curve(),
             fig3: characterize::consumer_kind_breakdown(analysis, db),
-            table1: characterize::top_isps(analysis, db, isps, Realm::Consumer, 5),
-            table2: characterize::top_isps(analysis, db, isps, Realm::Cps, 5),
+            table1: api.isps(Realm::Consumer, 5),
+            table2: api.isps(Realm::Cps, 5),
             table3: characterize::cps_service_breakdown(analysis, db)
                 .into_iter()
                 .take(10)

@@ -114,6 +114,55 @@ impl Alert {
     }
 }
 
+/// One alert as one log line — the format the CLI `watch` command
+/// streams and the daemon's `/alerts` endpoint serves, so both logs
+/// read identically.
+impl std::fmt::Display for Alert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Alert::NewDevices { interval, count } => {
+                write!(f, "[h{interval:>3}] NEW   {count:>8} devices")
+            }
+            Alert::DosSpike {
+                interval,
+                packets,
+                factor,
+                victim,
+            } => {
+                let who = victim
+                    .map(|(d, s)| format!("dev#{} ({:.0}%)", d.0, 100.0 * s))
+                    .unwrap_or_default();
+                write!(
+                    f,
+                    "[h{interval:>3}] DOS   {packets:>8} pkts  {factor:>6.1}x  {who}"
+                )
+            }
+            Alert::ScanSurge {
+                interval,
+                service,
+                packets,
+                factor,
+            } => {
+                write!(
+                    f,
+                    "[h{interval:>3}] SURGE {packets:>8} pkts  {factor:>6.1}x  {service}"
+                )
+            }
+            Alert::PortSweep {
+                interval,
+                realm,
+                ports,
+                factor,
+            } => {
+                write!(
+                    f,
+                    "[h{interval:>3}] SWEEP {ports:>8} ports {factor:>6.1}x  {realm}"
+                )
+            }
+        }
+    }
+}
+
 /// Detection thresholds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
@@ -332,6 +381,23 @@ impl<'a> StreamingAnalyzer<'a> {
     /// All alerts raised so far.
     pub fn alerts(&self) -> &[Alert] {
         &self.alerts
+    }
+
+    /// The interval of the most recently pushed hour, if any.
+    pub fn last_interval(&self) -> Option<u32> {
+        self.last_interval
+    }
+
+    /// A structural clone of the analysis as of the last pushed hour —
+    /// what the serve daemon publishes as one epoch's snapshot.
+    ///
+    /// [`finish`](Self::finish) only normalizes device-row order and
+    /// resets the memo cache, and [`Analysis`] equality is
+    /// row-order-insensitive, so this clone compares equal to a
+    /// from-scratch batch analysis of exactly the hours pushed so far
+    /// (the concurrent-reader property test holds the daemon to that).
+    pub fn snapshot(&self) -> Analysis {
+        self.analyzer.peek().clone()
     }
 
     /// Finish, returning the batch-equivalent analysis and the alert log.

@@ -40,8 +40,9 @@ impl Snapshot {
                     buckets,
                     count,
                     sum,
+                    max,
                 } => {
-                    let _ = write!(out, "count={count} sum={sum} buckets=[");
+                    let _ = write!(out, "count={count} sum={sum} max={max} buckets=[");
                     for (i, n) in buckets.iter().enumerate() {
                         if i > 0 {
                             let _ = write!(out, " ");
@@ -98,10 +99,11 @@ impl Snapshot {
                     buckets,
                     count,
                     sum,
+                    max,
                 } => {
                     let _ = write!(
                         out,
-                        "\"kind\":\"histogram\",\"bounds\":{},\"buckets\":{},\"count\":{count},\"sum\":{sum}",
+                        "\"kind\":\"histogram\",\"bounds\":{},\"buckets\":{},\"count\":{count},\"sum\":{sum},\"max\":{max}",
                         json_u64_array(bounds),
                         json_u64_array(buckets)
                     );
@@ -171,7 +173,7 @@ mod tests {
         assert!(text.contains("1234"));
         assert!(text.contains("~pipeline.threads"));
         assert!(text.contains("~pipeline.read_time"));
-        assert!(text.contains("count=2 sum=505 buckets=[<=10:1 <=100:0 >100:1]"));
+        assert!(text.contains("count=2 sum=505 max=500 buckets=[<=10:1 <=100:0 >100:1]"));
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub(crate) struct HistogramCore {
     pub(crate) buckets: Box<[AtomicU64]>,
     pub(crate) count: AtomicU64,
     pub(crate) sum: AtomicU64,
+    /// Largest observation so far (0 before any observation) — gives
+    /// quantile estimation a tight cap for the overflow bucket.
+    pub(crate) max: AtomicU64,
 }
 
 /// A fixed-bucket histogram of `u64` observations.
@@ -106,6 +109,7 @@ impl Histogram {
             buckets,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }))
     }
 
@@ -122,6 +126,7 @@ impl Histogram {
         self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of observations so far.
@@ -132,6 +137,40 @@ impl Histogram {
     /// Sum of observations so far.
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation so far (0 if none).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from bucket counts.
+    ///
+    /// Returns the upper bound of the bucket holding the rank-`⌈q·n⌉`
+    /// observation — an over-estimate by at most one bucket width, the
+    /// usual fixed-bucket convention — or [`max`](Self::max) when the
+    /// rank lands in the overflow bucket. `None` before any observation.
+    ///
+    /// Reads are unsynchronized with concurrent `observe` calls, so a
+    /// live estimate may lag in-flight observations; quiesce writers for
+    /// exact results.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(match self.0.bounds.get(i) {
+                    Some(&bound) => bound.min(self.max()),
+                    None => self.max(),
+                });
+            }
+        }
+        Some(self.max())
     }
 }
 
@@ -231,6 +270,25 @@ mod tests {
     fn histogram_bounds_are_sorted_and_deduped() {
         let h = Histogram::detached(&[100, 10, 100]);
         assert_eq!(&*h.0.bounds, &[10, 100]);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_max() {
+        let h = Histogram::detached(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Ranks 1..=10 are in the <=10 bucket, 11..=100 in <=100.
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.1), Some(10));
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(0.99), Some(100));
+        assert_eq!(h.max(), 100);
+        // Overflow observations report the tracked max, not a bound.
+        h.observe(50_000);
+        assert_eq!(h.quantile(1.0), Some(50_000));
+        assert_eq!(h.max(), 50_000);
     }
 
     #[test]

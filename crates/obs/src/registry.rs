@@ -108,7 +108,17 @@ impl Registry {
     ///
     /// As [`Registry::counter`].
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
-        match self.register(name, Stability::Stable, || {
+        self.histogram_with(name, bounds, Stability::Stable)
+    }
+
+    /// Get or create a [`Stability::Variant`] fixed-bucket histogram
+    /// (e.g. request latencies, which depend on wall time).
+    pub fn histogram_variant(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(name, bounds, Stability::Variant)
+    }
+
+    fn histogram_with(&self, name: &str, bounds: &[u64], stability: Stability) -> Histogram {
+        match self.register(name, stability, || {
             Slot::Histogram(Histogram::with_bounds(bounds))
         }) {
             Slot::Histogram(h) => h,
@@ -165,8 +175,12 @@ impl Registry {
                     buckets,
                     count,
                     sum,
+                    max,
                 } => {
-                    let h = self.histogram(&entry.name, bounds);
+                    let h = match entry.stability {
+                        Stability::Stable => self.histogram(&entry.name, bounds),
+                        Stability::Variant => self.histogram_variant(&entry.name, bounds),
+                    };
                     assert_eq!(
                         &*h.0.bounds,
                         &bounds[..],
@@ -178,6 +192,7 @@ impl Registry {
                     }
                     h.0.count.fetch_add(*count, Ordering::Relaxed);
                     h.0.sum.fetch_add(*sum, Ordering::Relaxed);
+                    h.0.max.fetch_max(*max, Ordering::Relaxed);
                 }
             }
         }
@@ -204,6 +219,7 @@ impl Registry {
                             .collect(),
                         count: h.count(),
                         sum: h.sum(),
+                        max: h.max(),
                     },
                     Slot::Timer(t) => SnapshotValue::Duration {
                         total_ns: t.nanos.load(Ordering::Relaxed),

@@ -27,6 +27,9 @@ pub enum SnapshotValue {
         count: u64,
         /// Sum of observations.
         sum: u64,
+        /// Largest observation (0 if none) — caps quantile estimates
+        /// for the overflow bucket.
+        max: u64,
     },
 }
 

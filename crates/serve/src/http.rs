@@ -1,0 +1,166 @@
+//! A zero-dependency HTTP/1.1 listener over [`TelescopeService`].
+//!
+//! `std::net::TcpListener` + a thread per connection with keep-alive:
+//! no async runtime, no external crates, same discipline as
+//! `iotscope-obs`'s exporters. Handlers only ever clone the current
+//! snapshot `Arc`, so slow clients never block ingest.
+
+use crate::{error_body, TelescopeService};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle keep-alive connection may sit between requests
+/// before the handler thread gives up on it.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The listener: an accept-loop thread spawning one handler thread per
+/// connection. Dropping (or [`shutdown`](Self::shutdown)) stops the
+/// accept loop and refuses further connections; in-flight handlers
+/// drain on their own read timeouts.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (port in use, permission).
+    pub fn bind(addr: &str, service: Arc<TelescopeService>) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_accept.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop_accept);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &service, &stop);
+                });
+            }
+        });
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the actual port when bound ephemeral).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with one throwaway connection.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve one keep-alive connection until the peer closes, a request
+/// times out, or the server stops.
+fn handle_connection(
+    stream: TcpStream,
+    service: &TelescopeService,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line)? == 0 {
+            return Ok(()); // peer closed
+        }
+        let mut parts = request_line.split_whitespace();
+        let (method, path) = match (parts.next(), parts.next()) {
+            (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
+            _ => return Ok(()), // malformed; drop the connection
+        };
+        // Drain headers; GET requests carry no body.
+        let mut keep_alive = true;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                return Ok(());
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header
+                .to_ascii_lowercase()
+                .strip_prefix("connection:")
+                .map(str::trim)
+                .map(str::to_owned)
+            {
+                keep_alive = v != "close";
+            }
+        }
+        let (status, body) = if method == "GET" {
+            service.respond(&path)
+        } else {
+            (405, error_body("only GET is served"))
+        };
+        write_response(reader.get_mut(), status, &body, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

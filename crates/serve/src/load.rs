@@ -1,0 +1,197 @@
+//! Load-generation harness: a worker pool driving concurrent keep-alive
+//! clients against an [`HttpServer`](crate::http::HttpServer), with
+//! per-endpoint latency histograms from `iotscope-obs`.
+//!
+//! The perf bin runs this concurrently with full-rate ingest and
+//! records the resulting p50/p99 per endpoint plus ingest throughput
+//! into the bench JSON (`serve.<endpoint>.p99_ns`,
+//! `serve.ingest_hours_per_s`).
+
+use crate::latency_bounds_ns;
+use iotscope_obs::Histogram;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What to drive.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Concurrent client workers.
+    pub workers: usize,
+    /// Request paths, hit round-robin by every worker.
+    pub paths: Vec<String>,
+    /// How long to keep driving (per worker).
+    pub duration: Duration,
+}
+
+/// Per-path results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointLoad {
+    /// The request path.
+    pub path: String,
+    /// Completed 2xx requests.
+    pub requests: u64,
+    /// I/O failures and non-2xx responses.
+    pub errors: u64,
+    /// Median latency in nanoseconds (0 if no request completed).
+    pub p50_ns: u64,
+    /// 99th-percentile latency in nanoseconds (0 if none).
+    pub p99_ns: u64,
+    /// Mean latency in nanoseconds (0 if none).
+    pub mean_ns: u64,
+}
+
+/// Drive `opts.workers` concurrent keep-alive clients against `addr`
+/// until `opts.duration` elapses (or `stop` flips true, whichever is
+/// first), and return per-path latency aggregates in `opts.paths`
+/// order.
+pub fn run(addr: SocketAddr, opts: &LoadOptions, stop: &AtomicBool) -> Vec<EndpointLoad> {
+    let histograms: Vec<Histogram> = opts
+        .paths
+        .iter()
+        .map(|_| Histogram::detached(&latency_bounds_ns()))
+        .collect();
+    let errors: Vec<Arc<AtomicU64>> = opts.paths.iter().map(|_| Arc::default()).collect();
+    let deadline = Instant::now() + opts.duration;
+    std::thread::scope(|scope| {
+        for _ in 0..opts.workers.max(1) {
+            let histograms = &histograms;
+            let errors = &errors;
+            let paths = &opts.paths;
+            scope.spawn(move || {
+                let mut client = None;
+                while Instant::now() < deadline && !stop.load(Ordering::Acquire) {
+                    for (i, path) in paths.iter().enumerate() {
+                        let conn = match client.take() {
+                            Some(c) => c,
+                            None => match connect(addr) {
+                                Ok(c) => c,
+                                Err(_) => {
+                                    errors[i].fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                            },
+                        };
+                        let start = Instant::now();
+                        match request(conn, path) {
+                            Ok((conn, ok)) => {
+                                let ns =
+                                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                                if ok {
+                                    histograms[i].observe(ns);
+                                } else {
+                                    errors[i].fetch_add(1, Ordering::Relaxed);
+                                }
+                                client = Some(conn);
+                            }
+                            Err(_) => {
+                                // Connection died; reconnect on the next
+                                // request rather than spinning here.
+                                errors[i].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    opts.paths
+        .iter()
+        .zip(&histograms)
+        .zip(&errors)
+        .map(|((path, h), e)| EndpointLoad {
+            path: path.clone(),
+            requests: h.count(),
+            errors: e.load(Ordering::Relaxed),
+            p50_ns: h.quantile(0.50).unwrap_or(0),
+            p99_ns: h.quantile(0.99).unwrap_or(0),
+            mean_ns: if h.count() == 0 {
+                0
+            } else {
+                h.sum() / h.count()
+            },
+        })
+        .collect()
+}
+
+fn connect(addr: SocketAddr) -> io::Result<BufReader<TcpStream>> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true).ok();
+    Ok(BufReader::new(stream))
+}
+
+/// Issue one keep-alive GET and read the full response. Returns the
+/// connection for reuse and whether the response was 2xx.
+fn request(mut conn: BufReader<TcpStream>, path: &str) -> io::Result<(BufReader<TcpStream>, bool)> {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: iotscope\r\nConnection: keep-alive\r\n\r\n");
+    conn.get_mut().write_all(req.as_bytes())?;
+    let mut status_line = String::new();
+    if conn.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"));
+    }
+    let ok = status_line
+        .split_whitespace()
+        .nth(1)
+        .is_some_and(|code| code.starts_with('2'));
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if conn.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v
+                .trim()
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    conn.read_exact(&mut body)?;
+    Ok((conn, ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::HttpServer;
+    use crate::TelescopeService;
+    use iotscope_core::stream::StreamConfig;
+    use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
+
+    #[test]
+    fn load_run_measures_served_endpoints() {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(81));
+        let traffic = built.scenario.generate();
+        let service = Arc::new(TelescopeService::new(
+            built.inventory.db,
+            built.inventory.isps,
+            143,
+        ));
+        service.ingest(&traffic[..12], StreamConfig::default(), &mut |_| {});
+        let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+        let stop = AtomicBool::new(false);
+        let results = run(
+            server.local_addr(),
+            &LoadOptions {
+                workers: 2,
+                paths: vec!["/summary".into(), "/healthz".into()],
+                duration: Duration::from_millis(300),
+            },
+            &stop,
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.requests > 0, "no requests completed for {}", r.path);
+            assert_eq!(r.errors, 0, "errors on {}", r.path);
+            assert!(r.p50_ns > 0 && r.p99_ns >= r.p50_ns);
+        }
+    }
+}

@@ -368,43 +368,6 @@ proptest! {
     }
 }
 
-/// The deprecated entry points are one-line shims over [`AnalysisPipeline::run`];
-/// their output must stay byte-identical to the new API.
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_stay_byte_identical_to_run() {
-    let shared = shared_store();
-    let pipeline = AnalysisPipeline::new(&shared.built.inventory.db, shared.window.num_hours());
-
-    let seq = pipeline.analyze(&shared.traffic);
-    assert_eq!(seq.devices, shared.sequential.devices);
-
-    let par = pipeline.analyze_parallel(&shared.traffic, 3);
-    assert_eq!(par.devices, shared.sequential.devices);
-    assert_eq!(par.udp_ports, shared.sequential.udp_ports);
-
-    let (store_seq, dropped) = pipeline
-        .analyze_store(&shared.store, &shared.window)
-        .unwrap();
-    assert!(dropped.is_empty());
-    assert_eq!(store_seq.devices, shared.sequential.devices);
-
-    let (store_par, _) = pipeline
-        .analyze_store_parallel(&shared.store, &shared.window, 4)
-        .unwrap();
-    assert_eq!(store_par.scan_services, shared.sequential.scan_services);
-
-    let with_stats = pipeline
-        .analyze_store_with_stats(&shared.store, &shared.window, 2)
-        .unwrap();
-    assert_eq!(with_stats.analysis.devices, shared.sequential.devices);
-    assert_eq!(with_stats.stats.threads, 2);
-    assert_eq!(
-        with_stats.stats.hours_ingested,
-        u64::from(shared.window.num_hours())
-    );
-}
-
 #[test]
 fn corrupt_hour_surfaces_codec_error_from_parallel_path() {
     let built = PaperScenario::build(PaperScenarioConfig::tiny(13));
