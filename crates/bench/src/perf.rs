@@ -10,7 +10,7 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve]
+//! perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve] [--year]
 //! ```
 //!
 //! `--quick` uses the small inventory and few iterations (CI smoke);
@@ -22,7 +22,11 @@
 //! device-sharded path, `pooled` times the hour-pooled path at 4
 //! threads. `--serve` additionally boots the resident daemon on an
 //! ephemeral port and drives every endpoint with concurrent keep-alive
-//! clients while ingest runs at full rate.
+//! clients while ingest runs at full rate. `--year` streams a synthetic
+//! 8,760-hour segmented store end-to-end (always at tiny scale — the
+//! point is the hour count, not the per-hour size) and records
+//! `store.year.analyze143` / `store.year.analyze8760` rows whose
+//! `peak_rss` difference is CI's RSS-flatness gate.
 //!
 //! JSON schema (documented in DESIGN.md §3d): a single object mapping
 //! bench name to `{"median_ns": u64, "bytes": u64, "peak_rss": u64}`,
@@ -42,8 +46,8 @@ use iotscope_core::stream::StreamConfig;
 use iotscope_net::addr::Ipv4Cidr;
 use iotscope_net::flowtuple::FlowTuple;
 use iotscope_net::store::{
-    decode_hour_visit, decode_hour_with, encode_hour, DecodeOptions, FlowSink, FlowStore,
-    StoreOptions,
+    decode_hour_visit, decode_hour_with, encode_hour, restamp_hour, DecodeOptions, FlowSink,
+    FlowStore, StoreOptions,
 };
 use iotscope_net::trie::PrefixTrie;
 use iotscope_serve::http::HttpServer;
@@ -60,7 +64,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str =
-    "usage: perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve]";
+    "usage: perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve] [--year]";
 
 struct Args {
     quick: bool,
@@ -68,6 +72,7 @@ struct Args {
     out: String,
     mode: ParallelMode,
     serve: bool,
+    year: bool,
 }
 
 /// Print an argument error plus usage and exit non-zero. Bad input must
@@ -87,12 +92,14 @@ fn parse_args() -> Args {
         out: "BENCH.json".to_owned(),
         mode: ParallelMode::Sharded,
         serve: false,
+        year: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--serve" => args.serve = true,
+            "--year" => args.year = true,
             "--seed" => {
                 let v = it
                     .next()
@@ -247,11 +254,133 @@ fn bench_serve(
     }
 }
 
+/// The `--year` section: analyze a compacted tiny 143-hour scenario,
+/// then stream a synthetic 8,760-hour (full-year) segmented store
+/// end-to-end, recording wall time, store bytes, and peak RSS (`VmHWM`)
+/// for both as `store.year.*` rows. CI gates on the year run's peak RSS
+/// staying within 1.5x the 143-hour run's.
+///
+/// This must run *before* the main scenario materializes its hours:
+/// `VmHWM` is a process-wide high-water mark, so sampled later both
+/// rows would just read the main scenario's footprint and the flatness
+/// gate would be vacuous. It is also always tiny-scale, whatever
+/// `--quick` says — a paper-scale year would be tens of GB of synthetic
+/// traffic, and the store (not the generator) is what's under test.
+fn bench_year(seed: u64) -> Vec<Entry> {
+    use iotscope_net::segment::{Manifest, SegmentStoreBuilder, DEFAULT_HOURS_PER_SEGMENT};
+    use iotscope_net::time::AnalysisWindow;
+
+    const YEAR_HOURS: u32 = 8_760;
+    let t0 = Instant::now();
+    let built = PaperScenario::build(PaperScenarioConfig::tiny(seed));
+    let db = &built.inventory.db;
+    let window = built.scenario.telescope().window;
+    let num_hours = window.num_hours();
+    let mut entries = Vec::new();
+
+    // 143-hour baseline, segmented: write per-hour files, compact them
+    // into segments, analyze through the mmap read path.
+    let dir = std::env::temp_dir().join(format!("iotscope-perf-yearbase-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FlowStore::create(&dir, StoreOptions::default()).expect("create baseline store");
+    built
+        .scenario
+        .write_to_store(&store)
+        .expect("write baseline store");
+    let report = store
+        .compact_to_segments(DEFAULT_HOURS_PER_SEGMENT)
+        .expect("compact baseline store");
+    let pipeline = AnalysisPipeline::new(db, num_hours);
+    let t = Instant::now();
+    let devices = pipeline
+        .run(&store, &AnalyzeOptions::new().window(window))
+        .expect("baseline segmented analysis")
+        .analysis
+        .device_count();
+    let base_wall = t.elapsed().as_nanos();
+    entries.push(Entry {
+        name: "store.year.analyze143",
+        median_ns: base_wall,
+        bytes: report.bytes_after,
+        peak_rss: peak_rss_bytes(),
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "  store.year.analyze143: {} ({num_hours} hours, {devices} devices)",
+        fmt_ns(base_wall)
+    );
+
+    // The full synthetic year: a small pool of distinct hours is
+    // generated and encoded exactly once (the flows are dropped as soon
+    // as each encoding exists), then every one of the 8,760 year hours
+    // is a clone of a pooled encoding re-stamped to its own hour —
+    // `restamp_hour` rewrites the header hour and recomputes the
+    // checksum, bit-identical to a fresh encode. That keeps the build
+    // phase's working set at a few MB of encoded bytes so the year
+    // row's peak RSS measures the store, not a year of generator state.
+    const POOL_HOURS: u32 = 24;
+    let pool: Vec<Vec<u8>> = (1..=POOL_HOURS.min(num_hours))
+        .map(|i| {
+            let traffic = built.scenario.generate_hour(i);
+            encode_hour(traffic.hour, &traffic.flows, StoreOptions::default())
+        })
+        .collect();
+    let dir = std::env::temp_dir().join(format!("iotscope-perf-year-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FlowStore::create(&dir, StoreOptions::default()).expect("create year store");
+    let year_window = AnalysisWindow::new(window.start(), YEAR_HOURS).expect("year window");
+    // 48 hours per segment (vs the 168-hour default) bounds the
+    // builder's pending buffer during the year build; the read side is
+    // oblivious to segment size.
+    let mut builder = SegmentStoreBuilder::new(&store.segments_dir(), 48, Manifest::default())
+        .expect("year segment builder");
+    for (i, hour) in year_window.iter_hours().enumerate() {
+        let mut bytes = pool[i % pool.len()].clone();
+        restamp_hour(&mut bytes, hour).expect("restamp year hour");
+        builder.push(hour, bytes).expect("push year hour");
+    }
+    let report = builder.finish().expect("finish year segments");
+    eprintln!(
+        "  year store: {} segments, {:.1} MB ({:.1}s to build)",
+        report.segments_written,
+        report.bytes_written as f64 / 1e6,
+        t0.elapsed().as_secs_f64()
+    );
+    let pipeline = AnalysisPipeline::new(db, YEAR_HOURS);
+    let t = Instant::now();
+    let devices = pipeline
+        .run(&store, &AnalyzeOptions::new().window(year_window))
+        .expect("year segmented analysis")
+        .analysis
+        .device_count();
+    let year_wall = t.elapsed().as_nanos();
+    entries.push(Entry {
+        name: "store.year.analyze8760",
+        median_ns: year_wall,
+        bytes: report.bytes_written,
+        peak_rss: peak_rss_bytes(),
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "  store.year.analyze8760: {} ({:.0} hours/s, {devices} devices, peak rss {:.1} MB)",
+        fmt_ns(year_wall),
+        f64::from(YEAR_HOURS) / (year_wall as f64 / 1e9),
+        peak_rss_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    entries
+}
+
 fn main() {
     let args = parse_args();
     let t0 = Instant::now();
     let (warm, iters) = if args.quick { (1, 3) } else { (2, 7) };
     let (warm_micro, iters_micro) = if args.quick { (3, 9) } else { (5, 15) };
+
+    let mut results: Vec<Entry> = Vec::new();
+    if args.year {
+        eprintln!("year-scale segmented store ...");
+        results.extend(bench_year(args.seed));
+    }
 
     let config = if args.quick {
         PaperScenarioConfig::tiny(args.seed)
@@ -281,7 +410,6 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    let mut results: Vec<Entry> = Vec::new();
     let mut record = |name: &'static str, bytes: u64, median_ns: u128| {
         let peak_rss = peak_rss_bytes();
         eprintln!("  {name}: {} ({} bytes/iter)", fmt_ns(median_ns), bytes);

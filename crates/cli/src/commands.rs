@@ -11,7 +11,7 @@ use iotscope_core::{attribution, behavior};
 use iotscope_devicedb::inventory_io::{self, LoadedInventory};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
 use iotscope_net::store::{FlowStore, StoreFormat, StoreOptions};
-use iotscope_net::time::{AnalysisWindow, UnixHour};
+use iotscope_net::time::AnalysisWindow;
 use iotscope_obs::{Registry, Snapshot};
 use iotscope_serve::http::HttpServer;
 use iotscope_serve::TelescopeService;
@@ -467,26 +467,64 @@ pub fn investigate(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `iotscope migrate --data DIR --format v2|v3`
+/// `iotscope migrate --data DIR (--format v2|v3 | --segmented [--hours-per-segment N])`
 ///
-/// Rewrite every hour file under `DIR/darknet` in the requested store
-/// format. Reads auto-detect the format from each file's magic, so
-/// migration is only needed to standardize a directory (e.g. recompress
-/// a v2 archive as block-indexed v3, or produce v2 files for an old
-/// consumer). Each hour is rewritten atomically; interrupting midway
-/// leaves a mixed-format but fully readable store.
+/// With `--format`, rewrite every hour file under `DIR/darknet` in the
+/// requested store format. Reads auto-detect the format from each
+/// file's magic, so migration is only needed to standardize a directory
+/// (e.g. recompress a v2 archive as block-indexed v3, or produce v2
+/// files for an old consumer). Each hour is rewritten atomically;
+/// interrupting midway leaves a mixed-format but fully readable store.
+///
+/// With `--segmented`, compact every per-hour file into the year-scale
+/// segment layout (`segments/seg-N.seg` behind `segments/manifest.idx`)
+/// and remove the per-hour copies once the manifest is durable. Reads
+/// through `FlowStore` are unchanged — segment-resident hours resolve
+/// through the manifest, and later `write_hour` calls shadow the
+/// segment copy with a fresh per-hour file.
 pub fn migrate(args: &[String]) -> Result<String, CliError> {
     let opts = ArgParser::new()
         .value("--data")
         .alias("--store", "--data")
         .value("--format")
+        .boolean("--segmented")
+        .value("--hours-per-segment")
         .parse(args)?;
     let dir = data_dir(&opts)?;
+    let root = dir.join("darknet");
+    if opts.get("--segmented").is_some() {
+        if opts.get("--format").is_some() {
+            return Err(CliError::Usage(
+                "migrate takes --format or --segmented, not both".to_owned(),
+            ));
+        }
+        let hours_per_segment = match opts.get("--hours-per-segment") {
+            Some(v) => v.parse::<usize>().map_err(|_| {
+                CliError::Usage(format!("invalid --hours-per-segment {v:?} (want a count)"))
+            })?,
+            None => iotscope_net::segment::DEFAULT_HOURS_PER_SEGMENT,
+        };
+        let store = FlowStore::open(&root)?;
+        let report = store.compact_to_segments(hours_per_segment)?;
+        if report.hours_compacted == 0 {
+            return Err(CliError::Run(format!(
+                "no hourly flowtuple files under {}",
+                root.display()
+            )));
+        }
+        return Ok(format!(
+            "compacted {} hours into {} segments: {} -> {} bytes ({:+.1}%)",
+            report.hours_compacted,
+            report.segments_written,
+            report.bytes_before,
+            report.bytes_after,
+            100.0 * (report.bytes_after as f64 / report.bytes_before as f64 - 1.0)
+        ));
+    }
     let format: StoreFormat = opts
         .require("--format", "migrate")?
         .parse()
         .map_err(CliError::Usage)?;
-    let root = dir.join("darknet");
     let src = FlowStore::open(&root)?;
     let dst = FlowStore::create(
         &root,
@@ -498,37 +536,18 @@ pub fn migrate(args: &[String]) -> Result<String, CliError> {
 
     // Walk day-N/hour-M.ft rather than assuming the paper window, so
     // partial and non-standard stores migrate completely.
-    let mut hour_ids: Vec<u64> = Vec::new();
-    for day in std::fs::read_dir(&root)? {
-        let day = day?.path();
-        if !day.is_dir() {
-            continue;
-        }
-        for entry in std::fs::read_dir(&day)? {
-            let name = entry?.file_name();
-            let name = name.to_string_lossy();
-            if let Some(id) = name
-                .strip_prefix("hour-")
-                .and_then(|rest| rest.strip_suffix(".ft"))
-                .and_then(|id| id.parse().ok())
-            {
-                hour_ids.push(id);
-            }
-        }
-    }
-    if hour_ids.is_empty() {
+    let hours = src.hours_on_disk()?;
+    if hours.is_empty() {
         return Err(CliError::Run(format!(
             "no hourly flowtuple files under {}",
             root.display()
         )));
     }
-    hour_ids.sort_unstable();
 
     let mut records = 0usize;
     let mut bytes_before = 0u64;
     let mut bytes_after = 0u64;
-    for &id in &hour_ids {
-        let hour = UnixHour::new(id);
+    for &hour in &hours {
         let path = src.hour_path(hour);
         bytes_before += std::fs::metadata(&path)?.len();
         let flows = src.read_hour(hour)?;
@@ -538,7 +557,7 @@ pub fn migrate(args: &[String]) -> Result<String, CliError> {
     }
     Ok(format!(
         "migrated {} hours ({records} records) to {format:?}: {bytes_before} -> {bytes_after} bytes ({:+.1}%)",
-        hour_ids.len(),
+        hours.len(),
         100.0 * (bytes_after as f64 / bytes_before as f64 - 1.0)
     ))
 }
@@ -847,6 +866,53 @@ mod tests {
         assert!(matches!(
             migrate(&args(&["--data", dir_s, "--format", "v9"])),
             Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migrate_segmented_compacts_and_preserves_reads() {
+        let dir = tmpdir("migrate-seg");
+        let root = dir.join("darknet");
+        let store = FlowStore::create(&root, StoreOptions::default()).unwrap();
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(11));
+        let hours: Vec<_> = (1..=5).map(|i| built.scenario.generate_hour(i)).collect();
+        for h in &hours {
+            store.write_hour(h.hour, &h.flows).unwrap();
+        }
+        let before: Vec<_> = hours
+            .iter()
+            .map(|h| store.read_hour(h.hour).unwrap())
+            .collect();
+
+        let dir_s = dir.to_str().unwrap();
+        assert!(matches!(
+            migrate(&args(&["--data", dir_s, "--format", "v2", "--segmented"])),
+            Err(CliError::Usage(_))
+        ));
+        let msg = migrate(&args(&[
+            "--data",
+            dir_s,
+            "--segmented",
+            "--hours-per-segment",
+            "2",
+        ]))
+        .unwrap();
+        assert!(msg.contains("compacted 5 hours into 3 segments"), "{msg}");
+        assert!(root.join("segments").join("manifest.idx").is_file());
+
+        // Per-hour files are gone, reads resolve through the segments,
+        // bit-identical to the pre-compaction store.
+        let fresh = FlowStore::open(&root).unwrap();
+        for (h, flows) in hours.iter().zip(&before) {
+            assert!(!fresh.hour_path(h.hour).is_file());
+            assert!(fresh.has_hour(h.hour));
+            assert_eq!(&fresh.read_hour(h.hour).unwrap(), flows);
+        }
+        // Nothing left to compact a second time.
+        assert!(matches!(
+            migrate(&args(&["--data", dir_s, "--segmented"])),
+            Err(CliError::Run(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -71,7 +71,7 @@ USAGE:
     iotscope watch --data DIR [--metrics[=FMT]]
     iotscope serve --data DIR [--port N] [--once] [--metrics[=FMT]]
     iotscope investigate --data DIR [--intel] [--threads N]
-    iotscope migrate --data DIR --format v2|v3
+    iotscope migrate --data DIR (--format v2|v3 | --segmented [--hours-per-segment N])
     iotscope export --data DIR --out DIR [--key K]
     iotscope diff --baseline DIR --data DIR [--threads N]
     iotscope validate --data DIR [--threads N]
@@ -99,7 +99,10 @@ COMMANDS:
     migrate      rewrite DIR/darknet's hour files in another store format
                  (v2 row-encoded, or v3 block-indexed columnar — the
                  default for new files); reads auto-detect the format, so
-                 this only standardizes a directory
+                 this only standardizes a directory. --segmented instead
+                 compacts the per-hour files into mmap-read year-scale
+                 segments (darknet/segments/) behind a checksummed
+                 manifest; analysis output is unchanged either way
     diff         compare two data directories (e.g. yesterday vs today):
                  appeared/disappeared devices, new victims and scanners,
                  per-class packet drift

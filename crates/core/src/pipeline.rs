@@ -653,7 +653,9 @@ impl<'a> AnalysisPipeline<'a> {
         let mut an = Analyzer::with_metrics(self.db, self.hours, registry);
         for &(interval, hour) in work {
             let t0 = Instant::now();
-            let bytes = store.read_hour_bytes(hour)?;
+            // `fetch` rather than `read`: segment-resident hours arrive
+            // as zero-copy borrows of the mapped segment.
+            let bytes = store.fetch_hour_bytes(hour)?;
             let t1 = Instant::now();
             let mut ingest = an.begin_hour(interval);
             store.visit_hour_for(hour, &bytes, decode, &mut ingest)?;
@@ -710,7 +712,7 @@ impl<'a> AnalysisPipeline<'a> {
                                 continue; // drain so the producer never blocks
                             }
                             let t0 = Instant::now();
-                            let bytes = match store.read_hour_bytes(hour) {
+                            let bytes = match store.fetch_hour_bytes(hour) {
                                 Ok(b) => b,
                                 Err(e) => {
                                     fail(interval, e);
@@ -843,7 +845,7 @@ impl<'a> AnalysisPipeline<'a> {
                             }
                             let (interval, hour) = work[k];
                             let t0 = Instant::now();
-                            let bytes = match store.read_hour_bytes(hour) {
+                            let bytes = match store.fetch_hour_bytes(hour) {
                                 Ok(b) => b,
                                 Err(e) => {
                                     fail(interval, e);

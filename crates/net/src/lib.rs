@@ -13,6 +13,9 @@
 //!   ([`flowtuple`]),
 //! * an hourly flowtuple file store mirroring the UCSD telescope data
 //!   layout ([`store`]),
+//! * a year-scale segment container packing many hours behind a
+//!   checksummed manifest, read zero-copy through read-only memory
+//!   maps ([`segment`], [`mmap`]),
 //! * hour-granularity time intervals and the paper's 143-hour analysis
 //!   window ([`time`]).
 //!
@@ -40,13 +43,19 @@
 //! [`iotscope-devicedb`]: https://example.org/iotscope
 //! [`iotscope-core`]: https://example.org/iotscope
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the crate stays unsafe-free except for
+// the one audited mmap(2) FFI module below, which opts back in
+// explicitly (its safety argument is in DESIGN.md §3g).
+#![deny(unsafe_code)]
 
 pub mod addr;
 pub mod anon;
 pub mod flowtuple;
+#[allow(unsafe_code)]
+pub mod mmap;
 pub mod ports;
 pub mod protocol;
+pub mod segment;
 pub mod store;
 pub mod time;
 pub mod trie;

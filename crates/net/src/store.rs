@@ -31,6 +31,7 @@
 //! ```
 
 use crate::flowtuple::{get_varint, put_varint, FlowTuple};
+use crate::segment::{segment_file_name, Manifest, Segment, SegmentStoreBuilder, MANIFEST_FILE};
 use crate::time::{AnalysisWindow, UnixHour, HOURS_PER_DAY};
 use crate::NetError;
 use bytes::{Buf, BufMut};
@@ -38,6 +39,7 @@ use iotscope_obs::{Counter, Histogram, Registry, BYTE_SIZE_BOUNDS};
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Legacy format: the checksum covers only the payload, so header
 /// corruption (flags, hour, count) went undetected. Read-only.
@@ -57,7 +59,7 @@ const FLAG_DELTA: u8 = 0b0000_0001;
 /// hash covers everything before it plus the payload, in v3 everything
 /// before it plus the block index (block payloads carry their own
 /// checksums in the index).
-const HEADER: usize = 7 + 1 + 8 + 4 + 8;
+pub(crate) const HEADER: usize = 7 + 1 + 8 + 4 + 8;
 /// Bytes of header covered by the v2/v3 checksum (everything before it).
 const HEADER_HASHED: usize = HEADER - 8;
 
@@ -205,12 +207,29 @@ impl StoreMetrics {
     }
 }
 
+/// How many segments a store keeps mapped at once. Reads are
+/// hour-sequential, so two (the current segment plus its successor
+/// during the boundary crossing) keep a year-scale scan from ever
+/// re-opening files while bounding resident mappings.
+const OPEN_SEGMENTS: usize = 2;
+
+/// Lazily loaded segment-routing state shared by clones of a store:
+/// the parsed manifest and an MRU handful of open (mapped) segments.
+#[derive(Debug, Default)]
+struct SegmentCache {
+    /// `None` until first use; reset when compaction rewrites routing.
+    manifest: Mutex<Option<Arc<Manifest>>>,
+    /// MRU-ordered open segments, at most [`OPEN_SEGMENTS`].
+    open: Mutex<Vec<(u32, Arc<Segment>)>>,
+}
+
 /// A directory-backed store of hourly flowtuple files.
 #[derive(Debug, Clone)]
 pub struct FlowStore {
     root: PathBuf,
     options: StoreOptions,
     metrics: StoreMetrics,
+    segments: Arc<SegmentCache>,
 }
 
 impl FlowStore {
@@ -231,6 +250,7 @@ impl FlowStore {
             root,
             options: StoreOptions::default(),
             metrics: StoreMetrics::detached(),
+            segments: Arc::default(),
         })
     }
 
@@ -247,6 +267,7 @@ impl FlowStore {
             root,
             options,
             metrics: StoreMetrics::detached(),
+            segments: Arc::default(),
         })
     }
 
@@ -330,21 +351,65 @@ impl FlowStore {
         self.decode_hour_for(hour, &bytes)
     }
 
-    /// Read the raw on-disk bytes for `hour` without decoding them.
+    /// Read the raw on-disk bytes for `hour` without decoding them,
+    /// always as an owned `Vec<u8>` (copying out of a segment when the
+    /// hour lives there). Prefer [`FlowStore::fetch_hour_bytes`], which
+    /// borrows segment-resident hours zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the hour is in neither a per-hour
+    /// file nor a segment, or a file is unreadable.
+    pub fn read_hour_bytes(&self, hour: UnixHour) -> Result<Vec<u8>, NetError> {
+        Ok(self.fetch_hour_bytes(hour)?.into_vec())
+    }
+
+    /// Fetch the raw on-disk bytes for `hour` without decoding them:
+    /// an owned read of the per-hour file when one exists, otherwise a
+    /// zero-copy borrow out of the mapped segment the manifest routes
+    /// the hour to. A per-hour file *shadows* a segment copy, so
+    /// [`FlowStore::write_hour`] after compaction behaves as an
+    /// overwrite without rewriting the segment.
     ///
     /// Lets callers separate I/O from decoding — the parallel pipeline
     /// uses this to time (and overlap) the two stages independently.
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::Io`] if the file is missing or unreadable.
-    pub fn read_hour_bytes(&self, hour: UnixHour) -> Result<Vec<u8>, NetError> {
+    /// Returns [`NetError::Io`] if the hour is in neither a per-hour
+    /// file nor a segment (kind `NotFound`, like the pre-segment API),
+    /// and [`NetError::Codec`] if the manifest or segment routing the
+    /// hour is corrupt.
+    pub fn fetch_hour_bytes(&self, hour: UnixHour) -> Result<HourBytes, NetError> {
         let path = self.hour_path(hour);
-        let mut bytes = Vec::new();
-        fs::File::open(&path)?.read_to_end(&mut bytes)?;
-        self.metrics.bytes_read.add(bytes.len() as u64);
-        self.metrics.hours_read.inc();
-        Ok(bytes)
+        match fs::File::open(&path) {
+            Ok(mut f) => {
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)?;
+                self.metrics.bytes_read.add(bytes.len() as u64);
+                self.metrics.hours_read.inc();
+                Ok(HourBytes {
+                    inner: HourBytesInner::Owned(bytes),
+                })
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                match self.segment_lookup(hour)? {
+                    Some((segment, offset, len)) => {
+                        self.metrics.bytes_read.add(len as u64);
+                        self.metrics.hours_read.inc();
+                        Ok(HourBytes {
+                            inner: HourBytesInner::Mapped {
+                                segment,
+                                offset,
+                                len,
+                            },
+                        })
+                    }
+                    None => Err(NetError::Io(e)),
+                }
+            }
+            Err(e) => Err(NetError::Io(e)),
+        }
     }
 
     /// Decode bytes previously read for `hour` (the counterpart of
@@ -488,9 +553,15 @@ impl FlowStore {
         )
     }
 
-    /// Whether a file exists for `hour`.
+    /// Whether `hour` is readable — from a per-hour file or a segment.
+    /// The segment check only consults the (cached) manifest; no
+    /// segment file is opened.
     pub fn has_hour(&self, hour: UnixHour) -> bool {
         self.hour_path(hour).is_file()
+            || self
+                .load_manifest()
+                .map(|m| m.lookup(hour).is_some())
+                .unwrap_or(false)
     }
 
     /// The hours of `window` that have files, in order.
@@ -502,6 +573,311 @@ impl FlowStore {
     /// check that led to dropping April 18.
     pub fn hours_missing(&self, window: &AnalysisWindow) -> Vec<UnixHour> {
         window.iter_hours().filter(|h| !self.has_hour(*h)).collect()
+    }
+
+    /// The directory segments and their manifest live in.
+    pub fn segments_dir(&self) -> PathBuf {
+        self.root.join("segments")
+    }
+
+    /// Path of the segment manifest (`segments/manifest.idx`).
+    pub fn manifest_path(&self) -> PathBuf {
+        self.segments_dir().join(MANIFEST_FILE)
+    }
+
+    /// Every hour with a per-hour file under the store root, ascending.
+    /// Does **not** include segment-resident hours — this is the
+    /// compaction work list (and the CLI migrate walk).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk failures.
+    pub fn hours_on_disk(&self) -> Result<Vec<UnixHour>, NetError> {
+        let mut hours = Vec::new();
+        for day in fs::read_dir(&self.root)? {
+            let day = day?;
+            if !day
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("day-"))
+                || !day.path().is_dir()
+            {
+                continue;
+            }
+            for entry in fs::read_dir(day.path())? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(hour) = name
+                    .to_str()
+                    .and_then(|n| n.strip_prefix("hour-"))
+                    .and_then(|n| n.strip_suffix(".ft"))
+                    .and_then(|n| n.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                hours.push(UnixHour::new(hour));
+            }
+        }
+        hours.sort();
+        hours.dedup();
+        Ok(hours)
+    }
+
+    /// Compact every per-hour file into the segment layout: hours are
+    /// packed (ascending) into segments of `hours_per_segment`, the
+    /// manifest is written (merged over any previous compaction), and
+    /// only then are the per-hour files removed — an interrupted
+    /// compaction leaves the hour readable from wherever it still is.
+    ///
+    /// v3 files are copied into segments byte-for-byte, so segment
+    /// reads stay bit-identical to per-hour reads — including corrupt
+    /// blocks, which quarantine exactly as before. v1/v2 files are
+    /// strictly decoded and re-encoded as v3 (preserving their delta
+    /// flag, hence their record order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Codec`] for `hours_per_segment == 0`, an
+    /// existing-but-corrupt manifest, a misnamed hour file, or a
+    /// v1/v2 file that fails strict decode; I/O failures propagate.
+    /// On error the store is never left with an hour routed nowhere.
+    pub fn compact_to_segments(
+        &self,
+        hours_per_segment: usize,
+    ) -> Result<CompactionReport, NetError> {
+        let hours = self.hours_on_disk()?;
+        if hours.is_empty() {
+            return Ok(CompactionReport::default());
+        }
+        let manifest_path = self.manifest_path();
+        let existing = if manifest_path.is_file() {
+            Manifest::load(&manifest_path)?
+        } else {
+            Manifest::default()
+        };
+        let mut builder =
+            SegmentStoreBuilder::new(&self.segments_dir(), hours_per_segment, existing)?;
+        let mut bytes_before = 0u64;
+        for hour in &hours {
+            let path = self.hour_path(*hour);
+            let mut bytes = Vec::new();
+            fs::File::open(&path)?.read_to_end(&mut bytes)?;
+            bytes_before += bytes.len() as u64;
+            let claimed = claimed_hour(&bytes)
+                .map_err(|e| NetError::Codec(format!("{}: {e}", path.display())))?;
+            if claimed != *hour {
+                return Err(NetError::Codec(format!(
+                    "file {} claims hour {claimed}, expected {hour}",
+                    path.display()
+                )));
+            }
+            let payload = if bytes.starts_with(MAGIC_V3) {
+                bytes
+            } else {
+                let delta = bytes[7] & FLAG_DELTA != 0;
+                let decoded = decode_hour_with(&bytes, DecodeOptions::default())
+                    .map_err(|e| NetError::Codec(format!("{}: {e}", path.display())))?;
+                encode_hour_v3(
+                    *hour,
+                    &decoded.flows,
+                    StoreOptions {
+                        delta_encode: delta,
+                        format: StoreFormat::V3,
+                    },
+                )
+            };
+            builder.push(*hour, payload)?;
+        }
+        let report = builder.finish()?;
+        // The manifest is durable; the per-hour copies are now redundant.
+        for hour in &hours {
+            let _ = fs::remove_file(self.hour_path(*hour));
+        }
+        for day in fs::read_dir(&self.root)? {
+            let day = day?;
+            if day
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("day-"))
+            {
+                // Only succeeds when empty; a day holding files written
+                // mid-compaction survives.
+                let _ = fs::remove_dir(day.path());
+            }
+        }
+        self.invalidate_segment_caches();
+        Ok(CompactionReport {
+            segments_written: report.segments_written,
+            hours_compacted: hours.len(),
+            bytes_before,
+            bytes_after: report.bytes_written,
+        })
+    }
+
+    /// The cached manifest, loading (or defaulting to empty, when no
+    /// compaction ever ran) on first use.
+    fn load_manifest(&self) -> Result<Arc<Manifest>, NetError> {
+        let mut cached = self
+            .segments
+            .manifest
+            .lock()
+            .expect("manifest cache poisoned");
+        if let Some(m) = cached.as_ref() {
+            return Ok(Arc::clone(m));
+        }
+        let path = self.manifest_path();
+        let manifest = Arc::new(if path.is_file() {
+            Manifest::load(&path)?
+        } else {
+            Manifest::default()
+        });
+        *cached = Some(Arc::clone(&manifest));
+        Ok(manifest)
+    }
+
+    /// Resolve `hour` through the manifest to its mapped segment and
+    /// byte range, cross-checking the manifest's routing against the
+    /// segment's own hour table so a stale manifest fails loudly.
+    fn segment_lookup(
+        &self,
+        hour: UnixHour,
+    ) -> Result<Option<(Arc<Segment>, usize, usize)>, NetError> {
+        let manifest = self.load_manifest()?;
+        let Some(entry) = manifest.lookup(hour) else {
+            return Ok(None);
+        };
+        let segment = self.open_segment(entry.segment)?;
+        let range = (entry.offset as usize, entry.len as usize);
+        if segment.locate(hour) != Some(range) {
+            return Err(NetError::Codec(format!(
+                "manifest routes {hour} to segment {} at {}+{}, but the segment disagrees",
+                entry.segment, entry.offset, entry.len
+            )));
+        }
+        Ok(Some((segment, range.0, range.1)))
+    }
+
+    /// Open (and validate) segment `id`, through the MRU handle cache.
+    fn open_segment(&self, id: u32) -> Result<Arc<Segment>, NetError> {
+        let mut open = self.segments.open.lock().expect("segment cache poisoned");
+        if let Some(pos) = open.iter().position(|(i, _)| *i == id) {
+            let entry = open.remove(pos);
+            let segment = Arc::clone(&entry.1);
+            open.insert(0, entry);
+            return Ok(segment);
+        }
+        let segment = Arc::new(Segment::open(
+            &self.segments_dir().join(segment_file_name(id)),
+        )?);
+        open.insert(0, (id, Arc::clone(&segment)));
+        open.truncate(OPEN_SEGMENTS);
+        Ok(segment)
+    }
+
+    /// Drop the cached manifest and open segments (routing changed).
+    fn invalidate_segment_caches(&self) {
+        *self
+            .segments
+            .manifest
+            .lock()
+            .expect("manifest cache poisoned") = None;
+        self.segments
+            .open
+            .lock()
+            .expect("segment cache poisoned")
+            .clear();
+    }
+}
+
+/// What [`FlowStore::compact_to_segments`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Segment files written.
+    pub segments_written: usize,
+    /// Per-hour files folded into segments (and removed).
+    pub hours_compacted: usize,
+    /// Total bytes of the per-hour files before compaction.
+    pub bytes_before: u64,
+    /// Total bytes of the segment files written.
+    pub bytes_after: u64,
+}
+
+/// Raw bytes of one hour as fetched by [`FlowStore::fetch_hour_bytes`]:
+/// either an owned read of a per-hour file or a zero-copy borrow out of
+/// a mapped segment (the `Arc` keeps the mapping alive for as long as
+/// any fetched hour is). Dereferences to `&[u8]` either way.
+#[derive(Debug)]
+pub struct HourBytes {
+    inner: HourBytesInner,
+}
+
+#[derive(Debug)]
+enum HourBytesInner {
+    Owned(Vec<u8>),
+    Mapped {
+        segment: Arc<Segment>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl HourBytes {
+    /// Whether these bytes borrow a mapped segment (false for per-hour
+    /// file reads and for segment reads on the non-mmap fallback —
+    /// see [`crate::mmap::Mmap::is_mapped`]; the slice behaves
+    /// identically either way, this is observability for tests and
+    /// benchmarks).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            HourBytesInner::Owned(_) => false,
+            HourBytesInner::Mapped { segment, .. } => segment.is_mapped(),
+        }
+    }
+
+    /// The bytes as a slice.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            HourBytesInner::Owned(bytes) => bytes,
+            HourBytesInner::Mapped {
+                segment,
+                offset,
+                len,
+            } => &segment.bytes()[*offset..*offset + *len],
+        }
+    }
+
+    /// Materialize into an owned `Vec<u8>` (free for owned reads).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self.inner {
+            HourBytesInner::Owned(bytes) => bytes,
+            HourBytesInner::Mapped {
+                segment,
+                offset,
+                len,
+            } => segment.bytes()[offset..offset + len].to_vec(),
+        }
+    }
+}
+
+impl std::ops::Deref for HourBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl AsRef<[u8]> for HourBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl From<Vec<u8>> for HourBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        HourBytes {
+            inner: HourBytesInner::Owned(bytes),
+        }
     }
 }
 
@@ -570,6 +946,56 @@ pub fn encode_hour_v3(hour: UnixHour, flows: &[FlowTuple], options: StoreOptions
         out.extend_from_slice(payload);
     }
     out
+}
+
+/// Rewrite the hour an encoded file claims, in place, and fix up
+/// whatever checksum covers the header: v2 hashes header + payload, v3
+/// hashes header + block index, and v1's checksum never covered the
+/// header at all. No payload encoding depends on the hour, so the
+/// result is bit-identical to re-encoding the same records at the new
+/// hour — synthetic replays (the perf bin's `--year`) lean on this to
+/// reuse one encoded hour at thousands of timestamps without paying
+/// for re-encoding, and archive tooling can use it to re-date hours.
+///
+/// # Errors
+///
+/// Returns [`NetError::Codec`] for an unrecognized magic or a file too
+/// short to hold the header (plus, for v3, its block index). The bytes
+/// are untouched on error.
+pub fn restamp_hour(bytes: &mut [u8], hour: UnixHour) -> Result<(), NetError> {
+    if bytes.len() < HEADER {
+        return Err(NetError::Codec("file shorter than header".to_owned()));
+    }
+    let mut hasher = Fnv1a::new();
+    let hashed_tail = match &bytes[..7] {
+        m if m == MAGIC_V1 => None, // v1 hashes the payload alone
+        m if m == MAGIC_V2 => Some(HEADER..bytes.len()),
+        m if m == MAGIC_V3 => {
+            if bytes.len() < HEADER + 4 {
+                return Err(NetError::Codec("truncated v3 block index".to_owned()));
+            }
+            let num_blocks =
+                u32::from_be_bytes(bytes[HEADER..HEADER + 4].try_into().expect("4 bytes"));
+            let index_end = (num_blocks as usize)
+                .checked_mul(INDEX_ENTRY)
+                .and_then(|n| n.checked_add(HEADER + 4))
+                .filter(|end| *end <= bytes.len())
+                .ok_or_else(|| NetError::Codec("truncated v3 block index".to_owned()))?;
+            Some(HEADER..index_end)
+        }
+        _ => {
+            return Err(NetError::Codec(
+                "bad magic (not a flowtuple hour file)".to_owned(),
+            ))
+        }
+    };
+    bytes[8..16].copy_from_slice(&hour.get().to_be_bytes());
+    if let Some(tail) = hashed_tail {
+        hasher.update(&bytes[..HEADER_HASHED]);
+        hasher.update(&bytes[tail]);
+        bytes[HEADER_HASHED..HEADER].copy_from_slice(&hasher.finish().to_be_bytes());
+    }
+    Ok(())
 }
 
 /// Encode one hour's flows in the legacy v1 format (payload-only
@@ -1152,16 +1578,86 @@ fn put_rle_column(out: &mut Vec<u8>, vals: &[u32]) {
     }
 }
 
+/// Branchless multi-byte LEB128 decode of the varint starting at the
+/// low byte of `word` (a little-endian load, so byte `i` of the input
+/// is bits `8i..8i+8`). Returns the decoded value and its encoded
+/// length in bytes.
+///
+/// SWAR: one load replaces the per-byte loop. `!word & 0x8080…` sets
+/// bit 7 of every *stop* byte (continuation bit clear); the first stop
+/// byte's position — `trailing_zeros / 8` — is the varint's last byte.
+/// Masking to that length, clearing the continuation bits, and
+/// compacting the up-to-five 7-bit groups yields the value with no
+/// data-dependent branches on the hot path.
+///
+/// Matches [`get_varint`] bit-for-bit on every input of ≥ 8 available
+/// bytes, including the error cases: a varint of 6+ bytes overflows
+/// (scalar errors at `shift >= 32`, i.e. the 6th byte), and a 5-byte
+/// varint carrying more than 4 high bits overflows (scalar's
+/// `shift == 28 && low > 0x0f` check becomes a `> u32::MAX` compare on
+/// the compacted 35-bit value). Callers fall back to the scalar decoder
+/// near the end of the buffer, where truncation must be diagnosed
+/// byte-by-byte.
+///
+/// # Errors
+///
+/// Returns [`NetError::Codec`] ("varint overflows u32") exactly where
+/// the scalar decoder would.
+#[inline]
+fn swar_varint(word: u64) -> Result<(u32, usize), NetError> {
+    let stops = !word & 0x8080_8080_8080_8080;
+    // stops == 0 → no terminator in 8 bytes → at least 9 encoded bytes,
+    // far past the 5-byte u32 maximum; trailing_zeros()=64 maps to
+    // len 9 and falls into the same overflow arm.
+    let len = (stops.trailing_zeros() >> 3) as usize + 1;
+    if len > 5 {
+        return Err(NetError::Codec("varint overflows u32".to_owned()));
+    }
+    // len <= 5, so the shift is >= 24 and in range.
+    let kept = word & (u64::MAX >> (64 - 8 * len));
+    let data = kept & 0x7f7f_7f7f_7f7f_7f7f;
+    let v = (data & 0x7f)
+        | (data >> 8 & 0x7f) << 7
+        | (data >> 16 & 0x7f) << 14
+        | (data >> 24 & 0x7f) << 21
+        | (data >> 32 & 0x7f) << 28;
+    if v > u64::from(u32::MAX) {
+        return Err(NetError::Codec("varint overflows u32".to_owned()));
+    }
+    Ok((v as u32, len))
+}
+
+/// Decode one varint from the front of `buf`, advancing it: the SWAR
+/// fast path when 8 bytes are available, the scalar [`get_varint`]
+/// tail path otherwise (so truncation errors are identical to the
+/// byte-at-a-time decoder).
+///
+/// # Errors
+///
+/// As [`get_varint`].
+#[inline]
+fn take_varint(buf: &mut &[u8]) -> Result<u32, NetError> {
+    if let Some(window) = buf.first_chunk::<8>() {
+        let (v, len) = swar_varint(u64::from_le_bytes(*window))?;
+        *buf = &buf[len..];
+        Ok(v)
+    } else {
+        get_varint(buf)
+    }
+}
+
 /// Read back `n` column values written by [`put_rle_column`] into a
-/// reusable buffer (previous contents are replaced).
+/// reusable buffer (previous contents are replaced). This is the block
+/// decoder's hot loop; varints decode through the SWAR fast path
+/// ([`swar_varint`]).
 fn get_rle_column_into(buf: &mut &[u8], n: usize, vals: &mut Vec<u32>) -> Result<(), NetError> {
     vals.clear();
     vals.reserve(n);
     while vals.len() < n {
-        let v = get_varint(buf)?;
+        let v = take_varint(buf)?;
         vals.push(v);
         if v == 0 {
-            let run = get_varint(buf)? as usize;
+            let run = take_varint(buf)? as usize;
             if run > n - vals.len() {
                 return Err(NetError::Codec(format!(
                     "zero run of {run} overflows {n}-record column"
@@ -1287,21 +1783,23 @@ fn decode_block_into(
 
 /// Streaming 64-bit FNV-1a, so the checksum can cover discontiguous
 /// regions (header prefix + payload) without concatenating them.
-struct Fnv1a(u64);
+/// Shared with the segment container ([`crate::segment`]), whose
+/// headers use the same hash.
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, data: &[u8]) {
+    pub(crate) fn update(&mut self, data: &[u8]) {
         for &b in data {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -1342,6 +1840,31 @@ mod tests {
                 IcmpType::EchoRequest,
             ),
         ]
+    }
+
+    /// Deterministic xorshift flow generator for tests that need more than a
+    /// handful of records (e.g. multi-block v3 payloads).
+    fn sample_flows(n: usize) -> Vec<FlowTuple> {
+        let mut state = 0x1234_5678_9abc_def0u64 ^ (n as u64);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let r = next();
+                let src = Ipv4Addr::from((r >> 32) as u32 | 1);
+                let dst = Ipv4Addr::from(0x2c00_0000 | (r as u32 & 0x00ff_ffff));
+                match r % 3 {
+                    0 => FlowTuple::tcp(src, dst, (r >> 16) as u16 | 1024, 23, TcpFlags::SYN)
+                        .with_packets((r % 13) as u32 + 1),
+                    1 => FlowTuple::udp(src, dst, (r >> 24) as u16 | 1024, 5060),
+                    _ => FlowTuple::icmp(src, dst, IcmpType::EchoRequest),
+                }
+            })
+            .collect()
     }
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -1531,6 +2054,7 @@ mod tests {
             root: PathBuf::from("/data"),
             options: StoreOptions::default(),
             metrics: StoreMetrics::detached(),
+            segments: Arc::default(),
         };
         let p = store.hour_path(UnixHour::new(49));
         assert_eq!(p, PathBuf::from("/data/day-2/hour-49.ft"));
@@ -2062,6 +2586,130 @@ mod tests {
     fn zigzag_roundtrips_extremes() {
         for v in [0, 1, -1, i32::MAX, i32::MIN, 65_535, -65_535] {
             assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn restamp_hour_matches_a_fresh_encode_in_every_format() {
+        let flows = sample_flows(900);
+        let from = UnixHour::new(414_456);
+        let to = UnixHour::new(700_123);
+        type EncoderFn = fn(UnixHour, &[FlowTuple], StoreOptions) -> Vec<u8>;
+        let encoders: [EncoderFn; 3] = [encode_hour_v1, encode_hour_v2, encode_hour_v3];
+        for encode in encoders {
+            let mut bytes = encode(from, &flows, StoreOptions::default());
+            restamp_hour(&mut bytes, to).unwrap();
+            assert_eq!(
+                bytes,
+                encode(to, &flows, StoreOptions::default()),
+                "restamp must be bit-identical to re-encoding at the new hour"
+            );
+            let decoded = decode_hour_with(&bytes, DecodeOptions::default()).unwrap();
+            assert_eq!(decoded.hour, to);
+            assert_eq!(decoded.flows.len(), flows.len());
+        }
+    }
+
+    #[test]
+    fn restamp_hour_rejects_garbage_without_touching_it() {
+        let to = UnixHour::new(1);
+        let mut short = vec![0u8; HEADER - 1];
+        assert!(restamp_hour(&mut short, to).is_err());
+
+        let mut bad_magic =
+            encode_hour_v3(UnixHour::new(5), &sample_flows(10), StoreOptions::default());
+        bad_magic[0] ^= 0xff;
+        let before = bad_magic.clone();
+        let err = restamp_hour(&mut bad_magic, to).unwrap_err().to_string();
+        assert!(err.contains("bad magic"), "{err}");
+        assert_eq!(bad_magic, before, "bytes must be untouched on error");
+
+        // A v3 header whose index is cut off cannot be re-checksummed.
+        let full = encode_hour_v3(UnixHour::new(5), &sample_flows(10), StoreOptions::default());
+        let mut truncated = full[..HEADER + 2].to_vec();
+        let err = restamp_hour(&mut truncated, to).unwrap_err().to_string();
+        assert!(err.contains("truncated v3 block index"), "{err}");
+    }
+
+    /// Decode one varint with the scalar reference decoder, returning
+    /// the value and consumed length (mirrors [`swar_varint`]'s shape).
+    fn scalar_varint(bytes: &[u8]) -> Result<(u32, usize), NetError> {
+        let mut buf = bytes;
+        let v = get_varint(&mut buf)?;
+        Ok((v, bytes.len() - buf.len()))
+    }
+
+    #[test]
+    fn swar_varint_matches_scalar_on_known_encodings() {
+        for v in [
+            0u32,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            0x0fff_ffff,
+            0x1000_0000,
+            u32::MAX,
+        ] {
+            let mut enc = Vec::new();
+            put_varint(&mut enc, v);
+            enc.resize(8, 0xa5); // arbitrary successor bytes
+            let (got, len) = swar_varint(u64::from_le_bytes(enc[..8].try_into().unwrap())).unwrap();
+            assert_eq!((got, len), scalar_varint(&enc).unwrap(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn swar_varint_overflow_cases_match_scalar() {
+        // 6+ byte varint: both decoders reject at the 6th byte.
+        let six = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01, 0, 0];
+        // No terminator in sight: the worst case for the SWAR scan.
+        let none = [0xffu8; 8];
+        // 5-byte varint carrying 35 significant bits (top byte 0x1f > 0x0f).
+        let wide = [0xffu8, 0xff, 0xff, 0xff, 0x1f, 0, 0, 0];
+        for bytes in [six, none, wide] {
+            let swar = swar_varint(u64::from_le_bytes(bytes)).unwrap_err();
+            let scalar = scalar_varint(&bytes).unwrap_err();
+            assert_eq!(format!("{swar}"), format!("{scalar}"), "{bytes:02x?}");
+            assert!(format!("{swar}").contains("varint overflows u32"));
+        }
+        // 5-byte varint at exactly u32::MAX still decodes.
+        let max = [0xffu8, 0xff, 0xff, 0xff, 0x0f, 0, 0, 0];
+        assert_eq!(swar_varint(u64::from_le_bytes(max)).unwrap(), (u32::MAX, 5));
+    }
+
+    #[test]
+    fn take_varint_scalar_tail_preserves_truncation_errors() {
+        // Fewer than 8 bytes and no terminator: must report truncation,
+        // exactly like the scalar decoder.
+        let mut buf: &[u8] = &[0x80, 0x80];
+        let err = take_varint(&mut buf).unwrap_err();
+        assert!(format!("{err}").contains("truncated varint"), "{err}");
+        let mut empty: &[u8] = &[];
+        assert!(take_varint(&mut empty).is_err());
+        // A short but complete varint decodes on the tail path too.
+        let mut short: &[u8] = &[0xac, 0x02];
+        assert_eq!(take_varint(&mut short).unwrap(), 300);
+        assert!(short.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        /// The SWAR decoder and the scalar decoder agree on *arbitrary*
+        /// 8-byte windows — same value, same consumed length, or the
+        /// same error.
+        #[test]
+        fn prop_swar_varint_matches_scalar(word in any::<u64>()) {
+            let bytes = word.to_le_bytes();
+            let swar = swar_varint(word);
+            let scalar = scalar_varint(&bytes);
+            match (swar, scalar) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(format!("{a}"), format!("{b}")),
+                (a, b) => prop_assert!(false, "disagreement: swar {a:?}, scalar {b:?}"),
+            }
         }
     }
 

@@ -106,12 +106,18 @@ fn handle_connection(
             return Ok(()); // peer closed
         }
         let mut parts = request_line.split_whitespace();
-        let (method, path) = match (parts.next(), parts.next()) {
-            (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), v) => (m.to_owned(), t.to_owned(), v.unwrap_or("").to_owned()),
             _ => return Ok(()), // malformed; drop the connection
         };
-        // Drain headers; GET requests carry no body.
-        let mut keep_alive = true;
+        // The request target may carry a query string; routing is on
+        // the path alone.
+        let path = target.split('?').next().unwrap_or(&target).to_owned();
+        // Drain headers; GET requests carry no body. Persistence
+        // defaults per protocol version — HTTP/1.1 keeps alive,
+        // HTTP/1.0 (and anything unrecognized) closes — and an explicit
+        // `Connection` header overrides either way.
+        let mut keep_alive = version == "HTTP/1.1";
         loop {
             let mut header = String::new();
             if reader.read_line(&mut header)? == 0 {
@@ -125,9 +131,12 @@ fn handle_connection(
                 .to_ascii_lowercase()
                 .strip_prefix("connection:")
                 .map(str::trim)
-                .map(str::to_owned)
             {
-                keep_alive = v != "close";
+                match v {
+                    "close" => keep_alive = false,
+                    "keep-alive" => keep_alive = true,
+                    _ => {}
+                }
             }
         }
         let (status, body) = if method == "GET" {

@@ -48,6 +48,9 @@ pub struct EndpointLoad {
 /// first), and return per-path latency aggregates in `opts.paths`
 /// order.
 pub fn run(addr: SocketAddr, opts: &LoadOptions, stop: &AtomicBool) -> Vec<EndpointLoad> {
+    if opts.paths.is_empty() {
+        return Vec::new();
+    }
     let histograms: Vec<Histogram> = opts
         .paths
         .iter()
@@ -62,35 +65,42 @@ pub fn run(addr: SocketAddr, opts: &LoadOptions, stop: &AtomicBool) -> Vec<Endpo
             let paths = &opts.paths;
             scope.spawn(move || {
                 let mut client = None;
+                // Round-robin by cursor so the deadline and stop flag
+                // are honored per request, not per full sweep — with a
+                // slow endpoint in the mix, a sweep-granular check can
+                // overshoot the deadline by the whole sweep.
+                let mut next = 0usize;
                 while Instant::now() < deadline && !stop.load(Ordering::Acquire) {
-                    for (i, path) in paths.iter().enumerate() {
-                        let conn = match client.take() {
-                            Some(c) => c,
-                            None => match connect(addr) {
-                                Ok(c) => c,
-                                Err(_) => {
-                                    errors[i].fetch_add(1, Ordering::Relaxed);
-                                    continue;
-                                }
-                            },
-                        };
-                        let start = Instant::now();
-                        match request(conn, path) {
-                            Ok((conn, ok)) => {
-                                let ns =
-                                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                                if ok {
-                                    histograms[i].observe(ns);
-                                } else {
-                                    errors[i].fetch_add(1, Ordering::Relaxed);
-                                }
-                                client = Some(conn);
-                            }
+                    let i = next % paths.len();
+                    next += 1;
+                    let path = &paths[i];
+                    let conn = match client.take() {
+                        Some(c) => c,
+                        None => match connect(addr) {
+                            Ok(c) => c,
                             Err(_) => {
-                                // Connection died; reconnect on the next
-                                // request rather than spinning here.
+                                // Charged to the path this request was
+                                // for, which `i` now tracks exactly.
+                                errors[i].fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        },
+                    };
+                    let start = Instant::now();
+                    match request(conn, path) {
+                        Ok((conn, ok)) => {
+                            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            if ok {
+                                histograms[i].observe(ns);
+                            } else {
                                 errors[i].fetch_add(1, Ordering::Relaxed);
                             }
+                            client = Some(conn);
+                        }
+                        Err(_) => {
+                            // Connection died; reconnect on the next
+                            // request rather than spinning here.
+                            errors[i].fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -193,5 +203,70 @@ mod tests {
             assert_eq!(r.errors, 0, "errors on {}", r.path);
             assert!(r.p50_ns > 0 && r.p99_ns >= r.p50_ns);
         }
+    }
+
+    #[test]
+    fn load_run_charges_errors_to_the_attempted_path() {
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(82));
+        let traffic = built.scenario.generate();
+        let service = Arc::new(TelescopeService::new(
+            built.inventory.db,
+            built.inventory.isps,
+            143,
+        ));
+        service.ingest(&traffic[..6], StreamConfig::default(), &mut |_| {});
+        let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).unwrap();
+        let stop = AtomicBool::new(false);
+        let results = run(
+            server.local_addr(),
+            &LoadOptions {
+                workers: 2,
+                paths: vec!["/healthz".into(), "/no-such-endpoint".into()],
+                duration: Duration::from_millis(200),
+            },
+            &stop,
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].errors, 0, "healthy path must stay clean");
+        assert!(results[0].requests > 0);
+        assert_eq!(results[1].requests, 0, "404s are errors, not requests");
+        assert!(results[1].errors > 0, "404s charged to the 404ing path");
+    }
+
+    #[test]
+    fn load_run_stops_promptly_and_handles_empty_paths() {
+        // No paths: nothing to drive, nothing to divide by.
+        let stop = AtomicBool::new(false);
+        let addr: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(run(
+            addr,
+            &LoadOptions {
+                workers: 2,
+                paths: vec![],
+                duration: Duration::from_millis(50),
+            },
+            &stop,
+        )
+        .is_empty());
+        // Pre-flipped stop flag: workers must exit before the deadline
+        // even though every connect would fail (nothing listens on the
+        // address above).
+        let stop = AtomicBool::new(true);
+        let start = std::time::Instant::now();
+        let results = run(
+            addr,
+            &LoadOptions {
+                workers: 2,
+                paths: vec!["/healthz".into()],
+                duration: Duration::from_secs(30),
+            },
+            &stop,
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stop flag must short-circuit the duration"
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].requests, 0);
     }
 }

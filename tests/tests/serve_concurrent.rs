@@ -266,4 +266,63 @@ fn http_round_trip_on_ephemeral_port() {
         .expect("write POST");
     let (status, _) = read_response(&mut conn);
     assert_eq!(status, 405);
+
+    // A query string is routing noise: `/summary?probe=1` must hit the
+    // `/summary` handler and return the identical body.
+    let (plain_status, plain_body) = get(&mut conn, "/summary");
+    let (status, body) = get(&mut conn, "/summary?probe=1&verbose=true");
+    assert_eq!(status, 200);
+    assert_eq!((status, body), (plain_status, plain_body));
+}
+
+/// HTTP/1.0 semantics: without a `Connection` header the server must
+/// answer and then close (1.0 defaults to close, not keep-alive), while
+/// an explicit `Connection: keep-alive` opts the connection back in.
+#[test]
+fn http_1_0_connection_defaults_per_protocol() {
+    let inv = inventory();
+    let traffic = synth_traffic(&inv.db, 777, 3);
+    let service = Arc::new(TelescopeService::new(
+        inv.db.clone(),
+        inv.isps.clone(),
+        WINDOW_HOURS,
+    ));
+    service.ingest(&traffic, StreamConfig::default(), &mut |_| {});
+    let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("ephemeral bind");
+
+    // Bare HTTP/1.0 request: served, then the server closes promptly —
+    // a 1.0 client that waits for EOF to delimit the response must not
+    // hang until the 5 s idle timeout.
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .unwrap();
+    let mut conn = BufReader::new(stream);
+    conn.get_mut()
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: test\r\n\r\n")
+        .expect("write 1.0 GET");
+    let (status, body) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    let mut rest = Vec::new();
+    match conn.read_to_end(&mut rest) {
+        Ok(0) => {}
+        Ok(n) => panic!("unexpected {n} trailing bytes after a 1.0 response"),
+        Err(e) => panic!("server held a 1.0 connection open ({e})"),
+    }
+
+    // Explicit `Connection: keep-alive` overrides the 1.0 default: a
+    // second request on the same connection still works.
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .unwrap();
+    let mut conn = BufReader::new(stream);
+    for _ in 0..2 {
+        conn.get_mut()
+            .write_all(b"GET /healthz HTTP/1.0\r\nHost: test\r\nConnection: keep-alive\r\n\r\n")
+            .expect("write 1.0 keep-alive GET");
+        let (status, _) = read_response(&mut conn);
+        assert_eq!(status, 200);
+    }
 }
