@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use iotscope_core::analysis::Analyzer;
 use iotscope_core::malicious;
+use iotscope_core::score::ScoreTable;
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+use iotscope_intel::IntelIndex;
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 
 fn bench_intel(c: &mut Criterion) {
@@ -17,6 +19,8 @@ fn bench_intel(c: &mut Criterion) {
     let candidates = malicious::select_candidates(&analysis, 400);
     let intel =
         IntelBuilder::new(IntelSynthConfig::paper(7)).build(&built.inventory.db, &candidates);
+    let index = IntelIndex::build(&intel.threats, &intel.malware);
+    let scores = ScoreTable::from_batch(&analysis, &built.inventory.db, &index, Default::default());
 
     let mut group = c.benchmark_group("intel");
     group.sample_size(20);
@@ -28,25 +32,22 @@ fn bench_intel(c: &mut Criterion) {
     group.bench_function("select_candidates", |b| {
         b.iter(|| malicious::select_candidates(&analysis, 400))
     });
-    group.bench_function("table_vi_threat_summary", |b| {
+    group.bench_function("index_build", |b| {
+        b.iter(|| IntelIndex::build(&intel.threats, &intel.malware))
+    });
+    group.bench_function("score_table_from_batch", |b| {
         b.iter(|| {
-            malicious::threat_summary(&analysis, &built.inventory.db, &intel.threats, &candidates)
+            ScoreTable::from_batch(&analysis, &built.inventory.db, &index, Default::default())
         })
+    });
+    group.bench_function("table_vi_threat_summary", |b| {
+        b.iter(|| malicious::threat_summary(&scores, &built.inventory.db, &index, &candidates))
     });
     group.bench_function("fig11_packet_cdfs", |b| {
-        b.iter(|| {
-            malicious::packet_cdfs(&analysis, &built.inventory.db, &intel.threats, &candidates)
-        })
+        b.iter(|| malicious::packet_cdfs(&scores, &candidates))
     });
     group.bench_function("table_vii_malware_correlation", |b| {
-        b.iter(|| {
-            malicious::malware_correlation(
-                &analysis,
-                &built.inventory.db,
-                &intel.malware,
-                &intel.resolver,
-            )
-        })
+        b.iter(|| malicious::malware_correlation(&scores, &intel.malware, &intel.resolver))
     });
     group.finish();
 }

@@ -10,7 +10,7 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve] [--year]
+//! perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve] [--year] [--intel]
 //! ```
 //!
 //! `--quick` uses the small inventory and few iterations (CI smoke);
@@ -26,7 +26,15 @@
 //! 8,760-hour segmented store end-to-end (always at tiny scale — the
 //! point is the hour count, not the per-hour size) and records
 //! `store.year.analyze143` / `store.year.analyze8760` rows whose
-//! `peak_rss` difference is CI's RSS-flatness gate.
+//! `peak_rss` difference is CI's RSS-flatness gate. `--intel`
+//! synthesizes a threat-intel context and records the §V scoring rows:
+//! `intel.index_build_ns` (IntelIndex construction),
+//! `intel.join_ns_per_flow` (full-analysis fold amortized per flow),
+//! the `intel.lookup_index` vs `intel.lookup_hashmap` ablation, and
+//! `score.alert_p99_ns` (p99 per-hour incremental score-fold latency
+//! during a streaming replay); combined with `--serve` it also
+//! attaches the score stage to the daemon so the `/score/*` endpoints
+//! answer 200 under load.
 //!
 //! JSON schema (documented in DESIGN.md §3d): a single object mapping
 //! bench name to `{"median_ns": u64, "bytes": u64, "peak_rss": u64}`,
@@ -40,9 +48,13 @@
 //! for ingest throughput with readers attached.
 
 use iotscope_core::analysis::Analyzer;
+use iotscope_core::malicious::select_candidates;
 use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions, ParallelMode};
 use iotscope_core::report::{Report, ReportContext};
+use iotscope_core::score::{ScoreConfig, ScoreEngine};
 use iotscope_core::stream::StreamConfig;
+use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+use iotscope_intel::{IntelContext, IntelIndex};
 use iotscope_net::addr::Ipv4Cidr;
 use iotscope_net::flowtuple::FlowTuple;
 use iotscope_net::store::{
@@ -63,8 +75,8 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const USAGE: &str =
-    "usage: perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] [--serve] [--year]";
+const USAGE: &str = "usage: perf [--quick] [--seed N] [--out PATH] [--mode sharded|pooled] \
+     [--serve] [--year] [--intel]";
 
 struct Args {
     quick: bool,
@@ -73,6 +85,7 @@ struct Args {
     mode: ParallelMode,
     serve: bool,
     year: bool,
+    intel: bool,
 }
 
 /// Print an argument error plus usage and exit non-zero. Bad input must
@@ -93,6 +106,7 @@ fn parse_args() -> Args {
         mode: ParallelMode::Sharded,
         serve: false,
         year: false,
+        intel: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -100,6 +114,7 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--serve" => args.serve = true,
             "--year" => args.year = true,
+            "--intel" => args.intel = true,
             "--seed" => {
                 let v = it
                     .next()
@@ -208,6 +223,7 @@ fn bench_serve(
     isps: iotscope_devicedb::isp::IspRegistry,
     num_hours: u32,
     hours: &[HourTraffic],
+    intel: Option<IntelContext>,
     quick: bool,
 ) -> ServeSection {
     let dev = {
@@ -219,12 +235,21 @@ fn bench_serve(
             .copied()
             .expect("hour 1 observes at least one device")
     };
-    let service = Arc::new(TelescopeService::new(db, isps, num_hours));
+    let mut service = TelescopeService::new(db, isps, num_hours);
+    if let Some(ctx) = intel {
+        service = service.with_intel(ctx);
+    }
+    let service = Arc::new(service);
     let server = HttpServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind serve bench");
     let paths: Vec<String> = ENDPOINTS
         .iter()
         .map(|e| match *e {
             "device" => format!("/device/{}", dev.0),
+            // `/score/{id}` answers 200 from the first intel epoch on;
+            // without intel it 404s and the row records errors, same
+            // caveat as the racing `/device/{id}` requests above.
+            "score" => format!("/score/{}", dev.0),
+            "score_top" => "/score/top".to_owned(),
             other => format!("/{other}"),
         })
         .collect();
@@ -453,6 +478,78 @@ fn main() {
         }),
     );
 
+    // -- threat-intel scoring (§V join) -----------------------------
+    let intel_ctx = args.intel.then(|| {
+        eprintln!("threat-intel scoring ...");
+        let candidates = select_candidates(&analysis, 4_000);
+        let out = IntelBuilder::new(IntelSynthConfig::paper(args.seed)).build(db, &candidates);
+        (IntelContext::from_synth(out), candidates)
+    });
+    if let Some((ctx, candidates)) = &intel_ctx {
+        record(
+            "intel.index_build_ns",
+            0,
+            measure(warm_micro, iters_micro, || {
+                IntelIndex::build(&ctx.threats, &ctx.malware).len()
+            }),
+        );
+        // One engine fold of the full batch analysis, amortized per
+        // flow of the window it summarizes (clamped to ≥1ns so the row
+        // never degenerates to zero on tiny runs).
+        let total_flows: u64 = hours.iter().map(|h| h.flows.len() as u64).sum();
+        let fold_ns = measure(warm, iters, || {
+            let mut engine = ScoreEngine::new(db, &ctx.index, ScoreConfig::default());
+            engine.fold(&analysis).len()
+        });
+        record(
+            "intel.join_ns_per_flow",
+            flows_bytes(&busy.flows),
+            (fold_ns / u128::from(total_flows.max(1))).max(1),
+        );
+        // Ablation: the prefix-bucketed index vs the HashMap+Vec scans
+        // it replaced, probing every candidate IP for any intel hit.
+        let ips: Vec<Ipv4Addr> = candidates.iter().map(|id| db.device(*id).ip).collect();
+        record(
+            "intel.lookup_index",
+            0,
+            measure(warm_micro, iters_micro, || {
+                ips.iter()
+                    .filter(|ip| ctx.index.lookup(**ip).is_some())
+                    .count()
+            }),
+        );
+        record(
+            "intel.lookup_hashmap",
+            0,
+            measure(warm_micro, iters_micro, || {
+                ips.iter()
+                    .filter(|ip| {
+                        !ctx.threats.categories_for(**ip).is_empty()
+                            || !ctx.malware.samples_contacting(**ip).is_empty()
+                    })
+                    .count()
+            }),
+        );
+        // p99 per-hour incremental fold latency over a streaming
+        // replay — the alert-path cost the score stage adds to each
+        // `push_hour`.
+        let mut an = Analyzer::new(db, num_hours);
+        let mut engine = ScoreEngine::new(db, &ctx.index, ScoreConfig::default());
+        let mut per_hour: Vec<u128> = Vec::with_capacity(hours.len());
+        for h in &hours {
+            an.ingest_hour(h);
+            let t = Instant::now();
+            black_box(engine.fold(an.peek()).len());
+            per_hour.push(t.elapsed().as_nanos());
+        }
+        per_hour.sort_unstable();
+        record(
+            "score.alert_p99_ns",
+            0,
+            per_hour[(per_hour.len() - 1) * 99 / 100],
+        );
+    }
+
     // -- correlation lookups ---------------------------------------
     let index = db.correlation_index();
     record(
@@ -604,6 +701,7 @@ fn main() {
             built.inventory.isps.clone(),
             num_hours,
             &hours,
+            intel_ctx.map(|(ctx, _)| ctx),
             args.quick,
         )
     });

@@ -10,6 +10,7 @@ use iotscope_core::stream::{Alert, StreamConfig};
 use iotscope_core::{attribution, behavior};
 use iotscope_devicedb::inventory_io::{self, LoadedInventory};
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+use iotscope_intel::IntelContext;
 use iotscope_net::store::{FlowStore, StoreFormat, StoreOptions};
 use iotscope_net::time::AnalysisWindow;
 use iotscope_obs::{Registry, Snapshot};
@@ -160,6 +161,25 @@ fn meta_seed(inv: &LoadedInventory) -> u64 {
         .unwrap_or(42)
 }
 
+/// Synthesize a threat-intel context for `watch --intel` /
+/// `serve --intel`: batch-analyze the loaded traffic once to select
+/// candidates, then build the synthetic stores the same way `analyze
+/// --intel` does (seeded from the inventory metadata, so every command
+/// over one data directory sees identical intel).
+fn build_intel_context(
+    inventory: &LoadedInventory,
+    traffic: &[HourTraffic],
+) -> Result<IntelContext, CliError> {
+    let analysis = AnalysisPipeline::new(&inventory.db, AnalysisWindow::paper().num_hours())
+        .run(traffic, &AnalyzeOptions::new())?
+        .analysis;
+    let api = QueryContext::batch(&analysis, &inventory.db, &inventory.isps);
+    let candidates = api.candidates(4_000);
+    let out = IntelBuilder::new(IntelSynthConfig::paper(meta_seed(inventory)))
+        .build(&inventory.db, &candidates);
+    Ok(IntelContext::from_synth(out))
+}
+
 /// `iotscope analyze --data DIR [--intel] [--threads N] [--stats] [--metrics[=FMT]]`
 ///
 /// Runs the store-backed pipeline: hour files are read, decoded, and
@@ -257,21 +277,32 @@ fn render_store_stats(stats: &StoreReadStats, dropped_days: &[u32]) -> String {
     out
 }
 
-/// `iotscope watch --data DIR [--metrics[=FMT]]`, streaming: alert
-/// lines reach `out` as each hour's ingest raises them, not in one
-/// buffered block at exit — the same live loop the serve daemon runs.
+/// `iotscope watch --data DIR [--intel] [--metrics[=FMT]]`, streaming:
+/// alert lines reach `out` as each hour's ingest raises them, not in
+/// one buffered block at exit — the same live loop the serve daemon
+/// runs. `--intel` attaches the incremental score stage, so severity
+/// escalations stream interleaved with the behavioral alerts.
 pub fn watch_to(args: &[String], out: &mut dyn io::Write) -> Result<(), CliError> {
     let opts = ArgParser::new()
         .value("--data")
+        .boolean("--intel")
         .optional_value("--metrics")
         .parse(args)?;
     let format = metrics_format(&opts)?;
     let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
-    let service = TelescopeService::new(
+    let intel = if opts.has("--intel") {
+        Some(build_intel_context(&inventory, &traffic)?)
+    } else {
+        None
+    };
+    let mut service = TelescopeService::new(
         inventory.db,
         inventory.isps,
         AnalysisWindow::paper().num_hours(),
     );
+    if let Some(ctx) = intel {
+        service = service.with_intel(ctx);
+    }
     let mut discovered = 0usize;
     let mut write_err: Option<std::io::Error> = None;
     let (analysis, alerts) = service.ingest(&traffic, StreamConfig::default(), &mut |alert| {
@@ -294,6 +325,9 @@ pub fn watch_to(args: &[String], out: &mut dyn io::Write) -> Result<(), CliError
         alerts.len(),
         analysis.device_count()
     )?;
+    if let Some(scores) = &service.snapshot().scores {
+        writeln!(out, "{} devices scored by threat intel", scores.len())?;
+    }
     if let Some(format) = format {
         write!(
             out,
@@ -312,29 +346,42 @@ pub fn watch(args: &[String]) -> Result<String, CliError> {
     Ok(String::from_utf8(buf).expect("watch output is utf-8"))
 }
 
-/// `iotscope serve --data DIR [--port N] [--once] [--metrics[=FMT]]`
+/// `iotscope serve --data DIR [--port N] [--once] [--intel] [--metrics[=FMT]]`
 ///
 /// The resident daemon: binds the HTTP endpoint first (readers see the
 /// empty epoch-0 snapshot immediately), then ingests DIR's hours
 /// through the shared streaming loop, publishing a snapshot per hour
 /// and streaming non-discovery alerts to `out` as they fire. With
 /// `--once` the process exits after ingest (the mode CI and tests
-/// drive); otherwise it keeps serving until killed.
+/// drive); otherwise it keeps serving until killed. `--intel` attaches
+/// the threat-intel score stage: snapshots carry the live
+/// [`iotscope_core::ScoreTable`] and `/score/top` + `/score/{id}`
+/// serve it.
 pub fn serve(args: &[String], out: &mut dyn io::Write) -> Result<(), CliError> {
     let opts = ArgParser::new()
         .value("--data")
         .value("--port")
         .boolean("--once")
+        .boolean("--intel")
         .optional_value("--metrics")
         .parse(args)?;
     let format = metrics_format(&opts)?;
     let port: u16 = opts.parse_or("--port", 0)?;
     let (inventory, traffic) = load_data(&data_dir(&opts)?)?;
-    let service = Arc::new(TelescopeService::new(
+    let intel = if opts.has("--intel") {
+        Some(build_intel_context(&inventory, &traffic)?)
+    } else {
+        None
+    };
+    let mut service = TelescopeService::new(
         inventory.db,
         inventory.isps,
         AnalysisWindow::paper().num_hours(),
-    ));
+    );
+    if let Some(ctx) = intel {
+        service = service.with_intel(ctx);
+    }
+    let service = Arc::new(service);
     let server = HttpServer::bind(&format!("127.0.0.1:{port}"), Arc::clone(&service))
         .map_err(|e| CliError::Run(format!("bind failed: {e}")))?;
     writeln!(out, "serving on http://{}", server.local_addr())?;
@@ -358,6 +405,9 @@ pub fn serve(args: &[String], out: &mut dyn io::Write) -> Result<(), CliError> {
         analysis.device_count(),
         alerts.len()
     )?;
+    if let Some(scores) = &service.snapshot().scores {
+        writeln!(out, "{} devices scored by threat intel", scores.len())?;
+    }
     if let Some(format) = format {
         write!(
             out,
@@ -814,6 +864,25 @@ mod tests {
         assert!(watch_out.contains("devices discovered"));
         assert!(watch_out.contains("1050 compromised devices indexed"));
         assert!(watch_out.contains("SWEEP"));
+        assert!(!watch_out.contains("devices scored"), "no intel by default");
+
+        // --intel interleaves score-escalation alerts with the
+        // behavioral ones and reports the scored-device count.
+        let watch_intel = watch(&args(&["--data", dir_s, "--intel"])).unwrap();
+        assert!(watch_intel.contains("1050 compromised devices indexed"));
+        assert!(watch_intel.contains("devices scored by threat intel"));
+        assert!(watch_intel.contains("SCORE"), "{watch_intel}");
+
+        let mut serve_buf = Vec::new();
+        serve(
+            &args(&["--data", dir_s, "--once", "--intel"]),
+            &mut serve_buf,
+        )
+        .unwrap();
+        let serve_out = String::from_utf8(serve_buf).unwrap();
+        assert!(serve_out.contains("serving on http://"));
+        assert!(serve_out.contains("ingest complete: 143 hours"));
+        assert!(serve_out.contains("devices scored by threat intel"));
 
         let inv = investigate(&args(&["--data", dir_s, "--intel"])).unwrap();
         assert!(inv.contains("reference groups"));

@@ -68,8 +68,8 @@ iotscope — darknet-based IoT threat analysis (Torabi et al., DSN 2018)
 USAGE:
     iotscope simulate --out DIR [--seed N] [--scale F] [--tiny] [--format v2|v3] [--metrics[=FMT]]
     iotscope analyze --data DIR [--intel] [--threads N] [--stats] [--metrics[=FMT]]
-    iotscope watch --data DIR [--metrics[=FMT]]
-    iotscope serve --data DIR [--port N] [--once] [--metrics[=FMT]]
+    iotscope watch --data DIR [--intel] [--metrics[=FMT]]
+    iotscope serve --data DIR [--port N] [--once] [--intel] [--metrics[=FMT]]
     iotscope investigate --data DIR [--intel] [--threads N]
     iotscope migrate --data DIR (--format v2|v3 | --segmented [--hours-per-segment N])
     iotscope export --data DIR --out DIR [--key K]
@@ -85,12 +85,16 @@ COMMANDS:
                  appends per-stage read/decode/ingest accounting;
                  --store is accepted as an alias for --data)
     watch        replay DIR hour-by-hour through the near-real-time
-                 analyzer, streaming alerts as they fire
+                 analyzer, streaming alerts as they fire (--intel adds
+                 the incremental threat-intel score stage and its
+                 severity-escalation alerts)
     serve        run the resident daemon: ingest DIR's hours while
                  serving concurrent queries over HTTP/JSON (summary,
-                 device/{id}, realms, countries, isps, alerts, metrics,
-                 healthz); --port 0 picks an ephemeral port, --once
-                 exits after ingest instead of serving forever
+                 device/{id}, realms, countries, isps, alerts,
+                 score/top, score/{id}, metrics, healthz); --port 0
+                 picks an ephemeral port, --once exits after ingest
+                 instead of serving forever, --intel attaches the
+                 threat-intel score stage behind the score endpoints
     investigate  run the follow-up analyses over DIR: fingerprint
                  unindexed IoT devices and cluster botnets (--intel adds
                  malware attribution)

@@ -57,6 +57,7 @@ pub mod pipeline;
 pub mod query;
 pub mod report;
 pub mod scan;
+pub mod score;
 pub mod shard;
 pub mod stats;
 pub mod stream;
@@ -72,5 +73,6 @@ pub use pipeline::{
 };
 pub use query::{DeviceDetail, QueryApi, QueryContext, RealmStats, Summary};
 pub use report::{Report, ReportContext, ReportIntel};
+pub use score::{Escalation, ScoreConfig, ScoreEngine, ScoreRow, ScoreTable, Severity};
 pub use table::{DeviceObservation, DeviceSet, DeviceTable};
 pub use view::AnalysisView;

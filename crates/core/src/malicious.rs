@@ -1,13 +1,21 @@
 //! Maliciousness analysis (Section V): the threat-repository join behind
 //! Table VI and Fig 11, and the malware-database correlation behind
 //! Table VII.
+//!
+//! Since the streaming refactor these are *thin reads* of a finished
+//! [`ScoreTable`](crate::score::ScoreTable): the actual join — intel
+//! lookup per device, evidence accumulation — happens in
+//! [`core::score`](crate::score), identically for batch and streaming
+//! runs. The outputs here are bit-identical to the pre-refactor direct
+//! joins (proptested in `tests/score_streaming.rs`).
 
 use crate::analysis::Analysis;
 use crate::classify::TrafficClass;
+use crate::score::ScoreTable;
 use crate::stats::Ecdf;
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
 use iotscope_intel::family::FamilyResolver;
-use iotscope_intel::{MalwareDb, MalwareFamily, MalwareHash, ThreatCategory, ThreatRepo};
+use iotscope_intel::{IntelIndex, MalwareDb, MalwareFamily, MalwareHash, ThreatCategory};
 use std::collections::BTreeSet;
 
 /// §V-A's exploration set: every DoS victim plus the top-`n` devices per
@@ -57,11 +65,15 @@ pub struct ThreatSummary {
     pub consumer_malware_devices: usize,
 }
 
-/// Join `candidates` against the threat repository (Table VI).
+/// Read the Table VI summary for `candidates` off a finished score
+/// table. The category mask per device was resolved from the threat
+/// repository when the device was first scored; unobserved candidates
+/// (not in the table) fall back to a direct index lookup with the
+/// pre-refactor default realm.
 pub fn threat_summary(
-    analysis: &Analysis,
+    score: &ScoreTable,
     db: &DeviceDb,
-    repo: &ThreatRepo,
+    index: &IntelIndex,
     candidates: &[DeviceId],
 ) -> ThreatSummary {
     let mut flagged = Vec::new();
@@ -69,24 +81,24 @@ pub fn threat_summary(
     let mut cps_malware = 0usize;
     let mut consumer_malware = 0usize;
     for id in candidates {
-        let ip = db.device(*id).ip;
-        let cats = repo.categories_for(ip);
-        if cats.is_empty() {
+        let (mask, realm) = match score.get(*id) {
+            Some(row) => (row.cat_mask, row.realm),
+            None => (
+                index.lookup(db.device(*id).ip).map_or(0, |h| h.cat_mask),
+                Realm::Consumer,
+            ),
+        };
+        if mask == 0 {
             continue;
         }
         flagged.push(*id);
         for (i, cat) in ThreatCategory::ALL.iter().enumerate() {
-            if cats.contains(cat) {
+            if mask & cat.bit() != 0 {
                 counts[i] += 1;
             }
         }
-        if cats.contains(&ThreatCategory::Malware) {
-            match analysis
-                .devices
-                .get(*id)
-                .map(|o| o.realm)
-                .unwrap_or(Realm::Consumer)
-            {
+        if mask & ThreatCategory::Malware.bit() != 0 {
+            match realm {
                 Realm::Cps => cps_malware += 1,
                 Realm::Consumer => consumer_malware += 1,
             }
@@ -116,22 +128,17 @@ pub fn threat_summary(
 }
 
 /// Fig 11: CDFs of total generated packets for (a) all explored devices
-/// and (b) the repository-flagged subset.
-pub fn packet_cdfs(
-    analysis: &Analysis,
-    db: &DeviceDb,
-    repo: &ThreatRepo,
-    candidates: &[DeviceId],
-) -> (Ecdf, Ecdf) {
+/// and (b) the repository-flagged subset, read off the score table.
+pub fn packet_cdfs(score: &ScoreTable, candidates: &[DeviceId]) -> (Ecdf, Ecdf) {
     let mut all = Vec::with_capacity(candidates.len());
     let mut flagged = Vec::new();
     for id in candidates {
-        let Some(obs) = analysis.devices.get(*id) else {
+        let Some(row) = score.get(*id) else {
             continue;
         };
-        let pkts = obs.total_packets() as f64;
+        let pkts = row.total_packets as f64;
         all.push(pkts);
-        if repo.is_flagged(db.device(*id).ip) {
+        if row.cat_mask != 0 {
             flagged.push(pkts);
         }
     }
@@ -151,26 +158,31 @@ pub struct MalwareFindings {
     pub families: Vec<MalwareFamily>,
 }
 
-/// §V-B: correlate **all** inferred devices against the malware database,
-/// then resolve the hashes to families.
+/// §V-B: read the malware correlation for **all** inferred devices off
+/// a finished score table, then resolve the hashes to families.
+///
+/// Expects a [`normalize`](ScoreTable::normalize)d table so the device
+/// list comes out in ascending id order (the pre-refactor iteration
+/// order over `Analysis::compromised_devices`).
 pub fn malware_correlation(
-    analysis: &Analysis,
-    db: &DeviceDb,
+    score: &ScoreTable,
     malware: &MalwareDb,
     resolver: &FamilyResolver,
 ) -> MalwareFindings {
     let mut devices = Vec::new();
     let mut hashes: BTreeSet<MalwareHash> = BTreeSet::new();
     let mut domains: BTreeSet<String> = BTreeSet::new();
-    for id in analysis.compromised_devices() {
-        let ip = db.device(id).ip;
-        let sample_hashes = malware.hashes_contacting(ip);
-        if sample_hashes.is_empty() {
+    for row in 0..score.len() {
+        let samples = score.samples_at(row);
+        if samples.is_empty() {
             continue;
         }
-        devices.push(id);
-        hashes.extend(sample_hashes);
-        domains.extend(malware.domains_contacting(ip));
+        devices.push(score.ids()[row]);
+        for &r in samples {
+            let report = &malware.reports()[r as usize];
+            hashes.insert(report.sha256.clone());
+            domains.extend(report.network.domains.iter().cloned());
+        }
     }
     let families: BTreeSet<MalwareFamily> =
         hashes.iter().filter_map(|h| resolver.resolve(h)).collect();
@@ -186,10 +198,11 @@ pub fn malware_correlation(
 mod tests {
     use super::*;
     use crate::analysis::Analyzer;
+    use crate::score::ScoreConfig;
     use iotscope_devicedb::device::DeviceProfile;
     use iotscope_devicedb::{ConsumerKind, CountryCode, CpsService, IotDevice, IspId};
     use iotscope_intel::sandbox::{NetworkActivity, SandboxReport, SystemActivity};
-    use iotscope_intel::ThreatEvent;
+    use iotscope_intel::{ThreatEvent, ThreatRepo};
     use iotscope_net::flowtuple::FlowTuple;
     use iotscope_net::protocol::TcpFlags;
     use iotscope_net::time::UnixHour;
@@ -247,6 +260,10 @@ mod tests {
         an.finish()
     }
 
+    fn score(a: &Analysis, dbv: &DeviceDb, index: &IntelIndex) -> ScoreTable {
+        ScoreTable::from_batch(a, dbv, index, ScoreConfig::default())
+    }
+
     #[test]
     fn candidates_include_victims_and_top_scanners() {
         let dbv = db();
@@ -280,8 +297,10 @@ mod tests {
                 reported_at: 0,
             });
         }
+        let index = IntelIndex::build(&repo, &MalwareDb::new());
+        let table = score(&a, &dbv, &index);
         let candidates = select_candidates(&a, 10);
-        let s = threat_summary(&a, &dbv, &repo, &candidates);
+        let s = threat_summary(&table, &dbv, &index, &candidates);
         assert_eq!(s.explored, 4);
         assert_eq!(s.flagged.len(), 2);
         let scanning = s
@@ -312,8 +331,10 @@ mod tests {
             source: "t".into(),
             reported_at: 0,
         });
+        let index = IntelIndex::build(&repo, &MalwareDb::new());
+        let table = score(&a, &dbv, &index);
         let candidates = select_candidates(&a, 10);
-        let (all, flagged) = packet_cdfs(&a, &dbv, &repo, &candidates);
+        let (all, flagged) = packet_cdfs(&table, &candidates);
         assert_eq!(all.len(), 4);
         assert_eq!(flagged.len(), 1);
         assert_eq!(flagged.quantile(1.0), Some(100.0));
@@ -337,7 +358,9 @@ mod tests {
         });
         let mut resolver = FamilyResolver::new();
         resolver.register(h, MalwareFamily::Ramnit);
-        let f = malware_correlation(&a, &dbv, &malware, &resolver);
+        let index = IntelIndex::build(&ThreatRepo::new(), &malware);
+        let table = score(&a, &dbv, &index);
+        let f = malware_correlation(&table, &malware, &resolver);
         assert_eq!(f.devices, vec![DeviceId(2)]);
         assert_eq!(f.hashes.len(), 1);
         assert_eq!(f.domains, vec!["c2.example".to_string()]);
@@ -348,12 +371,13 @@ mod tests {
     fn empty_intel_yields_empty_findings() {
         let dbv = db();
         let a = analysis(&dbv);
-        let repo = ThreatRepo::new();
+        let index = IntelIndex::empty();
+        let table = score(&a, &dbv, &index);
         let candidates = select_candidates(&a, 10);
-        let s = threat_summary(&a, &dbv, &repo, &candidates);
+        let s = threat_summary(&table, &dbv, &index, &candidates);
         assert!(s.flagged.is_empty());
         assert!(s.rows.iter().all(|r| r.devices == 0));
-        let f = malware_correlation(&a, &dbv, &MalwareDb::new(), &FamilyResolver::new());
+        let f = malware_correlation(&table, &MalwareDb::new(), &FamilyResolver::new());
         assert!(f.devices.is_empty());
         assert!(f.families.is_empty());
     }

@@ -22,6 +22,7 @@
 use crate::analysis::{realm_idx, Analysis};
 use crate::characterize::{self, CountryRow, IspRow};
 use crate::malicious;
+use crate::score::{ScoreRow, ScoreTable};
 use crate::stream::Alert;
 use iotscope_devicedb::isp::IspRegistry;
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
@@ -137,6 +138,15 @@ pub trait QueryApi {
     /// §V-A's exploration set: every DoS victim plus the top-`n`
     /// devices per realm by scanning+UDP packets.
     fn candidates(&self, top_n_per_realm: usize) -> Vec<DeviceId>;
+
+    /// The `n` highest-scoring devices (points > 0, points descending
+    /// then id ascending) — the `/score/top` endpoint. Empty when no
+    /// score table is attached (intel disabled).
+    fn top_scores(&self, n: usize) -> Vec<ScoreRow>;
+
+    /// One device's maliciousness score — the `/score/{id}` endpoint.
+    /// `None` when the device is unscored or intel is disabled.
+    fn score(&self, id: DeviceId) -> Option<ScoreRow>;
 }
 
 /// The one [`QueryApi`] implementation: borrowed views over an
@@ -147,6 +157,7 @@ pub struct QueryContext<'a> {
     db: &'a DeviceDb,
     isps: &'a IspRegistry,
     alerts: &'a [Alert],
+    scores: Option<&'a ScoreTable>,
     epoch: u64,
     hours_ingested: u32,
 }
@@ -167,9 +178,17 @@ impl<'a> QueryContext<'a> {
             db,
             isps,
             alerts,
+            scores: None,
             epoch,
             hours_ingested,
         }
+    }
+
+    /// Attach a score table, enabling [`QueryApi::top_scores`] and
+    /// [`QueryApi::score`].
+    pub fn with_scores(mut self, scores: Option<&'a ScoreTable>) -> Self {
+        self.scores = scores;
+        self
     }
 
     /// A context over a finished batch run: no alerts, epoch = window
@@ -180,6 +199,7 @@ impl<'a> QueryContext<'a> {
             db,
             isps,
             alerts: &[],
+            scores: None,
             epoch: u64::from(analysis.hours),
             hours_ingested: analysis.hours,
         }
@@ -275,6 +295,14 @@ impl QueryApi for QueryContext<'_> {
 
     fn candidates(&self, top_n_per_realm: usize) -> Vec<DeviceId> {
         malicious::select_candidates(self.analysis, top_n_per_realm)
+    }
+
+    fn top_scores(&self, n: usize) -> Vec<ScoreRow> {
+        self.scores.map(|t| t.top(n)).unwrap_or_default()
+    }
+
+    fn score(&self, id: DeviceId) -> Option<ScoreRow> {
+        self.scores.and_then(|t| t.get(id))
     }
 }
 
@@ -393,6 +421,45 @@ mod tests {
             .take(15)
             .collect();
         assert_eq!(report.fig1b, fig1b);
+    }
+
+    #[test]
+    fn score_queries_require_an_attached_table() {
+        use crate::score::{ScoreConfig, ScoreTable};
+        use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+        use iotscope_intel::IntelIndex;
+
+        let (built, analysis) = built_and_analysis();
+        let bare = QueryContext::batch(&analysis, &built.inventory.db, &built.inventory.isps);
+        assert!(bare.top_scores(5).is_empty());
+        assert!(bare.score(DeviceId(0)).is_none());
+
+        let candidates = bare.candidates(100);
+        let intel =
+            IntelBuilder::new(IntelSynthConfig::paper(61)).build(&built.inventory.db, &candidates);
+        let index = IntelIndex::build(&intel.threats, &intel.malware);
+        let table = ScoreTable::from_batch(
+            &analysis,
+            &built.inventory.db,
+            &index,
+            ScoreConfig::default(),
+        );
+        let api = QueryContext::batch(&analysis, &built.inventory.db, &built.inventory.isps)
+            .with_scores(Some(&table));
+        let top = api.top_scores(5);
+        assert!(!top.is_empty());
+        assert!(top.len() <= 5);
+        // Ordering: points descending, then id ascending.
+        for w in top.windows(2) {
+            assert!(
+                w[0].points > w[1].points
+                    || (w[0].points == w[1].points && w[0].device < w[1].device)
+            );
+        }
+        assert_eq!(api.score(top[0].device), Some(top[0].clone()));
+        // Trait stays object-safe with the new methods.
+        let dyn_api: &dyn QueryApi = &api;
+        assert_eq!(dyn_api.top_scores(1).len(), 1);
     }
 
     #[test]

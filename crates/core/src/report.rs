@@ -12,7 +12,7 @@ use crate::udp::{self, UdpPortRow, UdpSummary};
 use iotscope_devicedb::isp::IspRegistry;
 use iotscope_devicedb::{ConsumerKind, CpsService, DeviceDb, Realm};
 use iotscope_intel::family::FamilyResolver;
-use iotscope_intel::{MalwareDb, ThreatRepo};
+use iotscope_intel::{IntelIndex, MalwareDb, ThreatRepo};
 use iotscope_net::ports::ServiceRegistry;
 use std::fmt::Write as _;
 
@@ -121,16 +121,18 @@ impl Report {
         let summary = api.summary();
         let (threat_summary, malware_findings) = match intel {
             Some(i) => {
+                // The §V join now runs through the scoring engine: build
+                // the streaming-lookup index, fold the finished analysis
+                // once, and read both tables off the score table —
+                // bit-identical to the old direct joins.
                 let candidates = api.candidates(i.top_n_per_realm);
+                let index = IntelIndex::build(i.threats, i.malware);
+                let scores =
+                    crate::score::ScoreTable::from_batch(analysis, db, &index, Default::default());
                 (
-                    Some(malicious::threat_summary(
-                        analysis,
-                        db,
-                        i.threats,
-                        &candidates,
-                    )),
+                    Some(malicious::threat_summary(&scores, db, &index, &candidates)),
                     Some(malicious::malware_correlation(
-                        analysis, db, i.malware, i.resolver,
+                        &scores, i.malware, i.resolver,
                     )),
                 )
             }

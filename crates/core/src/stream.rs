@@ -19,7 +19,9 @@
 //! causal: an alert at hour *t* uses nothing later than *t*.
 
 use crate::analysis::{Analysis, Analyzer, TOP5_SERVICES};
+use crate::score::{ScoreConfig, ScoreEngine, ScoreTable, Severity};
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
+use iotscope_intel::IntelIndex;
 use iotscope_net::ports::ScanService;
 use iotscope_obs::{Counter, Registry};
 use iotscope_telescope::HourTraffic;
@@ -34,6 +36,7 @@ struct StreamMetrics {
     alerts_dos_spike: Counter,
     alerts_scan_surge: Counter,
     alerts_port_sweep: Counter,
+    alerts_score_escalation: Counter,
 }
 
 impl StreamMetrics {
@@ -44,6 +47,7 @@ impl StreamMetrics {
             alerts_dos_spike: registry.counter("stream.alerts.dos_spike"),
             alerts_scan_surge: registry.counter("stream.alerts.scan_surge"),
             alerts_port_sweep: registry.counter("stream.alerts.port_sweep"),
+            alerts_score_escalation: registry.counter("stream.alerts.score_escalation"),
         }
     }
 
@@ -53,6 +57,7 @@ impl StreamMetrics {
             Alert::DosSpike { .. } => self.alerts_dos_spike.inc(),
             Alert::ScanSurge { .. } => self.alerts_scan_surge.inc(),
             Alert::PortSweep { .. } => self.alerts_port_sweep.inc(),
+            Alert::ScoreEscalation { .. } => self.alerts_score_escalation.inc(),
         }
     }
 }
@@ -100,6 +105,20 @@ pub enum Alert {
         /// Jump factor over the trailing baseline.
         factor: f64,
     },
+    /// A device's maliciousness score crossed into a new severity tier
+    /// (the streaming §V join; requires
+    /// [`with_intel`](StreamingAnalyzer::with_intel)). Deduplicated: a
+    /// device re-alerts only when it crosses its *next* tier.
+    ScoreEscalation {
+        /// The hour's interval.
+        interval: u32,
+        /// The escalating device.
+        device: DeviceId,
+        /// The tier it reached.
+        tier: Severity,
+        /// Its point total at escalation.
+        points: u32,
+    },
 }
 
 impl Alert {
@@ -109,7 +128,8 @@ impl Alert {
             Alert::NewDevices { interval, .. }
             | Alert::DosSpike { interval, .. }
             | Alert::ScanSurge { interval, .. }
-            | Alert::PortSweep { interval, .. } => *interval,
+            | Alert::PortSweep { interval, .. }
+            | Alert::ScoreEscalation { interval, .. } => *interval,
         }
     }
 }
@@ -157,6 +177,19 @@ impl std::fmt::Display for Alert {
                 write!(
                     f,
                     "[h{interval:>3}] SWEEP {ports:>8} ports {factor:>6.1}x  {realm}"
+                )
+            }
+            Alert::ScoreEscalation {
+                interval,
+                device,
+                tier,
+                points,
+            } => {
+                write!(
+                    f,
+                    "[h{interval:>3}] SCORE {points:>8} pts   {:>8}  dev#{}",
+                    tier.to_string(),
+                    device.0
                 )
             }
         }
@@ -235,11 +268,13 @@ impl Trailing {
 #[derive(Debug)]
 pub struct StreamingAnalyzer<'a> {
     analyzer: Analyzer<'a>,
+    db: &'a DeviceDb,
     config: StreamConfig,
     seen_devices: crate::table::DeviceSet,
     backscatter: Trailing,
     services: [Trailing; 5],
     ports: [Trailing; 2],
+    score: Option<ScoreEngine<'a>>,
     alerts: Vec<Alert>,
     last_interval: Option<u32>,
     metrics: Option<StreamMetrics>,
@@ -250,15 +285,25 @@ impl<'a> StreamingAnalyzer<'a> {
     pub fn new(db: &'a DeviceDb, hours: u32, config: StreamConfig) -> Self {
         StreamingAnalyzer {
             analyzer: Analyzer::new(db, hours),
+            db,
             config,
             seen_devices: crate::table::DeviceSet::with_capacity(db.len()),
             backscatter: Trailing::new(config.window),
             services: std::array::from_fn(|_| Trailing::new(config.window)),
             ports: [Trailing::new(config.window), Trailing::new(config.window)],
+            score: None,
             alerts: Vec::new(),
             last_interval: None,
             metrics: None,
         }
+    }
+
+    /// Attach the intel scoring stage: every pushed hour also folds the
+    /// cumulative analysis into a [`ScoreEngine`] over `index`, and tier
+    /// crossings surface as [`Alert::ScoreEscalation`]s.
+    pub fn with_intel(mut self, index: &'a IntelIndex, config: ScoreConfig) -> Self {
+        self.score = Some(ScoreEngine::new(self.db, index, config));
+        self
     }
 
     /// Like [`new`](Self::new), but publishing `stream.hours_pushed`
@@ -368,6 +413,18 @@ impl<'a> StreamingAnalyzer<'a> {
             self.ports[r].push(ports as f64);
         }
 
+        // --- intel scoring ----------------------------------------------------
+        if let Some(engine) = &mut self.score {
+            for esc in engine.fold(snapshot) {
+                new_alerts.push(Alert::ScoreEscalation {
+                    interval: hour.interval,
+                    device: esc.device,
+                    tier: esc.tier,
+                    points: esc.points,
+                });
+            }
+        }
+
         if let Some(m) = &self.metrics {
             m.hours_pushed.inc();
             for a in &new_alerts {
@@ -400,9 +457,28 @@ impl<'a> StreamingAnalyzer<'a> {
         self.analyzer.peek().clone()
     }
 
+    /// The in-progress score table, if the intel stage is attached
+    /// (first-seen row order until the run finishes).
+    pub fn scores(&self) -> Option<&ScoreTable> {
+        self.score.as_ref().map(|e| e.table())
+    }
+
     /// Finish, returning the batch-equivalent analysis and the alert log.
     pub fn finish(self) -> (Analysis, Vec<Alert>) {
-        (self.analyzer.finish(), self.alerts)
+        let (analysis, alerts, _) = self.finish_with_scores();
+        (analysis, alerts)
+    }
+
+    /// Finish, additionally handing over the normalized score table when
+    /// the intel stage was attached. The table is bit-identical to
+    /// [`ScoreTable::from_batch`] over the same hours (the streaming ≡
+    /// batch contract, proptested in `tests/score_streaming.rs`).
+    pub fn finish_with_scores(self) -> (Analysis, Vec<Alert>, Option<ScoreTable>) {
+        (
+            self.analyzer.finish(),
+            self.alerts,
+            self.score.map(ScoreEngine::finish),
+        )
     }
 }
 
@@ -578,10 +654,90 @@ mod tests {
         let counted = snap.counter("stream.alerts.new_devices").unwrap()
             + snap.counter("stream.alerts.dos_spike").unwrap()
             + snap.counter("stream.alerts.scan_surge").unwrap()
-            + snap.counter("stream.alerts.port_sweep").unwrap();
+            + snap.counter("stream.alerts.port_sweep").unwrap()
+            + snap.counter("stream.alerts.score_escalation").unwrap();
         assert_eq!(counted, alerts.len() as u64);
         // The inner analyzer's counters ride along.
         assert!(snap.counter("analysis.packets.consumer.tcp_scan").unwrap() > 0);
+    }
+
+    #[test]
+    fn intel_stage_emits_deduped_escalations_and_batch_identical_scores() {
+        use crate::score::{ScoreConfig, ScoreTable};
+        use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+        use iotscope_intel::IntelIndex;
+
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(60));
+        // Batch run first, to select candidates and synthesize intel
+        // correlated with the scenario's ground truth.
+        let traffic = built.scenario.generate();
+        let batch = crate::pipeline::AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &crate::pipeline::AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
+        let candidates = crate::malicious::select_candidates(&batch, 200);
+        let intel =
+            IntelBuilder::new(IntelSynthConfig::paper(60)).build(&built.inventory.db, &candidates);
+        let index = IntelIndex::build(&intel.threats, &intel.malware);
+        let cfg = ScoreConfig::default();
+
+        let mut stream = StreamingAnalyzer::new(&built.inventory.db, 143, StreamConfig::default())
+            .with_intel(&index, cfg);
+        let mut mid_scores = 0usize;
+        for hour in &traffic {
+            stream.push_hour(hour);
+            mid_scores = stream.scores().unwrap().len();
+        }
+        assert!(mid_scores > 0, "scores accumulate during the run");
+        let (_, alerts, scores) = stream.finish_with_scores();
+        let scores = scores.unwrap();
+
+        // Escalations fired and never repeat a tier per device.
+        let mut highest: std::collections::HashMap<DeviceId, Severity> =
+            std::collections::HashMap::new();
+        let mut escalations = 0usize;
+        for a in &alerts {
+            if let Alert::ScoreEscalation {
+                device,
+                tier,
+                points,
+                ..
+            } = a
+            {
+                escalations += 1;
+                let prev = highest.insert(*device, *tier);
+                assert!(
+                    prev.is_none_or(|p| *tier > p),
+                    "dev#{} re-alerted at tier {tier} after {prev:?}",
+                    device.0
+                );
+                assert_eq!(Severity::from_points(*points), *tier);
+            }
+        }
+        assert!(escalations > 0, "flagged scenario must escalate someone");
+        // Every alerted device's final tier matches its last escalation.
+        for (device, tier) in &highest {
+            assert_eq!(scores.get(*device).unwrap().tier, *tier);
+        }
+
+        // Streaming table ≡ one batch fold of the full analysis.
+        let from_batch = ScoreTable::from_batch(&batch, &built.inventory.db, &index, cfg);
+        assert_eq!(scores, from_batch);
+    }
+
+    #[test]
+    fn score_escalation_alert_renders_and_orders() {
+        let a = Alert::ScoreEscalation {
+            interval: 7,
+            device: DeviceId(42),
+            tier: Severity::High,
+            points: 5,
+        };
+        assert_eq!(a.interval(), 7);
+        let line = a.to_string();
+        assert!(line.contains("SCORE"), "{line}");
+        assert!(line.contains("high"), "{line}");
+        assert!(line.contains("dev#42"), "{line}");
     }
 
     #[test]

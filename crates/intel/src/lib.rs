@@ -19,12 +19,14 @@
 #![forbid(unsafe_code)]
 
 pub mod family;
+pub mod index;
 pub mod malwaredb;
 pub mod sandbox;
 pub mod synth;
 pub mod threat;
 
 pub use family::{FamilyResolver, MalwareFamily};
+pub use index::{IntelContext, IntelHit, IntelIndex};
 pub use malwaredb::MalwareDb;
 pub use sandbox::{MalwareHash, SandboxReport};
 pub use threat::{ThreatCategory, ThreatEvent, ThreatRepo};

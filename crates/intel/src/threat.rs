@@ -7,7 +7,7 @@
 //! categories the paper amalgamates in Table VI.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -38,6 +38,22 @@ impl ThreatCategory {
         ThreatCategory::Malware,
         ThreatCategory::Phishing,
     ];
+
+    /// This category's bit in a packed category mask. Discriminants
+    /// follow [`ThreatCategory::ALL`] order, so the six categories fit
+    /// the low six bits of a `u8`.
+    #[inline]
+    pub fn bit(self) -> u8 {
+        1u8 << (self as u8)
+    }
+
+    /// Decode a packed category mask into categories, in
+    /// [`ThreatCategory::ALL`] (Table VI) order.
+    pub fn from_mask(mask: u8) -> impl Iterator<Item = ThreatCategory> {
+        ThreatCategory::ALL
+            .into_iter()
+            .filter(move |c| mask & c.bit() != 0)
+    }
 
     /// The prevalence among flagged devices reported in Table VI
     /// (fractions of the 816 flagged devices; categories overlap).
@@ -139,9 +155,25 @@ impl ThreatRepo {
         self.by_ip.get(&ip).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// The distinct categories `ip` is flagged with.
-    pub fn categories_for(&self, ip: Ipv4Addr) -> HashSet<ThreatCategory> {
-        self.events_for(ip).iter().map(|e| e.category).collect()
+    /// The distinct categories `ip` is flagged with, sorted in
+    /// [`ThreatCategory::ALL`] (Table VI) order.
+    ///
+    /// Sorted output keeps every consumer byte-stable: report text and
+    /// JSON payloads that list categories render identically across
+    /// runs regardless of event insertion order (the old `HashSet`
+    /// return iterated in hash order).
+    pub fn categories_for(&self, ip: Ipv4Addr) -> Vec<ThreatCategory> {
+        let mut cats: Vec<ThreatCategory> =
+            self.events_for(ip).iter().map(|e| e.category).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        cats
+    }
+
+    /// Iterate `(ip, events)` pairs in unspecified (hash) order — index
+    /// builders sort by address themselves.
+    pub fn iter_flagged(&self) -> impl Iterator<Item = (Ipv4Addr, &[ThreatEvent])> {
+        self.by_ip.iter().map(|(ip, evs)| (*ip, evs.as_slice()))
     }
 }
 
@@ -212,6 +244,55 @@ mod tests {
             assert!(w[0] >= w[1], "Table VI order violated: {prev:?}");
         }
         assert!((ThreatCategory::Scanning.paper_prevalence() - 0.963).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categories_for_is_sorted_regardless_of_insertion_order() {
+        // Satellite regression: the old HashSet return iterated in hash
+        // order; the sorted Vec must render identically no matter how
+        // events arrive.
+        let ip = [10, 0, 0, 1];
+        let forward = [
+            ThreatCategory::Scanning,
+            ThreatCategory::Spam,
+            ThreatCategory::Phishing,
+            ThreatCategory::Malware,
+        ];
+        let mut orders: Vec<Vec<ThreatCategory>> = Vec::new();
+        for perm in [[0usize, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]] {
+            let mut repo = ThreatRepo::new();
+            for &i in &perm {
+                repo.add(event(ip, forward[i]));
+                // Duplicates must not change the output either.
+                repo.add(event(ip, forward[i]));
+            }
+            orders.push(repo.categories_for(Ipv4Addr::from(ip)));
+        }
+        let want = vec![
+            ThreatCategory::Scanning,
+            ThreatCategory::Spam,
+            ThreatCategory::Malware,
+            ThreatCategory::Phishing,
+        ];
+        for got in orders {
+            assert_eq!(got, want, "categories_for must be sorted and deduped");
+        }
+    }
+
+    #[test]
+    fn mask_bits_follow_all_order() {
+        // `bit()` packing relies on declaration order == ALL order.
+        for (i, cat) in ThreatCategory::ALL.iter().enumerate() {
+            assert_eq!(*cat as u8, i as u8, "{cat:?} discriminant drifted");
+            assert_eq!(cat.bit(), 1u8 << i);
+        }
+        let mask = ThreatCategory::Scanning.bit() | ThreatCategory::Phishing.bit();
+        let decoded: Vec<ThreatCategory> = ThreatCategory::from_mask(mask).collect();
+        assert_eq!(
+            decoded,
+            vec![ThreatCategory::Scanning, ThreatCategory::Phishing]
+        );
+        assert_eq!(ThreatCategory::from_mask(0).count(), 0);
     }
 
     #[test]

@@ -27,9 +27,10 @@ pub mod load;
 
 use iotscope_core::query::{QueryApi, QueryContext};
 use iotscope_core::stream::{Alert, StreamConfig, StreamingAnalyzer};
-use iotscope_core::{Analysis, Analyzer};
+use iotscope_core::{Analysis, Analyzer, ScoreConfig, ScoreRow, ScoreTable};
 use iotscope_devicedb::isp::IspRegistry;
 use iotscope_devicedb::{DeviceDb, DeviceId, Realm};
+use iotscope_intel::IntelContext;
 use iotscope_obs::{Counter, Histogram, Registry};
 use iotscope_telescope::HourTraffic;
 use std::sync::{Arc, RwLock};
@@ -42,7 +43,7 @@ const CLASS_NAMES: [&str; 5] = ["tcp_scan", "icmp_scan", "backscatter", "udp", "
 /// The served endpoints, in routing order. Metric names derive from
 /// these (`serve.requests.<endpoint>`, `serve.latency.<endpoint>`), and
 /// the load harness and CI schema check iterate the same list.
-pub const ENDPOINTS: [&str; 8] = [
+pub const ENDPOINTS: [&str; 10] = [
     "healthz",
     "summary",
     "device",
@@ -50,6 +51,8 @@ pub const ENDPOINTS: [&str; 8] = [
     "countries",
     "isps",
     "alerts",
+    "score_top",
+    "score",
     "metrics",
 ];
 
@@ -84,6 +87,10 @@ pub struct Snapshot {
     pub analysis: Arc<Analysis>,
     /// Alerts raised up to and including the last ingested hour.
     pub alerts: Arc<Vec<Alert>>,
+    /// Per-device maliciousness scores over exactly the same hour
+    /// prefix, when the service runs with intel attached. `None` when
+    /// the service has no intel context.
+    pub scores: Option<Arc<ScoreTable>>,
 }
 
 impl Snapshot {
@@ -95,6 +102,7 @@ impl Snapshot {
             last_interval: None,
             analysis: Arc::new(Analyzer::new(db, hours).finish()),
             alerts: Arc::new(Vec::new()),
+            scores: None,
         }
     }
 
@@ -108,6 +116,7 @@ impl Snapshot {
             self.epoch,
             self.hours_ingested,
         )
+        .with_scores(self.scores.as_deref())
     }
 }
 
@@ -184,6 +193,7 @@ pub struct TelescopeService {
     db: DeviceDb,
     isps: IspRegistry,
     hours: u32,
+    intel: Option<IntelContext>,
     cell: SnapshotCell,
     registry: Registry,
     metrics: ServeMetrics,
@@ -200,10 +210,24 @@ impl TelescopeService {
             db,
             isps,
             hours,
+            intel: None,
             cell,
             registry,
             metrics,
         }
+    }
+
+    /// Attach a threat-intel context: ingest runs the streaming score
+    /// stage, snapshots carry the [`ScoreTable`], and the `/score/*`
+    /// endpoints serve it. Without intel they answer empty/404.
+    pub fn with_intel(mut self, intel: IntelContext) -> Self {
+        self.intel = Some(intel);
+        self
+    }
+
+    /// The attached intel context, if any.
+    pub fn intel(&self) -> Option<&IntelContext> {
+        self.intel.as_ref()
     }
 
     /// The inventory the service analyzes against.
@@ -253,6 +277,9 @@ impl TelescopeService {
         drop(base);
         let mut stream =
             StreamingAnalyzer::with_metrics(&self.db, self.hours, config, &self.registry);
+        if let Some(intel) = &self.intel {
+            stream = stream.with_intel(&intel.index, ScoreConfig::default());
+        }
         let mut pushed = 0u32;
         for hour in traffic {
             for alert in stream.push_hour(hour) {
@@ -265,10 +292,11 @@ impl TelescopeService {
                 last_interval: stream.last_interval(),
                 analysis: Arc::new(stream.snapshot()),
                 alerts: Arc::new(stream.alerts().to_vec()),
+                scores: stream.scores().map(|t| Arc::new(t.clone())),
             });
         }
         let last_interval = stream.last_interval();
-        let (analysis, alerts) = stream.finish();
+        let (analysis, alerts, scores) = stream.finish_with_scores();
         // Republish the normalized final state at the same epoch — it
         // is structurally equal to the last per-hour publication, just
         // with device rows in id order, so readers keep their
@@ -279,6 +307,7 @@ impl TelescopeService {
             last_interval,
             analysis: Arc::new(analysis.clone()),
             alerts: Arc::new(alerts.clone()),
+            scores: scores.map(Arc::new),
         });
         (analysis, alerts)
     }
@@ -311,17 +340,33 @@ impl TelescopeService {
             "/countries" => (Some("countries"), 200, render_countries(&api.countries())),
             "/isps" => (Some("isps"), 200, render_isps(&api)),
             "/alerts" => (Some("alerts"), 200, render_alerts(api.alerts())),
+            "/score/top" => (
+                Some("score_top"),
+                200,
+                render_score_top(&api.top_scores(20)),
+            ),
             "/metrics" => (Some("metrics"), 200, self.registry.snapshot().to_json()),
-            _ => match path.strip_prefix("/device/") {
-                Some(rest) => match rest.parse::<u32>() {
-                    Ok(raw) => match api.device(DeviceId(raw)) {
-                        Some(d) => (Some("device"), 200, render_device(&d)),
-                        None => (Some("device"), 404, error_body("device not observed")),
-                    },
-                    Err(_) => (Some("device"), 400, error_body("invalid device id")),
-                },
-                None => (None, 404, error_body("not found")),
-            },
+            _ => {
+                if let Some(rest) = path.strip_prefix("/device/") {
+                    match rest.parse::<u32>() {
+                        Ok(raw) => match api.device(DeviceId(raw)) {
+                            Some(d) => (Some("device"), 200, render_device(&d)),
+                            None => (Some("device"), 404, error_body("device not observed")),
+                        },
+                        Err(_) => (Some("device"), 400, error_body("invalid device id")),
+                    }
+                } else if let Some(rest) = path.strip_prefix("/score/") {
+                    match rest.parse::<u32>() {
+                        Ok(raw) => match api.score(DeviceId(raw)) {
+                            Some(r) => (Some("score"), 200, render_score(&r)),
+                            None => (Some("score"), 404, error_body("no score for device")),
+                        },
+                        Err(_) => (Some("score"), 400, error_body("invalid device id")),
+                    }
+                } else {
+                    (None, 404, error_body("not found"))
+                }
+            }
         }
     }
 
@@ -421,6 +466,30 @@ fn render_alerts(alerts: &[Alert]) -> String {
         "{{\"count\":{},\"recent\":{}}}",
         alerts.len(),
         json::array(recent)
+    )
+}
+
+fn render_score(r: &ScoreRow) -> String {
+    let categories = json::array(r.categories().iter().map(|c| json::string(&c.to_string())));
+    format!(
+        "{{\"id\":{},\"realm\":{},\"tier\":{},\"points\":{},\"categories\":{categories},\
+         \"samples\":{},\"scan_packets\":{},\"backscatter_packets\":{},\"total_packets\":{}}}",
+        r.device.0,
+        json::string(&r.realm.to_string()),
+        json::string(&r.tier.to_string()),
+        r.points,
+        r.samples,
+        r.scan_packets,
+        r.backscatter_packets,
+        r.total_packets,
+    )
+}
+
+fn render_score_top(rows: &[ScoreRow]) -> String {
+    format!(
+        "{{\"count\":{},\"rows\":{}}}",
+        rows.len(),
+        json::array(rows.iter().map(render_score))
     )
 }
 
@@ -525,6 +594,15 @@ mod tests {
         let (code, _) = service.respond("/nope");
         assert_eq!(code, 404);
 
+        // Without intel attached, the score surface is empty but routed.
+        let (code, body) = service.respond("/score/top");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"count\":0"), "{body}");
+        let (code, _) = service.respond(&format!("/score/{}", first.0));
+        assert_eq!(code, 404);
+        let (code, _) = service.respond("/score/bogus");
+        assert_eq!(code, 400);
+
         let (code, body) = service.respond("/metrics");
         assert_eq!(code, 200);
         assert!(body.contains("serve.requests.summary"));
@@ -545,6 +623,57 @@ mod tests {
             iotscope_obs::SnapshotValue::Histogram { count, .. } => assert_eq!(*count, 3),
             other => panic!("latency must be a histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn score_endpoints_serve_the_streamed_table() {
+        use iotscope_core::malicious::select_candidates;
+        use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+        use iotscope_core::ScoreTable;
+        use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+
+        let built = PaperScenario::build(PaperScenarioConfig::tiny(76));
+        let traffic = built.scenario.generate();
+        // Synthesize intel correlated with the scenario's ground truth,
+        // exactly as the CLI `serve --intel` wiring does.
+        let batch = AnalysisPipeline::new(&built.inventory.db, 143)
+            .run(&traffic, &AnalyzeOptions::new())
+            .unwrap()
+            .analysis;
+        let candidates = select_candidates(&batch, 200);
+        let intel =
+            IntelBuilder::new(IntelSynthConfig::paper(76)).build(&built.inventory.db, &candidates);
+        let service = TelescopeService::new(built.inventory.db, built.inventory.isps, 143)
+            .with_intel(IntelContext::from_synth(intel));
+        service.ingest(&traffic, StreamConfig::default(), &mut |_| {});
+
+        let snap = service.snapshot();
+        let scores = snap.scores.as_deref().expect("intel run publishes scores");
+        let expected = ScoreTable::from_batch(
+            &snap.analysis,
+            service.db(),
+            &service.intel().unwrap().index,
+            Default::default(),
+        );
+        assert_eq!(*scores, expected, "published table matches batch join");
+
+        let top = snap.query(service.db(), service.isps()).top_scores(20);
+        assert!(!top.is_empty(), "scenario plants scored devices");
+        let (code, body) = service.respond("/score/top");
+        assert_eq!(code, 200);
+        assert_eq!(body, render_score_top(&top));
+        assert!(body.contains("\"tier\":"), "{body}");
+
+        let first = top[0].device;
+        let (code, body) = service.respond(&format!("/score/{}", first.0));
+        assert_eq!(code, 200);
+        assert_eq!(body, render_score(&top[0]));
+
+        let (code, _) = service.respond("/score/4294967295");
+        assert_eq!(code, 404);
+        let (code, body) = service.respond("/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("serve.requests.score_top"));
     }
 
     #[test]

@@ -71,6 +71,20 @@ fn main() {
                     println!("  [h{interval:>3}] port sweep: {realm} hit {ports} distinct ports ({factor:.1}x)");
                     printed += 1;
                 }
+                Alert::ScoreEscalation {
+                    interval,
+                    device,
+                    tier,
+                    points,
+                } => {
+                    // Only fires when an intel index is attached via
+                    // `with_intel`; this example streams without one.
+                    println!(
+                        "  [h{interval:>3}] score escalation: dev#{} now {tier} ({points} pts)",
+                        device.0
+                    );
+                    printed += 1;
+                }
             }
         }
         traffic.push(hour);

@@ -11,7 +11,9 @@
 
 use iotscope_core::malicious;
 use iotscope_core::pipeline::{AnalysisPipeline, AnalyzeOptions};
+use iotscope_core::score::ScoreTable;
 use iotscope_intel::synth::{IntelBuilder, IntelSynthConfig};
+use iotscope_intel::IntelIndex;
 use iotscope_telescope::paper::{PaperScenario, PaperScenarioConfig};
 
 fn main() {
@@ -35,9 +37,13 @@ fn main() {
         intel.malware.len()
     );
 
+    // Build the streaming lookup index and fold the analysis into the
+    // per-device score table — Tables VI/VII are thin reads of it.
+    let index = IntelIndex::build(&intel.threats, &intel.malware);
+    let scores = ScoreTable::from_batch(&analysis, &built.inventory.db, &index, Default::default());
+
     // Table VI.
-    let summary =
-        malicious::threat_summary(&analysis, &built.inventory.db, &intel.threats, &candidates);
+    let summary = malicious::threat_summary(&scores, &built.inventory.db, &index, &candidates);
     println!(
         "== Table VI: {} of {} explored devices flagged ({:.1}%) ==",
         summary.flagged.len(),
@@ -54,12 +60,7 @@ fn main() {
     }
 
     // Table VII.
-    let findings = malicious::malware_correlation(
-        &analysis,
-        &built.inventory.db,
-        &intel.malware,
-        &intel.resolver,
-    );
+    let findings = malicious::malware_correlation(&scores, &intel.malware, &intel.resolver);
     println!(
         "\n== Table VII: {} devices touched by {} samples across {} domains ==",
         findings.devices.len(),

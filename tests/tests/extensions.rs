@@ -103,12 +103,14 @@ fn attribution_scores_direct_contacts_highest() {
     assert!(!findings.is_empty());
     // Every direct-contact device from the §V-B join is attributed.
     let attributed: HashSet<_> = findings.iter().map(|f| f.device).collect();
-    let direct = malicious::malware_correlation(
+    let index = iotscope_intel::IntelIndex::build(&intel.threats, &intel.malware);
+    let scores = iotscope_core::ScoreTable::from_batch(
         &analysis,
         &built.inventory.db,
-        &intel.malware,
-        &intel.resolver,
+        &index,
+        Default::default(),
     );
+    let direct = malicious::malware_correlation(&scores, &intel.malware, &intel.resolver);
     for d in &direct.devices {
         assert!(
             attributed.contains(d),

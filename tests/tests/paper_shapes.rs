@@ -466,12 +466,14 @@ fn section_v_intel_results() {
     );
     let intel =
         IntelBuilder::new(IntelSynthConfig::paper(SEED)).build(&f.built.inventory.db, &candidates);
-    let summary = malicious::threat_summary(
+    let index = iotscope_intel::IntelIndex::build(&intel.threats, &intel.malware);
+    let scores = iotscope_core::ScoreTable::from_batch(
         &f.analysis,
         &f.built.inventory.db,
-        &intel.threats,
-        &candidates,
+        &index,
+        Default::default(),
     );
+    let summary = malicious::threat_summary(&scores, &f.built.inventory.db, &index, &candidates);
     // §V-A: 816 devices (9.2%) flagged.
     let flag_rate = summary.flagged.len() as f64 / summary.explored as f64;
     assert!((0.07..=0.12).contains(&flag_rate), "flag rate {flag_rate}");
@@ -485,23 +487,13 @@ fn section_v_intel_results() {
     assert!(summary.cps_malware_devices > summary.consumer_malware_devices);
 
     // Fig 11: flagged devices' packet CDF is a subset with similar shape.
-    let (all, flagged) = malicious::packet_cdfs(
-        &f.analysis,
-        &f.built.inventory.db,
-        &intel.threats,
-        &candidates,
-    );
+    let (all, flagged) = malicious::packet_cdfs(&scores, &candidates);
     assert_eq!(all.len(), candidates.len());
     assert_eq!(flagged.len(), summary.flagged.len());
     assert!(flagged.quantile(0.5).unwrap() > 0.0);
 
     // Table VII: the malware correlation surfaces all 11 families.
-    let findings = malicious::malware_correlation(
-        &f.analysis,
-        &f.built.inventory.db,
-        &intel.malware,
-        &intel.resolver,
-    );
+    let findings = malicious::malware_correlation(&scores, &intel.malware, &intel.resolver);
     assert_eq!(findings.families.len(), 11);
     assert_eq!(findings.hashes.len(), 24);
     assert!(findings.domains.len() <= 33 && findings.domains.len() > 20);
