@@ -41,7 +41,10 @@
 //! where `bytes` is the input bytes one iteration processes (0 when not
 //! applicable) and `peak_rss` is the process-wide `VmHWM` high-water
 //! mark in bytes sampled when the bench finished (0 where
-//! `/proc/self/status` is unavailable). With `--serve`, the object
+//! `/proc/self/status` is unavailable). Rows whose name starts with
+//! `store` and whose `bytes`/`median_ns` are both nonzero additionally
+//! carry a derived `"mb_per_s"` float (`bytes / median seconds / 1e6`)
+//! so store throughput trends read straight off the JSON. With `--serve`, the object
 //! additionally maps `serve.<endpoint>` to
 //! `{"requests": u64, "p50_ns": u64, "p99_ns": u64, "mean_ns": u64}`
 //! measured under load, plus a bare `serve.ingest_hours_per_s` number
@@ -58,8 +61,8 @@ use iotscope_intel::{IntelContext, IntelIndex};
 use iotscope_net::addr::Ipv4Cidr;
 use iotscope_net::flowtuple::FlowTuple;
 use iotscope_net::store::{
-    decode_hour_visit, decode_hour_with, encode_hour, restamp_hour, DecodeOptions, FlowSink,
-    FlowStore, StoreOptions,
+    decode_hour_visit, decode_hour_with, encode_hour, restamp_hour, ColumnBlock, DecodeOptions,
+    FlowSink, FlowStore, StoreOptions, BLOCK_RECORDS,
 };
 use iotscope_net::trie::PrefixTrie;
 use iotscope_serve::http::HttpServer;
@@ -201,6 +204,21 @@ struct CountSink(usize);
 impl FlowSink for CountSink {
     fn on_flows(&mut self, flows: &[FlowTuple]) {
         self.0 += flows.len();
+    }
+}
+
+/// A [`FlowSink`] that consumes whole [`ColumnBlock`]s, to time the
+/// columnar batch decode without the per-record fallback.
+#[derive(Default)]
+struct BlockCountSink(usize);
+
+impl FlowSink for BlockCountSink {
+    fn on_flows(&mut self, flows: &[FlowTuple]) {
+        self.0 += flows.len();
+    }
+
+    fn visit_block(&mut self, block: &ColumnBlock) {
+        self.0 += block.len();
     }
 }
 
@@ -566,6 +584,30 @@ fn main() {
                 .count()
         }),
     );
+    // The batched path the columnar decoder feeds: the same flows as
+    // block-sized ascending src columns through the streaming
+    // merge-join, counting Consumer hits like the per-record row (the
+    // CI ablation gate compares the two).
+    let mut sorted_src: Vec<u32> = busy.flows.iter().map(|f| u32::from(f.src_ip)).collect();
+    sorted_src.sort_unstable();
+    let mut corr: Vec<Option<(u32, iotscope_devicedb::Realm)>> = Vec::new();
+    record(
+        "correlation/block_merge_join",
+        flows_bytes(&busy.flows),
+        measure(warm_micro, iters_micro, || {
+            let mut hits = 0usize;
+            for chunk in sorted_src.chunks(BLOCK_RECORDS) {
+                index.correlate_sorted_block(chunk, &mut corr);
+                hits += corr
+                    .iter()
+                    .filter(|c| {
+                        c.is_some_and(|(_, realm)| realm == iotscope_devicedb::Realm::Consumer)
+                    })
+                    .count();
+            }
+            hits
+        }),
+    );
     // The pre-index path: hash-map probe plus the `&IotDevice`
     // dereference ingest needed for the realm.
     let map: HashMap<Ipv4Addr, u32> = db.iter().map(|d| (d.ip, d.id.0)).collect();
@@ -624,6 +666,15 @@ fn main() {
         measure(warm_micro, iters_micro, || {
             let mut sink = CountSink::default();
             decode_hour_visit(&encoded, DecodeOptions::default(), &mut sink).expect("bench visit");
+            sink.0
+        }),
+    );
+    record(
+        "store/decode_block_batch",
+        encoded.len() as u64,
+        measure(warm_micro, iters_micro, || {
+            let mut sink = BlockCountSink::default();
+            decode_hour_visit(&encoded, DecodeOptions::default(), &mut sink).expect("bench batch");
             sink.0
         }),
     );
@@ -772,9 +823,19 @@ fn write_json(path: &str, results: &[Entry], serve: Option<&ServeSection>) -> st
         } else {
             ","
         };
+        // store rows carry a derived throughput field so trends are
+        // readable straight from the JSON.
+        let mb_per_s = if e.name.starts_with("store") && e.bytes > 0 && e.median_ns > 0 {
+            format!(
+                ", \"mb_per_s\": {:.3}",
+                e.bytes as f64 * 1000.0 / e.median_ns as f64
+            )
+        } else {
+            String::new()
+        };
         writeln!(
             f,
-            "  \"{}\": {{\"median_ns\": {}, \"bytes\": {}, \"peak_rss\": {}}}{comma}",
+            "  \"{}\": {{\"median_ns\": {}, \"bytes\": {}, \"peak_rss\": {}{mb_per_s}}}{comma}",
             e.name, e.median_ns, e.bytes, e.peak_rss
         )?;
     }

@@ -403,6 +403,10 @@ struct HourScratch {
     bs_counts: Vec<u64>,
     /// Device indexes with nonzero `bs_counts` entries.
     bs_touched: Vec<u32>,
+    /// Per-block correlation results, filled by the sorted-column
+    /// merge-join in [`HourIngest`]'s batched `visit_block` and reused
+    /// across blocks (capacity persists; contents are replaced).
+    corr: Vec<Option<(u32, Realm)>>,
 }
 
 impl HourScratch {
@@ -422,6 +426,7 @@ impl HourScratch {
             ],
             bs_counts: vec![0; num_devices],
             bs_touched: Vec::new(),
+            corr: Vec::new(),
         }
     }
 
@@ -646,14 +651,27 @@ pub struct HourIngest<'h, 'a> {
 impl HourIngest<'_, '_> {
     /// Fold one slice of the hour's flows.
     pub fn ingest(&mut self, flows: &[FlowTuple]) {
+        let index = self.an.db.correlation_index();
+        self.fold(flows, |_, flow| index.correlate(flow.src_ip));
+    }
+
+    /// The one per-flow fold both ingest paths share: `correlated`
+    /// supplies each flow's device correlation — per-record binary
+    /// search for [`ingest`](Self::ingest), a precomputed merge-join
+    /// column for the batched `visit_block` — so the two paths are
+    /// bit-identical by construction.
+    fn fold(
+        &mut self,
+        flows: &[FlowTuple],
+        mut correlated: impl FnMut(usize, &FlowTuple) -> Option<(u32, Realm)>,
+    ) {
         let idx = self.idx;
         let an = &mut *self.an;
-        let index = an.db.correlation_index();
         let scratch = &mut an.scratch;
         let result = &mut an.result;
 
-        for flow in flows {
-            let Some((di, realm)) = index.correlate(flow.src_ip) else {
+        for (flow_i, flow) in flows.iter().enumerate() {
+            let Some((di, realm)) = correlated(flow_i, flow) else {
                 result.unmatched_flows += 1;
                 result.unmatched_packets += u64::from(flow.packets);
                 self.hour_unmatched.0 += 1;
@@ -770,6 +788,18 @@ impl HourIngest<'_, '_> {
 impl iotscope_net::store::FlowSink for HourIngest<'_, '_> {
     fn on_flows(&mut self, flows: &[FlowTuple]) {
         self.ingest(flows);
+    }
+
+    /// Batched tier: correlate the whole ascending `src_ip` column in
+    /// one merge-join pass, then fold the block's flows against the
+    /// precomputed column. Same fold, same order, bit-identical to the
+    /// per-record path.
+    fn visit_block(&mut self, block: &iotscope_net::store::ColumnBlock) {
+        let index = self.an.db.correlation_index();
+        let mut corr = std::mem::take(&mut self.an.scratch.corr);
+        index.correlate_sorted_block(block.src_ip(), &mut corr);
+        self.fold(block.flows(), |i, _| corr[i]);
+        self.an.scratch.corr = corr;
     }
 }
 

@@ -3,11 +3,13 @@
 //! Table VII.
 //!
 //! Since the streaming refactor these are *thin reads* of a finished
-//! [`ScoreTable`](crate::score::ScoreTable): the actual join — intel
+//! [`ScoreTable`]: the actual join — intel
 //! lookup per device, evidence accumulation — happens in
 //! [`core::score`](crate::score), identically for batch and streaming
 //! runs. The outputs here are bit-identical to the pre-refactor direct
 //! joins (proptested in `tests/score_streaming.rs`).
+//!
+//! [`ScoreTable`]: crate::score::ScoreTable
 
 use crate::analysis::Analysis;
 use crate::classify::TrafficClass;

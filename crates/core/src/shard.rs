@@ -135,6 +135,9 @@ pub struct ShardRouter<'a> {
     scan_ips: [HashSet<u32>; 2],
     udp_ports: [PortScratch; 2],
     scan_ports: [PortScratch; 2],
+    /// Per-block correlation results from the sorted-column merge-join
+    /// (batched `visit_block` path); capacity reused across blocks.
+    corr: Vec<Option<(u32, Realm)>>,
     out: RouterPartial,
 }
 
@@ -153,6 +156,7 @@ impl<'a> ShardRouter<'a> {
             scan_ips: [HashSet::new(), HashSet::new()],
             udp_ports: [PortScratch::new(), PortScratch::new()],
             scan_ports: [PortScratch::new(), PortScratch::new()],
+            corr: Vec::new(),
             out: RouterPartial::new(hours as usize),
         }
     }
@@ -183,10 +187,22 @@ impl<'a> ShardRouter<'a> {
 
     /// Route one slice of the current hour's flows.
     pub fn route(&mut self, flows: &[FlowTuple]) {
-        debug_assert!(self.in_hour, "route() outside begin_hour/finish_hour");
         let index = self.db.correlation_index();
-        for flow in flows {
-            let Some((dense, realm)) = index.correlate(flow.src_ip) else {
+        self.fold(flows, |_, flow| index.correlate(flow.src_ip));
+    }
+
+    /// Shared routing fold: `correlated` supplies each flow's device
+    /// correlation (per-record binary search from
+    /// [`route`](Self::route), a precomputed merge-join column from the
+    /// batched `visit_block`), keeping both paths bit-identical.
+    fn fold(
+        &mut self,
+        flows: &[FlowTuple],
+        mut correlated: impl FnMut(usize, &FlowTuple) -> Option<(u32, Realm)>,
+    ) {
+        debug_assert!(self.in_hour, "route() outside begin_hour/finish_hour");
+        for (flow_i, flow) in flows.iter().enumerate() {
+            let Some((dense, realm)) = correlated(flow_i, flow) else {
                 self.out.unmatched_flows += 1;
                 self.out.unmatched_packets += u64::from(flow.packets);
                 continue;
@@ -249,6 +265,17 @@ impl<'a> ShardRouter<'a> {
 impl iotscope_net::store::FlowSink for ShardRouter<'_> {
     fn on_flows(&mut self, flows: &[FlowTuple]) {
         self.route(flows);
+    }
+
+    /// Batched tier: one merge-join pass over the block's ascending
+    /// `src_ip` column, then the shared fold routes the whole column
+    /// run — bit-identical to per-record routing.
+    fn visit_block(&mut self, block: &iotscope_net::store::ColumnBlock) {
+        let index = self.db.correlation_index();
+        let mut corr = std::mem::take(&mut self.corr);
+        index.correlate_sorted_block(block.src_ip(), &mut corr);
+        self.fold(block.flows(), |i, _| corr[i]);
+        self.corr = corr;
     }
 }
 

@@ -156,6 +156,93 @@ impl CorrelationIndex {
         let slot = run[i];
         Some((slot.dense, tag_realm(slot.realm)))
     }
+
+    /// Resolve a whole block of source addresses (big-endian `u32`
+    /// form) in one streaming merge-join pass, appending one result per
+    /// input to `out` (cleared first), element-for-element identical to
+    /// calling [`CorrelationIndex::correlate`] on each address.
+    ///
+    /// Written for the v3 store's decoded `src_ip` column, which is
+    /// **ascending within a block** in delta-encoded files: ascending
+    /// inputs visit /16 buckets monotonically, so the bucket bounds are
+    /// recomputed only when the prefix changes (once per distinct /16
+    /// per block, not once per record), and within a bucket the slot
+    /// cursor only moves forward — a gallop (exponential probe + binary
+    /// search) bounded by the distance actually advanced, instead of a
+    /// full `log₂(bucket)` search per record. Runs of equal addresses
+    /// (the common case: one scanner emits many flows, and the sort
+    /// groups them) resolve by reusing the previous answer outright.
+    ///
+    /// Unsorted input stays **correct** — a descending step simply
+    /// resets the bucket state and restarts the gallop from the bucket
+    /// start — it just loses the monotonicity savings. Batched sinks
+    /// can therefore feed every block through this path, delta-encoded
+    /// or not.
+    pub fn correlate_sorted_block(&self, ips: &[u32], out: &mut Vec<Option<(u32, Realm)>>) {
+        out.clear();
+        out.reserve(ips.len());
+        let mut prev_ip = 0u32;
+        let mut prev_res: Option<(u32, Realm)> = None;
+        let mut have_prev = false;
+        // Current bucket's slot window: `cursor` never moves backwards
+        // while the input ascends within the bucket.
+        let mut bucket = usize::MAX;
+        let mut cursor = 0usize;
+        let mut hi = 0usize;
+        for &ip in ips {
+            if have_prev && ip == prev_ip {
+                out.push(prev_res);
+                continue;
+            }
+            if have_prev && ip < prev_ip {
+                // Non-ascending input (non-delta file): restart the
+                // gallop; correctness over speed.
+                bucket = usize::MAX;
+            }
+            let b = (ip >> 16) as usize;
+            if b != bucket {
+                bucket = b;
+                cursor = self.bucket_starts[b] as usize;
+                hi = self.bucket_starts[b + 1] as usize;
+            }
+            let suffix = (ip & 0xffff) as u16;
+            cursor += gallop_lower_bound(&self.slots[cursor..hi], suffix);
+            let res = if cursor < hi && self.slots[cursor].suffix == suffix {
+                let slot = self.slots[cursor];
+                Some((slot.dense, tag_realm(slot.realm)))
+            } else {
+                None
+            };
+            prev_ip = ip;
+            prev_res = res;
+            have_prev = true;
+            out.push(res);
+        }
+    }
+}
+
+/// Index of the first slot whose suffix is `>= suffix` (`slots.len()`
+/// when none is): an exponential probe followed by a binary search over
+/// the probed window, so the cost is `O(log d)` in the distance `d`
+/// from the front — the gallop step of the sorted-block merge-join,
+/// where `d` is how far this record's suffix sits past the previous
+/// record's slot.
+#[inline]
+fn gallop_lower_bound(slots: &[Slot], suffix: u16) -> usize {
+    let n = slots.len();
+    if n == 0 || slots[0].suffix >= suffix {
+        return 0;
+    }
+    // Invariant: slots[lo].suffix < suffix.
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < n && slots[lo + step].suffix < suffix {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(n);
+    // The answer is in (lo, hi]: binary-search the remainder.
+    lo + 1 + slots[lo + 1..hi].partition_point(|s| s.suffix < suffix)
 }
 
 /// Maps a dense intern index to a contiguous device-space shard.
@@ -378,6 +465,45 @@ mod tests {
                     let near = Ipv4Addr::from(u32::from(d.ip).wrapping_add(delta));
                     prop_assert_eq!(idx.correlate(near), model.get(&near).copied());
                 }
+            }
+        }
+
+        /// The sorted-block merge-join is element-for-element identical
+        /// to per-record `correlate`, on ascending blocks (the
+        /// delta-store invariant), on unsorted blocks (the non-delta
+        /// fallback), and on blocks dense with duplicates.
+        #[test]
+        fn prop_sorted_block_matches_per_record(
+            addrs in proptest::collection::vec(addr_strategy(), 0..300),
+            probes in proptest::collection::vec(addr_strategy(), 0..600),
+            sort_block in any::<bool>(),
+        ) {
+            let db: DeviceDb = addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &ip)| dev(ip, if i % 2 == 0 { Realm::Consumer } else { Realm::Cps }))
+                .collect();
+            let idx = CorrelationIndex::build(db.as_slice());
+            // Mix guaranteed hits in with the probes so blocks exercise
+            // hit runs, miss runs, and bucket transitions.
+            let mut block: Vec<u32> = probes;
+            block.extend(db.iter().map(|d| u32::from(d.ip)));
+            if sort_block {
+                block.sort_unstable();
+            }
+            let mut out = Vec::new();
+            idx.correlate_sorted_block(&block, &mut out);
+            prop_assert_eq!(out.len(), block.len());
+            for (i, &ip) in block.iter().enumerate() {
+                prop_assert_eq!(out[i], idx.correlate(Ipv4Addr::from(ip)));
+            }
+            // The output buffer is reusable: a second pass over a
+            // different block fully replaces the first.
+            let rev: Vec<u32> = block.iter().rev().copied().collect();
+            idx.correlate_sorted_block(&rev, &mut out);
+            prop_assert_eq!(out.len(), rev.len());
+            for (i, &ip) in rev.iter().enumerate() {
+                prop_assert_eq!(out[i], idx.correlate(Ipv4Addr::from(ip)));
             }
         }
 

@@ -11,7 +11,7 @@
 //!
 //! * **Level 1**: 65,536 `/16` buckets as 65,537 prefix-sum offsets
 //!   into the slot array — one shift and one load to find a bucket.
-//! * **Level 2**: one packed 12-byte [`IntelSlot`] per flagged address,
+//! * **Level 2**: one packed 12-byte `IntelSlot` per flagged address,
 //!   suffix-sorted within its bucket, carrying the category bitmask
 //!   (six Table VI categories in the low bits of a `u8`) and an
 //!   `(offset, len)` window into a shared flat array of sandbox-report
@@ -188,6 +188,96 @@ impl IntelIndex {
             samples: &self.sample_refs[start..start + slot.samples_len as usize],
         })
     }
+
+    /// Sentinel returned by [`IntelIndex::lookup_sorted_block`] for an
+    /// address with no intel.
+    pub const NO_SLOT: u32 = u32::MAX;
+
+    /// Resolve a whole block of addresses (big-endian `u32` form) in
+    /// one streaming merge-join pass, appending one slot handle per
+    /// input to `out` (cleared first): [`IntelIndex::NO_SLOT`] for a
+    /// miss, otherwise an opaque handle [`IntelIndex::hit_at`] resolves
+    /// to the same [`IntelHit`] that [`IntelIndex::lookup`] returns.
+    ///
+    /// The same sorted-column contract as
+    /// `CorrelationIndex::correlate_sorted_block` in
+    /// `iotscope-devicedb`: the v3 store's decoded `src_ip` column is
+    /// ascending per block in delta-encoded files, so buckets are
+    /// entered monotonically and the in-bucket cursor gallops forward
+    /// instead of binary-searching from scratch per record; runs of
+    /// equal addresses reuse the previous answer. Unsorted input resets
+    /// the gallop on every descending step — correct, just not faster.
+    pub fn lookup_sorted_block(&self, ips: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(ips.len());
+        let mut prev_ip = 0u32;
+        let mut prev_slot = Self::NO_SLOT;
+        let mut have_prev = false;
+        let mut bucket = usize::MAX;
+        let mut cursor = 0usize;
+        let mut hi = 0usize;
+        for &ip in ips {
+            if have_prev && ip == prev_ip {
+                out.push(prev_slot);
+                continue;
+            }
+            if have_prev && ip < prev_ip {
+                bucket = usize::MAX;
+            }
+            let b = (ip >> 16) as usize;
+            if b != bucket {
+                bucket = b;
+                cursor = self.bucket_starts[b] as usize;
+                hi = self.bucket_starts[b + 1] as usize;
+            }
+            let suffix = (ip & 0xffff) as u16;
+            cursor += gallop_lower_bound(&self.slots[cursor..hi], suffix);
+            let slot = if cursor < hi && self.slots[cursor].suffix == suffix {
+                cursor as u32
+            } else {
+                Self::NO_SLOT
+            };
+            prev_ip = ip;
+            prev_slot = slot;
+            have_prev = true;
+            out.push(slot);
+        }
+    }
+
+    /// Resolve a slot handle from [`IntelIndex::lookup_sorted_block`]
+    /// into the hit it denotes. Panics on [`IntelIndex::NO_SLOT`] or a
+    /// handle from a different index — handles are positions, not
+    /// validated capabilities.
+    #[inline]
+    pub fn hit_at(&self, slot: u32) -> IntelHit<'_> {
+        let slot = self.slots[slot as usize];
+        let start = slot.samples_start as usize;
+        IntelHit {
+            cat_mask: slot.cat_mask,
+            samples: &self.sample_refs[start..start + slot.samples_len as usize],
+        }
+    }
+}
+
+/// Index of the first slot whose suffix is `>= suffix` (`slots.len()`
+/// when none is): exponential probe + binary search over the probed
+/// window — `O(log d)` in the distance `d` advanced, the gallop step of
+/// the sorted-block merge-join.
+#[inline]
+fn gallop_lower_bound(slots: &[IntelSlot], suffix: u16) -> usize {
+    let n = slots.len();
+    if n == 0 || slots[0].suffix >= suffix {
+        return 0;
+    }
+    // Invariant: slots[lo].suffix < suffix.
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < n && slots[lo + step].suffix < suffix {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(n);
+    lo + 1 + slots[lo + 1..hi].partition_point(|s| s.suffix < suffix)
 }
 
 /// The full §V intel surface bundled for streaming consumers: both raw
@@ -399,6 +489,53 @@ mod tests {
             for &(ip, _) in &flagged {
                 let ip = Ipv4Addr::from(ip);
                 prop_assert_eq!(a.lookup(ip), b.lookup(ip));
+            }
+        }
+
+        /// The sorted-block merge-join resolves every address to the
+        /// same hit (or miss) as per-record `lookup`, on ascending and
+        /// on arbitrary (unsorted) blocks, and reusing the out buffer
+        /// replaces its contents.
+        #[test]
+        fn prop_sorted_block_matches_per_record(
+            flagged in proptest::collection::vec((addr_strategy(), 0u8..6), 0..100),
+            mut block in proptest::collection::vec(addr_strategy(), 0..400),
+            sort_block in any::<bool>(),
+        ) {
+            let repo: ThreatRepo = flagged
+                .iter()
+                .map(|&(ip, c)| event(ip, ThreatCategory::ALL[c as usize]))
+                .collect();
+            let idx = IntelIndex::build(&repo, &MalwareDb::new());
+            // Mix known members in so hits are common, then duplicate a
+            // prefix to exercise the equal-run fast path.
+            block.extend(flagged.iter().map(|&(ip, _)| ip));
+            let dup: Vec<u32> = block.iter().take(8).copied().collect();
+            block.extend(dup);
+            if sort_block {
+                block.sort_unstable();
+            }
+
+            let mut slots = Vec::new();
+            idx.lookup_sorted_block(&block, &mut slots);
+            prop_assert_eq!(slots.len(), block.len());
+            for (&ip, &slot) in block.iter().zip(&slots) {
+                let got = (slot != IntelIndex::NO_SLOT)
+                    .then(|| idx.hit_at(slot))
+                    .map(|h| (h.cat_mask, h.samples.to_vec()));
+                let want = idx
+                    .lookup(Ipv4Addr::from(ip))
+                    .map(|h| (h.cat_mask, h.samples.to_vec()));
+                prop_assert_eq!(got, want, "address {}", Ipv4Addr::from(ip));
+            }
+
+            // Reuse: the second pass must fully replace the first.
+            block.reverse();
+            idx.lookup_sorted_block(&block, &mut slots);
+            prop_assert_eq!(slots.len(), block.len());
+            for (&ip, &slot) in block.iter().zip(&slots) {
+                let hit = slot != IntelIndex::NO_SLOT;
+                prop_assert_eq!(hit, idx.lookup(Ipv4Addr::from(ip)).is_some());
             }
         }
     }

@@ -121,6 +121,13 @@ pub struct StoreOptions {
     /// Which format [`FlowStore::write_hour`] emits. Defaults to
     /// [`StoreFormat::V3`]; v1/v2 files remain readable either way.
     pub format: StoreFormat,
+    /// How many mapped segments the store keeps open at once (LRU,
+    /// clamped to at least 1). Reads are hour-sequential, so the
+    /// default of two — the current segment plus its
+    /// successor during the boundary crossing — keeps a year-scale
+    /// scan from re-opening files; raise it for random-access
+    /// workloads that hop between many segments.
+    pub segment_cache: usize,
 }
 
 impl Default for StoreOptions {
@@ -128,6 +135,7 @@ impl Default for StoreOptions {
         StoreOptions {
             delta_encode: true,
             format: StoreFormat::V3,
+            segment_cache: OPEN_SEGMENTS,
         }
     }
 }
@@ -169,6 +177,14 @@ pub struct StoreMetrics {
     /// (`store.hour_decoded_bytes`); read next to `store.hour_bytes`
     /// (compressed on-disk sizes) it shows the compression ratio.
     pub hour_decoded_bytes: Histogram,
+    /// Segment opens served from the LRU handle cache
+    /// (`store.segment_cache.hits`).
+    pub segment_cache_hits: Counter,
+    /// Segment opens that had to map a file
+    /// (`store.segment_cache.misses`). A high miss rate on a
+    /// sequential scan means [`StoreOptions::segment_cache`] is too
+    /// small for the access pattern.
+    pub segment_cache_misses: Counter,
 }
 
 impl StoreMetrics {
@@ -186,6 +202,8 @@ impl StoreMetrics {
             blocks_read: Counter::detached(),
             block_checksum_failures: Counter::detached(),
             hour_decoded_bytes: Histogram::detached(&BYTE_SIZE_BOUNDS),
+            segment_cache_hits: Counter::detached(),
+            segment_cache_misses: Counter::detached(),
         }
     }
 
@@ -203,23 +221,26 @@ impl StoreMetrics {
             blocks_read: registry.counter("store.blocks_read"),
             block_checksum_failures: registry.counter("store.block_checksum_failures"),
             hour_decoded_bytes: registry.histogram("store.hour_decoded_bytes", &BYTE_SIZE_BOUNDS),
+            segment_cache_hits: registry.counter("store.segment_cache.hits"),
+            segment_cache_misses: registry.counter("store.segment_cache.misses"),
         }
     }
 }
 
-/// How many segments a store keeps mapped at once. Reads are
-/// hour-sequential, so two (the current segment plus its successor
-/// during the boundary crossing) keep a year-scale scan from ever
-/// re-opening files while bounding resident mappings.
+/// Default capacity of the segment LRU ([`StoreOptions::segment_cache`]).
+/// Reads are hour-sequential, so two (the current segment plus its
+/// successor during the boundary crossing) keep a year-scale scan from
+/// ever re-opening files while bounding resident mappings.
 const OPEN_SEGMENTS: usize = 2;
 
 /// Lazily loaded segment-routing state shared by clones of a store:
-/// the parsed manifest and an MRU handful of open (mapped) segments.
+/// the parsed manifest and a small LRU of open (mapped) segments.
 #[derive(Debug, Default)]
 struct SegmentCache {
     /// `None` until first use; reset when compaction rewrites routing.
     manifest: Mutex<Option<Arc<Manifest>>>,
-    /// MRU-ordered open segments, at most [`OPEN_SEGMENTS`].
+    /// LRU-ordered open segments (most recent first), at most
+    /// [`StoreOptions::segment_cache`] entries.
     open: Mutex<Vec<(u32, Arc<Segment>)>>,
 }
 
@@ -683,6 +704,7 @@ impl FlowStore {
                     StoreOptions {
                         delta_encode: delta,
                         format: StoreFormat::V3,
+                        ..self.options
                     },
                 )
             };
@@ -757,20 +779,25 @@ impl FlowStore {
         Ok(Some((segment, range.0, range.1)))
     }
 
-    /// Open (and validate) segment `id`, through the MRU handle cache.
+    /// Open (and validate) segment `id`, through the LRU handle cache
+    /// sized by [`StoreOptions::segment_cache`]. A hit moves the
+    /// segment to the front; a miss maps the file, inserts it at the
+    /// front, and evicts the least-recently-used handle past capacity.
     fn open_segment(&self, id: u32) -> Result<Arc<Segment>, NetError> {
         let mut open = self.segments.open.lock().expect("segment cache poisoned");
         if let Some(pos) = open.iter().position(|(i, _)| *i == id) {
             let entry = open.remove(pos);
             let segment = Arc::clone(&entry.1);
             open.insert(0, entry);
+            self.metrics.segment_cache_hits.inc();
             return Ok(segment);
         }
         let segment = Arc::new(Segment::open(
             &self.segments_dir().join(segment_file_name(id)),
         )?);
         open.insert(0, (id, Arc::clone(&segment)));
-        open.truncate(OPEN_SEGMENTS);
+        open.truncate(self.options.segment_cache.max(1));
+        self.metrics.segment_cache_misses.inc();
         Ok(segment)
     }
 
@@ -1095,9 +1122,25 @@ pub struct DecodedHour {
 ///   drops it from [`DecodedHour::flows`]).
 /// * On a decode **error** the sink may already have received a prefix
 ///   of the hour; callers must throw away whatever state it built.
+/// * A sequential v3 decode delivers whole blocks through
+///   [`FlowSink::visit_block`]; its default implementation falls back
+///   to [`FlowSink::on_flows`] over the block's materialized records,
+///   so a sink that only implements `on_flows` observes the exact
+///   per-record stream it always did. Sinks that override
+///   `visit_block` (batched correlation, column folds) must remain
+///   observably identical to the fallback — the slice and the block
+///   describe the same records in the same order.
 pub trait FlowSink {
     /// Fold one in-order slice of decoded records.
     fn on_flows(&mut self, flows: &[FlowTuple]);
+
+    /// Fold one decoded v3 block, column-at-a-time. The default
+    /// forwards the block's record view to [`FlowSink::on_flows`];
+    /// batched sinks override this to run whole-column passes (e.g.
+    /// merge-join correlation over the ascending `src_ip` column).
+    fn visit_block(&mut self, block: &ColumnBlock) {
+        self.on_flows(block.flows());
+    }
 }
 
 /// A [`FlowSink`] that materializes the stream — the adapter that lets
@@ -1107,6 +1150,12 @@ pub trait FlowSink {
 pub struct CollectSink(Vec<FlowTuple>);
 
 impl CollectSink {
+    /// A sink pre-sized for `n` records, so per-block appends of a
+    /// known-size hour never reallocate.
+    pub fn with_capacity(n: usize) -> Self {
+        CollectSink(Vec::with_capacity(n))
+    }
+
     /// The collected records, in on-disk order.
     pub fn into_flows(self) -> Vec<FlowTuple> {
         self.0
@@ -1297,7 +1346,18 @@ struct V3Block<'a> {
 /// streaming path ([`visit_hour_v3`] + [`CollectSink`]), so both decode
 /// an hour through the identical code and can never drift apart.
 fn decode_hour_v3(bytes: &[u8], opts: DecodeOptions) -> Result<DecodedHour, NetError> {
-    let mut sink = CollectSink::default();
+    // Pre-size the collection to the header's record count so block
+    // appends never reallocate. The count is clamped by what the block
+    // index could actually address, so a corrupt header cannot drive
+    // the allocation (header and index are checksummed, but the clamp
+    // keeps even a colliding forgery bounded).
+    let count = (&bytes[16..20]).get_u32() as usize;
+    let num_blocks = if bytes.len() >= HEADER + 4 {
+        (&bytes[HEADER..HEADER + 4]).get_u32() as usize
+    } else {
+        0
+    };
+    let mut sink = CollectSink::with_capacity(count.min(num_blocks.saturating_mul(BLOCK_RECORDS)));
     let visited = visit_hour_v3(bytes, opts, &mut sink)?;
     Ok(DecodedHour {
         hour: visited.hour,
@@ -1381,10 +1441,14 @@ fn parse_v3(bytes: &[u8]) -> Result<(UnixHour, Vec<V3Block<'_>>), NetError> {
 }
 
 /// The streaming v3 decode: feed `sink` one block at a time. Sequential
-/// decodes reuse one [`BlockScratch`] across blocks (zero per-block
-/// allocation); parallel decodes run bounded batches of blocks through
-/// [`decode_blocks_parallel`] and deliver results in block order, so at
-/// most one batch of decoded blocks is ever resident.
+/// decodes reuse one [`ColumnBlock`] across blocks (zero per-block
+/// allocation) and deliver whole blocks through
+/// [`FlowSink::visit_block`]; parallel decodes run bounded batches of
+/// blocks through [`decode_blocks_parallel`] (record-at-a-time per
+/// worker) and deliver results in block order via
+/// [`FlowSink::on_flows`], so at most one batch of decoded blocks is
+/// ever resident and sink-observable behavior never depends on the
+/// thread count.
 fn visit_hour_v3(
     bytes: &[u8],
     opts: DecodeOptions,
@@ -1433,12 +1497,17 @@ fn visit_hour_v3(
             }
         }
     } else {
-        let mut scratch = BlockScratch::default();
+        // Sequential decodes take the columnar fast path: one reused
+        // ColumnBlock, whole-column un-delta passes, and batched
+        // delivery through `visit_block` (whose default falls back to
+        // the per-record `on_flows`, so non-batched sinks observe the
+        // identical stream).
+        let mut scratch = ColumnBlock::default();
         for (i, block) in blocks.iter().enumerate() {
-            match decode_block_checked_into(block, &mut scratch) {
+            match decode_block_checked_columnar_into(block, &mut scratch) {
                 Ok(()) => {
-                    records += scratch.flows.len();
-                    sink.on_flows(&scratch.flows);
+                    records += scratch.len();
+                    sink.visit_block(&scratch);
                 }
                 Err(e) => reject(i, e, block, opts.quarantine, &mut quarantined)?,
             }
@@ -1488,16 +1557,42 @@ struct BlockScratch {
 
 /// Verify one block's checksum and decode its columns into `scratch`
 /// (records land in `scratch.flows`, replacing previous contents).
+///
+/// The checksum is *interleaved* with the decode rather than a
+/// separate pass: the RLE loop feeds every consumed byte to an FNV-1a
+/// hasher as a side effect, and the comparison happens once the decode
+/// finishes. FNV's multiply chain is pure latency (~3 cycles/byte with
+/// nothing else to do), so the decode's independent ALU work executes
+/// under it essentially for free — fusing the passes is markedly
+/// cheaper than running them back to back over the same bytes.
 fn decode_block_checked_into(
     block: &V3Block<'_>,
     scratch: &mut BlockScratch,
 ) -> Result<(), NetError> {
-    if fnv1a(block.payload) != block.checksum {
-        return Err(NetError::Codec(
-            "checksum mismatch (corrupt block)".to_owned(),
-        ));
+    let mut hasher = Fnv1a::new();
+    let decoded = decode_block_into(block.payload, block.count as usize, scratch, &mut hasher);
+    resolve_block_checksum(decoded, &hasher, block)
+}
+
+/// Resolve an interleaved decode-plus-hash against the block checksum
+/// with checksum-first error precedence: a block that fails its
+/// checksum reports "checksum mismatch (corrupt block)" even when the
+/// payload also fails to parse, exactly as when the hash was a
+/// separate up-front pass. A decode error leaves `hasher` mid-stream,
+/// so that cold path re-hashes the payload from scratch to make the
+/// call.
+fn resolve_block_checksum(
+    decoded: Result<(), NetError>,
+    hasher: &Fnv1a,
+    block: &V3Block<'_>,
+) -> Result<(), NetError> {
+    let mismatch = || NetError::Codec("checksum mismatch (corrupt block)".to_owned());
+    match decoded {
+        Ok(()) if hasher.finish() == block.checksum => Ok(()),
+        Ok(()) => Err(mismatch()),
+        Err(_) if fnv1a(block.payload) != block.checksum => Err(mismatch()),
+        Err(e) => Err(e),
     }
-    decode_block_into(block.payload, block.count as usize, scratch)
 }
 
 /// Verify one block's checksum and decode its columns.
@@ -1603,6 +1698,12 @@ fn put_rle_column(out: &mut Vec<u8>, vals: &[u32]) {
 ///
 /// Returns [`NetError::Codec`] ("varint overflows u32") exactly where
 /// the scalar decoder would.
+///
+/// Test-only reference: the hot loop ([`get_rle_column_into`]) inlines
+/// these bit tricks per window; the proptests pin this one-varint form
+/// to the scalar decoder, and the windowed loop to the whole-block
+/// record decoder built on it.
+#[cfg(test)]
 #[inline]
 fn swar_varint(word: u64) -> Result<(u32, usize), NetError> {
     let stops = !word & 0x8080_8080_8080_8080;
@@ -1635,6 +1736,9 @@ fn swar_varint(word: u64) -> Result<(u32, usize), NetError> {
 /// # Errors
 ///
 /// As [`get_varint`].
+///
+/// Test-only reference, like [`swar_varint`].
+#[cfg(test)]
 #[inline]
 fn take_varint(buf: &mut &[u8]) -> Result<u32, NetError> {
     if let Some(window) = buf.first_chunk::<8>() {
@@ -1646,25 +1750,150 @@ fn take_varint(buf: &mut &[u8]) -> Result<u32, NetError> {
     }
 }
 
+/// Feed one decoded varint to the RLE state machine: a zero value arms
+/// `pending_run` so the *next* varint is consumed as its run length.
+/// `out` is pre-zeroed, so a run (and the zero value itself) is just an
+/// index bump — only nonzero values are stored. Shared by the windowed
+/// and scalar-tail loops of [`get_rle_column_into`].
+#[inline]
+fn rle_apply(
+    out: &mut [u32],
+    idx: &mut usize,
+    pending_run: &mut bool,
+    v: u32,
+) -> Result<(), NetError> {
+    let n = out.len();
+    if *pending_run {
+        let run = v as usize;
+        if run > n - *idx {
+            return Err(NetError::Codec(format!(
+                "zero run of {run} overflows {n}-record column"
+            )));
+        }
+        *idx += run;
+        *pending_run = false;
+    } else if v == 0 {
+        *idx += 1;
+        *pending_run = true;
+    } else {
+        out[*idx] = v;
+        *idx += 1;
+    }
+    Ok(())
+}
+
 /// Read back `n` column values written by [`put_rle_column`] into a
 /// reusable buffer (previous contents are replaced). This is the block
-/// decoder's hot loop; varints decode through the SWAR fast path
-/// ([`swar_varint`]).
-fn get_rle_column_into(buf: &mut &[u8], n: usize, vals: &mut Vec<u32>) -> Result<(), NetError> {
+/// decoder's hot loop: the buffer is zero-filled once up front (so RLE
+/// runs never write), then each 8-byte little-endian window is loaded
+/// *once* and every varint that terminates inside it decodes from the
+/// shifted word — the `swar_varint` bit tricks without the per-varint
+/// reload, slice narrowing, and `Vec` growth checks. A varint that
+/// straddles the window end re-anchors the window at its first byte;
+/// under 8 remaining bytes fall back to the scalar [`get_varint`] so
+/// truncation errors stay byte-exact.
+///
+/// Every byte consumed from `buf` is also fed to `hasher`, exactly
+/// once and in order, so the caller can verify the block checksum as a
+/// side effect of decoding instead of a separate pass over the payload
+/// — the FNV-1a multiply chain is pure latency, and the decode work
+/// executes under it for free (see
+/// [`decode_block_checked_columnar_into`]). On an `Err` return the
+/// hasher is left mid-stream and must not be trusted; the checked
+/// wrappers re-hash from scratch on that cold path.
+fn get_rle_column_into(
+    buf: &mut &[u8],
+    n: usize,
+    vals: &mut Vec<u32>,
+    hasher: &mut Fnv1a,
+) -> Result<(), NetError> {
+    let overflow = || NetError::Codec("varint overflows u32".to_owned());
     vals.clear();
-    vals.reserve(n);
-    while vals.len() < n {
-        let v = take_varint(buf)?;
-        vals.push(v);
-        if v == 0 {
-            let run = take_varint(buf)? as usize;
-            if run > n - vals.len() {
-                return Err(NetError::Codec(format!(
-                    "zero run of {run} overflows {n}-record column"
-                )));
-            }
-            vals.resize(vals.len() + run, 0);
+    vals.resize(n, 0);
+    let out = &mut vals[..];
+    let mut idx = 0usize;
+    let mut pending_run = false;
+    while idx < n || pending_run {
+        let Some(window) = buf.first_chunk::<8>() else {
+            break;
+        };
+        const MSB: u64 = 0x8080_8080_8080_8080;
+        let word = u64::from_le_bytes(*window);
+        let stops = !word & MSB;
+        if stops == 0 {
+            // No terminator in 8 bytes → at least 9 encoded bytes,
+            // far past the 5-byte u32 maximum.
+            return Err(overflow());
         }
+        // Burst path: all eight bytes are 1-byte varints with no zero
+        // among them (near-constant columns decay to this shape), so
+        // the window is eight column values verbatim.
+        if stops == MSB && idx + 8 <= n && !pending_run {
+            let zeros = word.wrapping_sub(0x0101_0101_0101_0101) & !word & MSB;
+            if zeros == 0 {
+                for k in 0..8 {
+                    out[idx + k] = ((word >> (8 * k)) & 0x7f) as u32;
+                }
+                idx += 8;
+                hasher.update(&buf[..8]);
+                *buf = &buf[8..];
+                continue;
+            }
+        }
+        // Walk the stop bytes via clear-lowest-set-bit: the only
+        // loop-carried chain is `s &= s - 1` (one cycle), so the
+        // extraction of varint j+1 overlaps the extraction of varint j
+        // instead of waiting on a reloaded window address.
+        let mut s = stops;
+        let mut consumed = 0usize;
+        while s != 0 {
+            let end = (s.trailing_zeros() >> 3) as usize;
+            let len = end + 1 - consumed;
+            let piece = word >> (8 * consumed);
+            let v = if len <= 4 {
+                // ≤ 28 data bits: no overflow is possible, and the
+                // 7-bit groups compact with constant shifts (group k
+                // is `(q >> k) & (0x7f << 7k)`).
+                let q = piece & (u64::MAX >> (64 - 8 * len));
+                (q & 0x7f) | (q >> 1 & 0x3f80) | (q >> 2 & 0x1f_c000) | (q >> 3 & 0x0fe0_0000)
+            } else {
+                if len > 5 {
+                    return Err(overflow());
+                }
+                let data = piece & 0x7f_7f7f_7f7f;
+                let v = (data & 0x7f)
+                    | (data >> 8 & 0x7f) << 7
+                    | (data >> 16 & 0x7f) << 14
+                    | (data >> 24 & 0x7f) << 21
+                    | (data >> 32 & 0x7f) << 28;
+                if v > u64::from(u32::MAX) {
+                    return Err(overflow());
+                }
+                v
+            };
+            s &= s - 1;
+            consumed = end + 1;
+            rle_apply(out, &mut idx, &mut pending_run, v as u32)?;
+            if !(idx < n || pending_run) {
+                hasher.update(&buf[..consumed]);
+                *buf = &buf[consumed..];
+                return Ok(());
+            }
+        }
+        // A varint straddling the window end re-anchors at its first
+        // byte; the next load decodes it whole (or the scalar tail
+        // diagnoses truncation).
+        hasher.update(&buf[..consumed]);
+        *buf = &buf[consumed..];
+    }
+    // Fewer than 8 bytes left: scalar decode, so a buffer that ends
+    // mid-varint reports "truncated varint" exactly like the
+    // byte-at-a-time decoder.
+    while idx < n || pending_run {
+        let before = *buf;
+        let v = get_varint(buf)?;
+        hasher.update(&before[..before.len() - buf.len()]);
+        rle_apply(out, &mut idx, &mut pending_run, v)?;
     }
     Ok(())
 }
@@ -1726,15 +1955,19 @@ fn encode_block(records: &[&FlowTuple]) -> Vec<u8> {
 
 /// Decode one v3 block of `count` records (inverse of [`encode_block`])
 /// into `scratch.flows`, reusing `scratch.cols` as column buffers.
+/// `hasher` receives the payload bytes as they are consumed (see
+/// [`get_rle_column_into`]); after an `Ok` return it has covered the
+/// whole payload.
 fn decode_block_into(
     payload: &[u8],
     count: usize,
     scratch: &mut BlockScratch,
+    hasher: &mut Fnv1a,
 ) -> Result<(), NetError> {
     use crate::protocol::{TcpFlags, TransportProtocol};
     let mut buf = payload;
     for col in scratch.cols.iter_mut() {
-        get_rle_column_into(&mut buf, count, col)?;
+        get_rle_column_into(&mut buf, count, col, hasher)?;
     }
     if !buf.is_empty() {
         return Err(NetError::Codec(format!(
@@ -1781,6 +2014,352 @@ fn decode_block_into(
     Ok(())
 }
 
+/// One decoded v3 block in struct-of-arrays form: every column fully
+/// un-delta'd back to record values, plus the same records materialized
+/// as [`FlowTuple`]s for per-record consumers. The column buffers and
+/// the record buffer are capacity-reused across blocks (and across
+/// hours, if the caller keeps the scratch), exactly like
+/// `BlockScratch` — a sequential decode's steady state allocates
+/// nothing.
+///
+/// In a delta-encoded file (the default; see
+/// [`StoreOptions::delta_encode`]) records are sorted by
+/// `(src_ip, dst_ip, dst_port)` before blocking, so
+/// [`ColumnBlock::src_ip`] is **ascending within the block** — the
+/// invariant the merge-join correlation passes
+/// (`CorrelationIndex::correlate_sorted_block`,
+/// `IntelIndex::lookup_sorted_block` downstream) exploit to replace
+/// per-record binary searches with a forward gallop. Non-delta files
+/// carry no such guarantee; batched consumers must stay correct (if
+/// slower) on arbitrary column order.
+#[derive(Debug, Default)]
+pub struct ColumnBlock {
+    /// Per-column buffers in on-disk column order (src, dst, src_port,
+    /// dst_port, protocol, ttl, tcp_flags, ip_len, packets). Filled
+    /// with raw deltas by the RLE pass, then rewritten in place to
+    /// reconstructed record values by the un-delta passes.
+    cols: [Vec<u32>; COLUMNS],
+    /// The block's records, assembled from the reconstructed columns.
+    flows: Vec<FlowTuple>,
+}
+
+impl ColumnBlock {
+    /// Records in this block.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Source addresses as big-endian `u32`s, ascending when the file
+    /// was delta-encoded (see the type-level invariant).
+    pub fn src_ip(&self) -> &[u32] {
+        &self.cols[0]
+    }
+
+    /// Destination addresses as big-endian `u32`s.
+    pub fn dst_ip(&self) -> &[u32] {
+        &self.cols[1]
+    }
+
+    /// Source ports (each value fits `u16`).
+    pub fn src_port(&self) -> &[u32] {
+        &self.cols[2]
+    }
+
+    /// Destination ports (each value fits `u16`).
+    pub fn dst_port(&self) -> &[u32] {
+        &self.cols[3]
+    }
+
+    /// Transport protocol numbers (each a valid
+    /// [`crate::protocol::TransportProtocol`] number).
+    pub fn protocol(&self) -> &[u32] {
+        &self.cols[4]
+    }
+
+    /// TCP flag bytes (each value fits `u8`).
+    pub fn tcp_flags(&self) -> &[u32] {
+        &self.cols[6]
+    }
+
+    /// Per-record packet counts.
+    pub fn packets(&self) -> &[u32] {
+        &self.cols[8]
+    }
+
+    /// The same records row-wise, for per-record consumers and the
+    /// [`FlowSink::visit_block`] fallback. `flows()[i]` is the record
+    /// whose fields the column slices hold at index `i`.
+    pub fn flows(&self) -> &[FlowTuple] {
+        &self.flows
+    }
+}
+
+/// Width of the fixed-size lanes the un-delta passes operate on. Eight
+/// `u32`s fill a 256-bit vector register; the passes are written as
+/// plain array arithmetic over `[u32; 8]` chunks (no `std::arch`) so
+/// the autovectorizer can pick whatever width the target has.
+const LANES: usize = 8;
+
+/// In-place wrapping prefix sum: `vals[i] = vals[0] + … + vals[i]`
+/// (mod 2³²). This is the batched inverse of per-record
+/// `prev = prev.wrapping_add(delta)` with the predictor starting at 0.
+///
+/// The serial dependency is broken into `[u32; 8]` lanes: each chunk
+/// runs a log-step inclusive scan (offsets 1, 2, 4 — lane-local shifts
+/// and adds with no cross-iteration dependency, which autovectorizes),
+/// then the running carry of all prior chunks is added to every lane.
+/// The tail shorter than a chunk falls back to the scalar recurrence.
+fn prefix_sum_wrapping(vals: &mut [u32]) {
+    let mut carry = 0u32;
+    let mut chunks = vals.chunks_exact_mut(LANES);
+    for chunk in &mut chunks {
+        let lane: &mut [u32; LANES] = chunk.try_into().expect("LANES-wide chunk");
+        for shift in [1, 2, 4] {
+            let prev = *lane;
+            for i in shift..LANES {
+                lane[i] = lane[i].wrapping_add(prev[i - shift]);
+            }
+        }
+        for v in lane.iter_mut() {
+            *v = v.wrapping_add(carry);
+        }
+        carry = lane[LANES - 1];
+    }
+    for v in chunks.into_remainder() {
+        carry = carry.wrapping_add(*v);
+        *v = carry;
+    }
+}
+
+/// Fused [`unzigzag`] + wrapping prefix sum over a whole column: the
+/// batched inverse of `prev = prev.wrapping_add(unzigzag(delta))` with
+/// the predictor starting at 0. Same [`LANES`]-wide log-step scan as
+/// [`prefix_sum_wrapping`], with the zigzag bit transform folded into
+/// the chunk load so the column is read and written exactly once.
+/// Two's-complement wrapping makes the `u32` arithmetic exact for the
+/// `i32`-accumulated columns as well.
+///
+/// Returns the bitwise OR of every reconstructed value: for a bounded
+/// column whose limit is `2^k - 1`, `or & !max == 0` proves every
+/// value is in range without a second pass (see the wrapping-exactness
+/// argument on [`decode_block_columnar_into`]), so the per-column
+/// validation scan only runs on corrupt blocks.
+fn unzigzag_prefix_sum(vals: &mut [u32]) -> u32 {
+    let mut carry = 0u32;
+    let mut seen = 0u32;
+    let mut chunks = vals.chunks_exact_mut(LANES);
+    for chunk in &mut chunks {
+        let lane: &mut [u32; LANES] = chunk.try_into().expect("LANES-wide chunk");
+        for v in lane.iter_mut() {
+            *v = (*v >> 1) ^ (*v & 1).wrapping_neg();
+        }
+        for shift in [1, 2, 4] {
+            let prev = *lane;
+            for i in shift..LANES {
+                lane[i] = lane[i].wrapping_add(prev[i - shift]);
+            }
+        }
+        for v in lane.iter_mut() {
+            *v = v.wrapping_add(carry);
+            seen |= *v;
+        }
+        carry = lane[LANES - 1];
+    }
+    for v in chunks.into_remainder() {
+        carry = carry.wrapping_add((*v >> 1) ^ (*v & 1).wrapping_neg());
+        *v = carry;
+        seen |= carry;
+    }
+    seen
+}
+
+/// Index of the first element matching `bad`, scanned [`LANES`] at a
+/// time: each chunk ORs the predicate into one flag with no early exit
+/// inside the chunk (so the compares vectorize), and only a matching
+/// chunk is rescanned for the exact index.
+fn first_where(vals: &[u32], bad: impl Fn(u32) -> bool) -> Option<usize> {
+    let mut chunks = vals.chunks_exact(LANES);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        let mut any = false;
+        for &v in chunk {
+            any |= bad(v);
+        }
+        if any {
+            return chunk.iter().position(|&v| bad(v)).map(|i| base + i);
+        }
+        base += LANES;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&v| bad(v))
+        .map(|i| base + i)
+}
+
+/// The column-at-a-time block decoder: same wire format, same outputs,
+/// and same error strings as the record-at-a-time [`decode_block_into`]
+/// (proptest-pinned), but structured for throughput — the RLE/SWAR
+/// varint loop runs striding one column at a time, every column is
+/// un-delta'd by a [`LANES`]-wide wrapping pass, range validation is a
+/// chunked whole-column scan, and record assembly is a branch-free
+/// transpose with no serial dependencies.
+///
+/// Wrapping un-delta is exact for the bounded columns too, not just
+/// the wrapping-accumulator ones: the record decoder's checked
+/// recurrence keeps its accumulator in `0..=max` (max ≤ 65,535), so a
+/// `checked_add` overflow can only be positive and always wraps the
+/// small accumulator negative — and a negative `i32` is a huge `u32`.
+/// Hence the first record where the checked recurrence fails (overflow
+/// or out of range) is exactly the first record whose *wrapping*
+/// reconstruction exceeds `max` as a `u32`. Values past a column's
+/// first failure are garbage, but the block is rejected before
+/// anything reads them.
+///
+/// Error-order contract: the record decoder fails at the *first* bad
+/// record, checking fields in the order protocol → src_port → dst_port
+/// → ttl → tcp_flags → ip_len within a record. Columnar validation
+/// finds each column's first failure independently, then reports the
+/// failure with the smallest `(record index, field order)` — the exact
+/// error the record-at-a-time decoder would have raised.
+///
+/// `hasher` receives the payload bytes as they are consumed (see
+/// [`get_rle_column_into`]); after an `Ok` return it has covered the
+/// whole payload.
+fn decode_block_columnar_into(
+    payload: &[u8],
+    count: usize,
+    block: &mut ColumnBlock,
+    hasher: &mut Fnv1a,
+) -> Result<(), NetError> {
+    use crate::protocol::{TcpFlags, TransportProtocol};
+    let mut buf = payload;
+    for col in block.cols.iter_mut() {
+        get_rle_column_into(&mut buf, count, col, hasher)?;
+    }
+    if !buf.is_empty() {
+        return Err(NetError::Codec(format!(
+            "{} trailing bytes after {count}-record block",
+            buf.len()
+        )));
+    }
+    prefix_sum_wrapping(&mut block.cols[0]); // src: plain deltas
+    let mut ors = [0u32; COLUMNS];
+    for (or, col) in ors.iter_mut().zip(block.cols.iter_mut()).skip(1) {
+        *or = unzigzag_prefix_sum(col); // every other column: zigzag deltas
+    }
+    // Validation: the OR aggregates prove the bounded columns in range
+    // with no extra pass (every limit is `2^k - 1`); only a corrupt
+    // column is rescanned for its first failure (see the
+    // wrapping-exactness argument above — "out of range" is just
+    // `u32 > max` on the reconstructed values), and multi-column
+    // corruption resolves to the error the record-at-a-time decoder
+    // hits first. The protocol column always scans for its second
+    // per-record check (`from_number`) at the same field rank; an
+    // unknown-but-in-range number only reports when no earlier record
+    // failed, which the min-(record, rank) resolution guarantees.
+    let mut first: Option<(usize, usize, NetError)> = None;
+    let mut consider = |rank: usize, failed: Option<(usize, NetError)>| {
+        if let Some((i, e)) = failed {
+            if first
+                .as_ref()
+                .is_none_or(|(fi, fr, _)| (i, rank) < (*fi, *fr))
+            {
+                first = Some((i, rank, e));
+            }
+        }
+    };
+    let proto = &block.cols[4];
+    consider(
+        0,
+        first_where(proto, |v| {
+            v > 255 || TransportProtocol::from_number(v as u8).is_none()
+        })
+        .map(|i| {
+            let v = proto[i];
+            if v > 255 {
+                (i, NetError::Codec("protocol delta out of range".to_owned()))
+            } else {
+                (
+                    i,
+                    NetError::Codec(format!("unknown protocol number {}", v as u8)),
+                )
+            }
+        }),
+    );
+    for (rank, col, max, field) in [
+        (1usize, 2usize, 65_535, "src_port"),
+        (2, 3, 65_535, "dst_port"),
+        (3, 5, 255, "ttl"),
+        (4, 6, 255, "tcp_flags"),
+        (5, 7, 65_535, "ip_len"),
+    ] {
+        if ors[col] & !max == 0 {
+            continue;
+        }
+        consider(
+            rank,
+            first_where(&block.cols[col], |v| v > max)
+                .map(|i| (i, NetError::Codec(format!("{field} delta out of range")))),
+        );
+    }
+    if let Some((_, _, e)) = first {
+        return Err(e);
+    }
+    // Transpose the reconstructed columns into records. Every value was
+    // validated above, so this loop carries no error branches; the
+    // up-front reslices let the indexing elide bounds checks, and the
+    // protocol table replaces the `from_number` match, whose branches
+    // mispredict on mixed TCP/UDP traffic (only validated numbers are
+    // ever looked up, so the filler entries are unreachable).
+    const PROTO_BY_NUMBER: [TransportProtocol; 256] = {
+        let mut t = [TransportProtocol::Tcp; 256];
+        t[TransportProtocol::Icmp as usize] = TransportProtocol::Icmp;
+        t[TransportProtocol::Udp as usize] = TransportProtocol::Udp;
+        t
+    };
+    let ColumnBlock { cols, flows } = block;
+    let [src, dst, src_port, dst_port, proto, ttl, flags, ip_len, packets] = cols;
+    let (src, dst, packets) = (&src[..count], &dst[..count], &packets[..count]);
+    let (src_port, dst_port, proto) = (&src_port[..count], &dst_port[..count], &proto[..count]);
+    let (ttl, flags, ip_len) = (&ttl[..count], &flags[..count], &ip_len[..count]);
+    flows.clear();
+    flows.reserve(count);
+    for i in 0..count {
+        flows.push(FlowTuple {
+            src_ip: std::net::Ipv4Addr::from(src[i]),
+            dst_ip: std::net::Ipv4Addr::from(dst[i]),
+            src_port: src_port[i] as u16,
+            dst_port: dst_port[i] as u16,
+            protocol: PROTO_BY_NUMBER[(proto[i] & 0xff) as usize],
+            ttl: ttl[i] as u8,
+            tcp_flags: TcpFlags::from_bits(flags[i] as u8),
+            ip_len: ip_len[i] as u16,
+            packets: packets[i],
+        });
+    }
+    Ok(())
+}
+
+/// Verify one block's checksum and run the columnar decoder into
+/// `block` — the batched counterpart of [`decode_block_checked_into`],
+/// with identical error strings and the same interleaved
+/// checksum-while-decoding scheme (see there for why fusing the
+/// passes is faster).
+fn decode_block_checked_columnar_into(
+    v3: &V3Block<'_>,
+    block: &mut ColumnBlock,
+) -> Result<(), NetError> {
+    let mut hasher = Fnv1a::new();
+    let decoded = decode_block_columnar_into(v3.payload, v3.count as usize, block, &mut hasher);
+    resolve_block_checksum(decoded, &hasher, v3)
+}
+
 /// Streaming 64-bit FNV-1a, so the checksum can cover discontiguous
 /// regions (header prefix + payload) without concatenating them.
 /// Shared with the segment container ([`crate::segment`]), whose
@@ -1788,10 +2367,12 @@ fn decode_block_into(
 pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
+    #[inline]
     pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
+    #[inline]
     pub(crate) fn update(&mut self, data: &[u8]) {
         for &b in data {
             self.0 ^= u64::from(b);
@@ -1886,6 +2467,7 @@ mod tests {
                 let opts = StoreOptions {
                     delta_encode: delta,
                     format,
+                    ..StoreOptions::default()
                 };
                 let hour = UnixHour::new(414_432);
                 let bytes = encode_hour(hour, &flows(), opts);
@@ -1902,6 +2484,7 @@ mod tests {
             let opts = StoreOptions {
                 delta_encode: false,
                 format,
+                ..StoreOptions::default()
             };
             let bytes = encode_hour(UnixHour::new(1), &flows(), opts);
             let (_, back) = decode_hour(&bytes).unwrap();
@@ -1929,6 +2512,7 @@ mod tests {
             StoreOptions {
                 delta_encode: true,
                 format: StoreFormat::V2,
+                ..StoreOptions::default()
             },
         );
         let p = encode_hour(
@@ -1937,6 +2521,7 @@ mod tests {
             StoreOptions {
                 delta_encode: false,
                 format: StoreFormat::V2,
+                ..StoreOptions::default()
             },
         );
         assert!(d.len() < p.len(), "delta {} vs plain {}", d.len(), p.len());
@@ -2182,6 +2767,7 @@ mod tests {
             StoreOptions {
                 delta_encode: true,
                 format: StoreFormat::V2,
+                ..StoreOptions::default()
             },
         );
         let payload_len = bytes.len() - HEADER;
@@ -2431,14 +3017,18 @@ mod tests {
         let mut slice = buf.as_slice();
         // Pre-populate the reuse buffer to prove it is fully replaced.
         let mut out = vec![99u32; 4];
-        get_rle_column_into(&mut slice, vals.len(), &mut out).unwrap();
+        let mut hasher = Fnv1a::new();
+        get_rle_column_into(&mut slice, vals.len(), &mut out, &mut hasher).unwrap();
         assert_eq!(out, vals);
         assert!(slice.is_empty());
+        // The interleaved hash must cover exactly the consumed bytes.
+        assert_eq!(hasher.finish(), fnv1a(&buf));
         // A zero run claiming more records than the column holds.
         let mut bad = Vec::new();
         put_varint(&mut bad, 0);
         put_varint(&mut bad, 100);
-        let err = get_rle_column_into(&mut bad.as_slice(), 3, &mut out).unwrap_err();
+        let err =
+            get_rle_column_into(&mut bad.as_slice(), 3, &mut out, &mut Fnv1a::new()).unwrap_err();
         assert!(format!("{err}").contains("zero run"));
     }
 
@@ -2740,12 +3330,233 @@ mod tests {
                 })
                 .collect();
             for format in [StoreFormat::V2, StoreFormat::V3] {
-                let opts = StoreOptions { delta_encode: delta, format };
+                let opts = StoreOptions { delta_encode: delta, format, ..StoreOptions::default() };
                 let bytes = encode_hour(UnixHour::new(hour), &flows, opts);
                 let (h, back) = decode_hour(&bytes).unwrap();
                 prop_assert_eq!(h, UnixHour::new(hour));
                 prop_assert_eq!(sorted(back), sorted(flows.clone()));
             }
+        }
+    }
+
+    /// One record of the inline tuple strategy the decoder-equivalence
+    /// proptests generate: every `FlowTuple` field as a plain integer.
+    type RawFlow = (u32, u32, u16, u16, usize, u8, u8, u16, u32);
+
+    /// Materialize the inline tuple strategy used by the roundtrip
+    /// proptest into flows.
+    fn tuples_to_flows(raw: Vec<RawFlow>) -> Vec<FlowTuple> {
+        use crate::protocol::TransportProtocol;
+        raw.into_iter()
+            .map(|(s, d, sp, dp, pi, ttl, fl, len, pk)| FlowTuple {
+                src_ip: Ipv4Addr::from(s),
+                dst_ip: Ipv4Addr::from(d),
+                src_port: sp,
+                dst_port: dp,
+                protocol: TransportProtocol::ALL[pi],
+                ttl,
+                tcp_flags: TcpFlags::from_bits(fl),
+                ip_len: len,
+                packets: pk,
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The columnar decoder is bit-identical to the record-at-a-time
+        /// decoder: same flows on valid payloads (mutations included when
+        /// they happen to stay decodable), and byte-identical error
+        /// strings on corrupt ones.
+        #[test]
+        fn prop_columnar_decode_matches_record_decoder(
+            raw in proptest::collection::vec(
+                (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), 0usize..3, any::<u8>(), any::<u8>(), any::<u16>(), 1u32..1_000_000),
+                0..60,
+            ),
+            mutations in proptest::collection::vec(
+                (any::<usize>(), 1u8..=255), 0..3),
+        ) {
+            let flows = tuples_to_flows(raw);
+            let refs: Vec<&FlowTuple> = flows.iter().collect();
+            let mut payload = encode_block(&refs);
+            let pristine = mutations.is_empty() || payload.is_empty();
+            for (idx, x) in mutations {
+                if !payload.is_empty() {
+                    let i = idx % payload.len();
+                    payload[i] ^= x;
+                }
+            }
+            let mut scratch = BlockScratch::default();
+            let mut rh = Fnv1a::new();
+            let record = decode_block_into(&payload, flows.len(), &mut scratch, &mut rh);
+            let mut block = ColumnBlock::default();
+            let mut ch = Fnv1a::new();
+            let columnar = decode_block_columnar_into(&payload, flows.len(), &mut block, &mut ch);
+            match (record, columnar) {
+                (Ok(()), Ok(())) => {
+                    prop_assert_eq!(&scratch.flows, block.flows());
+                    // The interleaved hashes covered the whole payload.
+                    prop_assert_eq!(rh.finish(), fnv1a(&payload));
+                    prop_assert_eq!(ch.finish(), fnv1a(&payload));
+                    // The exposed src column is the decoded addresses.
+                    for (f, &ip) in block.flows().iter().zip(block.src_ip()) {
+                        prop_assert_eq!(u32::from(f.src_ip), ip);
+                    }
+                    if pristine {
+                        prop_assert_eq!(block.flows(), flows.as_slice());
+                    }
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(format!("{a}"), format!("{b}")),
+                (a, b) => prop_assert!(
+                    false, "decoder disagreement: record {:?}, columnar {:?}", a, b),
+            }
+        }
+
+        /// Satellite: the varint scalar-tail window. Every block payload
+        /// ends exactly at the buffer boundary, so its final columns
+        /// decode through the < 8-byte scalar fallback; both decoders
+        /// must agree with the encoder at the exact boundary and must
+        /// reject bytes past it with the same error.
+        #[test]
+        fn prop_varint_tail_and_block_boundary(
+            raw in proptest::collection::vec(
+                (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), 0usize..3, any::<u8>(), any::<u8>(), any::<u16>(), 1u32..1_000_000),
+                1..8,
+            ),
+            pad in 1usize..8,
+        ) {
+            let flows = tuples_to_flows(raw);
+            let refs: Vec<&FlowTuple> = flows.iter().collect();
+            let payload = encode_block(&refs);
+            // Exact boundary: both decoders consume the whole payload.
+            let mut scratch = BlockScratch::default();
+            decode_block_into(&payload, flows.len(), &mut scratch, &mut Fnv1a::new()).unwrap();
+            prop_assert_eq!(&scratch.flows, &flows);
+            let mut block = ColumnBlock::default();
+            decode_block_columnar_into(&payload, flows.len(), &mut block, &mut Fnv1a::new())
+                .unwrap();
+            prop_assert_eq!(block.flows(), flows.as_slice());
+            // Bytes past the boundary: identical trailing-bytes errors.
+            let mut padded = payload.clone();
+            padded.extend(vec![0u8; pad]);
+            let a = decode_block_into(&padded, flows.len(), &mut scratch, &mut Fnv1a::new())
+                .unwrap_err();
+            let b =
+                decode_block_columnar_into(&padded, flows.len(), &mut block, &mut Fnv1a::new())
+                    .unwrap_err();
+            prop_assert_eq!(format!("{a}"), format!("{b}"));
+            let msg = format!("{a}");
+            prop_assert!(msg.contains("trailing bytes"), "got: {}", msg);
+        }
+
+        /// The whole-column un-delta passes match a one-at-a-time
+        /// scalar reference on arbitrary lane-unaligned lengths.
+        #[test]
+        fn prop_prefix_sum_and_unzigzag_match_scalar(
+            vals in proptest::collection::vec(any::<u32>(), 0..70),
+        ) {
+            let mut summed = vals.clone();
+            prefix_sum_wrapping(&mut summed);
+            let mut acc = 0u32;
+            for (i, &d) in vals.iter().enumerate() {
+                acc = acc.wrapping_add(d);
+                prop_assert_eq!(summed[i], acc, "prefix index {}", i);
+            }
+            let mut unzz = vals.clone();
+            unzigzag_prefix_sum(&mut unzz);
+            let mut acc = 0u32;
+            for (i, &v) in vals.iter().enumerate() {
+                acc = acc.wrapping_add(unzigzag(v) as u32);
+                prop_assert_eq!(unzz[i], acc, "zigzag index {}", i);
+            }
+            let bad = first_where(&vals, |v| v > 1_000_000);
+            prop_assert_eq!(bad, vals.iter().position(|&v| v > 1_000_000));
+        }
+    }
+
+    /// Build a raw block payload from per-column deltas: the src column
+    /// is plain wrapping deltas, the other eight are zigzag deltas in
+    /// encode order (dst, src_port, dst_port, proto, ttl, flags,
+    /// ip_len, packets).
+    fn payload_from_deltas(src: &[u32], zz: [&[i32]; 8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_rle_column(&mut out, src);
+        for col in zz {
+            let enc: Vec<u32> = col.iter().map(|&d| zigzag(d)).collect();
+            put_rle_column(&mut out, &enc);
+        }
+        out
+    }
+
+    #[test]
+    fn columnar_error_order_matches_record_decoder() {
+        // Two-record blocks with corruption planted in specific columns
+        // and records: the columnar decoder must report exactly the
+        // error the record-at-a-time decoder hits first.
+        let good = (
+            [0u32, 1],   // src deltas
+            [0i32, 0],   // dst
+            [80i32, 0],  // src_port
+            [443i32, 0], // dst_port
+            [6i32, 0],   // proto (TCP)
+            [64i32, 0],  // ttl
+            [2i32, 0],   // flags
+            [40i32, 0],  // ip_len
+            [1i32, 0],   // packets
+        );
+        // (name, proto deltas, src_port deltas, ttl deltas, expected error)
+        type Case = (&'static str, [i32; 2], [i32; 2], [i32; 2], &'static str);
+        let cases: [Case; 4] = [
+            // (name, proto, src_port, ttl, expected error)
+            // Bad src_port at record 0 beats bad proto at record 1.
+            (
+                "earlier record wins",
+                [6, -10],
+                [70_000, 0],
+                good.5,
+                "src_port delta out of range",
+            ),
+            // Same record: protocol (rank 0) beats ttl (rank 3).
+            (
+                "field order wins",
+                [2, 0],
+                good.2,
+                [500, 0],
+                "unknown protocol number 2",
+            ),
+            // Protocol accumulator escaping 0..=255.
+            (
+                "proto range",
+                [-1, 0],
+                good.2,
+                good.5,
+                "protocol delta out of range",
+            ),
+            // A lone late failure still surfaces.
+            (
+                "single bad column",
+                good.4,
+                good.2,
+                [64, 300],
+                "ttl delta out of range",
+            ),
+        ];
+        for (name, proto, src_port, ttl, want) in cases {
+            let payload = payload_from_deltas(
+                &good.0,
+                [
+                    &good.1, &src_port, &good.3, &proto, &ttl, &good.6, &good.7, &good.8,
+                ],
+            );
+            let mut scratch = BlockScratch::default();
+            let a = decode_block_into(&payload, 2, &mut scratch, &mut Fnv1a::new()).unwrap_err();
+            let mut block = ColumnBlock::default();
+            let b =
+                decode_block_columnar_into(&payload, 2, &mut block, &mut Fnv1a::new()).unwrap_err();
+            assert_eq!(format!("{a}"), format!("{b}"), "{name}");
+            assert!(format!("{a}").contains(want), "{name}: got {a}");
         }
     }
 }
